@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks for the performance-critical substrates.
+//!
+//! These are engineering benchmarks (throughput of the building blocks),
+//! complementing the experiment binaries in `src/bin/` that regenerate the
+//! paper's tables and figures.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mosh_crypto::session::{Direction, Session};
+use mosh_crypto::Base64Key;
+use mosh_prediction::{DisplayPreference, PredictionEngine};
+use mosh_ssp::state::BlobState;
+use mosh_ssp::transport::Transport;
+use mosh_terminal::{display, Terminal};
+
+fn crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let payload = vec![0xa5u8; 1400];
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("ocb_seal_1400B", |b| {
+        let mut s = Session::new(Base64Key::from_bytes([1; 16]), Direction::ToServer);
+        b.iter(|| s.encrypt(&payload));
+    });
+    g.bench_function("ocb_open_1400B", |b| {
+        let mut tx = Session::new(Base64Key::from_bytes([1; 16]), Direction::ToServer);
+        let rx = Session::new(Base64Key::from_bytes([1; 16]), Direction::ToClient);
+        let wire = tx.encrypt(&payload);
+        b.iter(|| rx.decrypt(&wire).expect("authentic"));
+    });
+    g.finish();
+}
+
+fn terminal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("terminal");
+    let mut chunk = Vec::new();
+    for i in 0..50 {
+        chunk.extend_from_slice(
+            format!("\x1b[{};1H\x1b[1;3{}mline {} of heavy output\x1b[0m\r\n", i % 24 + 1, i % 8, i)
+                .as_bytes(),
+        );
+    }
+    g.throughput(Throughput::Bytes(chunk.len() as u64));
+    g.bench_function("emulate_escape_heavy", |b| {
+        let mut t = Terminal::new(80, 24);
+        b.iter(|| t.write(&chunk));
+    });
+
+    g.bench_function("frame_diff", |b| {
+        let mut t = Terminal::new(80, 24);
+        t.write(b"some prompt $ ");
+        let before = t.frame().clone();
+        t.write(&chunk);
+        let after = t.frame().clone();
+        b.iter(|| display::new_frame(true, &before, &after));
+    });
+    g.finish();
+}
+
+fn ssp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ssp");
+    g.bench_function("sync_round_trip", |b| {
+        let key = Base64Key::from_bytes([2; 16]);
+        let init = BlobState(Vec::new());
+        let mut client: Transport<BlobState, BlobState> =
+            Transport::new(key.clone(), Direction::ToServer, init.clone(), init.clone());
+        let mut server: Transport<BlobState, BlobState> =
+            Transport::new(key, Direction::ToClient, init.clone(), init);
+        let mut now = 0u64;
+        let mut v = 0u32;
+        b.iter(|| {
+            v = v.wrapping_add(1);
+            client.set_current_state(BlobState(v.to_be_bytes().to_vec()), now);
+            for _ in 0..40 {
+                for w in client.tick(now) {
+                    let _ = server.receive(now, &w);
+                }
+                for w in server.tick(now) {
+                    let _ = client.receive(now, &w);
+                }
+                now += 1;
+            }
+        });
+    });
+    g.finish();
+}
+
+fn prediction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prediction");
+    g.bench_function("keystroke_prediction", |b| {
+        let mut t = Terminal::new(80, 24);
+        t.write(b"$ ");
+        let frame = t.frame().clone();
+        let mut e = PredictionEngine::new(DisplayPreference::Always);
+        let mut idx = 0u64;
+        b.iter(|| {
+            idx += 1;
+            e.new_user_input(idx, 200.0, b"x", &frame, idx);
+            if idx % 32 == 0 {
+                e.reset();
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, crypto, terminal, ssp, prediction);
+criterion_main!(benches);

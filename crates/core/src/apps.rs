@@ -1,0 +1,820 @@
+//! Host applications the Mosh server runs.
+//!
+//! The paper's traces cover "the bash and zsh shells, the alpine and mutt
+//! e-mail clients, the emacs and vim text editors, … chat clients, [and] the
+//! links text-mode Web browser" (§4). This module provides faithful models
+//! of those application *classes*, distinguished by their echo behaviour —
+//! which is all the prediction engine can observe (§3.2):
+//!
+//! * [`LineShell`] — canonical-mode echo with line editing, command output
+//!   bursts, `passwd`-style echo suppression, and a runaway `yes` flood for
+//!   the Control-C experiment.
+//! * [`Editor`] — a raw-mode full-screen editor that does its own echoing
+//!   (the emacs/vim class, including the multi-mode behaviour of vi).
+//! * [`Pager`] — full-screen page-at-a-time navigation (`less`/`more`).
+//! * [`MailReader`] — navigation-heavy list browsing (alpine/mutt): the
+//!   keystrokes Mosh fundamentally cannot predict.
+//!
+//! Applications are deterministic and time-explicit: input produces writes
+//! scheduled at absolute times, so the same session replays identically.
+
+use crate::Millis;
+
+/// One chunk of application output, due at an absolute time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedWrite {
+    /// Virtual time at which the host writes these bytes to the terminal.
+    pub at: Millis,
+    /// The bytes written.
+    pub bytes: Vec<u8>,
+}
+
+/// A program running under the Mosh server's terminal.
+pub trait Application: Send {
+    /// Output produced when the session starts (screen setup).
+    fn start(&mut self, _now: Millis) -> Vec<TimedWrite> {
+        Vec::new()
+    }
+
+    /// Handles user input (or a terminal reply), emitting scheduled writes.
+    fn on_input(&mut self, now: Millis, bytes: &[u8]) -> Vec<TimedWrite>;
+
+    /// Spontaneous output (flood/background apps); called regularly.
+    fn poll(&mut self, _now: Millis) -> Vec<TimedWrite> {
+        Vec::new()
+    }
+
+    /// The window changed size.
+    fn on_resize(&mut self, _now: Millis, _width: usize, _height: usize) -> Vec<TimedWrite> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// LineShell
+// ---------------------------------------------------------------------
+
+/// A canonical-mode shell: echoes keystrokes, edits a line, runs commands.
+///
+/// Built-in commands: `echo <text>`, `ls`, `cat <n>` (n lines of output),
+/// `seq <n>`, `clear`, `passwd` (suppresses echo until ENTER, the paper's
+/// §3.2 example), `yes` (floods output until Control-C), and anything else
+/// prints `command not found`.
+#[derive(Debug)]
+pub struct LineShell {
+    line: String,
+    echo_on: bool,
+    prompt: &'static str,
+    /// Milliseconds between input arrival and its echo (application think
+    /// time; the paper's servers took "tens of milliseconds" when loaded).
+    echo_delay: Millis,
+    /// An active `yes` flood: output until interrupted.
+    flooding: bool,
+    next_flood_at: Millis,
+    flood_line: u64,
+    /// `passwd` captured input awaiting ENTER.
+    passwd_pending: bool,
+}
+
+impl Default for LineShell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LineShell {
+    /// A shell with a 2 ms echo delay.
+    pub fn new() -> Self {
+        LineShell {
+            line: String::new(),
+            echo_on: true,
+            prompt: "$ ",
+            echo_delay: 2,
+            flooding: false,
+            next_flood_at: 0,
+            flood_line: 0,
+            passwd_pending: false,
+        }
+    }
+
+    /// Overrides the echo delay (models loaded servers).
+    pub fn with_echo_delay(mut self, delay: Millis) -> Self {
+        self.echo_delay = delay;
+        self
+    }
+
+    fn run_command(&mut self, now: Millis, out: &mut Vec<TimedWrite>) {
+        let cmd = std::mem::take(&mut self.line);
+        let mut emit = |at: Millis, s: String| {
+            out.push(TimedWrite {
+                at,
+                bytes: s.into_bytes(),
+            })
+        };
+        let t = now + self.echo_delay;
+        if self.passwd_pending {
+            self.passwd_pending = false;
+            self.echo_on = true;
+            emit(t + 30, "\r\npasswd: password updated successfully\r\n".into());
+            emit(t + 31, self.prompt.into());
+            return;
+        }
+        let mut parts = cmd.split_whitespace();
+        match parts.next() {
+            None => emit(t, format!("\r\n{}", self.prompt)),
+            Some("echo") => {
+                let rest: Vec<&str> = parts.collect();
+                emit(t, format!("\r\n{}\r\n{}", rest.join(" "), self.prompt));
+            }
+            Some("ls") => {
+                emit(
+                    t + 4,
+                    format!(
+                        "\r\nMakefile   README.md  docs/      src/\r\nbuild.rs   config.),  target/    tests/\r\n{}",
+                        self.prompt
+                    ),
+                );
+            }
+            Some("cat") => {
+                let n: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+                emit(t, "\r\n".into());
+                for i in 0..n {
+                    // Bursty output: a few lines per millisecond.
+                    emit(
+                        t + 1 + i / 4,
+                        format!("file line {i}: the quick brown fox jumps over the lazy dog\r\n"),
+                    );
+                }
+                emit(t + 2 + n / 4, self.prompt.into());
+            }
+            Some("seq") => {
+                let n: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+                emit(t, "\r\n".into());
+                for i in 1..=n {
+                    emit(t + 1 + i / 8, format!("{i}\r\n"));
+                }
+                emit(t + 2 + n / 8, self.prompt.into());
+            }
+            Some("clear") => emit(t, format!("\r\n\x1b[2J\x1b[H{}", self.prompt)),
+            Some("passwd") => {
+                self.passwd_pending = true;
+                self.echo_on = false;
+                emit(t, "\r\nNew password: ".into());
+            }
+            Some("yes") => {
+                self.flooding = true;
+                self.flood_line = 0;
+                self.next_flood_at = t;
+                emit(t, "\r\n".into());
+            }
+            Some(other) => {
+                emit(
+                    t + 2,
+                    format!("\r\n{}: command not found\r\n{}", other, self.prompt),
+                );
+            }
+        }
+    }
+}
+
+impl Application for LineShell {
+    fn start(&mut self, now: Millis) -> Vec<TimedWrite> {
+        vec![TimedWrite {
+            at: now,
+            bytes: self.prompt.as_bytes().to_vec(),
+        }]
+    }
+
+    fn on_input(&mut self, now: Millis, bytes: &[u8]) -> Vec<TimedWrite> {
+        let mut out = Vec::new();
+        for &b in bytes {
+            match b {
+                0x03 => {
+                    // Control-C: interrupt whatever is running.
+                    self.flooding = false;
+                    self.passwd_pending = false;
+                    self.echo_on = true;
+                    self.line.clear();
+                    out.push(TimedWrite {
+                        at: now + self.echo_delay,
+                        bytes: format!("^C\r\n{}", self.prompt).into_bytes(),
+                    });
+                }
+                0x0d => self.run_command(now, &mut out),
+                0x7f | 0x08 => {
+                    if !self.line.is_empty() {
+                        self.line.pop();
+                        if self.echo_on {
+                            out.push(TimedWrite {
+                                at: now + self.echo_delay,
+                                bytes: b"\x08 \x08".to_vec(),
+                            });
+                        }
+                    }
+                }
+                0x20..=0x7e => {
+                    self.line.push(b as char);
+                    if self.echo_on {
+                        out.push(TimedWrite {
+                            at: now + self.echo_delay,
+                            bytes: vec![b],
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    fn poll(&mut self, now: Millis) -> Vec<TimedWrite> {
+        let mut out = Vec::new();
+        // A runaway process writes far faster than any link can carry.
+        while self.flooding && self.next_flood_at <= now {
+            let mut chunk = String::new();
+            for _ in 0..20 {
+                chunk.push_str(&format!("y{}\r\n", "y".repeat((self.flood_line % 40) as usize)));
+                self.flood_line += 1;
+            }
+            out.push(TimedWrite {
+                at: self.next_flood_at,
+                bytes: chunk.into_bytes(),
+            });
+            self.next_flood_at += 1;
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Editor
+// ---------------------------------------------------------------------
+
+/// A raw-mode full-screen editor (the emacs/vim class): it echoes typed
+/// characters itself, repaints a status line, and navigation moves the
+/// cursor without printing anything predictable.
+#[derive(Debug)]
+pub struct Editor {
+    lines: Vec<String>,
+    row: usize,
+    col: usize,
+    width: usize,
+    height: usize,
+    echo_delay: Millis,
+    /// vi-style: false means keystrokes are commands, not text.
+    insert_mode: bool,
+    started: bool,
+}
+
+impl Editor {
+    /// An editor on an 80×24 screen with a few lines of existing text.
+    pub fn new() -> Self {
+        Editor {
+            lines: vec![
+                "fn main() {".to_string(),
+                "    println!(\"hello\");".to_string(),
+                "}".to_string(),
+            ],
+            row: 0,
+            col: 0,
+            width: 80,
+            height: 24,
+            echo_delay: 3,
+            insert_mode: true,
+            started: false,
+        }
+    }
+
+    fn status_row(&self) -> usize {
+        self.height - 1
+    }
+
+    fn full_redraw(&self, at: Millis) -> TimedWrite {
+        let mut s = String::from("\x1b[?1049h\x1b[2J\x1b[H");
+        for (i, line) in self.lines.iter().take(self.height - 1).enumerate() {
+            s.push_str(&format!("\x1b[{};1H{}", i + 1, &line[..line.len().min(self.width)]));
+        }
+        s.push_str(&self.status_line());
+        s.push_str(&self.cursor_goto());
+        TimedWrite {
+            at,
+            bytes: s.into_bytes(),
+        }
+    }
+
+    fn status_line(&self) -> String {
+        format!(
+            "\x1b[{};1H\x1b[7m-- {} -- {}:{}\x1b[K\x1b[0m",
+            self.status_row() + 1,
+            if self.insert_mode { "INSERT" } else { "NORMAL" },
+            self.row + 1,
+            self.col + 1
+        )
+    }
+
+    fn cursor_goto(&self) -> String {
+        format!("\x1b[{};{}H", self.row + 1, self.col + 1)
+    }
+}
+
+impl Default for Editor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Application for Editor {
+    fn start(&mut self, now: Millis) -> Vec<TimedWrite> {
+        self.started = true;
+        vec![self.full_redraw(now)]
+    }
+
+    fn on_input(&mut self, now: Millis, bytes: &[u8]) -> Vec<TimedWrite> {
+        let at = now + self.echo_delay;
+        let emit = |s: String| {
+            vec![TimedWrite {
+                at,
+                bytes: s.into_bytes(),
+            }]
+        };
+        match bytes {
+            b"\x1b[A" => {
+                self.row = self.row.saturating_sub(1);
+                self.col = self.col.min(self.lines.get(self.row).map_or(0, |l| l.len()));
+                emit(format!("{}{}", self.status_line(), self.cursor_goto()))
+            }
+            b"\x1b[B" => {
+                self.row = (self.row + 1).min(self.lines.len().saturating_sub(1));
+                self.col = self.col.min(self.lines.get(self.row).map_or(0, |l| l.len()));
+                emit(format!("{}{}", self.status_line(), self.cursor_goto()))
+            }
+            b"\x1b[C" => {
+                self.col = (self.col + 1).min(self.lines.get(self.row).map_or(0, |l| l.len()));
+                emit(format!("{}{}", self.status_line(), self.cursor_goto()))
+            }
+            b"\x1b[D" => {
+                self.col = self.col.saturating_sub(1);
+                emit(format!("{}{}", self.status_line(), self.cursor_goto()))
+            }
+            b"\x1b" => {
+                // vi mode switch: the multi-mode behaviour of §3.2.
+                self.insert_mode = false;
+                emit(format!("{}{}", self.status_line(), self.cursor_goto()))
+            }
+            [b'i'] if !self.insert_mode => {
+                self.insert_mode = true;
+                emit(format!("{}{}", self.status_line(), self.cursor_goto()))
+            }
+            b"\r" => {
+                if self.insert_mode {
+                    let rest = self.lines[self.row].split_off(self.col);
+                    self.lines.insert(self.row + 1, rest);
+                    self.row += 1;
+                    self.col = 0;
+                    // Repaint from the split row down.
+                    let mut s = String::new();
+                    for r in self.row.saturating_sub(1)..self.lines.len().min(self.height - 1) {
+                        s.push_str(&format!("\x1b[{};1H\x1b[K{}", r + 1, self.lines[r]));
+                    }
+                    s.push_str(&self.status_line());
+                    s.push_str(&self.cursor_goto());
+                    emit(s)
+                } else {
+                    Vec::new()
+                }
+            }
+            [0x7f] | [0x08] => {
+                if self.insert_mode && self.col > 0 {
+                    self.col -= 1;
+                    self.lines[self.row].remove(self.col);
+                    let tail: String = self.lines[self.row][self.col..].to_string();
+                    emit(format!(
+                        "{}{tail}\x1b[K{}{}",
+                        self.cursor_goto(),
+                        self.status_line(),
+                        self.cursor_goto()
+                    ))
+                } else {
+                    Vec::new()
+                }
+            }
+            [b] if *b >= 0x20 && *b != 0x7f => {
+                if self.insert_mode {
+                    let ch = *b as char;
+                    if self.col <= self.lines[self.row].len() {
+                        self.lines[self.row].insert(self.col, ch);
+                    }
+                    self.col += 1;
+                    let tail: String = self.lines[self.row][self.col - 1..].to_string();
+                    // Echo: character plus shifted tail plus status update.
+                    let mut s = format!("\x1b[{};{}H{tail}", self.row + 1, self.col);
+                    s.push_str(&self.status_line());
+                    s.push_str(&self.cursor_goto());
+                    emit(s)
+                } else if *b == b'q' {
+                    // Quit from normal mode: leave the alternate screen.
+                    emit("\x1b[?1049l".to_string())
+                } else {
+                    // Normal-mode commands we don't model: status flash.
+                    emit(format!("{}{}", self.status_line(), self.cursor_goto()))
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pager
+// ---------------------------------------------------------------------
+
+/// A `less`-style pager: space pages forward, `b` back, `q` quits. Every
+/// navigation keystroke repaints the whole screen — unpredictable by
+/// design.
+#[derive(Debug)]
+pub struct Pager {
+    content: Vec<String>,
+    top: usize,
+    width: usize,
+    height: usize,
+    echo_delay: Millis,
+}
+
+impl Pager {
+    /// A pager over `n` generated lines of text.
+    pub fn new(n: usize) -> Self {
+        Pager {
+            content: (0..n)
+                .map(|i| format!("{i:5}  Lorem ipsum dolor sit amet, consectetur adipiscing elit #{i}"))
+                .collect(),
+            top: 0,
+            width: 80,
+            height: 24,
+            echo_delay: 3,
+        }
+    }
+
+    fn redraw(&self, at: Millis) -> TimedWrite {
+        let mut s = String::from("\x1b[2J\x1b[H");
+        let body = self.height - 1;
+        for (i, line) in self
+            .content
+            .iter()
+            .skip(self.top)
+            .take(body)
+            .enumerate()
+        {
+            s.push_str(&format!(
+                "\x1b[{};1H{}",
+                i + 1,
+                &line[..line.len().min(self.width)]
+            ));
+        }
+        s.push_str(&format!(
+            "\x1b[{};1H\x1b[7m--More--({}%)\x1b[0m",
+            self.height,
+            ((self.top + body).min(self.content.len())) * 100 / self.content.len().max(1)
+        ));
+        TimedWrite {
+            at,
+            bytes: s.into_bytes(),
+        }
+    }
+}
+
+impl Application for Pager {
+    fn start(&mut self, now: Millis) -> Vec<TimedWrite> {
+        vec![
+            TimedWrite {
+                at: now,
+                bytes: b"\x1b[?1049h".to_vec(),
+            },
+            self.redraw(now),
+        ]
+    }
+
+    fn on_input(&mut self, now: Millis, bytes: &[u8]) -> Vec<TimedWrite> {
+        let at = now + self.echo_delay;
+        let body = self.height - 1;
+        match bytes {
+            b" " | b"f" | b"\x1b[6~" => {
+                if self.top + body < self.content.len() {
+                    self.top += body;
+                }
+                vec![self.redraw(at)]
+            }
+            b"b" | b"\x1b[5~" => {
+                self.top = self.top.saturating_sub(body);
+                vec![self.redraw(at)]
+            }
+            b"j" | b"\x1b[B" => {
+                if self.top + body < self.content.len() {
+                    self.top += 1;
+                }
+                vec![self.redraw(at)]
+            }
+            b"k" | b"\x1b[A" => {
+                self.top = self.top.saturating_sub(1);
+                vec![self.redraw(at)]
+            }
+            b"q" => vec![TimedWrite {
+                at,
+                bytes: b"\x1b[?1049l".to_vec(),
+            }],
+            _ => Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// MailReader
+// ---------------------------------------------------------------------
+
+/// An alpine/mutt-style mail index: `j`/`k`/`n` move a highlight bar,
+/// ENTER opens a message, `i` returns to the index. The paper's example of
+/// navigation "which cannot be predicted locally" (§3.2: "n" to move to
+/// the next e-mail message).
+#[derive(Debug)]
+pub struct MailReader {
+    subjects: Vec<String>,
+    selected: usize,
+    reading: bool,
+    width: usize,
+    height: usize,
+    echo_delay: Millis,
+}
+
+impl MailReader {
+    /// A mailbox with `n` messages.
+    pub fn new(n: usize) -> Self {
+        MailReader {
+            subjects: (0..n)
+                .map(|i| format!("  {} person{}@example.com   Re: meeting notes #{}", i + 1, i % 7, i))
+                .collect(),
+            selected: 0,
+            reading: false,
+            width: 80,
+            height: 24,
+            echo_delay: 4,
+        }
+    }
+
+    fn draw_index(&self, at: Millis) -> TimedWrite {
+        let mut s = String::from("\x1b[2J\x1b[H\x1b[7m  MAILBOX  \x1b[0m\r\n");
+        for (i, subj) in self.subjects.iter().take(self.height - 3).enumerate() {
+            let subj = &subj[..subj.len().min(self.width)];
+            if i == self.selected {
+                s.push_str(&format!("\x1b[{};1H\x1b[7m{}\x1b[0m", i + 2, subj));
+            } else {
+                s.push_str(&format!("\x1b[{};1H{}", i + 2, subj));
+            }
+        }
+        s.push_str(&format!("\x1b[{};1H? Help  q Quit  n Next", self.height));
+        TimedWrite {
+            at,
+            bytes: s.into_bytes(),
+        }
+    }
+
+    fn move_bar(&self, old: usize, at: Millis) -> TimedWrite {
+        // Realistic mail clients repaint only the two affected rows.
+        let mut s = String::new();
+        s.push_str(&format!(
+            "\x1b[{};1H\x1b[K{}",
+            old + 2,
+            self.subjects[old]
+        ));
+        s.push_str(&format!(
+            "\x1b[{};1H\x1b[7m{}\x1b[0m",
+            self.selected + 2,
+            self.subjects[self.selected]
+        ));
+        TimedWrite {
+            at,
+            bytes: s.into_bytes(),
+        }
+    }
+
+    fn draw_message(&self, at: Millis) -> TimedWrite {
+        let mut s = String::from("\x1b[2J\x1b[H");
+        s.push_str(&format!(
+            "From: person@example.com\r\nSubject: {}\r\n\r\n",
+            self.subjects[self.selected].trim()
+        ));
+        for p in 0..12 {
+            s.push_str(&format!("Body paragraph {p}: text text text text text.\r\n"));
+        }
+        TimedWrite {
+            at,
+            bytes: s.into_bytes(),
+        }
+    }
+}
+
+impl Application for MailReader {
+    fn start(&mut self, now: Millis) -> Vec<TimedWrite> {
+        vec![
+            TimedWrite {
+                at: now,
+                bytes: b"\x1b[?1049h".to_vec(),
+            },
+            self.draw_index(now),
+        ]
+    }
+
+    fn on_input(&mut self, now: Millis, bytes: &[u8]) -> Vec<TimedWrite> {
+        let at = now + self.echo_delay;
+        let max = self.subjects.len().min(self.height - 3).saturating_sub(1);
+        match bytes {
+            b"j" | b"n" | b"\x1b[B" if !self.reading => {
+                let old = self.selected;
+                self.selected = (self.selected + 1).min(max);
+                if old == self.selected {
+                    Vec::new()
+                } else {
+                    vec![self.move_bar(old, at)]
+                }
+            }
+            b"k" | b"p" | b"\x1b[A" if !self.reading => {
+                let old = self.selected;
+                self.selected = self.selected.saturating_sub(1);
+                if old == self.selected {
+                    Vec::new()
+                } else {
+                    vec![self.move_bar(old, at)]
+                }
+            }
+            b"\r" if !self.reading => {
+                self.reading = true;
+                vec![self.draw_message(at)]
+            }
+            b"i" | b"q" if self.reading => {
+                self.reading = false;
+                vec![self.draw_index(at)]
+            }
+            b"q" => vec![TimedWrite {
+                at,
+                bytes: b"\x1b[?1049l".to_vec(),
+            }],
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_bytes(writes: &[TimedWrite]) -> Vec<u8> {
+        writes.iter().flat_map(|w| w.bytes.clone()).collect()
+    }
+
+    #[test]
+    fn shell_echoes_printables() {
+        let mut sh = LineShell::new();
+        let w = sh.on_input(100, b"l");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].bytes, b"l");
+        assert_eq!(w[0].at, 102); // 2 ms echo delay
+    }
+
+    #[test]
+    fn shell_runs_echo_command() {
+        let mut sh = LineShell::new();
+        sh.on_input(0, b"echo hi");
+        let w = sh.on_input(10, b"\r");
+        let out = String::from_utf8(all_bytes(&w)).unwrap();
+        assert!(out.contains("hi"));
+        assert!(out.contains("$ "));
+    }
+
+    #[test]
+    fn shell_backspace_erases() {
+        let mut sh = LineShell::new();
+        sh.on_input(0, b"ab");
+        let w = sh.on_input(5, b"\x7f");
+        assert_eq!(w[0].bytes, b"\x08 \x08");
+        // Line is now "a"; backspace on empty line echoes nothing.
+        sh.on_input(6, b"\x7f");
+        let w = sh.on_input(7, b"\x7f");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn passwd_suppresses_echo_until_enter() {
+        let mut sh = LineShell::new();
+        sh.on_input(0, b"passwd");
+        sh.on_input(5, b"\r");
+        // Typing the password produces no echo at all.
+        let w = sh.on_input(50, b"secret");
+        assert!(w.is_empty(), "passwd must not echo, got {w:?}");
+        let w = sh.on_input(100, b"\r");
+        let out = String::from_utf8(all_bytes(&w)).unwrap();
+        assert!(out.contains("updated"));
+    }
+
+    #[test]
+    fn yes_floods_until_interrupted() {
+        let mut sh = LineShell::new();
+        sh.on_input(0, b"yes");
+        sh.on_input(1, b"\r");
+        let flood = sh.poll(100);
+        assert!(!flood.is_empty());
+        assert!(all_bytes(&flood).len() > 1000, "flood must be heavy");
+        sh.on_input(101, b"\x03");
+        // After the interrupt, catch up the flood clock, then silence.
+        sh.poll(101);
+        let after = sh.poll(200);
+        assert!(after.is_empty());
+    }
+
+    #[test]
+    fn editor_echoes_in_insert_mode() {
+        let mut ed = Editor::new();
+        ed.start(0);
+        let w = ed.on_input(10, b"x");
+        let out = String::from_utf8(all_bytes(&w)).unwrap();
+        assert!(out.contains('x'));
+    }
+
+    #[test]
+    fn editor_normal_mode_does_not_insert() {
+        let mut ed = Editor::new();
+        ed.start(0);
+        ed.on_input(10, b"\x1b"); // to normal mode
+        let before = ed.lines.clone();
+        ed.on_input(20, b"x");
+        assert_eq!(ed.lines, before);
+        ed.on_input(30, b"i"); // back to insert
+        ed.on_input(40, b"y");
+        assert_ne!(ed.lines, before);
+    }
+
+    #[test]
+    fn editor_arrows_move_without_echoing_text() {
+        let mut ed = Editor::new();
+        ed.start(0);
+        let w = ed.on_input(10, b"\x1b[B");
+        let out = String::from_utf8(all_bytes(&w)).unwrap();
+        // Status update + cursor motion only; no inserted characters.
+        assert!(out.contains("\x1b["));
+        assert_eq!(ed.row, 1);
+    }
+
+    #[test]
+    fn pager_pages_through_content() {
+        let mut pg = Pager::new(100);
+        pg.start(0);
+        assert_eq!(pg.top, 0);
+        pg.on_input(10, b" ");
+        assert_eq!(pg.top, 23);
+        pg.on_input(20, b"b");
+        assert_eq!(pg.top, 0);
+    }
+
+    #[test]
+    fn pager_redraws_fully_on_navigation() {
+        let mut pg = Pager::new(100);
+        pg.start(0);
+        let w = pg.on_input(10, b" ");
+        let out = String::from_utf8(all_bytes(&w)).unwrap();
+        assert!(out.contains("\x1b[2J"), "pager repaints the screen");
+    }
+
+    #[test]
+    fn mail_reader_moves_highlight() {
+        let mut m = MailReader::new(20);
+        m.start(0);
+        let w = m.on_input(10, b"n");
+        assert_eq!(m.selected, 1);
+        let out = String::from_utf8(all_bytes(&w)).unwrap();
+        assert!(out.contains("\x1b[7m"), "bar is drawn in inverse");
+        m.on_input(20, b"k");
+        assert_eq!(m.selected, 0);
+    }
+
+    #[test]
+    fn mail_reader_opens_and_closes_messages() {
+        let mut m = MailReader::new(5);
+        m.start(0);
+        let w = m.on_input(10, b"\r");
+        assert!(m.reading);
+        let out = String::from_utf8(all_bytes(&w)).unwrap();
+        assert!(out.contains("Body paragraph"));
+        m.on_input(20, b"i");
+        assert!(!m.reading);
+    }
+
+    #[test]
+    fn apps_are_deterministic() {
+        let run = || {
+            let mut sh = LineShell::new();
+            let mut bytes = Vec::new();
+            bytes.extend(all_bytes(&sh.start(0)));
+            bytes.extend(all_bytes(&sh.on_input(10, b"ls")));
+            bytes.extend(all_bytes(&sh.on_input(20, b"\r")));
+            bytes
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,334 @@
+//! The Mosh client: input capture, prediction, and display composition.
+//!
+//! The client sends every keystroke to the server through SSP (nothing may
+//! be skipped in that direction), keeps the newest server screen state it
+//! has received, and overlays the prediction engine's speculative echoes
+//! on top for display (paper §3).
+
+use crate::Millis;
+use mosh_crypto::session::Direction;
+use mosh_crypto::Base64Key;
+use mosh_net::Addr;
+use mosh_prediction::{DisplayPreference, PredictionEngine, PredictionStats};
+use mosh_ssp::transport::Transport;
+use mosh_states::{CompleteTerminal, UserStream};
+use mosh_terminal::Framebuffer;
+
+/// The client half of a Mosh session.
+pub struct MoshClient {
+    transport: Transport<UserStream, CompleteTerminal>,
+    input: UserStream,
+    prediction: PredictionEngine,
+    server_addr: Addr,
+    /// Numbers of remote states already reported to the predictor.
+    last_remote_num: u64,
+}
+
+impl MoshClient {
+    /// Creates a client that will talk to `server_addr`.
+    ///
+    /// `width`/`height` is the local window size; if it differs from the
+    /// conventional 80×24 initial state, a resize event is queued
+    /// immediately (the server follows).
+    pub fn new(
+        key: Base64Key,
+        server_addr: Addr,
+        width: usize,
+        height: usize,
+        preference: DisplayPreference,
+    ) -> Self {
+        // Mosh clients always announce their window size immediately; this
+        // doubles as the hello datagram that teaches the server the
+        // client's address.
+        let mut input = UserStream::new();
+        input.push_resize(width as u16, height as u16);
+        let mut transport = Transport::new(
+            key,
+            Direction::ToServer,
+            UserStream::new(),
+            CompleteTerminal::initial(),
+        );
+        transport.set_current_state(input.clone(), 0);
+        MoshClient {
+            transport,
+            input,
+            prediction: PredictionEngine::new(preference),
+            server_addr,
+            last_remote_num: 0,
+        }
+    }
+
+    /// The address this client sends to.
+    pub fn server_addr(&self) -> Addr {
+        self.server_addr
+    }
+
+    /// Smoothed RTT estimate.
+    pub fn srtt(&self) -> f64 {
+        self.transport.srtt()
+    }
+
+    /// Prediction counters (the 70%-instant / 0.9%-misprediction numbers).
+    pub fn prediction_stats(&self) -> &PredictionStats {
+        self.prediction.stats()
+    }
+
+    /// Time the server was last heard from.
+    pub fn last_heard(&self) -> Option<Millis> {
+        self.transport.last_heard()
+    }
+
+    /// Total keystrokes entered so far (user-stream event index space).
+    pub fn input_end_index(&self) -> u64 {
+        self.input.end_index()
+    }
+
+    /// Echo-ack index of the newest *applied* server frame.
+    pub fn echo_ack(&self) -> u64 {
+        self.transport.remote_state().echo_ack()
+    }
+
+    /// Types one keystroke at `now`. Returns true when the keystroke's
+    /// effect was displayed speculatively, before any server round trip
+    /// (the paper's "instant" outcome).
+    pub fn keystroke(&mut self, now: Millis, bytes: &[u8]) -> bool {
+        self.input.push_keystroke(bytes);
+        self.transport.set_current_state(self.input.clone(), now);
+        let frame = self.transport.remote_state().frame().clone();
+        self.prediction.new_user_input(
+            now,
+            self.transport.srtt(),
+            bytes,
+            &frame,
+            self.input.end_index(),
+        )
+    }
+
+    /// Notifies the server of a window-size change.
+    pub fn resize(&mut self, now: Millis, width: usize, height: usize) {
+        self.input.push_resize(width as u16, height as u16);
+        self.transport.set_current_state(self.input.clone(), now);
+    }
+
+    /// Handles one wire datagram at `now`.
+    pub fn receive(&mut self, now: Millis, wire: &[u8]) {
+        let Ok(event) = self.transport.receive(now, wire) else {
+            return;
+        };
+        if event.remote_advanced && self.transport.remote_state_num() != self.last_remote_num {
+            self.last_remote_num = self.transport.remote_state_num();
+            let remote = self.transport.remote_state();
+            let frame = remote.frame().clone();
+            let echo_ack = remote.echo_ack();
+            self.prediction
+                .report_frame(now, &frame, echo_ack, self.transport.srtt());
+        }
+    }
+
+    /// Runs timers; returns datagrams addressed to the server.
+    pub fn tick(&mut self, now: Millis) -> Vec<(Addr, Vec<u8>)> {
+        self.transport
+            .tick(now)
+            .into_iter()
+            .map(|w| (self.server_addr, w))
+            .collect()
+    }
+
+    /// The earliest time `tick` needs to run again.
+    pub fn next_wakeup(&self, now: Millis) -> Millis {
+        self.transport.next_wakeup().unwrap_or(now + 50).max(now)
+    }
+
+    /// The latest authoritative server screen, without predictions.
+    pub fn server_frame(&self) -> &Framebuffer {
+        self.transport.remote_state().frame()
+    }
+
+    /// The screen as shown to the user: the newest server state with the
+    /// prediction overlays applied.
+    pub fn display(&self) -> Framebuffer {
+        let mut frame = self.transport.remote_state().frame().clone();
+        self.prediction.apply(&mut frame);
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::LineShell;
+    use crate::server::MoshServer;
+    use mosh_net::{LinkConfig, Network, Side};
+
+    fn key() -> Base64Key {
+        Base64Key::from_bytes([2u8; 16])
+    }
+
+    struct Pair {
+        net: Network,
+        client: MoshClient,
+        server: MoshServer,
+        c_addr: Addr,
+        s_addr: Addr,
+        now: Millis,
+    }
+
+    fn session(up: LinkConfig, down: LinkConfig, pref: DisplayPreference) -> Pair {
+        let mut net = Network::new(up, down, 11);
+        let c_addr = Addr::new(1, 1000);
+        let s_addr = Addr::new(2, 60001);
+        net.register(c_addr, Side::Client);
+        net.register(s_addr, Side::Server);
+        Pair {
+            net,
+            client: MoshClient::new(key(), s_addr, 80, 24, pref),
+            server: MoshServer::new(key(), Box::new(LineShell::new())),
+            c_addr,
+            s_addr,
+            now: 0,
+        }
+    }
+
+    fn run(p: &mut Pair, until: Millis) {
+        while p.now < until {
+            for (to, w) in p.client.tick(p.now) {
+                p.net.send(p.c_addr, to, w);
+            }
+            for (to, w) in p.server.tick(p.now) {
+                p.net.send(p.s_addr, to, w);
+            }
+            p.now += 1;
+            p.net.advance_to(p.now);
+            let from = p.c_addr;
+            while let Some(dg) = p.net.recv(p.s_addr) {
+                let _ = from;
+                p.server.receive(p.now, dg.from, &dg.payload);
+            }
+            while let Some(dg) = p.net.recv(p.c_addr) {
+                p.client.receive(p.now, &dg.payload);
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_prompt_and_echo() {
+        let mut p = session(LinkConfig::lan(), LinkConfig::lan(), DisplayPreference::Never);
+        // The hello datagram teaches the server the client's address; the
+        // prompt arrives without the user typing anything.
+        run(&mut p, 300);
+        assert_eq!(p.client.server_frame().row_text(0), "$");
+        p.client.keystroke(p.now, b"l");
+        let t = p.now + 200;
+        run(&mut p, t);
+        assert_eq!(p.client.server_frame().row_text(0), "$ l");
+        p.client.keystroke(p.now, b"s");
+        p.client.keystroke(p.now, b"\r");
+        run(&mut p, 1500);
+        let text = p.client.server_frame().to_text();
+        assert!(text.contains("Makefile"), "ls output arrived: {text}");
+    }
+
+    #[test]
+    fn predictions_display_instantly_on_slow_links() {
+        let up = LinkConfig {
+            delay_ms: 250,
+            ..LinkConfig::lan()
+        };
+        let down = up.clone();
+        let mut p = session(up, down, DisplayPreference::Adaptive);
+        // Wait for the prompt like a real user, then type one keystroke to
+        // train SRTT and confirm the first epoch.
+        run(&mut p, 1500);
+        assert_eq!(p.client.server_frame().row_text(0), "$");
+        p.client.keystroke(p.now, b"e");
+        let t = p.now + 2000;
+        run(&mut p, t);
+        assert_eq!(p.client.server_frame().row_text(0), "$ e");
+
+        // Now type: the echo must appear immediately in the display,
+        // long before the server round trip.
+        let shown = p.client.keystroke(p.now, b"c");
+        assert!(shown, "prediction must display instantly");
+        let display = p.client.display();
+        assert_eq!(display.row_text(0), "$ ec");
+        // The authoritative frame has NOT caught up yet.
+        assert_eq!(p.client.server_frame().row_text(0), "$ e");
+
+        // And the server eventually confirms.
+        let t = p.now + 2000;
+        run(&mut p, t);
+        assert_eq!(p.client.server_frame().row_text(0), "$ ec");
+        assert_eq!(p.client.prediction_stats().mispredicted, 0);
+    }
+
+    #[test]
+    fn mispredictions_repair_within_a_round_trip() {
+        let up = LinkConfig {
+            delay_ms: 150,
+            ..LinkConfig::lan()
+        };
+        let down = up.clone();
+        let mut p = session(up, down, DisplayPreference::Adaptive);
+        // Train the predictor on echoing input.
+        run(&mut p, 1000);
+        for k in [b"a", b"b"] {
+            p.client.keystroke(p.now, k);
+            let t = p.now + 700;
+            run(&mut p, t);
+        }
+        assert_eq!(p.client.server_frame().row_text(0), "$ ab");
+        assert!(p.client.prediction_stats().confirmed > 0);
+
+        // Delete past the start of the line: the extra backspaces predict
+        // cursor motion the shell will not echo.
+        for _ in 0..4 {
+            p.client.keystroke(p.now, b"\x7f");
+            let t = p.now + 30;
+            run(&mut p, t);
+        }
+        let t = p.now + 3000;
+        run(&mut p, t);
+        // The wrong overlays were repaired: display matches the server.
+        assert_eq!(p.client.display().row_text(0), p.client.server_frame().row_text(0));
+        assert_eq!(p.client.display().cursor, p.client.server_frame().cursor);
+        assert!(p.client.prediction_stats().mispredicted > 0);
+    }
+
+    #[test]
+    fn client_roams_mid_session() {
+        let mut p = session(LinkConfig::lan(), LinkConfig::lan(), DisplayPreference::Never);
+        p.client.keystroke(0, b"a");
+        run(&mut p, 500);
+        assert_eq!(p.server.target(), Some(p.c_addr));
+
+        // The client's address changes (new network); nothing re-connects.
+        let new_addr = Addr::new(99, 4321);
+        p.net.register(new_addr, Side::Client);
+        p.c_addr = new_addr;
+        p.client.keystroke(p.now, b"b");
+        let t = p.now + 1000;
+        run(&mut p, t);
+        assert_eq!(p.server.target(), Some(new_addr), "server re-targeted");
+        assert_eq!(p.client.server_frame().row_text(0), "$ ab");
+    }
+
+    #[test]
+    fn display_without_predictions_equals_server_frame() {
+        let mut p = session(LinkConfig::lan(), LinkConfig::lan(), DisplayPreference::Never);
+        p.client.keystroke(0, b"x");
+        run(&mut p, 500);
+        assert_eq!(&p.client.display(), p.client.server_frame());
+    }
+
+    #[test]
+    fn resize_propagates_to_server() {
+        let mut p = session(LinkConfig::lan(), LinkConfig::lan(), DisplayPreference::Never);
+        p.client.keystroke(0, b"a");
+        run(&mut p, 300);
+        p.client.resize(p.now, 120, 40);
+        let t = p.now + 500;
+        run(&mut p, t);
+        assert_eq!(p.server.frame().width(), 120);
+        assert_eq!(p.client.server_frame().width(), 120);
+    }
+}

@@ -1,0 +1,28 @@
+//! Mosh sessions: the client and server endpoints, and the applications
+//! the server hosts.
+//!
+//! This crate ties the substrates together into the system of the paper:
+//!
+//! * [`client::MoshClient`] — sends every keystroke through SSP, overlays
+//!   speculative echoes on the newest server frame (§3).
+//! * [`server::MoshServer`] — hosts an [`apps::Application`], owns the
+//!   authoritative terminal, maintains the 50 ms echo ack (§3.2), and
+//!   re-targets roaming clients (§2.2).
+//! * [`apps`] — deterministic models of the application classes in the
+//!   paper's traces: shell, full-screen editor, pager, mail reader, and a
+//!   runaway flood for the Control-C experiment.
+//!
+//! Endpoints are I/O-free: `tick(now)` returns addressed datagrams and
+//! `receive(now, ...)` consumes them, under any transport — the
+//! discrete-event emulator in tests and benchmarks, or a real UDP socket.
+
+pub mod apps;
+pub mod client;
+pub mod server;
+
+pub use apps::{Application, Editor, LineShell, MailReader, Pager, TimedWrite};
+pub use client::MoshClient;
+pub use server::MoshServer;
+
+/// Virtual time in milliseconds.
+pub type Millis = u64;

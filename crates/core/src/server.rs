@@ -1,0 +1,393 @@
+//! The Mosh server: terminal host, echo-ack bookkeeping, and roaming.
+//!
+//! The server owns the **authoritative** terminal state (paper §3): it
+//! applies user keystrokes to the hosted application, applies the
+//! application's writes to the emulator, and lets SSP synchronize the
+//! resulting frames back to the client. Two pieces of paper machinery live
+//! here:
+//!
+//! * **Echo ack (§3.2)** — a keystroke that has been presented to the
+//!   application for at least [`ECHO_TIMEOUT`] is acknowledged in the
+//!   synchronized state, so the client can judge its predictions without
+//!   any client-side timeout (jitter-immune).
+//! * **Roaming (§2.2)** — "every time the server receives an authentic
+//!   datagram from the client with a sequence number greater than any
+//!   before, it sets the packet's source IP address and UDP port number as
+//!   its new target."
+
+use crate::apps::{Application, TimedWrite};
+use crate::Millis;
+use mosh_crypto::session::Direction;
+use mosh_crypto::Base64Key;
+use mosh_net::Addr;
+use mosh_ssp::transport::Transport;
+use mosh_states::{CompleteTerminal, UserEvent, UserStream};
+use std::collections::VecDeque;
+
+/// Server-side echo acknowledgment timeout: "chosen to contain the vast
+/// majority of legitimate application echoes on loaded servers, while
+/// still fast enough to rapidly detect mistaken predictions" (§3.2).
+pub const ECHO_TIMEOUT: Millis = 50;
+
+/// The server half of a Mosh session.
+pub struct MoshServer {
+    transport: Transport<CompleteTerminal, UserStream>,
+    app: Box<dyn Application>,
+    /// The authoritative terminal (pushed into the transport when dirty).
+    terminal: CompleteTerminal,
+    dirty: bool,
+    /// Next user-stream event index to apply.
+    applied_through: u64,
+    /// Keystrokes applied but not yet echo-acked: (index+1, applied_at).
+    echo_queue: VecDeque<(u64, Millis)>,
+    /// Application writes not yet due.
+    pending_writes: VecDeque<TimedWrite>,
+    /// Where to send packets: the source of the newest authentic datagram.
+    target: Option<Addr>,
+    started: bool,
+    /// Instrumentation for Figure 3: (write arrival time, shipped time).
+    write_delays: Vec<(Millis, Millis)>,
+    /// Writes applied to the terminal but not yet shipped in a frame.
+    unshipped_writes: Vec<Millis>,
+}
+
+impl MoshServer {
+    /// Creates a server hosting `app`, keyed for one client.
+    pub fn new(key: Base64Key, app: Box<dyn Application>) -> Self {
+        let terminal = CompleteTerminal::initial();
+        MoshServer {
+            transport: Transport::new(
+                key,
+                Direction::ToClient,
+                terminal.clone(),
+                UserStream::new(),
+            ),
+            app,
+            terminal,
+            dirty: false,
+            applied_through: 0,
+            echo_queue: VecDeque::new(),
+            pending_writes: VecDeque::new(),
+            target: None,
+            started: false,
+            write_delays: Vec::new(),
+            unshipped_writes: Vec::new(),
+        }
+    }
+
+    /// Overrides the collection interval (Figure 3's sweep).
+    pub fn set_mindelay(&mut self, mindelay: Millis) {
+        self.transport.set_mindelay(mindelay);
+    }
+
+    /// The authoritative screen (for tests and the Control-C experiment).
+    pub fn frame(&self) -> &mosh_terminal::Framebuffer {
+        self.terminal.frame()
+    }
+
+    /// Smoothed RTT as the server sees it.
+    pub fn srtt(&self) -> f64 {
+        self.transport.srtt()
+    }
+
+    /// The address the server currently replies to.
+    pub fn target(&self) -> Option<Addr> {
+        self.target
+    }
+
+    /// Per-write protocol-induced delays `(arrived, shipped)` recorded so
+    /// far — the quantity Figure 3 averages.
+    pub fn write_delays(&self) -> &[(Millis, Millis)] {
+        &self.write_delays
+    }
+
+    /// Sender statistics (piggyback/heartbeat counters for the ablations).
+    pub fn sender_stats(&self) -> &mosh_ssp::sender::SenderStats {
+        self.transport.sender_stats()
+    }
+
+    fn schedule_writes(&mut self, writes: Vec<TimedWrite>) {
+        for w in writes {
+            // Keep ordered by due time (stable for equal times).
+            let pos = self
+                .pending_writes
+                .iter()
+                .position(|p| p.at > w.at)
+                .unwrap_or(self.pending_writes.len());
+            self.pending_writes.insert(pos, w);
+        }
+    }
+
+    /// Handles one wire datagram from `from`, arriving at `now`.
+    pub fn receive(&mut self, now: Millis, from: Addr, wire: &[u8]) {
+        let Ok(event) = self.transport.receive(now, wire) else {
+            return; // Inauthentic datagrams are line noise.
+        };
+        if event.new_high_seq {
+            // Roaming: re-target to the newest authentic source address.
+            self.target = Some(from);
+        }
+        if !event.remote_advanced {
+            return;
+        }
+        // Apply newly arrived user events to the application/terminal.
+        let remote = self.transport.remote_state().clone();
+        for (idx, ev) in remote.events_from(self.applied_through) {
+            match ev {
+                UserEvent::Keystroke(bytes) => {
+                    let writes = self.app.on_input(now, bytes);
+                    self.schedule_writes(writes);
+                }
+                UserEvent::Resize { width, height } => {
+                    self.terminal.resize(*width as usize, *height as usize);
+                    self.dirty = true;
+                    let writes = self.app.on_resize(now, *width as usize, *height as usize);
+                    self.schedule_writes(writes);
+                }
+            }
+            self.echo_queue.push_back((idx + 1, now));
+            self.applied_through = idx + 1;
+        }
+    }
+
+    /// Runs timers at `now`; returns datagrams to send to [`Self::target`].
+    pub fn tick(&mut self, now: Millis) -> Vec<(Addr, Vec<u8>)> {
+        if !self.started {
+            self.started = true;
+            let writes = self.app.start(now);
+            self.schedule_writes(writes);
+        }
+        // Spontaneous application output (floods).
+        let polled = self.app.poll(now);
+        self.schedule_writes(polled);
+
+        // Apply due writes to the authoritative terminal.
+        while let Some(w) = self.pending_writes.front() {
+            if w.at > now {
+                break;
+            }
+            let w = self.pending_writes.pop_front().expect("peeked");
+            self.terminal.act(&w.bytes);
+            self.unshipped_writes.push(w.at.max(now));
+            self.dirty = true;
+        }
+
+        // Terminal replies (DA/DSR) feed back into the application.
+        let answerback = self.terminal.take_answerback();
+        if !answerback.is_empty() {
+            let writes = self.app.on_input(now, &answerback);
+            self.schedule_writes(writes);
+        }
+
+        // Echo ack: keystrokes presented >= 50 ms ago (or already echoed —
+        // subsumed: the 50 ms timeout covers both cases conservatively).
+        let mut new_ack = None;
+        while let Some(&(idx, at)) = self.echo_queue.front() {
+            if now >= at + ECHO_TIMEOUT {
+                new_ack = Some(idx);
+                self.echo_queue.pop_front();
+            } else {
+                break;
+            }
+        }
+        if let Some(ack) = new_ack {
+            if ack > self.terminal.echo_ack() {
+                self.terminal.set_echo_ack(ack);
+                self.dirty = true;
+            }
+        }
+
+        if self.dirty {
+            self.transport.set_current_state(self.terminal.clone(), now);
+            self.dirty = false;
+        }
+
+        // Until a client datagram arrives there is nowhere to send; running
+        // the sender would record states as shipped when they never left.
+        if self.target.is_none() {
+            return Vec::new();
+        }
+        let wires = self.transport.tick(now);
+        if !wires.is_empty() && !self.transport.pending_data() {
+            // The frame just sent covers every write applied so far (a
+            // pure ack/heartbeat would leave pending_data true).
+            for arrived in self.unshipped_writes.drain(..) {
+                self.write_delays.push((arrived, now));
+            }
+        }
+        let target = self.target.expect("checked above");
+        wires.into_iter().map(|w| (target, w)).collect()
+    }
+
+    /// The earliest time `tick` needs to run again (event-driven stepping).
+    pub fn next_wakeup(&self, now: Millis) -> Millis {
+        let mut next = now + 50; // Poll floor for app floods / echo acks.
+        if let Some(w) = self.pending_writes.front() {
+            next = next.min(w.at);
+        }
+        if let Some(&(_, at)) = self.echo_queue.front() {
+            next = next.min(at + ECHO_TIMEOUT);
+        }
+        if let Some(t) = self.transport.next_wakeup() {
+            next = next.min(t);
+        }
+        next.max(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::LineShell;
+
+    fn key() -> Base64Key {
+        Base64Key::from_bytes([8u8; 16])
+    }
+
+    /// A minimal fake client transport for driving the server.
+    fn client_transport() -> Transport<UserStream, CompleteTerminal> {
+        Transport::new(
+            key(),
+            Direction::ToServer,
+            UserStream::new(),
+            CompleteTerminal::initial(),
+        )
+    }
+
+    fn client_addr() -> Addr {
+        Addr::new(1, 999)
+    }
+
+    /// Ships current client input to the server directly.
+    fn pump(
+        client: &mut Transport<UserStream, CompleteTerminal>,
+        server: &mut MoshServer,
+        now: Millis,
+    ) {
+        for w in client.tick(now) {
+            server.receive(now, client_addr(), &w);
+        }
+    }
+
+    #[test]
+    fn server_applies_keystrokes_to_app_and_terminal() {
+        let mut server = MoshServer::new(key(), Box::new(LineShell::new()));
+        let mut client = client_transport();
+        server.tick(0); // start: prompt appears
+        server.tick(1);
+        assert_eq!(server.frame().row_text(0), "$");
+
+        let mut input = UserStream::new();
+        input.push_keystroke(b"l");
+        input.push_keystroke(b"s");
+        client.set_current_state(input, 10);
+        pump(&mut client, &mut server, 20);
+        // Echo delay is 2 ms; run the server forward.
+        for t in 21..30 {
+            server.tick(t);
+        }
+        assert_eq!(server.frame().row_text(0), "$ ls");
+    }
+
+    #[test]
+    fn echo_ack_advances_after_50ms() {
+        let mut server = MoshServer::new(key(), Box::new(LineShell::new()));
+        let mut client = client_transport();
+        server.tick(0);
+        let mut input = UserStream::new();
+        input.push_keystroke(b"x");
+        client.set_current_state(input, 10);
+        pump(&mut client, &mut server, 20);
+        server.tick(21);
+        // Before the timeout the ack is still 0 in the authoritative state.
+        server.tick(69);
+        assert_eq!(server.terminal.echo_ack(), 0);
+        server.tick(70); // 20 + 50
+        assert_eq!(server.terminal.echo_ack(), 1);
+    }
+
+    #[test]
+    fn resize_events_resize_the_terminal() {
+        let mut server = MoshServer::new(key(), Box::new(LineShell::new()));
+        let mut client = client_transport();
+        server.tick(0);
+        let mut input = UserStream::new();
+        input.push_resize(100, 30);
+        client.set_current_state(input, 5);
+        pump(&mut client, &mut server, 20);
+        server.tick(21);
+        assert_eq!(server.frame().width(), 100);
+        assert_eq!(server.frame().height(), 30);
+    }
+
+    #[test]
+    fn roaming_retargets_to_newest_source() {
+        let mut server = MoshServer::new(key(), Box::new(LineShell::new()));
+        let mut client = client_transport();
+        server.tick(0);
+        let mut input = UserStream::new();
+        input.push_keystroke(b"a");
+        client.set_current_state(input.clone(), 0);
+        let w1 = client.tick(10);
+        server.receive(11, Addr::new(1, 1000), &w1[0]);
+        assert_eq!(server.target(), Some(Addr::new(1, 1000)));
+
+        // The client roams: same session, new address.
+        input.push_keystroke(b"b");
+        client.set_current_state(input, 100);
+        let w2 = client.tick(400);
+        server.receive(401, Addr::new(7, 7777), &w2[0]);
+        assert_eq!(server.target(), Some(Addr::new(7, 7777)), "roamed");
+
+        // A stale reordered packet from the old address does not regress.
+        server.receive(402, Addr::new(1, 1000), &w1[0]);
+        assert_eq!(server.target(), Some(Addr::new(7, 7777)));
+    }
+
+    #[test]
+    fn server_syncs_screen_back_to_client() {
+        let mut server = MoshServer::new(key(), Box::new(LineShell::new()));
+        let mut client = client_transport();
+        // Tell the server where the client is (any authentic datagram).
+        client.set_current_state(UserStream::new(), 0);
+        let mut now = 0;
+        for _ in 0..6000 {
+            for w in client.tick(now) {
+                server.receive(now, client_addr(), &w);
+            }
+            for (_, w) in server.tick(now) {
+                let _ = client.receive(now, &w);
+            }
+            now += 1;
+        }
+        // The prompt reached the client's copy of the screen.
+        assert_eq!(client.remote_state().frame().row_text(0), "$");
+    }
+
+    #[test]
+    fn flood_output_is_coalesced_not_queued() {
+        let mut server = MoshServer::new(key(), Box::new(LineShell::new()));
+        let mut client = client_transport();
+        server.tick(0);
+        let mut input = UserStream::new();
+        input.push_keystroke(b"y");
+        input.push_keystroke(b"e");
+        input.push_keystroke(b"s");
+        input.push_keystroke(b"\r");
+        client.set_current_state(input, 0);
+        pump(&mut client, &mut server, 10);
+        // Run 2 s of flood: the terminal keeps changing, but SSP sends at
+        // the frame rate, so the datagram count stays modest.
+        let mut sent = 0usize;
+        for t in 11..2000 {
+            sent += server.tick(t).len();
+        }
+        assert!(sent > 0);
+        assert!(
+            sent < 200,
+            "flood must be frame-rate limited, sent {sent} datagrams"
+        );
+        // The screen shows the *latest* flood output, not a backlog.
+        assert!(server.frame().to_text().contains('y'));
+    }
+}

@@ -1,0 +1,313 @@
+//! The AES-128 block cipher (FIPS 197).
+//!
+//! A compact byte-oriented implementation: `SubBytes`/`ShiftRows`/
+//! `MixColumns` in the forward direction and their inverses for decryption.
+//! OCB needs both directions of the block cipher (full ciphertext blocks are
+//! decrypted with the inverse cipher), so unlike CTR-style modes we implement
+//! the inverse cipher as well.
+//!
+//! Throughput of this implementation (tens of cycles per byte) is far beyond
+//! what an interactive terminal session requires; see
+//! `crates/bench/benches/crypto.rs` for measurements.
+
+/// A 128-bit cipher block.
+pub type Block = [u8; 16];
+
+/// Number of AES-128 round keys (initial AddRoundKey + 10 rounds).
+const ROUND_KEYS: usize = 11;
+
+/// The AES S-box.
+#[rustfmt::skip]
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// The inverse AES S-box, derived from [`SBOX`] at first use.
+fn inv_sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static INV: OnceLock<[u8; 256]> = OnceLock::new();
+    INV.get_or_init(|| {
+        let mut inv = [0u8; 256];
+        for (i, &s) in SBOX.iter().enumerate() {
+            inv[s as usize] = i as u8;
+        }
+        inv
+    })
+}
+
+/// Multiply by `x` in GF(2^8) with the AES reduction polynomial.
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// General GF(2^8) multiplication (used by the inverse MixColumns).
+#[inline]
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-128 key, ready to encrypt and decrypt single blocks.
+///
+/// # Examples
+///
+/// ```
+/// use mosh_crypto::aes::Aes128;
+///
+/// let key = Aes128::new(&[0u8; 16]);
+/// let block = [0u8; 16];
+/// let ct = key.encrypt_block(&block);
+/// assert_eq!(key.decrypt_block(&ct), block);
+/// ```
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; ROUND_KEYS],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.write_str("Aes128 {{ .. }}")
+    }
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key into the full round-key schedule.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 4 * ROUND_KEYS];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in 4..4 * ROUND_KEYS {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = xtime(rcon);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUND_KEYS];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one 16-byte block in place semantics (returns the result).
+    pub fn encrypt_block(&self, block: &Block) -> Block {
+        let mut s = *block;
+        add_round_key(&mut s, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(&mut s);
+            shift_rows(&mut s);
+            mix_columns(&mut s);
+            add_round_key(&mut s, &self.round_keys[round]);
+        }
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        add_round_key(&mut s, &self.round_keys[10]);
+        s
+    }
+
+    /// Decrypts one 16-byte block (the inverse cipher).
+    pub fn decrypt_block(&self, block: &Block) -> Block {
+        let mut s = *block;
+        add_round_key(&mut s, &self.round_keys[10]);
+        for round in (1..10).rev() {
+            inv_shift_rows(&mut s);
+            inv_sub_bytes(&mut s);
+            add_round_key(&mut s, &self.round_keys[round]);
+            inv_mix_columns(&mut s);
+        }
+        inv_shift_rows(&mut s);
+        inv_sub_bytes(&mut s);
+        add_round_key(&mut s, &self.round_keys[0]);
+        s
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut Block, rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut Block) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(state: &mut Block) {
+    let inv = inv_sbox();
+    for b in state.iter_mut() {
+        *b = inv[*b as usize];
+    }
+}
+
+// State layout: byte `state[4*c + r]` is row `r`, column `c` (FIPS 197 §3.4).
+
+#[inline]
+fn shift_rows(state: &mut Block) {
+    // Row r rotates left by r positions.
+    for r in 1..4 {
+        let row = [state[r], state[4 + r], state[8 + r], state[12 + r]];
+        for c in 0..4 {
+            state[4 * c + r] = row[(c + r) % 4];
+        }
+    }
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut Block) {
+    for r in 1..4 {
+        let row = [state[r], state[4 + r], state[8 + r], state[12 + r]];
+        for c in 0..4 {
+            state[4 * c + r] = row[(c + 4 - r) % 4];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(state: &mut Block) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let a = [col[0], col[1], col[2], col[3]];
+        let t = a[0] ^ a[1] ^ a[2] ^ a[3];
+        col[0] = a[0] ^ t ^ xtime(a[0] ^ a[1]);
+        col[1] = a[1] ^ t ^ xtime(a[1] ^ a[2]);
+        col[2] = a[2] ^ t ^ xtime(a[2] ^ a[3]);
+        col[3] = a[3] ^ t ^ xtime(a[3] ^ a[0]);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut Block) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let a = [col[0], col[1], col[2], col[3]];
+        col[0] = gmul(a[0], 0x0e) ^ gmul(a[1], 0x0b) ^ gmul(a[2], 0x0d) ^ gmul(a[3], 0x09);
+        col[1] = gmul(a[0], 0x09) ^ gmul(a[1], 0x0e) ^ gmul(a[2], 0x0b) ^ gmul(a[3], 0x0d);
+        col[2] = gmul(a[0], 0x0d) ^ gmul(a[1], 0x09) ^ gmul(a[2], 0x0e) ^ gmul(a[3], 0x0b);
+        col[3] = gmul(a[0], 0x0b) ^ gmul(a[1], 0x0d) ^ gmul(a[2], 0x09) ^ gmul(a[3], 0x0e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex16(s: &str) -> [u8; 16] {
+        hex(s).try_into().unwrap()
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // FIPS 197 Appendix B: the fully worked AES-128 example.
+        let key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+        let pt = hex16("3243f6a8885a308d313198a2e0370734");
+        let ct = Aes128::new(&key).encrypt_block(&pt);
+        assert_eq!(ct, hex16("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        // FIPS 197 Appendix C.1: AES-128 example vector.
+        let key = hex16("000102030405060708090a0b0c0d0e0f");
+        let pt = hex16("00112233445566778899aabbccddeeff");
+        let aes = Aes128::new(&key);
+        let ct = aes.encrypt_block(&pt);
+        assert_eq!(ct, hex16("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn nist_sp800_38a_ecb_vectors() {
+        // NIST SP 800-38A F.1.1, ECB-AES128 (first two blocks).
+        let aes = Aes128::new(&hex16("2b7e151628aed2a6abf7158809cf4f3c"));
+        assert_eq!(
+            aes.encrypt_block(&hex16("6bc1bee22e409f96e93d7e117393172a")),
+            hex16("3ad77bb40d7a3660a89ecaf32466ef97")
+        );
+        assert_eq!(
+            aes.encrypt_block(&hex16("ae2d8a571e03ac9c9eb76fac45af8e51")),
+            hex16("f5d3d58503b9699de785895a96fdbaaf")
+        );
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_for_many_blocks() {
+        let aes = Aes128::new(&hex16("000102030405060708090a0b0c0d0e0f"));
+        let mut block = [0u8; 16];
+        for i in 0..256 {
+            block[0] = i as u8;
+            block[7] = (i * 31) as u8;
+            let ct = aes.encrypt_block(&block);
+            assert_eq!(aes.decrypt_block(&ct), block);
+        }
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let a = Aes128::new(&[0u8; 16]);
+        let b = Aes128::new(&[1u8; 16]);
+        let pt = [42u8; 16];
+        assert_ne!(a.encrypt_block(&pt), b.encrypt_block(&pt));
+    }
+
+    #[test]
+    fn xtime_matches_definition() {
+        assert_eq!(xtime(0x57), 0xae);
+        assert_eq!(xtime(0xae), 0x47);
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let aes = Aes128::new(&[7u8; 16]);
+        let s = format!("{aes:?}");
+        assert!(!s.contains('7'));
+    }
+}

@@ -1,0 +1,200 @@
+//! Base64 key encoding.
+//!
+//! Mosh bootstraps a session by printing a random 128-bit key, base64-encoded
+//! into 22 printable characters, on the SSH channel (paper §2.1: "prints out
+//! a random shared encryption key"). This module implements standard base64
+//! (RFC 4648) plus the [`Base64Key`] type that wraps a session key.
+
+use crate::CryptoError;
+use rand::RngCore;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as standard base64 with padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        out.push(ALPHABET[(n >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes standard base64 (padding required for short final groups).
+pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
+    fn val(c: u8) -> Result<u32, CryptoError> {
+        match c {
+            b'A'..=b'Z' => Ok(u32::from(c - b'A')),
+            b'a'..=b'z' => Ok(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Ok(u32::from(c - b'0') + 52),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            _ => Err(CryptoError::BadKey),
+        }
+    }
+    let bytes = s.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return Err(CryptoError::BadKey);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for chunk in bytes.chunks(4) {
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || chunk[..4 - pad].iter().any(|&c| c == b'=') {
+            return Err(CryptoError::BadKey);
+        }
+        let mut n = 0u32;
+        for &c in &chunk[..4 - pad] {
+            n = (n << 6) | val(c)?;
+        }
+        n <<= 6 * pad as u32;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// A 128-bit session key with Mosh's printable representation.
+///
+/// The `Display` form is the 22-character base64 string Mosh prints during
+/// bootstrap (the trailing `==` padding is stripped, exactly as Mosh does).
+///
+/// # Examples
+///
+/// ```
+/// use mosh_crypto::Base64Key;
+///
+/// let key = Base64Key::random();
+/// let printed = key.to_string();
+/// assert_eq!(printed.len(), 22);
+/// let parsed: Base64Key = printed.parse().unwrap();
+/// assert_eq!(parsed, key);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Base64Key {
+    key: [u8; 16],
+}
+
+impl Base64Key {
+    /// Generates a fresh random key from the OS RNG.
+    pub fn random() -> Self {
+        let mut key = [0u8; 16];
+        rand::thread_rng().fill_bytes(&mut key);
+        Base64Key { key }
+    }
+
+    /// Wraps raw key bytes (useful for tests and key agreement layers).
+    pub fn from_bytes(key: [u8; 16]) -> Self {
+        Base64Key { key }
+    }
+
+    /// The raw 128-bit key.
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.key
+    }
+}
+
+impl std::fmt::Display for Base64Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let full = encode(&self.key);
+        // 16 bytes encode to 24 chars ending in "=="; Mosh strips the pad.
+        f.write_str(&full[..22])
+    }
+}
+
+impl std::fmt::Debug for Base64Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material in logs.
+        f.write_str("Base64Key {{ .. }}")
+    }
+}
+
+impl std::str::FromStr for Base64Key {
+    type Err = CryptoError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 22 {
+            return Err(CryptoError::BadKey);
+        }
+        let bytes = decode(&format!("{s}=="))?;
+        let key: [u8; 16] = bytes.try_into().map_err(|_| CryptoError::BadKey)?;
+        Ok(Base64Key { key })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        for len in 0..50 {
+            let data: Vec<u8> = (0..len as u8).map(|b| b.wrapping_mul(37)).collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_alphabet() {
+        assert_eq!(decode("Zg!="), Err(CryptoError::BadKey));
+        assert_eq!(decode("Zg"), Err(CryptoError::BadKey));
+        assert_eq!(decode("=AAA"), Err(CryptoError::BadKey));
+    }
+
+    #[test]
+    fn key_display_is_22_chars_and_round_trips() {
+        let key = Base64Key::from_bytes([0xa5; 16]);
+        let s = key.to_string();
+        assert_eq!(s.len(), 22);
+        let parsed: Base64Key = s.parse().unwrap();
+        assert_eq!(parsed, key);
+    }
+
+    #[test]
+    fn key_parse_rejects_wrong_length() {
+        assert!("short".parse::<Base64Key>().is_err());
+        assert!("A".repeat(23).parse::<Base64Key>().is_err());
+    }
+
+    #[test]
+    fn random_keys_differ() {
+        assert_ne!(Base64Key::random().as_bytes(), Base64Key::random().as_bytes());
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let key = Base64Key::from_bytes([0x41; 16]);
+        assert!(!format!("{key:?}").contains("AAAA"));
+    }
+}

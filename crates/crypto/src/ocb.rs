@@ -1,0 +1,418 @@
+//! OCB3 authenticated encryption (RFC 7253) over AES-128.
+//!
+//! The paper cites Krovetz & Rogaway's OCB mode (§2.2, [5]): a single-key,
+//! single-pass AEAD that is both fast and provably secure. We implement the
+//! standardized OCB3 variant, `AEAD_AES_128_OCB_TAGLEN128`: 128-bit tags and
+//! nonces of up to 120 bits (SSP uses 96-bit nonces carrying the direction
+//! bit and packet sequence number).
+//!
+//! The implementation follows the RFC's pseudocode closely; the unit tests
+//! check every published RFC 7253 sample vector for this parameter set.
+
+use crate::aes::{Aes128, Block};
+use crate::CryptoError;
+
+/// OCB3 tag length in bytes (TAGLEN128 parameter set).
+pub const TAG_LEN: usize = 16;
+
+/// XOR two blocks.
+#[inline]
+fn xor(a: &Block, b: &Block) -> Block {
+    let mut out = [0u8; 16];
+    for i in 0..16 {
+        out[i] = a[i] ^ b[i];
+    }
+    out
+}
+
+/// Doubling in GF(2^128) per RFC 7253 §2: shift left one bit and reduce.
+#[inline]
+fn double(b: &Block) -> Block {
+    let mut out = [0u8; 16];
+    let carry = b[0] >> 7;
+    for i in 0..15 {
+        out[i] = (b[i] << 1) | (b[i + 1] >> 7);
+    }
+    out[15] = (b[15] << 1) ^ (carry * 0x87);
+    out
+}
+
+/// Number of trailing zeros of a positive block index.
+#[inline]
+fn ntz(i: u64) -> usize {
+    debug_assert!(i > 0);
+    i.trailing_zeros() as usize
+}
+
+/// An OCB3 encryption/decryption context bound to one AES-128 key.
+///
+/// # Examples
+///
+/// ```
+/// use mosh_crypto::ocb::Ocb;
+///
+/// let ocb = Ocb::new(&[0u8; 16]);
+/// let nonce = [1u8; 12];
+/// let ct = ocb.seal(&nonce, b"associated", b"secret payload");
+/// let pt = ocb.open(&nonce, b"associated", &ct).unwrap();
+/// assert_eq!(pt, b"secret payload");
+/// ```
+#[derive(Clone)]
+pub struct Ocb {
+    aes: Aes128,
+    /// `L_*` in the RFC: `E_K(0^128)`.
+    l_star: Block,
+    /// `L_$`: `double(L_*)`.
+    l_dollar: Block,
+    /// `L_0, L_1, ...`: successive doublings of `L_$`, precomputed far beyond
+    /// any datagram-sized message (2^40 blocks).
+    l: Vec<Block>,
+}
+
+impl std::fmt::Debug for Ocb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key-derived material.
+        f.write_str("Ocb {{ .. }}")
+    }
+}
+
+impl Ocb {
+    /// Creates a context from a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let aes = Aes128::new(key);
+        let l_star = aes.encrypt_block(&[0u8; 16]);
+        let l_dollar = double(&l_star);
+        let mut l = Vec::with_capacity(40);
+        let mut cur = double(&l_dollar);
+        for _ in 0..40 {
+            l.push(cur);
+            cur = double(&cur);
+        }
+        Ocb {
+            aes,
+            l_star,
+            l_dollar,
+            l,
+        }
+    }
+
+    /// `L_{ntz(i)}` lookup for full-block processing.
+    #[inline]
+    fn l_at(&self, i: u64) -> &Block {
+        &self.l[ntz(i)]
+    }
+
+    /// The RFC 7253 `HASH` function over associated data.
+    fn hash(&self, ad: &[u8]) -> Block {
+        let mut sum = [0u8; 16];
+        let mut offset = [0u8; 16];
+        let full = ad.len() / 16;
+        for i in 0..full {
+            offset = xor(&offset, self.l_at((i + 1) as u64));
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&ad[16 * i..16 * i + 16]);
+            sum = xor(&sum, &self.aes.encrypt_block(&xor(&block, &offset)));
+        }
+        let rest = &ad[16 * full..];
+        if !rest.is_empty() {
+            offset = xor(&offset, &self.l_star);
+            let mut block = [0u8; 16];
+            block[..rest.len()].copy_from_slice(rest);
+            block[rest.len()] = 0x80;
+            sum = xor(&sum, &self.aes.encrypt_block(&xor(&block, &offset)));
+        }
+        sum
+    }
+
+    /// Computes the initial offset from a nonce (RFC 7253 §4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nonce is longer than 15 bytes (the RFC limit).
+    fn initial_offset(&self, nonce: &[u8]) -> Block {
+        assert!(nonce.len() <= 15, "OCB nonce must be at most 120 bits");
+        // Nonce = num2str(TAGLEN mod 128, 7) || zeros(120 - bitlen(N)) || 1 || N.
+        // With TAGLEN = 128 the leading 7 bits are zero.
+        let mut padded = [0u8; 16];
+        padded[15 - nonce.len()] = 0x01;
+        padded[16 - nonce.len()..].copy_from_slice(nonce);
+        let bottom = (padded[15] & 0x3f) as usize;
+        let mut top = padded;
+        top[15] &= 0xc0;
+        let ktop = self.aes.encrypt_block(&top);
+        // Stretch = Ktop || (Ktop[1..64] xor Ktop[9..72]).
+        let mut stretch = [0u8; 24];
+        stretch[..16].copy_from_slice(&ktop);
+        for i in 0..8 {
+            stretch[16 + i] = ktop[i] ^ ktop[i + 1];
+        }
+        // Offset_0 = Stretch[1+bottom .. 128+bottom] (bit slice).
+        let mut offset = [0u8; 16];
+        let byteshift = bottom / 8;
+        let bitshift = bottom % 8;
+        for i in 0..16 {
+            offset[i] = if bitshift == 0 {
+                stretch[i + byteshift]
+            } else {
+                (stretch[i + byteshift] << bitshift) | (stretch[i + byteshift + 1] >> (8 - bitshift))
+            };
+        }
+        offset
+    }
+
+    /// Encrypts and authenticates `plaintext` with `ad` as associated data.
+    ///
+    /// Returns `ciphertext || tag`; the output is exactly
+    /// `plaintext.len() + TAG_LEN` bytes.
+    pub fn seal(&self, nonce: &[u8], ad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut offset = self.initial_offset(nonce);
+        let mut checksum = [0u8; 16];
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+
+        let full = plaintext.len() / 16;
+        for i in 0..full {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&plaintext[16 * i..16 * i + 16]);
+            offset = xor(&offset, self.l_at((i + 1) as u64));
+            let c = xor(&offset, &self.aes.encrypt_block(&xor(&block, &offset)));
+            out.extend_from_slice(&c);
+            checksum = xor(&checksum, &block);
+        }
+        let rest = &plaintext[16 * full..];
+        if !rest.is_empty() {
+            offset = xor(&offset, &self.l_star);
+            let pad = self.aes.encrypt_block(&offset);
+            for (i, &p) in rest.iter().enumerate() {
+                out.push(p ^ pad[i]);
+            }
+            let mut block = [0u8; 16];
+            block[..rest.len()].copy_from_slice(rest);
+            block[rest.len()] = 0x80;
+            checksum = xor(&checksum, &block);
+        }
+
+        let tag_body = xor(&xor(&checksum, &offset), &self.l_dollar);
+        let tag = xor(&self.aes.encrypt_block(&tag_body), &self.hash(ad));
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verifies and decrypts `ciphertext || tag`.
+    ///
+    /// Returns [`CryptoError::BadTag`] if authentication fails, in which case
+    /// no plaintext is released.
+    pub fn open(&self, nonce: &[u8], ad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::Truncated);
+        }
+        let (ciphertext, received_tag) = sealed.split_at(sealed.len() - TAG_LEN);
+
+        let mut offset = self.initial_offset(nonce);
+        let mut checksum = [0u8; 16];
+        let mut out = Vec::with_capacity(ciphertext.len());
+
+        let full = ciphertext.len() / 16;
+        for i in 0..full {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&ciphertext[16 * i..16 * i + 16]);
+            offset = xor(&offset, self.l_at((i + 1) as u64));
+            let p = xor(&offset, &self.aes.decrypt_block(&xor(&block, &offset)));
+            out.extend_from_slice(&p);
+            checksum = xor(&checksum, &p);
+        }
+        let rest = &ciphertext[16 * full..];
+        if !rest.is_empty() {
+            offset = xor(&offset, &self.l_star);
+            let pad = self.aes.encrypt_block(&offset);
+            let start = out.len();
+            for (i, &c) in rest.iter().enumerate() {
+                out.push(c ^ pad[i]);
+            }
+            let mut block = [0u8; 16];
+            block[..rest.len()].copy_from_slice(&out[start..]);
+            block[rest.len()] = 0x80;
+            checksum = xor(&checksum, &block);
+        }
+
+        let tag_body = xor(&xor(&checksum, &offset), &self.l_dollar);
+        let expected = xor(&self.aes.encrypt_block(&tag_body), &self.hash(ad));
+
+        // Constant-time comparison: accumulate differences, decide once.
+        let mut diff = 0u8;
+        for (a, b) in expected.iter().zip(received_tag.iter()) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            return Err(CryptoError::BadTag);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// Key used by every RFC 7253 Appendix A sample.
+    fn rfc_ocb() -> Ocb {
+        let key: [u8; 16] = hex("000102030405060708090A0B0C0D0E0F").try_into().unwrap();
+        Ocb::new(&key)
+    }
+
+    fn check_vector(nonce_hex: &str, ad_hex: &str, pt_hex: &str, expected_hex: &str) {
+        let ocb = rfc_ocb();
+        let nonce = hex(nonce_hex);
+        let ad = hex(ad_hex);
+        let pt = hex(pt_hex);
+        let expected = hex(expected_hex);
+        let sealed = ocb.seal(&nonce, &ad, &pt);
+        assert_eq!(sealed, expected, "seal mismatch for nonce {nonce_hex}");
+        let opened = ocb.open(&nonce, &ad, &sealed).expect("tag must verify");
+        assert_eq!(opened, pt, "open mismatch for nonce {nonce_hex}");
+    }
+
+    #[test]
+    fn rfc7253_vector_empty() {
+        check_vector(
+            "BBAA99887766554433221100",
+            "",
+            "",
+            "785407BFFFC8AD9EDCC5520AC9111EE6",
+        );
+    }
+
+    #[test]
+    fn rfc7253_vector_8byte_ad_and_pt() {
+        check_vector(
+            "BBAA99887766554433221101",
+            "0001020304050607",
+            "0001020304050607",
+            "6820B3657B6F615A5725BDA0D3B4EB3A257C9AF1F8F03009",
+        );
+    }
+
+    #[test]
+    fn rfc7253_vector_ad_only() {
+        check_vector(
+            "BBAA99887766554433221102",
+            "0001020304050607",
+            "",
+            "81017F8203F081277152FADE694A0A00",
+        );
+    }
+
+    #[test]
+    fn rfc7253_vector_pt_only() {
+        check_vector(
+            "BBAA99887766554433221103",
+            "",
+            "0001020304050607",
+            "45DD69F8F5AAE72414054CD1F35D82760B2CD00D2F99BFA9",
+        );
+    }
+
+    #[test]
+    fn rfc7253_vector_one_full_block() {
+        check_vector(
+            "BBAA99887766554433221104",
+            "000102030405060708090A0B0C0D0E0F",
+            "000102030405060708090A0B0C0D0E0F",
+            "571D535B60B277188BE5147170A9A22C3AD7A4FF3835B8C5701C1CCEC8FC3358",
+        );
+    }
+
+    #[test]
+    fn rfc7253_vector_full_block_ad_only() {
+        check_vector(
+            "BBAA99887766554433221105",
+            "000102030405060708090A0B0C0D0E0F",
+            "",
+            "8CF761B6902EF764462AD86498CA6B97",
+        );
+    }
+
+    #[test]
+    fn rfc7253_vector_full_block_pt_only() {
+        check_vector(
+            "BBAA99887766554433221106",
+            "",
+            "000102030405060708090A0B0C0D0E0F",
+            "5CE88EC2E0692706A915C00AEB8B2396F40E1C743F52436BDF06D8FA1ECA343D",
+        );
+    }
+
+    #[test]
+    fn tampered_ciphertext_is_rejected() {
+        let ocb = rfc_ocb();
+        let nonce = [9u8; 12];
+        let mut sealed = ocb.seal(&nonce, b"", b"attack at dawn");
+        sealed[3] ^= 0x01;
+        assert_eq!(ocb.open(&nonce, b"", &sealed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn tampered_tag_is_rejected() {
+        let ocb = rfc_ocb();
+        let nonce = [9u8; 12];
+        let mut sealed = ocb.seal(&nonce, b"", b"attack at dawn");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x80;
+        assert_eq!(ocb.open(&nonce, b"", &sealed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn wrong_ad_is_rejected() {
+        let ocb = rfc_ocb();
+        let nonce = [9u8; 12];
+        let sealed = ocb.seal(&nonce, b"right", b"payload");
+        assert_eq!(ocb.open(&nonce, b"wrong", &sealed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn wrong_nonce_is_rejected() {
+        let ocb = rfc_ocb();
+        let sealed = ocb.seal(&[1u8; 12], b"", b"payload");
+        assert_eq!(ocb.open(&[2u8; 12], b"", &sealed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let ocb = rfc_ocb();
+        assert_eq!(ocb.open(&[1u8; 12], b"", b"short"), Err(CryptoError::Truncated));
+    }
+
+    #[test]
+    fn double_has_expected_algebra() {
+        // double(0) == 0 and doubling is linear over XOR.
+        assert_eq!(double(&[0u8; 16]), [0u8; 16]);
+        let a = [0x42u8; 16];
+        let b = [0x17u8; 16];
+        assert_eq!(double(&xor(&a, &b)), xor(&double(&a), &double(&b)));
+    }
+
+    #[test]
+    fn seal_length_is_plaintext_plus_tag() {
+        let ocb = rfc_ocb();
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100, 1400] {
+            let pt = vec![0xabu8; len];
+            assert_eq!(ocb.seal(&[5u8; 12], b"", &pt).len(), len + TAG_LEN);
+        }
+    }
+
+    #[test]
+    fn all_partial_block_lengths_round_trip() {
+        let ocb = rfc_ocb();
+        for len in 0..64 {
+            let pt: Vec<u8> = (0..len as u8).collect();
+            let sealed = ocb.seal(&[7u8; 12], b"ad", &pt);
+            assert_eq!(ocb.open(&[7u8; 12], b"ad", &sealed).unwrap(), pt);
+        }
+    }
+}

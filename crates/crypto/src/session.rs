@@ -1,0 +1,235 @@
+//! Datagram-layer crypto framing.
+//!
+//! Every SSP datagram is encrypted and authenticated as one OCB message
+//! (paper §2.2). The 96-bit nonce is never repeated within a session: it is
+//! built from a **direction bit** (so a packet can never be reflected back to
+//! its sender) and a 63-bit **incrementing sequence number** (which the
+//! datagram layer also uses for roaming and RTT bookkeeping). The low 8 bytes
+//! of the nonce travel in the clear at the front of each datagram; the
+//! payload and authentication tag follow.
+//!
+//! Wire layout:
+//!
+//! ```text
+//! +---------------------------+-------------------------------+
+//! | direction ‖ seq (8 bytes) | OCB(payload) ‖ tag (16 bytes) |
+//! +---------------------------+-------------------------------+
+//! ```
+
+use crate::base64::Base64Key;
+use crate::ocb::{Ocb, TAG_LEN};
+use crate::CryptoError;
+
+/// Which way a datagram travels. The bit prevents reflection attacks: a
+/// receiver only accepts packets stamped with the *other* direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client-to-server traffic (direction bit 0).
+    ToServer,
+    /// Server-to-client traffic (direction bit 1).
+    ToClient,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::ToServer => Direction::ToClient,
+            Direction::ToClient => Direction::ToServer,
+        }
+    }
+
+    fn bit(self) -> u64 {
+        match self {
+            Direction::ToServer => 0,
+            Direction::ToClient => 1 << 63,
+        }
+    }
+}
+
+/// A decrypted, authenticated datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The sender's 63-bit sequence number (monotonically increasing).
+    pub seq: u64,
+    /// The authenticated plaintext payload.
+    pub payload: Vec<u8>,
+}
+
+/// Maximum sequence number; beyond this a session must be rekeyed. In
+/// practice a terminal session never comes near 2^63 datagrams.
+pub const MAX_SEQ: u64 = (1 << 63) - 1;
+
+/// One end of an encrypted session: encrypts outgoing datagrams with its own
+/// direction bit and accepts only datagrams from the opposite direction.
+///
+/// # Examples
+///
+/// ```
+/// use mosh_crypto::session::{Direction, Session};
+/// use mosh_crypto::Base64Key;
+///
+/// let key = Base64Key::random();
+/// let mut client = Session::new(key.clone(), Direction::ToServer);
+/// let server = Session::new(key, Direction::ToClient);
+///
+/// let wire = client.encrypt(b"keystroke: q");
+/// assert_eq!(server.decrypt(&wire).unwrap().payload, b"keystroke: q");
+/// // Reflection back to the sender is rejected.
+/// assert!(client.decrypt(&wire).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    ocb: Ocb,
+    direction: Direction,
+    next_seq: u64,
+}
+
+impl Session {
+    /// Creates a session endpoint from a shared key and our send direction.
+    pub fn new(key: Base64Key, direction: Direction) -> Self {
+        Session {
+            ocb: Ocb::new(key.as_bytes()),
+            direction,
+            next_seq: 0,
+        }
+    }
+
+    /// The direction this endpoint stamps on outgoing packets.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The sequence number the next outgoing datagram will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Builds the 12-byte OCB nonce for a direction+sequence pair.
+    fn nonce(dir_seq: u64) -> [u8; 12] {
+        let mut nonce = [0u8; 12];
+        nonce[4..].copy_from_slice(&dir_seq.to_be_bytes());
+        nonce
+    }
+
+    /// Encrypts a payload into a wire datagram, consuming one sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has exhausted its 2^63 sequence numbers; callers
+    /// must rekey long before this (Mosh sessions never approach it).
+    pub fn encrypt(&mut self, payload: &[u8]) -> Vec<u8> {
+        assert!(self.next_seq <= MAX_SEQ, "sequence number space exhausted");
+        let dir_seq = self.direction.bit() | self.next_seq;
+        self.next_seq += 1;
+        let mut wire = Vec::with_capacity(8 + payload.len() + TAG_LEN);
+        wire.extend_from_slice(&dir_seq.to_be_bytes());
+        wire.extend_from_slice(&self.ocb.seal(&Self::nonce(dir_seq), &[], payload));
+        wire
+    }
+
+    /// Authenticates and decrypts a wire datagram from the peer.
+    ///
+    /// Returns the peer's sequence number and payload. Fails if the packet is
+    /// truncated, fails its tag, or carries our own direction bit.
+    pub fn decrypt(&self, wire: &[u8]) -> Result<Message, CryptoError> {
+        if wire.len() < 8 + TAG_LEN {
+            return Err(CryptoError::Truncated);
+        }
+        let dir_seq = u64::from_be_bytes(wire[..8].try_into().expect("length checked"));
+        let payload = self.ocb.open(&Self::nonce(dir_seq), &[], &wire[8..])?;
+        // Authentic — now enforce that it came from the other side.
+        if dir_seq & (1 << 63) != self.direction.opposite().bit() {
+            return Err(CryptoError::BadDirection);
+        }
+        Ok(Message {
+            seq: dir_seq & MAX_SEQ,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Session, Session) {
+        let key = Base64Key::from_bytes([3u8; 16]);
+        (
+            Session::new(key.clone(), Direction::ToServer),
+            Session::new(key, Direction::ToClient),
+        )
+    }
+
+    #[test]
+    fn round_trip_both_directions() {
+        let (mut client, mut server) = pair();
+        let up = client.encrypt(b"up");
+        let down = server.encrypt(b"down");
+        assert_eq!(server.decrypt(&up).unwrap().payload, b"up");
+        assert_eq!(client.decrypt(&down).unwrap().payload, b"down");
+    }
+
+    #[test]
+    fn sequence_numbers_increment() {
+        let (mut client, server) = pair();
+        for expected in 0..5 {
+            let wire = client.encrypt(b"x");
+            assert_eq!(server.decrypt(&wire).unwrap().seq, expected);
+        }
+    }
+
+    #[test]
+    fn reflection_is_rejected() {
+        let (mut client, _server) = pair();
+        let wire = client.encrypt(b"boomerang");
+        assert_eq!(client.decrypt(&wire), Err(CryptoError::BadDirection));
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let (mut client, server) = pair();
+        let mut wire = client.encrypt(b"fragile");
+        wire[10] ^= 0x40;
+        assert_eq!(server.decrypt(&wire), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn corrupted_clear_seq_fails_authentication() {
+        // The clear sequence bytes feed the nonce, so flipping one breaks the tag.
+        let (mut client, server) = pair();
+        let mut wire = client.encrypt(b"seq matters");
+        wire[7] ^= 0x01;
+        assert_eq!(server.decrypt(&wire), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let (mut client, _) = pair();
+        let other = Session::new(Base64Key::from_bytes([4u8; 16]), Direction::ToClient);
+        let wire = client.encrypt(b"secret");
+        assert_eq!(other.decrypt(&wire), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn truncated_datagrams_are_rejected() {
+        let (_, server) = pair();
+        assert_eq!(server.decrypt(&[0u8; 7]), Err(CryptoError::Truncated));
+        assert_eq!(server.decrypt(&[0u8; 23]), Err(CryptoError::Truncated));
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let (mut client, server) = pair();
+        let wire = client.encrypt(b"");
+        assert_eq!(server.decrypt(&wire).unwrap().payload, b"");
+    }
+
+    #[test]
+    fn large_payload_round_trips() {
+        let (mut client, server) = pair();
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let wire = client.encrypt(&payload);
+        assert_eq!(server.decrypt(&wire).unwrap().payload, payload);
+    }
+}

@@ -1,0 +1,185 @@
+//! Link models: delay, jitter, loss, serialization rate, and buffering.
+//!
+//! Each [`LinkConfig`] describes **one direction** of a path. The presets
+//! correspond to the networks of the paper's evaluation (§4); absolute
+//! numbers are calibrated to the paper's reported round-trip times.
+
+use crate::Millis;
+
+/// Configuration for one direction of a network path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// Fixed one-way propagation delay in milliseconds.
+    pub delay_ms: Millis,
+    /// Maximum additional random delay (uniform in `0..=jitter_ms`).
+    pub jitter_ms: Millis,
+    /// Independent per-packet loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Serialization rate in bytes per millisecond (`None` = unlimited).
+    pub rate_bytes_per_ms: Option<u64>,
+    /// Droptail buffer capacity in bytes (only meaningful with a rate).
+    pub queue_bytes: usize,
+    /// Per-packet framing overhead in bytes, counted against rate and queue
+    /// (IP + UDP headers ≈ 28 bytes; small keystroke packets are mostly
+    /// header on narrow links).
+    pub per_packet_overhead: usize,
+}
+
+impl LinkConfig {
+    /// An effectively ideal local link: 1 ms delay, no loss, no rate limit.
+    pub fn lan() -> Self {
+        LinkConfig {
+            delay_ms: 1,
+            jitter_ms: 0,
+            loss: 0.0,
+            rate_bytes_per_ms: None,
+            queue_bytes: usize::MAX,
+            per_packet_overhead: 28,
+        }
+    }
+
+    /// Sprint EV-DO (3G), as measured in the paper: ≈500 ms average RTT,
+    /// noticeable jitter, modest bandwidth (§4, Figure 2).
+    pub fn evdo_downlink() -> Self {
+        LinkConfig {
+            delay_ms: 220,
+            jitter_ms: 60,
+            loss: 0.0,
+            rate_bytes_per_ms: Some(125), // ~1 Mbit/s
+            queue_bytes: 64 * 1024,
+            per_packet_overhead: 28,
+        }
+    }
+
+    /// Sprint EV-DO uplink: slower and similarly delayed.
+    pub fn evdo_uplink() -> Self {
+        LinkConfig {
+            delay_ms: 220,
+            jitter_ms: 60,
+            loss: 0.0,
+            rate_bytes_per_ms: Some(19), // ~150 kbit/s
+            queue_bytes: 32 * 1024,
+            per_packet_overhead: 28,
+        }
+    }
+
+    /// Verizon LTE: short propagation delay, 5 Mbit/s bottleneck, and a
+    /// *deep* droptail buffer — several seconds at line rate — which a
+    /// concurrent bulk download keeps full (§4, LTE table).
+    pub fn lte_downlink() -> Self {
+        LinkConfig {
+            delay_ms: 25,
+            jitter_ms: 10,
+            loss: 0.0,
+            rate_bytes_per_ms: Some(625), // 5 Mbit/s
+            queue_bytes: 3_200_000,       // ≈5.1 s of queue at line rate
+            per_packet_overhead: 28,
+        }
+    }
+
+    /// Verizon LTE uplink: lightly loaded in the paper's experiment.
+    pub fn lte_uplink() -> Self {
+        LinkConfig {
+            delay_ms: 25,
+            jitter_ms: 10,
+            loss: 0.0,
+            rate_bytes_per_ms: Some(250), // 2 Mbit/s
+            queue_bytes: 256 * 1024,
+            per_packet_overhead: 28,
+        }
+    }
+
+    /// The MIT–Singapore wired path (Amazon EC2): 273 ms RTT, tiny jitter,
+    /// effectively no loss and ample bandwidth (§4, Singapore table).
+    pub fn singapore() -> Self {
+        LinkConfig {
+            delay_ms: 136,
+            jitter_ms: 3,
+            loss: 0.0,
+            rate_bytes_per_ms: Some(12_500), // 100 Mbit/s
+            queue_bytes: 1 << 20,
+            per_packet_overhead: 28,
+        }
+    }
+
+    /// One direction of the paper's `netem` loss testbed: 100 ms RTT and
+    /// 29% i.i.d. loss per direction, i.e. 50% round-trip loss (§4).
+    pub fn netem_lossy() -> Self {
+        LinkConfig {
+            delay_ms: 50,
+            jitter_ms: 0,
+            loss: 0.29,
+            rate_bytes_per_ms: None,
+            queue_bytes: usize::MAX,
+            per_packet_overhead: 28,
+        }
+    }
+
+    /// Serialization time for a payload of `len` bytes, in milliseconds
+    /// (zero on unlimited links). Rounds up so every byte takes time.
+    pub fn serialization_ms(&self, len: usize) -> Millis {
+        match self.rate_bytes_per_ms {
+            None => 0,
+            Some(rate) => {
+                let bytes = (len + self.per_packet_overhead) as u64;
+                bytes.div_ceil(rate.max(1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_has_no_serialization_delay() {
+        assert_eq!(LinkConfig::lan().serialization_ms(100_000), 0);
+    }
+
+    #[test]
+    fn serialization_rounds_up() {
+        let cfg = LinkConfig {
+            rate_bytes_per_ms: Some(100),
+            per_packet_overhead: 0,
+            ..LinkConfig::lan()
+        };
+        assert_eq!(cfg.serialization_ms(1), 1);
+        assert_eq!(cfg.serialization_ms(100), 1);
+        assert_eq!(cfg.serialization_ms(101), 2);
+    }
+
+    #[test]
+    fn overhead_counts_against_rate() {
+        let cfg = LinkConfig {
+            rate_bytes_per_ms: Some(28),
+            per_packet_overhead: 28,
+            ..LinkConfig::lan()
+        };
+        // Empty payload still serializes one header's worth.
+        assert_eq!(cfg.serialization_ms(0), 1);
+    }
+
+    #[test]
+    fn presets_have_expected_rtts() {
+        // Round trips (2x one-way) match the paper's reported figures.
+        assert_eq!(LinkConfig::singapore().delay_ms * 2, 272);
+        assert_eq!(LinkConfig::netem_lossy().delay_ms * 2, 100);
+        let evdo = LinkConfig::evdo_downlink().delay_ms + LinkConfig::evdo_uplink().delay_ms;
+        assert!((400..600).contains(&evdo));
+    }
+
+    #[test]
+    fn lte_buffer_is_seconds_deep() {
+        let cfg = LinkConfig::lte_downlink();
+        let drain_ms = cfg.queue_bytes as u64 / cfg.rate_bytes_per_ms.unwrap();
+        assert!(drain_ms > 4000, "LTE buffer must hold >4 s at line rate");
+    }
+
+    #[test]
+    fn netem_round_trip_loss_is_half() {
+        let p = LinkConfig::netem_lossy().loss;
+        let round_trip_delivery = (1.0 - p) * (1.0 - p);
+        assert!((round_trip_delivery - 0.5).abs() < 0.01);
+    }
+}

@@ -1,0 +1,504 @@
+//! The two-sided discrete-event network.
+//!
+//! [`Network`] joins a *client side* and a *server side* with one link per
+//! direction. Any number of endpoints may live on each side (the LTE
+//! experiment runs a bulk TCP download beside the terminal session, sharing
+//! the same bottleneck queue). Packets experience droptail queueing,
+//! serialization, propagation delay, jitter, and i.i.d. loss, then appear
+//! in the destination's mailbox.
+
+use crate::link::LinkConfig;
+use crate::{Addr, Datagram, Millis};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Which side of the dumbbell an endpoint lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The mobile client's side.
+    Client,
+    /// The remote server's side (shell host, bulk-download server, ...).
+    Server,
+}
+
+/// Counters for one direction of the path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets handed to the link.
+    pub offered: u64,
+    /// Packets delivered to a mailbox.
+    pub delivered: u64,
+    /// Packets dropped by random loss.
+    pub dropped_loss: u64,
+    /// Packets dropped because the buffer was full.
+    pub dropped_queue: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Sum of per-packet one-way latencies, for mean queueing inspection.
+    pub total_latency_ms: u64,
+}
+
+impl LinkStats {
+    /// Mean one-way delivery latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency_ms as f64 / self.delivered as f64
+        }
+    }
+}
+
+/// Statistics for both directions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Client-to-server direction.
+    pub up: LinkStats,
+    /// Server-to-client direction.
+    pub down: LinkStats,
+}
+
+#[derive(Debug)]
+struct LinkState {
+    config: LinkConfig,
+    /// Bytes currently occupying the buffer (queued, not yet departed).
+    queued_bytes: usize,
+    /// Time the transmitter finishes its current packet.
+    busy_until: Millis,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Packet leaves the buffer (frees its bytes) at this time.
+    Depart { dir: usize, size: usize },
+    /// Packet reaches its destination mailbox.
+    Arrive { dg: Datagram, sent_at: Millis },
+}
+
+/// Heap entry ordered by `(time, insertion sequence)` only; the event
+/// payload does not participate in ordering.
+#[derive(Debug)]
+struct Scheduled {
+    at: Millis,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The emulated network. See the crate docs for an example.
+#[derive(Debug)]
+pub struct Network {
+    links: [LinkState; 2], // [0] = up (client->server), [1] = down
+    sides: HashMap<Addr, Side>,
+    mailboxes: HashMap<Addr, VecDeque<Datagram>>,
+    events: BinaryHeap<Reverse<Scheduled>>,
+    event_seq: u64,
+    now: Millis,
+    rng: StdRng,
+    stats: NetworkStats,
+}
+
+impl Network {
+    /// Creates a network from per-direction link configurations and a seed.
+    pub fn new(up: LinkConfig, down: LinkConfig, seed: u64) -> Self {
+        Network {
+            links: [
+                LinkState {
+                    config: up,
+                    queued_bytes: 0,
+                    busy_until: 0,
+                },
+                LinkState {
+                    config: down,
+                    queued_bytes: 0,
+                    busy_until: 0,
+                },
+            ],
+            sides: HashMap::new(),
+            mailboxes: HashMap::new(),
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            now: 0,
+            rng: StdRng::seed_from_u64(seed),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Registers an endpoint on a side. Roaming clients register each new
+    /// address they use; old ones may stay registered.
+    pub fn register(&mut self, addr: Addr, side: Side) {
+        self.sides.insert(addr, side);
+        self.mailboxes.entry(addr).or_default();
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Millis {
+        self.now
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Bytes currently sitting in the queue of the given direction's link
+    /// (0 = up, 1 = down). Exposed for bufferbloat assertions in tests.
+    pub fn queue_depth(&self, dir: usize) -> usize {
+        self.links[dir].queued_bytes
+    }
+
+    /// Sends a datagram at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either address was never registered (indicating a harness
+    /// bug, not a runtime condition).
+    pub fn send(&mut self, from: Addr, to: Addr, payload: Vec<u8>) {
+        let from_side = *self.sides.get(&from).expect("sender not registered");
+        let to_side = *self.sides.get(&to).expect("receiver not registered");
+        let dg = Datagram { from, to, payload };
+
+        if from_side == to_side {
+            // Same-side traffic short-circuits (loopback) with 0 delay.
+            self.schedule(self.now, Event::Arrive { dg, sent_at: self.now });
+            return;
+        }
+
+        let dir = match from_side {
+            Side::Client => 0,
+            Side::Server => 1,
+        };
+        let dir_stats = if dir == 0 {
+            &mut self.stats.up
+        } else {
+            &mut self.stats.down
+        };
+        dir_stats.offered += 1;
+
+        // I.i.d. loss applies at ingress (as netem does).
+        let loss = self.links[dir].config.loss;
+        if loss > 0.0 && self.rng.gen::<f64>() < loss {
+            if dir == 0 {
+                self.stats.up.dropped_loss += 1;
+            } else {
+                self.stats.down.dropped_loss += 1;
+            }
+            return;
+        }
+
+        let size = dg.payload.len() + self.links[dir].config.per_packet_overhead;
+        if self.links[dir].queued_bytes.saturating_add(size) > self.links[dir].config.queue_bytes {
+            if dir == 0 {
+                self.stats.up.dropped_queue += 1;
+            } else {
+                self.stats.down.dropped_queue += 1;
+            }
+            return;
+        }
+
+        self.links[dir].queued_bytes += size;
+        let ser = self.links[dir].config.serialization_ms(dg.payload.len());
+        let depart = self.links[dir].busy_until.max(self.now) + ser;
+        self.links[dir].busy_until = depart;
+
+        let jitter = if self.links[dir].config.jitter_ms > 0 {
+            self.rng.gen_range(0..=self.links[dir].config.jitter_ms)
+        } else {
+            0
+        };
+        let arrive = depart + self.links[dir].config.delay_ms + jitter;
+
+        self.schedule(depart, Event::Depart { dir, size });
+        self.schedule(arrive, Event::Arrive { dg, sent_at: self.now });
+    }
+
+    fn schedule(&mut self, at: Millis, event: Event) {
+        self.event_seq += 1;
+        self.events.push(Reverse(Scheduled {
+            at,
+            seq: self.event_seq,
+            event,
+        }));
+    }
+
+    /// Advances virtual time to `t`, processing every event up to and
+    /// including it. Time never moves backwards.
+    pub fn advance_to(&mut self, t: Millis) {
+        debug_assert!(t >= self.now, "time must be monotonic");
+        while let Some(Reverse(entry)) = self.events.peek() {
+            if entry.at > t {
+                break;
+            }
+            let Reverse(Scheduled { at, event, .. }) = self.events.pop().expect("peeked");
+            self.now = at;
+            match event {
+                Event::Depart { dir, size } => {
+                    self.links[dir].queued_bytes -= size;
+                }
+                Event::Arrive { dg, sent_at } => {
+                    let dir_stats = match self.sides.get(&dg.to) {
+                        Some(Side::Server) => &mut self.stats.up,
+                        _ => &mut self.stats.down,
+                    };
+                    dir_stats.delivered += 1;
+                    dir_stats.bytes_delivered += dg.payload.len() as u64;
+                    dir_stats.total_latency_ms += at - sent_at;
+                    self.mailboxes.entry(dg.to).or_default().push_back(dg);
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    /// Time of the next pending event, if any (for event-driven stepping).
+    pub fn next_event_time(&self) -> Option<Millis> {
+        self.events.peek().map(|Reverse(entry)| entry.at)
+    }
+
+    /// Takes the next delivered datagram for an endpoint, if any.
+    pub fn recv(&mut self, addr: Addr) -> Option<Datagram> {
+        self.mailboxes.get_mut(&addr)?.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Addr, Addr) {
+        (Addr::new(1, 1000), Addr::new(2, 60001))
+    }
+
+    fn basic(up: LinkConfig, down: LinkConfig) -> (Network, Addr, Addr) {
+        let mut net = Network::new(up, down, 42);
+        let (c, s) = pair();
+        net.register(c, Side::Client);
+        net.register(s, Side::Server);
+        (net, c, s)
+    }
+
+    #[test]
+    fn delivers_with_propagation_delay() {
+        let (mut net, c, s) = basic(LinkConfig::lan(), LinkConfig::lan());
+        net.send(c, s, b"x".to_vec());
+        net.advance_to(0);
+        assert!(net.recv(s).is_none());
+        net.advance_to(1);
+        assert!(net.recv(s).is_some());
+    }
+
+    #[test]
+    fn preserves_order_without_jitter() {
+        let (mut net, c, s) = basic(LinkConfig::lan(), LinkConfig::lan());
+        for i in 0..10u8 {
+            net.send(c, s, vec![i]);
+        }
+        net.advance_to(5);
+        for i in 0..10u8 {
+            assert_eq!(net.recv(s).unwrap().payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn loss_drops_roughly_the_configured_fraction() {
+        let lossy = LinkConfig {
+            loss: 0.29,
+            ..LinkConfig::lan()
+        };
+        let (mut net, c, s) = basic(lossy, LinkConfig::lan());
+        for _ in 0..10_000 {
+            net.send(c, s, b"p".to_vec());
+        }
+        net.advance_to(100);
+        let got = net.stats().up.delivered;
+        let expected = 10_000.0 * 0.71;
+        assert!(
+            (got as f64 - expected).abs() < 300.0,
+            "delivered {got}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn rate_limit_serializes_packets() {
+        // 1 byte/ms, 1 ms propagation: the 3rd 100-byte packet (no
+        // overhead) departs at 300 ms.
+        let slow = LinkConfig {
+            rate_bytes_per_ms: Some(1),
+            per_packet_overhead: 0,
+            delay_ms: 1,
+            ..LinkConfig::lan()
+        };
+        let (mut net, c, s) = basic(slow, LinkConfig::lan());
+        for _ in 0..3 {
+            net.send(c, s, vec![0u8; 100]);
+        }
+        net.advance_to(300);
+        assert_eq!(net.stats().up.delivered, 2);
+        net.advance_to(301);
+        assert_eq!(net.stats().up.delivered, 3);
+    }
+
+    #[test]
+    fn droptail_queue_drops_overflow() {
+        let tiny = LinkConfig {
+            rate_bytes_per_ms: Some(1),
+            per_packet_overhead: 0,
+            queue_bytes: 250,
+            ..LinkConfig::lan()
+        };
+        let (mut net, c, s) = basic(tiny, LinkConfig::lan());
+        for _ in 0..5 {
+            net.send(c, s, vec![0u8; 100]); // only 2 fit in 250 bytes
+        }
+        assert_eq!(net.stats().up.dropped_queue, 3);
+        net.advance_to(10_000);
+        assert_eq!(net.stats().up.delivered, 2);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let cfg = LinkConfig {
+            rate_bytes_per_ms: Some(100),
+            per_packet_overhead: 0,
+            queue_bytes: 10_000,
+            ..LinkConfig::lan()
+        };
+        let (mut net, c, s) = basic(cfg, LinkConfig::lan());
+        for _ in 0..10 {
+            net.send(c, s, vec![0u8; 1000]);
+        }
+        assert_eq!(net.queue_depth(0), 10_000);
+        net.advance_to(50);
+        assert_eq!(net.queue_depth(0), 5_000);
+        net.advance_to(100);
+        assert_eq!(net.queue_depth(0), 0);
+    }
+
+    #[test]
+    fn bufferbloat_latency_grows_with_queue() {
+        // Fill a deep buffer, then measure the latency of a late packet.
+        let cfg = LinkConfig {
+            rate_bytes_per_ms: Some(100),
+            per_packet_overhead: 0,
+            queue_bytes: 1_000_000,
+            delay_ms: 10,
+            ..LinkConfig::lan()
+        };
+        let (mut net, c, s) = basic(cfg, LinkConfig::lan());
+        net.send(c, s, vec![0u8; 500_000]); // 5 s of queue
+        net.send(c, s, vec![1u8; 10]);
+        net.advance_to(20_000);
+        // Second packet waited behind the first: ≈5000 ms + delay.
+        let mean = net.stats().up.total_latency_ms;
+        assert!(mean >= 5000 + 5000 + 10, "latencies: {mean}");
+    }
+
+    #[test]
+    fn roaming_address_change_reaches_server() {
+        let (mut net, c, s) = basic(LinkConfig::lan(), LinkConfig::lan());
+        let c2 = Addr::new(99, 4242);
+        net.register(c2, Side::Client);
+        net.send(c, s, b"from old".to_vec());
+        net.send(c2, s, b"from new".to_vec());
+        net.advance_to(10);
+        assert_eq!(net.recv(s).unwrap().from, c);
+        let dg = net.recv(s).unwrap();
+        assert_eq!(dg.from, c2);
+        assert_eq!(dg.payload, b"from new");
+    }
+
+    #[test]
+    fn reply_goes_to_datagram_source() {
+        let (mut net, c, s) = basic(LinkConfig::lan(), LinkConfig::lan());
+        net.send(c, s, b"ping".to_vec());
+        net.advance_to(5);
+        let dg = net.recv(s).unwrap();
+        net.send(s, dg.from, b"pong".to_vec());
+        net.advance_to(10);
+        assert_eq!(net.recv(c).unwrap().payload, b"pong");
+    }
+
+    #[test]
+    fn same_side_traffic_is_loopback() {
+        let (mut net, c, _s) = basic(LinkConfig::netem_lossy(), LinkConfig::netem_lossy());
+        let c2 = Addr::new(1, 2000);
+        net.register(c2, Side::Client);
+        net.send(c, c2, b"local".to_vec());
+        net.advance_to(0);
+        assert_eq!(net.recv(c2).unwrap().payload, b"local");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net = Network::new(LinkConfig::netem_lossy(), LinkConfig::netem_lossy(), seed);
+            let (c, s) = pair();
+            net.register(c, Side::Client);
+            net.register(s, Side::Server);
+            for i in 0..100u8 {
+                net.send(c, s, vec![i]);
+            }
+            net.advance_to(1000);
+            let mut got = Vec::new();
+            while let Some(dg) = net.recv(s) {
+                got.push(dg.payload[0]);
+            }
+            got
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8)); // loss pattern differs by seed
+    }
+
+    #[test]
+    fn next_event_time_supports_event_stepping() {
+        let (mut net, c, s) = basic(LinkConfig::singapore(), LinkConfig::singapore());
+        assert_eq!(net.next_event_time(), None);
+        net.send(c, s, b"x".to_vec());
+        // Step event-to-event (the first event is the queue departure);
+        // the datagram arrives no earlier than the propagation delay.
+        while net.recv(s).is_none() {
+            let t = net.next_event_time().expect("arrival pending");
+            net.advance_to(t);
+        }
+        assert!(net.now() >= 136);
+    }
+
+    #[test]
+    fn jitter_stays_within_bound() {
+        let cfg = LinkConfig {
+            jitter_ms: 50,
+            ..LinkConfig::lan()
+        };
+        let (mut net, c, s) = basic(cfg, LinkConfig::lan());
+        for _ in 0..200 {
+            net.send(c, s, b"j".to_vec());
+        }
+        net.advance_to(100);
+        let stats = net.stats().up;
+        assert_eq!(stats.delivered, 200);
+        // Every latency is within [1, 51].
+        assert!(stats.total_latency_ms <= 51 * 200);
+        assert!(stats.total_latency_ms >= 200);
+    }
+}

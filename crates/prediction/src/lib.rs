@@ -1,0 +1,28 @@
+//! Speculative local echo — the Mosh paper's §3.2.
+//!
+//! The client guesses the effect of each keystroke on the screen and, when
+//! confident, displays the guess immediately rather than waiting a round
+//! trip. Predictions are grouped into **epochs** ("either all of the
+//! predictions in an epoch will be correct, or none will"): an epoch
+//! begins tentatively, making predictions only in the background, and is
+//! revealed the moment the server confirms any one of its predictions.
+//! Keystrokes that tend to change the host's echo behaviour — up/down
+//! arrows, control characters, carriage returns — end the current epoch.
+//!
+//! Verification uses the server-side **echo ack** (§3.2): the terminal
+//! state that arrives from the server carries the index of the newest
+//! keystroke whose effects must already be on the screen, so network
+//! jitter can never produce false-negative flicker.
+//!
+//! [`PredictionEngine`] is a pure state machine: feed it user keystrokes
+//! and arriving server frames, then let it [`PredictionEngine::apply`]
+//! its overlays onto a copy of the frame for display.
+
+pub mod engine;
+pub mod overlay;
+
+pub use engine::{DisplayPreference, PredictionEngine, PredictionStats};
+pub use overlay::Validity;
+
+/// Virtual time in milliseconds.
+pub type Millis = u64;

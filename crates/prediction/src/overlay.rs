@@ -1,0 +1,186 @@
+//! Conditional overlays: predictions awaiting confirmation.
+//!
+//! Each prediction remembers the user-stream event index that must be
+//! echo-acknowledged before it can be judged, and the epoch it belongs to.
+//! Until the epoch is confirmed the prediction exists only in the
+//! background (paper §3.2).
+
+use crate::Millis;
+use mosh_terminal::{Cell, Framebuffer};
+
+/// The outcome of validating a prediction against an arriving frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Validity {
+    /// The server's screen shows exactly what we predicted.
+    Correct,
+    /// The keystroke is acked but this cell cannot earn credit (its content
+    /// was a guess about shifted text, not an echo).
+    CorrectNoCredit,
+    /// The server's screen contradicts the prediction (or it expired).
+    IncorrectOrExpired,
+    /// The echo ack has not reached this prediction's keystroke yet.
+    Pending,
+}
+
+/// A predicted character cell.
+#[derive(Debug, Clone)]
+pub struct CellPrediction {
+    /// Screen row.
+    pub row: usize,
+    /// Screen column.
+    pub col: usize,
+    /// What we predict the server will put here.
+    pub replacement: Cell,
+    /// True when the content is a guess about displaced text rather than a
+    /// real echo: never displayed, never earns confirmation credit.
+    pub unknown: bool,
+    /// The prediction is hidden until this epoch is confirmed.
+    pub tentative_until_epoch: u64,
+    /// User-stream event index whose echo ack judges this prediction.
+    pub expiration_index: u64,
+    /// When the prediction was made (glitch detection).
+    pub prediction_time: Millis,
+}
+
+impl CellPrediction {
+    /// True while the prediction's epoch is unconfirmed.
+    pub fn tentative(&self, confirmed_epoch: u64) -> bool {
+        self.tentative_until_epoch > confirmed_epoch
+    }
+
+    /// Judges this prediction against a server frame carrying `echo_ack`.
+    pub fn validity(&self, frame: &Framebuffer, echo_ack: u64) -> Validity {
+        if self.row >= frame.height() || self.col >= frame.width() {
+            return Validity::IncorrectOrExpired;
+        }
+        if echo_ack < self.expiration_index {
+            return Validity::Pending;
+        }
+        if self.unknown {
+            return Validity::CorrectNoCredit;
+        }
+        let current = frame.cell(self.row, self.col);
+        if current.ch == self.replacement.ch {
+            Validity::Correct
+        } else {
+            Validity::IncorrectOrExpired
+        }
+    }
+}
+
+/// A predicted cursor position.
+#[derive(Debug, Clone, Copy)]
+pub struct CursorPrediction {
+    /// Predicted row.
+    pub row: usize,
+    /// Predicted column.
+    pub col: usize,
+    /// Hidden until this epoch confirms.
+    pub tentative_until_epoch: u64,
+    /// Judged once the echo ack reaches this index.
+    pub expiration_index: u64,
+    /// When the prediction was made.
+    pub prediction_time: Millis,
+}
+
+impl CursorPrediction {
+    /// True while the prediction's epoch is unconfirmed.
+    pub fn tentative(&self, confirmed_epoch: u64) -> bool {
+        self.tentative_until_epoch > confirmed_epoch
+    }
+
+    /// Judges the cursor prediction against a server frame.
+    pub fn validity(&self, frame: &Framebuffer, echo_ack: u64) -> Validity {
+        if self.row >= frame.height() || self.col >= frame.width() {
+            return Validity::IncorrectOrExpired;
+        }
+        if echo_ack < self.expiration_index {
+            return Validity::Pending;
+        }
+        if frame.cursor.row == self.row && frame.cursor.col == self.col {
+            Validity::Correct
+        } else {
+            Validity::IncorrectOrExpired
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosh_terminal::{Attrs, Terminal};
+
+    fn frame_with(text: &str, echo_ack_unused: u64) -> Framebuffer {
+        let _ = echo_ack_unused;
+        let mut t = Terminal::new(20, 5);
+        t.write(text.as_bytes());
+        t.frame().clone()
+    }
+
+    fn prediction(row: usize, col: usize, ch: char, expiration: u64) -> CellPrediction {
+        CellPrediction {
+            row,
+            col,
+            replacement: Cell::narrow(ch, Attrs::default()),
+            unknown: false,
+            tentative_until_epoch: 0,
+            expiration_index: expiration,
+            prediction_time: 0,
+        }
+    }
+
+    #[test]
+    fn pending_until_echo_ack_reaches_keystroke() {
+        let f = frame_with("x", 0);
+        let p = prediction(0, 0, 'x', 5);
+        assert_eq!(p.validity(&f, 4), Validity::Pending);
+        assert_eq!(p.validity(&f, 5), Validity::Correct);
+    }
+
+    #[test]
+    fn mismatch_is_incorrect_once_acked() {
+        let f = frame_with("y", 0);
+        let p = prediction(0, 0, 'x', 1);
+        assert_eq!(p.validity(&f, 0), Validity::Pending);
+        assert_eq!(p.validity(&f, 1), Validity::IncorrectOrExpired);
+    }
+
+    #[test]
+    fn unknown_cells_never_earn_credit() {
+        let f = frame_with("ab", 0);
+        let mut p = prediction(0, 1, 'b', 1);
+        p.unknown = true;
+        assert_eq!(p.validity(&f, 1), Validity::CorrectNoCredit);
+    }
+
+    #[test]
+    fn out_of_bounds_is_incorrect() {
+        let f = frame_with("", 0);
+        let p = prediction(99, 0, 'x', 0);
+        assert_eq!(p.validity(&f, 10), Validity::IncorrectOrExpired);
+    }
+
+    #[test]
+    fn tentative_tracks_epochs() {
+        let mut p = prediction(0, 0, 'x', 0);
+        p.tentative_until_epoch = 3;
+        assert!(p.tentative(2));
+        assert!(!p.tentative(3));
+    }
+
+    #[test]
+    fn cursor_prediction_validates_position() {
+        let f = frame_with("ab", 0); // cursor at (0, 2)
+        let good = CursorPrediction {
+            row: 0,
+            col: 2,
+            tentative_until_epoch: 0,
+            expiration_index: 1,
+            prediction_time: 0,
+        };
+        assert_eq!(good.validity(&f, 0), Validity::Pending);
+        assert_eq!(good.validity(&f, 1), Validity::Correct);
+        let bad = CursorPrediction { col: 5, ..good };
+        assert_eq!(bad.validity(&f, 1), Validity::IncorrectOrExpired);
+    }
+}

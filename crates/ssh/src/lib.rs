@@ -1,0 +1,287 @@
+//! The SSH baseline: character-at-a-time remote echo over TCP.
+//!
+//! Paper §1: "SSH operates strictly in character-at-a-time mode, with all
+//! echoes and line editing performed by the remote host", over TCP. This
+//! crate provides that baseline for the evaluation: every keystroke is a
+//! TCP write; every application write streams back *in full and in order*
+//! (no frames are ever skipped); the client renders bytes as they arrive.
+//!
+//! SSH's encryption adds microseconds of CPU and no latency structure, so
+//! the baseline omits it (see DESIGN.md, substitution #3).
+
+use mosh_core::apps::{Application, TimedWrite};
+use mosh_net::{Addr, Millis};
+use mosh_tcp::TcpEndpoint;
+use mosh_terminal::Terminal;
+use std::collections::VecDeque;
+
+/// The client half: sends keystrokes, renders arriving output.
+pub struct SshClient {
+    tcp: TcpEndpoint,
+    terminal: Terminal,
+    /// Cumulative count of bytes rendered (drives latency bookkeeping).
+    rendered_bytes: u64,
+}
+
+impl SshClient {
+    /// Creates the client side of an established SSH connection.
+    pub fn new(addr: Addr, server: Addr, width: usize, height: usize) -> Self {
+        SshClient {
+            tcp: TcpEndpoint::new(addr, server),
+            terminal: Terminal::new(width, height),
+            rendered_bytes: 0,
+        }
+    }
+
+    /// This endpoint's address.
+    pub fn addr(&self) -> Addr {
+        self.tcp.addr()
+    }
+
+    /// Sends one keystroke (character-at-a-time, like `ssh` in raw mode).
+    pub fn keystroke(&mut self, _now: Millis, bytes: &[u8]) {
+        self.tcp.write(bytes);
+    }
+
+    /// Handles one wire datagram.
+    pub fn receive(&mut self, now: Millis, wire: &[u8]) {
+        self.tcp.receive(now, wire);
+        let arrived = self.tcp.read();
+        if !arrived.is_empty() {
+            self.terminal.write(&arrived);
+            self.rendered_bytes += arrived.len() as u64;
+        }
+    }
+
+    /// Runs timers; returns addressed datagrams.
+    pub fn tick(&mut self, now: Millis) -> Vec<(Addr, Vec<u8>)> {
+        self.tcp.tick(now)
+    }
+
+    /// The screen as the user sees it (no speculation — this is SSH).
+    pub fn frame(&self) -> &mosh_terminal::Framebuffer {
+        self.terminal.frame()
+    }
+
+    /// Total output bytes rendered so far.
+    pub fn rendered_bytes(&self) -> u64 {
+        self.rendered_bytes
+    }
+
+    /// Send-side backlog (bytes written but unacknowledged).
+    pub fn backlog(&self) -> usize {
+        self.tcp.backlog()
+    }
+
+    /// TCP counters.
+    pub fn tcp_stats(&self) -> &mosh_tcp::TcpStats {
+        self.tcp.stats()
+    }
+}
+
+/// The server half: feeds keystrokes to the application, streams back
+/// every write (octet stream, nothing skipped).
+pub struct SshServer {
+    tcp: TcpEndpoint,
+    app: Box<dyn Application>,
+    pending: VecDeque<TimedWrite>,
+    started: bool,
+    /// Cumulative bytes written toward the client.
+    output_bytes: u64,
+}
+
+impl SshServer {
+    /// Creates the server side hosting `app`.
+    pub fn new(addr: Addr, client: Addr, app: Box<dyn Application>) -> Self {
+        SshServer {
+            tcp: TcpEndpoint::new(addr, client),
+            app,
+            pending: VecDeque::new(),
+            started: false,
+            output_bytes: 0,
+        }
+    }
+
+    /// This endpoint's address.
+    pub fn addr(&self) -> Addr {
+        self.tcp.addr()
+    }
+
+    /// Cumulative application output bytes accepted for transmission.
+    pub fn output_bytes(&self) -> u64 {
+        self.output_bytes
+    }
+
+    /// TCP counters.
+    pub fn tcp_stats(&self) -> &mosh_tcp::TcpStats {
+        self.tcp.stats()
+    }
+
+    fn schedule(&mut self, writes: Vec<TimedWrite>) {
+        for w in writes {
+            let pos = self
+                .pending
+                .iter()
+                .position(|p| p.at > w.at)
+                .unwrap_or(self.pending.len());
+            self.pending.insert(pos, w);
+        }
+    }
+
+    /// Handles one wire datagram.
+    pub fn receive(&mut self, now: Millis, wire: &[u8]) {
+        self.tcp.receive(now, wire);
+        let input = self.tcp.read();
+        if !input.is_empty() {
+            let writes = self.app.on_input(now, &input);
+            self.schedule(writes);
+        }
+    }
+
+    /// Runs timers; returns addressed datagrams.
+    pub fn tick(&mut self, now: Millis) -> Vec<(Addr, Vec<u8>)> {
+        if !self.started {
+            self.started = true;
+            let writes = self.app.start(now);
+            self.schedule(writes);
+        }
+        let polled = self.app.poll(now);
+        self.schedule(polled);
+        while let Some(w) = self.pending.front() {
+            if w.at > now {
+                break;
+            }
+            let w = self.pending.pop_front().expect("peeked");
+            self.output_bytes += w.bytes.len() as u64;
+            // SSH must transmit every octet — no skipping, no coalescing
+            // beyond TCP's own segmentation.
+            self.tcp.write(&w.bytes);
+        }
+        self.tcp.tick(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosh_core::apps::LineShell;
+    use mosh_net::{LinkConfig, Network, Side};
+
+    struct Session {
+        net: Network,
+        client: SshClient,
+        server: SshServer,
+        now: Millis,
+    }
+
+    fn session(up: LinkConfig, down: LinkConfig, seed: u64) -> Session {
+        let mut net = Network::new(up, down, seed);
+        let c = Addr::new(1, 5001);
+        let s = Addr::new(2, 22);
+        net.register(c, Side::Client);
+        net.register(s, Side::Server);
+        Session {
+            net,
+            client: SshClient::new(c, s, 80, 24),
+            server: SshServer::new(s, c, Box::new(LineShell::new())),
+            now: 0,
+        }
+    }
+
+    fn run(se: &mut Session, until: Millis) {
+        while se.now < until {
+            for (to, w) in se.client.tick(se.now) {
+                se.net.send(se.client.addr(), to, w);
+            }
+            for (to, w) in se.server.tick(se.now) {
+                se.net.send(se.server.addr(), to, w);
+            }
+            se.now += 1;
+            se.net.advance_to(se.now);
+            while let Some(dg) = se.net.recv(se.server.addr()) {
+                se.server.receive(se.now, &dg.payload);
+            }
+            while let Some(dg) = se.net.recv(se.client.addr()) {
+                se.client.receive(se.now, &dg.payload);
+            }
+        }
+    }
+
+    #[test]
+    fn prompt_appears_and_keystrokes_echo() {
+        let mut se = session(LinkConfig::lan(), LinkConfig::lan(), 1);
+        run(&mut se, 200);
+        assert_eq!(se.client.frame().row_text(0), "$");
+        se.client.keystroke(se.now, b"l");
+        se.client.keystroke(se.now, b"s");
+        let t = se.now + 300;
+        run(&mut se, t);
+        assert_eq!(se.client.frame().row_text(0), "$ ls");
+    }
+
+    #[test]
+    fn echo_latency_is_a_full_round_trip() {
+        let slow = LinkConfig {
+            delay_ms: 100,
+            ..LinkConfig::lan()
+        };
+        let mut se = session(slow.clone(), slow, 2);
+        run(&mut se, 1000);
+        se.client.keystroke(se.now, b"x");
+        let typed_at = se.now;
+        // Well under one RTT: nothing on screen.
+        let t = typed_at + 150;
+        run(&mut se, t);
+        assert_eq!(se.client.frame().row_text(0), "$", "no echo yet");
+        let t = typed_at + 300;
+        run(&mut se, t);
+        assert_eq!(se.client.frame().row_text(0), "$ x", "echo after RTT");
+    }
+
+    #[test]
+    fn command_output_streams_in_full() {
+        let mut se = session(LinkConfig::lan(), LinkConfig::lan(), 3);
+        run(&mut se, 100);
+        for b in b"cat 30\r" {
+            se.client.keystroke(se.now, &[*b]);
+        }
+        let t = se.now + 2000;
+        run(&mut se, t);
+        let text = se.client.frame().to_text();
+        assert!(text.contains("file line 29"), "all output rendered");
+        // Every output byte crossed the wire (modulo what is in flight).
+        assert_eq!(se.client.rendered_bytes(), se.server.output_bytes());
+    }
+
+    #[test]
+    fn loss_stalls_the_session_for_seconds() {
+        // The netem experiment's mechanism: with min-RTO 1 s and backoff,
+        // a couple of consecutive losses freeze the screen.
+        let lossy = LinkConfig {
+            loss: 0.5,
+            delay_ms: 50,
+            ..LinkConfig::lan()
+        };
+        let mut se = session(lossy.clone(), lossy, 777);
+        run(&mut se, 3000);
+        se.client.keystroke(se.now, b"z");
+        let typed = se.now;
+        // Keep running until the echo shows; with 75% round-trip loss this
+        // routinely takes several RTO backoffs.
+        let mut echoed_at = None;
+        while se.now < typed + 120_000 {
+            let t = se.now + 10;
+            run(&mut se, t);
+            if se.client.frame().row_text(0).contains('z') {
+                echoed_at = Some(se.now);
+                break;
+            }
+        }
+        let latency = echoed_at.expect("eventually recovers") - typed;
+        assert!(
+            latency >= 140,
+            "cannot beat the RTT + retransmission floor: {latency}"
+        );
+        assert!(se.client.tcp_stats().timeouts + se.server.tcp_stats().timeouts > 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! The SSP datagram layer (paper §2.2).
+//!
+//! Wraps the crypto session and adds the per-packet timing machinery:
+//!
+//! * an incrementing sequence number (carried in the crypto nonce),
+//! * a 16-bit millisecond **timestamp** and a **timestamp reply**, from
+//!   which the other side derives RTT samples,
+//! * the reply-adjustment trick: the echoed timestamp is aged by the time
+//!   we held it, so delayed acks do not distort RTT estimates,
+//! * tracking of the highest sequence number seen, which drives roaming:
+//!   the *endpoint* re-targets its peer address whenever an authentic
+//!   datagram arrives with a new-high sequence number.
+
+use crate::rtt::RttEstimator;
+use crate::wire::Reader;
+use crate::{Millis, SspError};
+use mosh_crypto::session::{Direction, Session};
+use mosh_crypto::Base64Key;
+
+/// Sentinel meaning "no timestamp to echo".
+const TS_NONE: u16 = 0xffff;
+
+/// A received, authenticated datagram with its transport payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Received {
+    /// The sender's sequence number.
+    pub seq: u64,
+    /// True if this is the highest sequence number seen so far (drives
+    /// roaming: the source address of such a packet becomes the new target).
+    pub new_high: bool,
+    /// Transport payload (a fragment).
+    pub payload: Vec<u8>,
+}
+
+/// One end of the encrypted, RTT-estimating datagram layer.
+#[derive(Debug)]
+pub struct DatagramLayer {
+    session: Session,
+    rtt: RttEstimator,
+    /// Highest sequence number accepted from the peer.
+    max_seq_seen: Option<u64>,
+    /// Most recently received peer timestamp, with its arrival time, for
+    /// the adjusted echo.
+    saved_timestamp: Option<(u16, Millis)>,
+}
+
+impl DatagramLayer {
+    /// Creates a datagram layer from the shared key and our direction.
+    pub fn new(key: Base64Key, direction: Direction) -> Self {
+        DatagramLayer {
+            session: Session::new(key, direction),
+            rtt: RttEstimator::new(),
+            max_seq_seen: None,
+            saved_timestamp: None,
+        }
+    }
+
+    /// Current smoothed RTT estimate (milliseconds).
+    pub fn srtt(&self) -> f64 {
+        self.rtt.srtt()
+    }
+
+    /// True once a real RTT sample has been observed.
+    pub fn has_rtt_sample(&self) -> bool {
+        self.rtt.has_sample()
+    }
+
+    /// Current retransmission timeout (milliseconds, clamped [50, 1000]).
+    pub fn rto(&self) -> Millis {
+        self.rtt.rto()
+    }
+
+    /// Highest peer sequence number accepted so far.
+    pub fn max_seq_seen(&self) -> Option<u64> {
+        self.max_seq_seen
+    }
+
+    /// Encrypts a transport payload into a wire datagram stamped `now`.
+    pub fn encode(&mut self, now: Millis, payload: &[u8]) -> Vec<u8> {
+        let ts = (now & 0xffff) as u16;
+        // Adjust the echo by our holding time (paper §2.2, change #2).
+        let ts_reply = match self.saved_timestamp {
+            None => TS_NONE,
+            Some((their_ts, arrived_at)) => {
+                let held = now.saturating_sub(arrived_at);
+                (their_ts as u64).wrapping_add(held) as u16
+            }
+        };
+        let mut plain = Vec::with_capacity(4 + payload.len());
+        plain.extend_from_slice(&ts.to_be_bytes());
+        plain.extend_from_slice(&ts_reply.to_be_bytes());
+        plain.extend_from_slice(payload);
+        self.session.encrypt(&plain)
+    }
+
+    /// Authenticates and decodes a wire datagram received at `now`,
+    /// feeding the RTT estimator from any echoed timestamp.
+    pub fn decode(&mut self, now: Millis, wire: &[u8]) -> Result<Received, SspError> {
+        let msg = self.session.decrypt(wire).map_err(SspError::Crypto)?;
+        let mut r = Reader::new(&msg.payload);
+        let ts = r.u16()?;
+        let ts_reply = r.u16()?;
+        let payload = r.take(r.remaining())?.to_vec();
+
+        let new_high = match self.max_seq_seen {
+            None => true,
+            Some(max) => msg.seq > max,
+        };
+        if new_high {
+            self.max_seq_seen = Some(msg.seq);
+            // Only new-high packets update the saved timestamp: echoing a
+            // stale reordered timestamp would inflate the peer's estimate.
+            self.saved_timestamp = Some((ts, now));
+        }
+
+        if ts_reply != TS_NONE {
+            // 16-bit wrap-around subtraction: valid for RTTs under 65 s.
+            let sample = ((now & 0xffff) as u16).wrapping_sub(ts_reply);
+            self.rtt.observe(f64::from(sample));
+        }
+
+        Ok(Received {
+            seq: msg.seq,
+            new_high,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (DatagramLayer, DatagramLayer) {
+        let key = Base64Key::from_bytes([9u8; 16]);
+        (
+            DatagramLayer::new(key.clone(), Direction::ToServer),
+            DatagramLayer::new(key, Direction::ToClient),
+        )
+    }
+
+    #[test]
+    fn round_trip_payload() {
+        let (mut client, mut server) = pair();
+        let wire = client.encode(0, b"fragment");
+        let got = server.decode(1, &wire).unwrap();
+        assert_eq!(got.payload, b"fragment");
+        assert_eq!(got.seq, 0);
+        assert!(got.new_high);
+    }
+
+    #[test]
+    fn sequence_numbers_mark_new_high() {
+        let (mut client, mut server) = pair();
+        let w0 = client.encode(0, b"a");
+        let w1 = client.encode(5, b"b");
+        // Deliver out of order: the older packet is not a new high.
+        assert!(server.decode(10, &w1).unwrap().new_high);
+        let r0 = server.decode(11, &w0).unwrap();
+        assert!(!r0.new_high);
+        assert_eq!(r0.payload, b"a");
+    }
+
+    #[test]
+    fn rtt_measured_through_echo() {
+        let (mut client, mut server) = pair();
+        // t=0: client sends; t=100: server receives and replies immediately;
+        // t=200: client receives -> RTT sample 200 ms.
+        let w = client.encode(0, b"ping");
+        server.decode(100, &w).unwrap();
+        let reply = server.encode(100, b"pong");
+        client.decode(200, &reply).unwrap();
+        assert!(client.has_rtt_sample());
+        assert_eq!(client.srtt(), 200.0);
+    }
+
+    #[test]
+    fn delayed_ack_does_not_inflate_rtt() {
+        let (mut client, mut server) = pair();
+        // Server holds the timestamp 400 ms before replying (delayed ack);
+        // the echo is aged, so the client still measures 200 ms.
+        let w = client.encode(0, b"ping");
+        server.decode(100, &w).unwrap();
+        let reply = server.encode(500, b"late pong");
+        client.decode(600, &reply).unwrap();
+        assert_eq!(client.srtt(), 200.0);
+    }
+
+    #[test]
+    fn no_echo_no_sample() {
+        let (mut client, mut server) = pair();
+        let w = client.encode(0, b"first");
+        let got = server.decode(50, &w).unwrap();
+        assert_eq!(got.payload, b"first");
+        assert!(!client.has_rtt_sample());
+    }
+
+    #[test]
+    fn corrupted_datagrams_are_rejected() {
+        let (mut client, mut server) = pair();
+        let mut w = client.encode(0, b"x");
+        w[9] ^= 1;
+        assert!(server.decode(1, &w).is_err());
+    }
+
+    #[test]
+    fn timestamp_wraps_correctly() {
+        let (mut client, mut server) = pair();
+        // Timestamps are 16-bit; send near the wrap boundary.
+        let t0: Millis = 65_530;
+        let w = client.encode(t0, b"ping");
+        server.decode(t0 + 5, &w).unwrap();
+        let reply = server.encode(t0 + 5, b"pong");
+        client.decode(t0 + 10, &reply).unwrap();
+        assert_eq!(client.srtt(), 10.0);
+    }
+
+    #[test]
+    fn reordered_timestamps_do_not_regress_echo() {
+        let (mut client, mut server) = pair();
+        let w_old = client.encode(0, b"old");
+        let w_new = client.encode(300, b"new");
+        server.decode(400, &w_new).unwrap();
+        // The older packet arrives later; its timestamp must not replace
+        // the saved one.
+        server.decode(410, &w_old).unwrap();
+        let reply = server.encode(410, b"pong");
+        // Client receives at 510: echo is based on the *new* packet
+        // (ts=300 aged by 10), so the sample is 510-300-10 = 200.
+        client.decode(510, &reply).unwrap();
+        assert_eq!(client.srtt(), 200.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Round-trip-time estimation (RFC 6298 with the paper's modifications).
+//!
+//! SSP uses the TCP SRTT/RTTVAR algorithm with three changes (paper §2.2):
+//!
+//! 1. Every datagram carries a unique sequence number, so samples are never
+//!    ambiguous between retransmissions (no Karn's problem).
+//! 2. The timestamp echo is adjusted by the receiver's holding time, so
+//!    delayed acks do not inflate samples.
+//! 3. The lower bound on the retransmission timeout is **50 ms** rather
+//!    than one second — SSH over TCP "generally cannot detect a dropped
+//!    keystroke in less than a second."
+
+use crate::Millis;
+
+/// Minimum retransmission timeout (the paper's headline change from TCP).
+pub const MIN_RTO: Millis = 50;
+/// Maximum retransmission timeout (Mosh clamps at one second).
+pub const MAX_RTO: Millis = 1000;
+
+/// SRTT/RTTVAR estimator state.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: f64,
+    rttvar: f64,
+    /// No sample yet: the first one initializes per RFC 6298 §2.2.
+    have_sample: bool,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RttEstimator {
+    /// Creates an estimator with Mosh's initial guess (1 s SRTT, 500 ms
+    /// variation) so early retransmissions are conservative.
+    pub fn new() -> Self {
+        RttEstimator {
+            srtt: 1000.0,
+            rttvar: 500.0,
+            have_sample: false,
+        }
+    }
+
+    /// Feeds one RTT sample in milliseconds.
+    pub fn observe(&mut self, sample_ms: f64) {
+        let r = sample_ms.max(0.0);
+        if !self.have_sample {
+            // RFC 6298 (2.2): SRTT <- R, RTTVAR <- R/2.
+            self.srtt = r;
+            self.rttvar = r / 2.0;
+            self.have_sample = true;
+        } else {
+            // RFC 6298 (2.3): RTTVAR first, then SRTT (alpha=1/8, beta=1/4).
+            self.rttvar = 0.75 * self.rttvar + 0.25 * (self.srtt - r).abs();
+            self.srtt = 0.875 * self.srtt + 0.125 * r;
+        }
+    }
+
+    /// The smoothed round-trip time estimate in milliseconds.
+    pub fn srtt(&self) -> f64 {
+        self.srtt
+    }
+
+    /// The RTT variation estimate in milliseconds.
+    pub fn rttvar(&self) -> f64 {
+        self.rttvar
+    }
+
+    /// True once at least one sample has arrived.
+    pub fn has_sample(&self) -> bool {
+        self.have_sample
+    }
+
+    /// The retransmission timeout: `SRTT + 4·RTTVAR`, clamped to
+    /// `[50 ms, 1 s]`.
+    pub fn rto(&self) -> Millis {
+        let raw = self.srtt + 4.0 * self.rttvar;
+        (raw.ceil() as Millis).clamp(MIN_RTO, MAX_RTO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rto_is_conservative() {
+        let e = RttEstimator::new();
+        assert_eq!(e.rto(), MAX_RTO);
+        assert!(!e.has_sample());
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::new();
+        e.observe(100.0);
+        assert_eq!(e.srtt(), 100.0);
+        assert_eq!(e.rttvar(), 50.0);
+        assert_eq!(e.rto(), 300);
+    }
+
+    #[test]
+    fn smoothing_follows_rfc6298() {
+        let mut e = RttEstimator::new();
+        e.observe(100.0);
+        e.observe(200.0);
+        // RTTVAR = 0.75*50 + 0.25*|100-200| = 62.5; SRTT = 0.875*100+0.125*200 = 112.5.
+        assert!((e.rttvar() - 62.5).abs() < 1e-9);
+        assert!((e.srtt() - 112.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_samples_converge() {
+        let mut e = RttEstimator::new();
+        for _ in 0..200 {
+            e.observe(80.0);
+        }
+        assert!((e.srtt() - 80.0).abs() < 1.0);
+        assert!(e.rttvar() < 1.0);
+        assert!(e.rto() >= MIN_RTO);
+    }
+
+    #[test]
+    fn rto_floor_is_50ms_not_one_second() {
+        // The paper's change #3: a fast LAN yields a 50 ms floor, letting
+        // SSP detect a dropped keystroke twenty times faster than TCP.
+        let mut e = RttEstimator::new();
+        for _ in 0..100 {
+            e.observe(2.0);
+        }
+        assert_eq!(e.rto(), MIN_RTO);
+    }
+
+    #[test]
+    fn rto_cap_is_one_second() {
+        let mut e = RttEstimator::new();
+        for _ in 0..10 {
+            e.observe(5000.0);
+        }
+        assert_eq!(e.rto(), MAX_RTO);
+    }
+
+    #[test]
+    fn jittery_path_raises_rto_via_rttvar() {
+        let mut steady = RttEstimator::new();
+        let mut jittery = RttEstimator::new();
+        for i in 0..100 {
+            steady.observe(100.0);
+            jittery.observe(if i % 2 == 0 { 50.0 } else { 150.0 });
+        }
+        assert!(jittery.rto() > steady.rto());
+    }
+
+    #[test]
+    fn negative_samples_are_clamped() {
+        let mut e = RttEstimator::new();
+        e.observe(-5.0);
+        assert_eq!(e.srtt(), 0.0);
+        assert_eq!(e.rto(), MIN_RTO);
+    }
+}

@@ -1,0 +1,539 @@
+//! The transport sender: frame-rate control, delayed acks, retransmission,
+//! and heartbeats (paper §2.3).
+//!
+//! The sender keeps a short list of states it has shipped, always diffs the
+//! *current* state against the most recent state the receiver plausibly
+//! has, and paces transmissions so that "there is about one Instruction in
+//! flight to the receiver at any time":
+//!
+//! * frame interval = `clamp(SRTT/2, 20 ms, 250 ms)` (50 Hz cap),
+//! * collection interval (`SEND_MINDELAY`) = 8 ms after the first change,
+//! * delayed acks ride along within 100 ms,
+//! * a heartbeat goes out every 3 s of silence,
+//! * un-acknowledged states are retransmitted after `RTO + ACK_DELAY`.
+
+use crate::state::SyncState;
+use crate::Millis;
+
+/// Minimum interval between frames: caps the rate at 50 Hz, "roughly the
+/// limit of human perception" (paper footnote 1).
+pub const SEND_INTERVAL_MIN: Millis = 20;
+/// Maximum interval between frames.
+pub const SEND_INTERVAL_MAX: Millis = 250;
+/// Default collection interval after the first write (paper §4, Figure 3:
+/// "we adjusted that to 8 ms, the minimum of the curve").
+pub const SEND_MINDELAY: Millis = 8;
+/// Delayed-ack window: "a delay of 100 ms was sufficient to let the
+/// delayed ACK piggyback on host data" in >99.9% of cases (paper §2.3).
+pub const ACK_DELAY: Millis = 100;
+/// Heartbeat interval: 3 s, "to compromise between responsiveness and the
+/// desire to reduce unnecessary chatter" (paper §2.3).
+pub const HEARTBEAT_DURATION: Millis = 3000;
+/// Cap on retained sent states; beyond this, middle states are coalesced.
+const MAX_SENT_STATES: usize = 32;
+
+/// The frame interval for a given smoothed RTT.
+pub fn send_interval(srtt: f64) -> Millis {
+    ((srtt / 2.0).ceil() as Millis).clamp(SEND_INTERVAL_MIN, SEND_INTERVAL_MAX)
+}
+
+/// A numbered state snapshot with its last transmission time.
+#[derive(Debug, Clone)]
+pub struct TimestampedState<S> {
+    /// State number (monotonically increasing per sender).
+    pub num: u64,
+    /// Time this state was last sent.
+    pub timestamp: Millis,
+    /// The snapshot itself.
+    pub state: S,
+}
+
+/// What the sender wants transmitted this tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outgoing {
+    /// Source state number the diff applies to.
+    pub old_num: u64,
+    /// Target state number.
+    pub new_num: u64,
+    /// Receiver may discard states below this.
+    pub throwaway_num: u64,
+    /// The diff payload (empty for acks/heartbeats).
+    pub diff: Vec<u8>,
+    /// Classification for instrumentation.
+    pub kind: SendKind,
+}
+
+/// Why a transmission happened (for the ablation benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendKind {
+    /// New data: the current state advanced.
+    Data,
+    /// Retransmission of un-acknowledged data.
+    Retransmit,
+    /// A pure acknowledgment that could not piggyback within [`ACK_DELAY`].
+    PureAck,
+    /// Keep-alive after [`HEARTBEAT_DURATION`] of silence.
+    Heartbeat,
+}
+
+/// Counters for sender behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SenderStats {
+    /// Data-bearing instructions sent.
+    pub data: u64,
+    /// Retransmissions.
+    pub retransmits: u64,
+    /// Pure acks (the 0.1% that fail to piggyback).
+    pub pure_acks: u64,
+    /// Heartbeats.
+    pub heartbeats: u64,
+    /// Acks that piggybacked on data instructions.
+    pub piggybacked_acks: u64,
+}
+
+/// The sender half of an SSP transport endpoint.
+#[derive(Debug)]
+pub struct Sender<S: SyncState> {
+    sent_states: Vec<TimestampedState<S>>,
+    current: S,
+    /// Set when the current state first diverges from the last sent state.
+    mindelay_clock: Option<Millis>,
+    /// Collection interval; configurable because Figure 3 sweeps it.
+    mindelay: Millis,
+    /// Remote state number to acknowledge on the next transmission.
+    ack_num: u64,
+    /// Deadline for a standalone ack (or heartbeat).
+    next_ack_time: Millis,
+    /// True if `next_ack_time` is a 100 ms delayed *ack* rather than a 3 s
+    /// heartbeat (distinguishes the two for instrumentation).
+    ack_pending: bool,
+    /// False until the first transmission: the frame-rate gate applies only
+    /// "after a previous frame" (paper §2.3), never to the first one.
+    sent_anything: bool,
+    stats: SenderStats,
+}
+
+impl<S: SyncState> Sender<S> {
+    /// Creates a sender whose state number 0 is `initial` (both ends start
+    /// with equal, known initial states).
+    pub fn new(initial: S) -> Self {
+        Sender {
+            sent_states: vec![TimestampedState {
+                num: 0,
+                timestamp: 0,
+                state: initial.clone(),
+            }],
+            current: initial,
+            mindelay_clock: None,
+            mindelay: SEND_MINDELAY,
+            ack_num: 0,
+            next_ack_time: HEARTBEAT_DURATION,
+            ack_pending: false,
+            sent_anything: false,
+            stats: SenderStats::default(),
+        }
+    }
+
+    /// Overrides the collection interval (Figure 3's sweep parameter).
+    pub fn set_mindelay(&mut self, mindelay: Millis) {
+        self.mindelay = mindelay;
+    }
+
+    /// Sender-side counters.
+    pub fn stats(&self) -> &SenderStats {
+        &self.stats
+    }
+
+    /// The current (not necessarily sent) state.
+    pub fn current(&self) -> &S {
+        &self.current
+    }
+
+    /// Number of the most recently shipped state.
+    pub fn latest_sent_num(&self) -> u64 {
+        self.sent_states.last().expect("never empty").num
+    }
+
+    /// Number of the newest state the receiver has acknowledged.
+    pub fn acked_num(&self) -> u64 {
+        self.sent_states.first().expect("never empty").num
+    }
+
+    /// Replaces the current state. The collection-interval clock starts at
+    /// the first moment the state diverges from what was last sent.
+    pub fn set_current(&mut self, state: S, now: Millis) {
+        self.current = state;
+        let back = &self.sent_states.last().expect("never empty").state;
+        if self.current.equivalent(back) {
+            self.mindelay_clock = None;
+        } else if self.mindelay_clock.is_none() {
+            self.mindelay_clock = Some(now);
+        }
+    }
+
+    /// Records the remote state number to acknowledge and whether an ack
+    /// must go out soon (data was received that deserves one).
+    pub fn set_ack_num(&mut self, ack_num: u64, must_ack: bool, now: Millis) {
+        self.ack_num = ack_num;
+        if must_ack {
+            let due = now + ACK_DELAY;
+            if !self.ack_pending || due < self.next_ack_time {
+                self.next_ack_time = self.next_ack_time.min(due);
+                self.ack_pending = true;
+            }
+        }
+    }
+
+    /// Processes a cumulative acknowledgment from the receiver.
+    pub fn handle_ack(&mut self, ack_num: u64) {
+        let Some(pos) = self.sent_states.iter().position(|s| s.num == ack_num) else {
+            return; // Stale ack for an already-discarded state.
+        };
+        self.sent_states.drain(..pos);
+        // Rationalize: everything shares the acked prefix now; reclaim it.
+        let prefix = self.sent_states[0].state.clone();
+        self.current.subtract(&prefix);
+        for s in self.sent_states.iter_mut().skip(1) {
+            s.state.subtract(&prefix);
+        }
+        let first = &mut self.sent_states[0];
+        let p = first.state.clone();
+        first.state.subtract(&p);
+    }
+
+    /// True if the current state has not been shipped yet.
+    pub fn pending_data(&self) -> bool {
+        let back = &self.sent_states.last().expect("never empty").state;
+        !self.current.equivalent(back)
+    }
+
+    /// The next time this sender wants `tick` called, if any (for
+    /// event-driven simulation stepping).
+    pub fn next_wakeup(&self, srtt: f64, rto: Millis) -> Option<Millis> {
+        let back = self.sent_states.last().expect("never empty");
+        let mut next = Some(self.next_ack_time);
+        if self.pending_data() {
+            let gate = if self.sent_anything {
+                back.timestamp + send_interval(srtt)
+            } else {
+                0
+            };
+            let t = self
+                .mindelay_clock
+                .map(|c| c + self.mindelay)
+                .unwrap_or(0)
+                .max(gate);
+            next = Some(next.unwrap().min(t));
+        } else if back.num != self.acked_num() {
+            let t = back.timestamp + rto + ACK_DELAY;
+            next = Some(next.unwrap().min(t));
+        }
+        next
+    }
+
+    /// Decides what (if anything) to transmit at `now`. At most one
+    /// instruction per call; the transport encodes and fragments it.
+    pub fn tick(&mut self, now: Millis, srtt: f64, rto: Millis) -> Option<Outgoing> {
+        if self.pending_data() {
+            if self.mindelay_clock.is_none() {
+                self.mindelay_clock = Some(now);
+            }
+            let collect_until = self.mindelay_clock.expect("just set") + self.mindelay;
+            let frame_gate = if self.sent_anything {
+                self.sent_states.last().expect("never empty").timestamp + send_interval(srtt)
+            } else {
+                0
+            };
+            if now >= collect_until.max(frame_gate) {
+                return Some(self.send_data(now, rto));
+            }
+        } else {
+            let back = self.sent_states.last().expect("never empty");
+            let unacked = back.num != self.acked_num();
+            if unacked && now >= back.timestamp + rto + ACK_DELAY {
+                return Some(self.send_data(now, rto)); // Retransmission path.
+            }
+        }
+
+        if now >= self.next_ack_time {
+            if self.pending_data() {
+                // A data frame is imminent (merely frame-gated) and will
+                // carry the ack; a standalone ack would be pure waste.
+                return None;
+            }
+            let kind = if self.ack_pending {
+                self.stats.pure_acks += 1;
+                SendKind::PureAck
+            } else {
+                self.stats.heartbeats += 1;
+                SendKind::Heartbeat
+            };
+            self.ack_pending = false;
+            self.next_ack_time = now + HEARTBEAT_DURATION;
+            let back_num = self.latest_sent_num();
+            return Some(Outgoing {
+                old_num: back_num,
+                new_num: back_num,
+                throwaway_num: self.acked_num(),
+                diff: Vec::new(),
+                kind,
+            });
+        }
+        None
+    }
+
+    /// Index of the most recent sent state the receiver plausibly has:
+    /// every sent state younger than `RTO + ACK_DELAY` is assumed to be
+    /// arriving; otherwise we fall back toward the acknowledged front.
+    fn assumed_receiver_index(&self, now: Millis, rto: Millis) -> usize {
+        let mut idx = 0;
+        for (i, s) in self.sent_states.iter().enumerate().skip(1) {
+            if now.saturating_sub(s.timestamp) < rto + ACK_DELAY {
+                idx = i;
+            }
+        }
+        idx
+    }
+
+    fn send_data(&mut self, now: Millis, rto: Millis) -> Outgoing {
+        let assumed = self.assumed_receiver_index(now, rto);
+        let source = &self.sent_states[assumed];
+        let old_num = source.num;
+        let diff = self.current.diff_from(&source.state);
+
+        let back = self.sent_states.last_mut().expect("never empty");
+        let (new_num, kind) = if self.current.equivalent(&back.state) {
+            // Retransmission: same target state, refreshed timestamp.
+            back.timestamp = now;
+            self.stats.retransmits += 1;
+            (back.num, SendKind::Retransmit)
+        } else {
+            let n = back.num + 1;
+            self.sent_states.push(TimestampedState {
+                num: n,
+                timestamp: now,
+                state: self.current.clone(),
+            });
+            self.stats.data += 1;
+            if self.sent_states.len() > MAX_SENT_STATES {
+                // Coalesce from the middle: keep the acked front and the
+                // freshest states as diff sources.
+                let drop_at = self.sent_states.len() / 2;
+                self.sent_states.remove(drop_at);
+            }
+            (n, SendKind::Data)
+        };
+
+        if self.ack_pending {
+            self.stats.piggybacked_acks += 1;
+        }
+        self.sent_anything = true;
+        self.mindelay_clock = None;
+        self.ack_pending = false;
+        self.next_ack_time = now + HEARTBEAT_DURATION;
+        Outgoing {
+            old_num,
+            new_num,
+            throwaway_num: self.acked_num(),
+            diff,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::BlobState;
+
+    fn blob(s: &[u8]) -> BlobState {
+        BlobState(s.to_vec())
+    }
+
+    const SRTT: f64 = 100.0;
+    const RTO: Millis = 300;
+
+    #[test]
+    fn send_interval_is_half_srtt_clamped() {
+        assert_eq!(send_interval(100.0), 50);
+        assert_eq!(send_interval(10.0), SEND_INTERVAL_MIN);
+        assert_eq!(send_interval(10_000.0), SEND_INTERVAL_MAX);
+    }
+
+    #[test]
+    fn no_output_when_idle() {
+        let mut s = Sender::new(blob(b"init"));
+        assert_eq!(s.tick(0, SRTT, RTO), None);
+        assert_eq!(s.tick(100, SRTT, RTO), None);
+    }
+
+    #[test]
+    fn waits_for_collection_interval() {
+        let mut s = Sender::new(blob(b"init"));
+        // First send must also clear the frame gate from the initial state
+        // at timestamp 0.
+        let start = 1000;
+        s.set_current(blob(b"changed"), start);
+        assert_eq!(s.tick(start, SRTT, RTO), None);
+        assert_eq!(s.tick(start + SEND_MINDELAY - 1, SRTT, RTO), None);
+        let out = s.tick(start + SEND_MINDELAY, SRTT, RTO).expect("sends after mindelay");
+        assert_eq!(out.kind, SendKind::Data);
+        assert_eq!(out.old_num, 0);
+        assert_eq!(out.new_num, 1);
+        assert_eq!(out.diff, b"changed");
+    }
+
+    #[test]
+    fn frame_rate_limits_consecutive_sends() {
+        let mut s = Sender::new(blob(b"0"));
+        s.set_current(blob(b"1"), 1000);
+        let first = s.tick(1008, SRTT, RTO).expect("first frame");
+        assert_eq!(first.new_num, 1);
+        // Immediately change again: the frame gate (srtt/2 = 50 ms) holds.
+        s.set_current(blob(b"2"), 1010);
+        assert_eq!(s.tick(1018, SRTT, RTO), None);
+        assert_eq!(s.tick(1057, SRTT, RTO), None);
+        let second = s.tick(1058, SRTT, RTO).expect("after frame interval");
+        assert_eq!(second.new_num, 2);
+    }
+
+    #[test]
+    fn skips_intermediate_states() {
+        let mut s = Sender::new(blob(b"0"));
+        s.set_current(blob(b"1"), 1000);
+        s.set_current(blob(b"2"), 1002);
+        s.set_current(blob(b"3"), 1004);
+        let out = s.tick(1008, SRTT, RTO).expect("one frame for three changes");
+        assert_eq!(out.diff, b"3");
+        assert_eq!(out.new_num, 1); // One state number, not three.
+    }
+
+    #[test]
+    fn collection_clock_starts_at_first_divergence() {
+        let mut s = Sender::new(blob(b"0"));
+        s.set_current(blob(b"1"), 1000);
+        s.set_current(blob(b"2"), 1006);
+        // Mindelay counts from t=1000, so the send happens at 1008.
+        assert!(s.tick(1007, SRTT, RTO).is_none());
+        assert!(s.tick(1008, SRTT, RTO).is_some());
+    }
+
+    #[test]
+    fn reverting_to_sent_state_cancels_send() {
+        let mut s = Sender::new(blob(b"same"));
+        s.set_current(blob(b"other"), 1000);
+        s.set_current(blob(b"same"), 1004);
+        assert_eq!(s.tick(1100, SRTT, RTO), None);
+    }
+
+    #[test]
+    fn ack_prunes_sent_states() {
+        let mut s = Sender::new(blob(b"0"));
+        s.set_current(blob(b"1"), 1000);
+        s.tick(1008, SRTT, RTO).unwrap();
+        assert_eq!(s.acked_num(), 0);
+        s.handle_ack(1);
+        assert_eq!(s.acked_num(), 1);
+    }
+
+    #[test]
+    fn stale_ack_is_ignored() {
+        let mut s = Sender::new(blob(b"0"));
+        s.handle_ack(99);
+        assert_eq!(s.acked_num(), 0);
+    }
+
+    #[test]
+    fn retransmits_unacked_state_after_rto() {
+        let mut s = Sender::new(blob(b"0"));
+        s.set_current(blob(b"1"), 1000);
+        let first = s.tick(1008, SRTT, RTO).unwrap();
+        assert_eq!(first.kind, SendKind::Data);
+        // No ack arrives; after RTO + ACK_DELAY the same state goes again.
+        assert_eq!(s.tick(1008 + RTO + ACK_DELAY - 1, SRTT, RTO), None);
+        let again = s.tick(1008 + RTO + ACK_DELAY, SRTT, RTO).expect("retransmit");
+        assert_eq!(again.new_num, 1);
+        assert_eq!(again.diff, b"1");
+        assert_eq!(s.stats().retransmits, 1);
+    }
+
+    #[test]
+    fn retransmission_diffs_from_acked_front_when_stale() {
+        let mut s = Sender::new(blob(b"0"));
+        s.set_current(blob(b"1"), 1000);
+        s.tick(1008, SRTT, RTO).unwrap();
+        // Long silence: the assumed receiver state decays to the front.
+        let out = s.tick(1008 + RTO + ACK_DELAY, SRTT, RTO).unwrap();
+        assert_eq!(out.old_num, 0);
+    }
+
+    #[test]
+    fn delayed_ack_goes_out_alone_when_no_data() {
+        let mut s = Sender::new(blob(b"0"));
+        s.set_ack_num(7, true, 1000);
+        assert_eq!(s.tick(1099, SRTT, RTO), None);
+        let out = s.tick(1100, SRTT, RTO).expect("pure ack at +100 ms");
+        assert_eq!(out.kind, SendKind::PureAck);
+        assert!(out.diff.is_empty());
+        assert_eq!(s.stats().pure_acks, 1);
+    }
+
+    #[test]
+    fn ack_piggybacks_on_data() {
+        let mut s = Sender::new(blob(b"0"));
+        s.set_ack_num(7, true, 1000);
+        s.set_current(blob(b"1"), 1001);
+        let out = s.tick(1009, SRTT, RTO).expect("data within ack window");
+        assert_eq!(out.kind, SendKind::Data);
+        assert_eq!(s.stats().piggybacked_acks, 1);
+        assert_eq!(s.stats().pure_acks, 0);
+        // The scheduled standalone ack is cancelled.
+        assert_eq!(s.tick(1100, SRTT, RTO), None);
+    }
+
+    #[test]
+    fn heartbeat_after_three_seconds_of_silence() {
+        let mut s = Sender::new(blob(b"0"));
+        assert_eq!(s.tick(2999, SRTT, RTO), None);
+        let out = s.tick(3000, SRTT, RTO).expect("heartbeat");
+        assert_eq!(out.kind, SendKind::Heartbeat);
+        // And again 3 s later.
+        assert_eq!(s.tick(5999, SRTT, RTO), None);
+        assert!(s.tick(6000, SRTT, RTO).is_some());
+    }
+
+    #[test]
+    fn data_resets_heartbeat_timer() {
+        let mut s = Sender::new(blob(b"0"));
+        s.set_current(blob(b"1"), 2900);
+        s.tick(2908, SRTT, RTO).unwrap();
+        s.handle_ack(1);
+        // Heartbeat fires 3 s after the data send, not at t=3000.
+        assert_eq!(s.tick(3000, SRTT, RTO), None);
+        assert!(s.tick(5908, SRTT, RTO).is_some());
+    }
+
+    #[test]
+    fn sent_state_list_is_bounded() {
+        let mut s = Sender::new(blob(b"0"));
+        let mut t = 1000;
+        for i in 0..100u32 {
+            s.set_current(blob(format!("{i}").as_bytes()), t);
+            t += 300;
+            s.tick(t, SRTT, RTO);
+        }
+        assert!(s.sent_states.len() <= MAX_SENT_STATES + 1);
+    }
+
+    #[test]
+    fn fresh_sent_states_are_assumed_received() {
+        let mut s = Sender::new(blob(b"0"));
+        s.set_current(blob(b"1"), 1000);
+        s.tick(1008, SRTT, RTO).unwrap();
+        // A second change diffs against state 1 (in flight), not state 0.
+        s.set_current(blob(b"2"), 1010);
+        let out = s.tick(1060, SRTT, RTO).expect("second frame");
+        assert_eq!(out.old_num, 1);
+        assert_eq!(out.new_num, 2);
+    }
+}

@@ -1,0 +1,424 @@
+//! The full SSP transport endpoint: datagram layer + sender + receiver.
+//!
+//! A [`Transport`] is one end of a bidirectional SSP session. It owns a
+//! local object (synchronized *to* the peer) and a remote object
+//! (synchronized *from* the peer). It is deliberately free of I/O: `tick`
+//! returns encrypted wire datagrams to transmit and `receive` consumes
+//! them, with all timing supplied by the caller in virtual milliseconds —
+//! the same state machine runs under the discrete-event simulator and the
+//! live UDP adapter.
+
+use crate::datagram::DatagramLayer;
+use crate::fragment::{fragment, Fragment, FragmentAssembly, FRAGMENT_PAYLOAD};
+use crate::instruction::{Instruction, PROTOCOL_VERSION};
+use crate::receiver::{Receiver, ReceiverStats};
+use crate::sender::{send_interval, Sender, SenderStats};
+use crate::state::SyncState;
+use crate::{Millis, SspError};
+use mosh_crypto::session::Direction;
+use mosh_crypto::Base64Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What `receive` learned from one datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReceiveEvent {
+    /// The peer's sequence number was the highest yet: roaming endpoints
+    /// re-target their peer address from this datagram's source.
+    pub new_high_seq: bool,
+    /// The remote object advanced; read [`Transport::remote_state`].
+    pub remote_advanced: bool,
+}
+
+/// Combined counters from all layers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransportStats {
+    /// Wire datagrams sent.
+    pub datagrams_sent: u64,
+    /// Wire datagrams accepted (authentic).
+    pub datagrams_received: u64,
+    /// Datagrams rejected (failed authentication or malformed).
+    pub datagrams_rejected: u64,
+}
+
+/// One end of an SSP session synchronizing `L` outbound and `R` inbound.
+#[derive(Debug)]
+pub struct Transport<L: SyncState, R: SyncState> {
+    datagram: DatagramLayer,
+    sender: Sender<L>,
+    receiver: Receiver<R>,
+    assembly: FragmentAssembly,
+    next_instruction_id: u64,
+    /// Id of the instruction currently being (re)sent, reused when the
+    /// instruction content is unchanged so the assembler can complete it.
+    stats: TransportStats,
+    /// Time we last heard an authentic datagram from the peer.
+    last_heard: Option<Millis>,
+    chaff_rng: StdRng,
+}
+
+impl<L: SyncState, R: SyncState> Transport<L, R> {
+    /// Creates an endpoint. Both sides must agree on the key, opposite
+    /// `direction`s, and the two initial states.
+    pub fn new(key: Base64Key, direction: Direction, initial_local: L, initial_remote: R) -> Self {
+        // Chaff is deterministic per session key so simulations reproduce.
+        let mut seed = [0u8; 32];
+        seed[..16].copy_from_slice(key.as_bytes());
+        seed[16] = match direction {
+            Direction::ToServer => 0,
+            Direction::ToClient => 1,
+        };
+        Transport {
+            datagram: DatagramLayer::new(key, direction),
+            sender: Sender::new(initial_local),
+            receiver: Receiver::new(initial_remote),
+            assembly: FragmentAssembly::new(),
+            next_instruction_id: 0,
+            stats: TransportStats::default(),
+            last_heard: None,
+            chaff_rng: StdRng::from_seed(seed),
+        }
+    }
+
+    /// Overrides the collection interval (Figure 3 sweeps this).
+    pub fn set_mindelay(&mut self, mindelay: Millis) {
+        self.sender.set_mindelay(mindelay);
+    }
+
+    /// Replaces the outbound object's current state.
+    pub fn set_current_state(&mut self, state: L, now: Millis) {
+        self.sender.set_current(state, now);
+    }
+
+    /// The outbound object's current state.
+    pub fn current_state(&self) -> &L {
+        self.sender.current()
+    }
+
+    /// The newest state received from the peer.
+    pub fn remote_state(&self) -> &R {
+        self.receiver.latest()
+    }
+
+    /// The newest received state's number.
+    pub fn remote_state_num(&self) -> u64 {
+        self.receiver.latest_num()
+    }
+
+    /// Smoothed RTT estimate in milliseconds.
+    pub fn srtt(&self) -> f64 {
+        self.datagram.srtt()
+    }
+
+    /// True once an RTT sample exists.
+    pub fn has_rtt_sample(&self) -> bool {
+        self.datagram.has_rtt_sample()
+    }
+
+    /// Current retransmission timeout in milliseconds.
+    pub fn rto(&self) -> Millis {
+        self.datagram.rto()
+    }
+
+    /// The frame interval currently in force (`clamp(SRTT/2, 20, 250)`).
+    pub fn frame_interval(&self) -> Millis {
+        send_interval(self.datagram.srtt())
+    }
+
+    /// Time the peer was last heard from (for the client's warning banner).
+    pub fn last_heard(&self) -> Option<Millis> {
+        self.last_heard
+    }
+
+    /// Highest state number of ours the peer has acknowledged.
+    pub fn acked_state_num(&self) -> u64 {
+        self.sender.acked_num()
+    }
+
+    /// Number of the most recently shipped outbound state.
+    pub fn latest_sent_num(&self) -> u64 {
+        self.sender.latest_sent_num()
+    }
+
+    /// True if local changes have not been shipped yet.
+    pub fn pending_data(&self) -> bool {
+        self.sender.pending_data()
+    }
+
+    /// Sender counters (piggyback ratios, retransmissions, heartbeats).
+    pub fn sender_stats(&self) -> &SenderStats {
+        self.sender.stats()
+    }
+
+    /// Receiver counters.
+    pub fn receiver_stats(&self) -> &ReceiverStats {
+        self.receiver.stats()
+    }
+
+    /// Wire counters.
+    pub fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+
+    /// The next time `tick` could produce output (for event stepping).
+    pub fn next_wakeup(&self) -> Option<Millis> {
+        self.sender.next_wakeup(self.datagram.srtt(), self.datagram.rto())
+    }
+
+    /// Runs the sender's timers at `now`, returning encrypted datagrams to
+    /// transmit (several when an instruction fragments).
+    pub fn tick(&mut self, now: Millis) -> Vec<Vec<u8>> {
+        let rto = self.datagram.rto();
+        let srtt = self.datagram.srtt();
+        let Some(outgoing) = self.sender.tick(now, srtt, rto) else {
+            return Vec::new();
+        };
+
+        // Acks always ride along (piggybacked or otherwise).
+        let instruction = Instruction {
+            protocol_version: PROTOCOL_VERSION,
+            old_num: outgoing.old_num,
+            new_num: outgoing.new_num,
+            ack_num: self.receiver.latest_num(),
+            throwaway_num: outgoing.throwaway_num,
+            diff: outgoing.diff,
+        };
+        let chaff_len = self.chaff_rng.gen_range(1..=16usize);
+        let chaff: Vec<u8> = (0..chaff_len).map(|_| self.chaff_rng.gen()).collect();
+        let encoded = instruction.encode(&chaff);
+
+        let id = self.next_instruction_id;
+        self.next_instruction_id += 1;
+
+        fragment(id, &encoded, FRAGMENT_PAYLOAD)
+            .into_iter()
+            .map(|f: Fragment| {
+                self.stats.datagrams_sent += 1;
+                self.datagram.encode(now, &f.encode())
+            })
+            .collect()
+    }
+
+    /// Consumes one wire datagram received at `now`.
+    pub fn receive(&mut self, now: Millis, wire: &[u8]) -> Result<ReceiveEvent, SspError> {
+        let received = match self.datagram.decode(now, wire) {
+            Ok(r) => r,
+            Err(e) => {
+                self.stats.datagrams_rejected += 1;
+                return Err(e);
+            }
+        };
+        self.stats.datagrams_received += 1;
+        self.last_heard = Some(now);
+
+        let mut event = ReceiveEvent {
+            new_high_seq: received.new_high,
+            remote_advanced: false,
+        };
+
+        let Some(payload) = self.assembly.add(Fragment::decode(&received.payload)?) else {
+            return Ok(event);
+        };
+        let instruction = Instruction::decode(&payload)?;
+
+        // Their ack prunes our sent-state list.
+        self.sender.handle_ack(instruction.ack_num);
+
+        let processed = self.receiver.process(&instruction, now);
+        event.remote_advanced = processed.advanced;
+
+        // Schedule our (delayed) ack: for new states, and for data-bearing
+        // duplicates, which mean the peer never got our previous ack.
+        let must_ack = processed.new_state || processed.duplicate_data;
+        self.sender
+            .set_ack_num(self.receiver.latest_num(), must_ack, now);
+
+        Ok(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::BlobState;
+
+    type T = Transport<BlobState, BlobState>;
+
+    fn pair() -> (T, T) {
+        let key = Base64Key::from_bytes([5u8; 16]);
+        let init = BlobState(b"init".to_vec());
+        (
+            Transport::new(key.clone(), Direction::ToServer, init.clone(), init.clone()),
+            Transport::new(key, Direction::ToClient, init.clone(), init),
+        )
+    }
+
+    /// Runs both endpoints with an ideal zero-loss 1 ms link until quiet.
+    fn converge(a: &mut T, b: &mut T, start: Millis, duration: Millis) -> Millis {
+        let mut now = start;
+        let end = start + duration;
+        let mut a_to_b: Vec<(Millis, Vec<u8>)> = Vec::new();
+        let mut b_to_a: Vec<(Millis, Vec<u8>)> = Vec::new();
+        while now < end {
+            for w in a.tick(now) {
+                a_to_b.push((now + 1, w));
+            }
+            for w in b.tick(now) {
+                b_to_a.push((now + 1, w));
+            }
+            for (at, w) in a_to_b.drain(..).collect::<Vec<_>>() {
+                if at <= now {
+                    let _ = b.receive(now, &w);
+                } else {
+                    a_to_b.push((at, w));
+                }
+            }
+            for (at, w) in b_to_a.drain(..).collect::<Vec<_>>() {
+                if at <= now {
+                    let _ = a.receive(now, &w);
+                } else {
+                    b_to_a.push((at, w));
+                }
+            }
+            now += 1;
+        }
+        now
+    }
+
+    #[test]
+    fn state_synchronizes_end_to_end() {
+        let (mut client, mut server) = pair();
+        client.set_current_state(BlobState(b"keystroke q".to_vec()), 0);
+        converge(&mut client, &mut server, 0, 400);
+        assert_eq!(server.remote_state().0, b"keystroke q");
+        // The ack came back and pruned the client's sent list.
+        assert_eq!(client.acked_state_num(), client.latest_sent_num());
+    }
+
+    #[test]
+    fn both_directions_synchronize() {
+        let (mut client, mut server) = pair();
+        client.set_current_state(BlobState(b"up".to_vec()), 0);
+        server.set_current_state(BlobState(b"down".to_vec()), 0);
+        converge(&mut client, &mut server, 0, 400);
+        assert_eq!(server.remote_state().0, b"up");
+        assert_eq!(client.remote_state().0, b"down");
+    }
+
+    #[test]
+    fn rapid_changes_coalesce_into_few_states() {
+        let (mut client, mut server) = pair();
+        let mut now = 0;
+        for i in 0..50u32 {
+            client.set_current_state(BlobState(format!("v{i}").as_bytes().to_vec()), now);
+            now = converge(&mut client, &mut server, now, 2);
+        }
+        converge(&mut client, &mut server, now, 400);
+        assert_eq!(server.remote_state().0, b"v49");
+        // 50 changes in 100 ms: far fewer instructions than changes.
+        assert!(client.sender_stats().data < 25);
+    }
+
+    #[test]
+    fn large_state_fragments_and_reassembles() {
+        let (mut client, mut server) = pair();
+        let big = vec![0xabu8; 5000];
+        client.set_current_state(BlobState(big.clone()), 0);
+        converge(&mut client, &mut server, 0, 500);
+        assert_eq!(server.remote_state().0, big);
+        assert!(client.stats().datagrams_sent >= 10, "must have fragmented");
+    }
+
+    #[test]
+    fn tampered_datagrams_are_counted_and_ignored() {
+        let (mut client, mut server) = pair();
+        client.set_current_state(BlobState(b"x".to_vec()), 0);
+        let wires = client.tick(10);
+        assert!(!wires.is_empty());
+        let mut bad = wires[0].clone();
+        bad[12] ^= 0xff;
+        assert!(server.receive(11, &bad).is_err());
+        assert_eq!(server.stats().datagrams_rejected, 1);
+        assert_eq!(server.remote_state().0, b"init");
+    }
+
+    #[test]
+    fn heartbeats_flow_when_idle() {
+        let (mut client, mut server) = pair();
+        let mut now = 0;
+        converge(&mut client, &mut server, now, 10_000);
+        now = 10_000;
+        assert!(client.sender_stats().heartbeats >= 2);
+        assert!(server.last_heard().is_some());
+        assert!(now - server.last_heard().unwrap() < 3500);
+    }
+
+    #[test]
+    fn srtt_is_learned_from_traffic() {
+        let (mut client, mut server) = pair();
+        client.set_current_state(BlobState(b"x".to_vec()), 0);
+        converge(&mut client, &mut server, 0, 8000);
+        assert!(client.has_rtt_sample());
+        // The simulated link is ~1 ms each way.
+        assert!(client.srtt() < 50.0, "srtt = {}", client.srtt());
+    }
+
+    #[test]
+    fn loss_recovers_via_retransmission() {
+        let (mut client, mut server) = pair();
+        client.set_current_state(BlobState(b"lost".to_vec()), 0);
+        // Drop the first transmission entirely.
+        let wires = client.tick(8);
+        assert!(!wires.is_empty());
+        drop(wires);
+        // Let timers drive the retransmission (initial RTO = 1 s).
+        converge(&mut client, &mut server, 9, 3000);
+        assert_eq!(server.remote_state().0, b"lost");
+        assert!(client.sender_stats().retransmits >= 1);
+    }
+
+    #[test]
+    fn reordered_and_duplicated_datagrams_converge() {
+        let (mut client, mut server) = pair();
+        let mut stash: Vec<Vec<u8>> = Vec::new();
+        let mut now = 0;
+        for i in 0..10u32 {
+            client.set_current_state(BlobState(format!("state {i}").as_bytes().to_vec()), now);
+            now += 30;
+            stash.extend(client.tick(now));
+        }
+        // Deliver everything reversed, then duplicated.
+        for w in stash.iter().rev() {
+            let _ = server.receive(now, w);
+        }
+        for w in stash.iter() {
+            let _ = server.receive(now, w);
+        }
+        converge(&mut client, &mut server, now, 3000);
+        assert_eq!(server.remote_state().0, b"state 9");
+    }
+
+    #[test]
+    fn new_high_seq_marks_roaming_candidates() {
+        let (mut client, mut server) = pair();
+        client.set_current_state(BlobState(b"a".to_vec()), 0);
+        let w1 = client.tick(8);
+        client.set_current_state(BlobState(b"b".to_vec()), 100);
+        let w2 = client.tick(300);
+        // Later packet first: new high. Earlier packet second: not.
+        let e2 = server.receive(301, &w2[0]).unwrap();
+        assert!(e2.new_high_seq);
+        let e1 = server.receive(302, &w1[0]).unwrap();
+        assert!(!e1.new_high_seq);
+    }
+
+    #[test]
+    fn pure_ack_when_nothing_to_piggyback() {
+        let (mut client, mut server) = pair();
+        server.set_current_state(BlobState(b"server out".to_vec()), 0);
+        converge(&mut client, &mut server, 0, 2000);
+        assert_eq!(client.remote_state().0, b"server out");
+        // The client had no data, so its ack went out alone.
+        assert!(client.sender_stats().pure_acks >= 1);
+    }
+}

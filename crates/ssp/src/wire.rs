@@ -1,0 +1,179 @@
+//! Minimal binary wire helpers: LEB128-style varints and length-prefixed
+//! byte strings.
+//!
+//! Mosh serializes instructions with protocol buffers; this crate uses the
+//! same varint primitive directly, avoiding a code-generation dependency
+//! while keeping the wire compact (state numbers are small early in a
+//! session and grow slowly).
+
+use crate::SspError;
+
+/// Appends a varint-encoded `u64` (7 bits per byte, little-endian groups).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// A cursor over received bytes.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads a varint-encoded `u64`.
+    pub fn varint(&mut self) -> Result<u64, SspError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = *self.buf.get(self.pos).ok_or(SspError::Malformed)?;
+            self.pos += 1;
+            if shift >= 64 {
+                return Err(SspError::Malformed);
+            }
+            // The final group must fit in the remaining bits.
+            if shift == 63 && byte > 1 {
+                return Err(SspError::Malformed);
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SspError> {
+        let len = self.varint()? as usize;
+        if len > self.remaining() {
+            return Err(SspError::Malformed);
+        }
+        let s = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], SspError> {
+        if n > self.remaining() {
+            return Err(SspError::Malformed);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, SspError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SspError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("length checked")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn varint_sizes_are_compact() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 5);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_varint(&mut buf, 300);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut r = Reader::new(&[0x80]);
+        assert!(r.varint().is_err());
+    }
+
+    #[test]
+    fn varint_rejects_overflow() {
+        // 11 continuation bytes exceed 64 bits.
+        let bytes = [0xffu8; 11];
+        let mut r = Reader::new(&bytes);
+        assert!(r.varint().is_err());
+    }
+
+    #[test]
+    fn bytes_round_trips() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"payload");
+        put_bytes(&mut buf, b"");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), b"payload");
+        assert_eq!(r.bytes().unwrap(), b"");
+    }
+
+    #[test]
+    fn bytes_rejects_bad_length() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 100);
+        buf.extend_from_slice(b"short");
+        let mut r = Reader::new(&buf);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn fixed_width_reads() {
+        let mut r = Reader::new(&[0x12, 0x34, 0, 0, 0, 0, 0, 0, 0, 0xff]);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u64().unwrap(), 0xff);
+        assert!(r.u16().is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! DEC Special Graphics (line-drawing) character set.
+//!
+//! Selected with `ESC ( 0`; used by curses applications for box drawing.
+//! Only the glyphs in the 0x60–0x7e range differ from ASCII.
+
+/// Maps a character through the DEC Special Graphics set.
+///
+/// Characters outside the remapped range pass through unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use mosh_terminal::charset::dec_special;
+///
+/// assert_eq!(dec_special('q'), '─'); // horizontal line
+/// assert_eq!(dec_special('x'), '│'); // vertical line
+/// assert_eq!(dec_special('A'), 'A'); // unchanged
+/// ```
+pub fn dec_special(ch: char) -> char {
+    match ch {
+        '`' => '◆',
+        'a' => '▒',
+        'b' => '␉',
+        'c' => '␌',
+        'd' => '␍',
+        'e' => '␊',
+        'f' => '°',
+        'g' => '±',
+        'h' => '␤',
+        'i' => '␋',
+        'j' => '┘',
+        'k' => '┐',
+        'l' => '┌',
+        'm' => '└',
+        'n' => '┼',
+        'o' => '⎺',
+        'p' => '⎻',
+        'q' => '─',
+        'r' => '⎼',
+        's' => '⎽',
+        't' => '├',
+        'u' => '┤',
+        'v' => '┴',
+        'w' => '┬',
+        'x' => '│',
+        'y' => '≤',
+        'z' => '≥',
+        '{' => 'π',
+        '|' => '≠',
+        '}' => '£',
+        '~' => '·',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_drawing_corners() {
+        assert_eq!(dec_special('l'), '┌');
+        assert_eq!(dec_special('k'), '┐');
+        assert_eq!(dec_special('m'), '└');
+        assert_eq!(dec_special('j'), '┘');
+    }
+
+    #[test]
+    fn ascii_passes_through() {
+        for c in 'A'..='Z' {
+            assert_eq!(dec_special(c), c);
+        }
+        for c in '0'..='9' {
+            assert_eq!(dec_special(c), c);
+        }
+    }
+
+    #[test]
+    fn remapped_glyphs_are_single_width() {
+        for c in '`'..='~' {
+            assert_eq!(crate::width::char_width(dec_special(c)), 1, "{c}");
+        }
+    }
+}

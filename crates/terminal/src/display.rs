@@ -1,0 +1,425 @@
+//! Frame-to-frame diffs: the minimal ANSI message that transforms one
+//! screen state into another.
+//!
+//! This is the heart of Mosh's server→client direction (paper §2.3): "for
+//! screen states, [the diff] is only the minimal message that transforms
+//! the client's frame to the current one." The server never replays raw
+//! application output; it diffs snapshots, so it can *skip* intermediate
+//! states entirely when the application floods the terminal.
+//!
+//! The differ maintains a simulated copy of the receiving terminal and
+//! applies every byte it emits to that copy; correctness is the invariant
+//! `apply(new_frame(init, a, b), a) == b`, which the property tests in
+//! `tests/` check against randomized screens.
+
+use crate::cell::Attrs;
+use crate::framebuffer::Framebuffer;
+
+/// The CUP sequence addressing a 0-based `(row, col)` position.
+fn goto_sequence(row: usize, col: usize) -> String {
+    format!("\x1b[{};{}H", row + 1, col + 1)
+}
+
+/// Minimum run of trailing blanks for which erase-to-end-of-line is used
+/// instead of printing spaces.
+const EL_THRESHOLD: usize = 4;
+
+/// Computes the ANSI byte string that turns `last` into `target` when fed
+/// through a [`crate::Terminal`] currently displaying `last`.
+///
+/// If `initialized` is false (or the two frames disagree about size), the
+/// receiver is assumed to be a *blank* terminal of `target`'s size and a
+/// full repaint is generated; size changes themselves travel outside the
+/// byte stream (as resize records in the SSP state object).
+///
+/// # Examples
+///
+/// ```
+/// use mosh_terminal::{display, Terminal};
+///
+/// let mut server = Terminal::new(80, 24);
+/// let before = server.frame().clone();
+/// server.write(b"$ ls\r\nfile.txt\r\n$ ");
+///
+/// let diff = display::new_frame(true, &before, server.frame());
+/// let mut client = Terminal::new(80, 24);
+/// client.write(diff.as_bytes());
+/// assert_eq!(client.frame(), server.frame());
+/// ```
+pub fn new_frame(initialized: bool, last: &Framebuffer, target: &Framebuffer) -> String {
+    let same_canvas = initialized
+        && last.width() == target.width()
+        && last.height() == target.height();
+
+    let mut d = Differ {
+        sim: if same_canvas {
+            last.clone()
+        } else {
+            // Repaint baseline: a blank grid, but the receiver *keeps* its
+            // title and bell count across a resize, so those carry over
+            // from the source state (blank for a genuinely fresh client).
+            let mut fresh = Framebuffer::new(target.width(), target.height());
+            fresh.set_title(last.title().to_string());
+            fresh.set_bell_count(last.bell_count());
+            fresh.modes.cursor_visible = last.modes.cursor_visible;
+            fresh
+        },
+        out: String::new(),
+        attrs_known: false,
+    };
+    // The simulation models the *receiving* terminal, whose interpreter
+    // state is pinned by the diff-stream invariants, not the sender's.
+    d.sim.normalize_for_diff();
+
+    if !same_canvas {
+        // Paint from scratch: reset renditions, clear, home.
+        d.out.push_str("\x1b[0m\x1b[2J\x1b[H");
+        d.sim.pen = Attrs::default();
+        d.attrs_known = true;
+        d.sim.erase_display(2);
+        d.sim.move_to(0, 0);
+    }
+
+    // Window title.
+    if d.sim.title() != target.title() {
+        d.out.push_str("\x1b]0;");
+        d.out.push_str(target.title());
+        d.out.push('\x07');
+        d.sim.set_title(target.title().to_string());
+    }
+
+    // Bell: ring exactly the number of times the server heard it since the
+    // receiver's frame, so the counters converge.
+    let bell_delta = target.bell_count().saturating_sub(d.sim.bell_count());
+    for _ in 0..bell_delta {
+        d.out.push('\x07');
+        d.sim.ring_bell();
+    }
+
+    // Scroll optimization: if the new frame is the old one shifted up by k
+    // rows (tail-grew terminal output, pagers), scroll instead of repainting.
+    if same_canvas {
+        if let Some(k) = detect_scroll(&d.sim, target) {
+            d.set_attrs(Attrs::default());
+            d.out.push_str(&format!("\x1b[{k}S"));
+            d.sim.scroll_up(k);
+        }
+    }
+
+    // Per-row repaint of whatever still differs.
+    for row in 0..target.height() {
+        if d.sim.rows()[row] == target.rows()[row] {
+            continue;
+        }
+        d.diff_row(row, target);
+    }
+
+    // Cursor visibility.
+    if d.sim.modes.cursor_visible != target.modes.cursor_visible {
+        d.out.push_str(if target.modes.cursor_visible {
+            "\x1b[?25h"
+        } else {
+            "\x1b[?25l"
+        });
+        d.sim.modes.cursor_visible = target.modes.cursor_visible;
+    }
+
+    // Final cursor position: emitted only when something moved it (or on a
+    // repaint), so a pure no-op diff is an empty string.
+    if d.sim.cursor != target.cursor {
+        d.goto(target.cursor.row, target.cursor.col);
+    }
+
+    debug_assert_eq!(&d.sim, target, "differ simulation must converge");
+    d.out
+}
+
+/// Finds the largest upward shift `k` such that the top `height - k` rows of
+/// `target` are exactly the bottom rows of `sim`. Requires the preserved
+/// region to cover at least half the screen to be worthwhile.
+fn detect_scroll(sim: &Framebuffer, target: &Framebuffer) -> Option<usize> {
+    let h = target.height();
+    for k in 1..h {
+        let kept = h - k;
+        if kept < h.div_ceil(2) {
+            break;
+        }
+        if (0..kept).all(|i| target.rows()[i] == sim.rows()[i + k])
+            && (0..kept).any(|i| sim.rows()[i] != target.rows()[i])
+        {
+            return Some(k);
+        }
+    }
+    None
+}
+
+struct Differ {
+    sim: Framebuffer,
+    out: String,
+    /// False until the first SGR is emitted; the receiver's pen state is
+    /// unknown at the start of a diff, so the first rendition change is
+    /// emitted absolutely (reset + set).
+    attrs_known: bool,
+}
+
+impl Differ {
+    fn goto(&mut self, row: usize, col: usize) {
+        if self.sim.cursor.row == row && self.sim.cursor.col == col && !self.sim.wrap_pending() {
+            return;
+        }
+        self.out.push_str(&goto_sequence(row, col));
+        self.sim.move_to(row, col);
+    }
+
+    fn set_attrs(&mut self, target: Attrs) {
+        if !self.attrs_known {
+            // Emit from a known baseline.
+            self.out.push_str("\x1b[0m");
+            self.sim.pen = Attrs::default();
+            self.attrs_known = true;
+        }
+        let update = self.sim.pen.sgr_update(&target);
+        self.out.push_str(&update);
+        self.sim.pen = target;
+    }
+
+    fn diff_row(&mut self, row: usize, target: &Framebuffer) {
+        let width = target.width();
+        let mut col = 0;
+        while col < width {
+            let tcell = *target.cell(row, col);
+            if tcell.wide_continuation {
+                col += 1;
+                continue;
+            }
+            let span = if tcell.wide { 2 } else { 1 };
+            let matches = *self.sim.cell(row, col) == tcell
+                && (span == 1
+                    || (col + 1 < width && *self.sim.cell(row, col + 1) == *target.cell(row, col + 1)));
+            if matches {
+                col += span;
+                continue;
+            }
+
+            // Trailing-blank run: erase to end of line when long enough and
+            // the blanks carry only a background color (EL semantics).
+            if tcell.is_blank() && is_erase_style(&tcell.attrs) {
+                let run_uniform = (col..width).all(|c| {
+                    let cell = target.cell(row, c);
+                    cell.is_blank() && cell.attrs == tcell.attrs
+                });
+                if run_uniform && width - col >= EL_THRESHOLD {
+                    self.set_attrs(tcell.attrs);
+                    self.goto(row, col);
+                    self.out.push_str("\x1b[K");
+                    self.sim.erase_line(0);
+                    return;
+                }
+            }
+
+            self.goto(row, col);
+            self.set_attrs(tcell.attrs);
+            self.out.push(tcell.ch);
+            self.sim.print(tcell.ch);
+            col += span;
+        }
+    }
+}
+
+/// True if the attributes are producible by an erase operation: background
+/// color only, nothing else set.
+fn is_erase_style(attrs: &Attrs) -> bool {
+    let erased = Attrs {
+        bg: attrs.bg,
+        ..Attrs::default()
+    };
+    *attrs == erased
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Terminal;
+
+    /// Apply a diff through a real client and check convergence. The client
+    /// is brought to `last` the way a real Mosh client gets there: by
+    /// applying an initial diff, never by copying server internals.
+    fn check_round_trip(last: &Framebuffer, target: &Framebuffer) -> String {
+        let mut client = Terminal::new(last.width(), last.height());
+        let blank = Framebuffer::new(last.width(), last.height());
+        client.write(new_frame(false, &blank, last).as_bytes());
+        assert_eq!(client.frame(), last, "initial diff failed to converge");
+
+        let diff = new_frame(true, last, target);
+        client.write(diff.as_bytes());
+        assert_eq!(client.frame(), target, "diff failed to converge");
+        diff
+    }
+
+    fn written(w: usize, h: usize, bytes: &[u8]) -> Framebuffer {
+        let mut t = Terminal::new(w, h);
+        t.write(bytes);
+        t.frame().clone()
+    }
+
+    #[test]
+    fn identical_frames_produce_empty_diff() {
+        let a = written(20, 5, b"hello");
+        assert_eq!(new_frame(true, &a, &a), "");
+    }
+
+    #[test]
+    fn simple_text_addition() {
+        let a = written(20, 5, b"$ ");
+        let b = written(20, 5, b"$ ls");
+        let diff = check_round_trip(&a, &b);
+        assert!(diff.contains("ls"));
+    }
+
+    #[test]
+    fn uninitialized_repaints_fully() {
+        let blank = Framebuffer::new(20, 5);
+        let b = written(20, 5, b"content");
+        let diff = new_frame(false, &blank, &b);
+        assert!(diff.starts_with("\x1b[0m\x1b[2J\x1b[H"));
+        let mut client = Terminal::new(20, 5);
+        client.write(diff.as_bytes());
+        assert_eq!(client.frame(), &b);
+    }
+
+    #[test]
+    fn attribute_changes_propagate() {
+        let a = written(20, 5, b"plain");
+        let b = written(20, 5, b"\x1b[1;31mplain");
+        check_round_trip(&a, &b);
+    }
+
+    #[test]
+    fn erase_to_eol_is_used_for_long_blank_tails() {
+        let a = written(40, 5, b"a very long line of text here");
+        let b = written(40, 5, b"ab");
+        let diff = check_round_trip(&a, &b);
+        assert!(diff.contains("\x1b[K"), "diff should use EL: {diff:?}");
+    }
+
+    #[test]
+    fn cursor_only_change_is_tiny() {
+        let a = written(20, 5, b"text\x1b[1;1H");
+        let b = written(20, 5, b"text\x1b[3;2H");
+        let diff = check_round_trip(&a, &b);
+        assert_eq!(diff, "\x1b[3;2H");
+    }
+
+    #[test]
+    fn title_change_emits_osc() {
+        let a = written(20, 5, b"");
+        let b = written(20, 5, b"\x1b]0;hi\x07");
+        let diff = check_round_trip(&a, &b);
+        assert!(diff.contains("\x1b]0;hi\x07"));
+    }
+
+    #[test]
+    fn bell_delta_is_preserved() {
+        let a = written(20, 5, b"");
+        let b = written(20, 5, b"\x07\x07\x07");
+        let diff = check_round_trip(&a, &b);
+        assert_eq!(diff.matches('\x07').count(), 3);
+    }
+
+    #[test]
+    fn scroll_is_detected_for_terminal_output() {
+        let mut t = Terminal::new(10, 4);
+        t.write(b"1\r\n2\r\n3\r\n4");
+        let a = t.frame().clone();
+        t.write(b"\r\n5\r\n6");
+        let b = t.frame().clone();
+        let diff = check_round_trip(&a, &b);
+        assert!(diff.contains("\x1b[2S"), "expected scroll: {diff:?}");
+    }
+
+    #[test]
+    fn scroll_not_used_when_screen_replaced() {
+        let a = written(10, 4, b"aaa\r\nbbb\r\nccc\r\nddd");
+        let b = written(10, 4, b"www\r\nxxx\r\nyyy\r\nzzz");
+        let diff = check_round_trip(&a, &b);
+        assert!(!diff.contains('S'));
+    }
+
+    #[test]
+    fn wide_characters_round_trip() {
+        let a = written(20, 5, b"");
+        let b = written(20, 5, "日本語 text".as_bytes());
+        check_round_trip(&a, &b);
+    }
+
+    #[test]
+    fn wide_character_overwrite_round_trips() {
+        let a = written(20, 5, "日本語".as_bytes());
+        let b = written(20, 5, "xx本語".as_bytes());
+        check_round_trip(&a, &b);
+    }
+
+    #[test]
+    fn cursor_visibility_round_trips() {
+        let a = written(20, 5, b"x");
+        let b = written(20, 5, b"x\x1b[?25l");
+        let diff = check_round_trip(&a, &b);
+        assert!(diff.contains("\x1b[?25l"));
+    }
+
+    #[test]
+    fn colored_background_blank_regions() {
+        let a = written(20, 3, b"");
+        let b = written(20, 3, b"\x1b[44m\x1b[2J\x1b[1;1Htext");
+        check_round_trip(&a, &b);
+    }
+
+    #[test]
+    fn underlined_spaces_are_not_erased_away() {
+        // Underlined blanks must be printed, not EL'd (EL drops underline).
+        let a = written(20, 3, b"");
+        let b = written(20, 3, b"\x1b[4m          \x1b[0m");
+        check_round_trip(&a, &b);
+    }
+
+    #[test]
+    fn full_screen_editor_transition() {
+        let a = written(40, 8, b"$ ls\r\nfile.txt\r\n$ vim file.txt");
+        let b = written(
+            40,
+            8,
+            b"$ ls\r\nfile.txt\r\n$ vim file.txt\x1b[?1049h\x1b[2J\x1b[Hline one\r\nline two\x1b[8;1H\x1b[7m-- file.txt --\x1b[0m\x1b[1;9H",
+        );
+        check_round_trip(&a, &b);
+    }
+
+    #[test]
+    fn bottom_right_cell_is_paintable() {
+        let a = written(10, 3, b"");
+        let b = written(10, 3, b"\x1b[3;10Hx\x1b[1;1H");
+        check_round_trip(&a, &b);
+    }
+
+    #[test]
+    fn size_mismatch_forces_repaint() {
+        let a = written(10, 3, b"old");
+        let b = written(20, 5, b"new");
+        let diff = new_frame(true, &a, &b);
+        let mut client = Terminal::new(20, 5);
+        client.write(diff.as_bytes());
+        assert_eq!(client.frame(), &b);
+    }
+
+    #[test]
+    fn prompt_after_scroll_converges() {
+        // The classic shell pattern: output scrolls, then a prompt appears.
+        let mut t = Terminal::new(20, 4);
+        for i in 0..10 {
+            t.write(format!("line {i}\r\n").as_bytes());
+        }
+        let a = t.frame().clone();
+        t.write(b"$ cmd output\r\n$ ");
+        let b = t.frame().clone();
+        check_round_trip(&a, &b);
+    }
+}

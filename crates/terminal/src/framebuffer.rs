@@ -1,0 +1,1148 @@
+//! The screen grid and its editing primitives.
+//!
+//! [`Framebuffer`] holds everything the *user can see*: the cell grid, the
+//! cursor, the window title, and the bell count. It also carries the
+//! interpreter state that decides how future bytes are rendered (pen,
+//! scrolling region, modes, tab stops) — but only the visible portion
+//! participates in equality, because SSP synchronizes what the user sees,
+//! not the interpreter internals (the client never feeds application bytes
+//! into its own framebuffer; it only applies self-contained diffs).
+
+use crate::cell::{Attrs, Cell};
+
+/// One row of the grid.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Row {
+    /// The row's cells, always exactly `width` long.
+    pub cells: Vec<Cell>,
+}
+
+impl Row {
+    /// A row of blank cells carrying only the given background color.
+    pub fn blank(width: usize, bg: crate::cell::Color) -> Self {
+        let attrs = Attrs {
+            bg,
+            ..Attrs::default()
+        };
+        Row {
+            cells: vec![Cell::blank(attrs); width],
+        }
+    }
+}
+
+/// Cursor state (position is 0-based internally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cursor {
+    /// Row index, `0..height`.
+    pub row: usize,
+    /// Column index, `0..width`.
+    pub col: usize,
+}
+
+/// Saved-cursor state for DECSC/DECRC and the alternate screen.
+#[derive(Debug, Clone, Copy)]
+pub struct SavedCursor {
+    cursor: Cursor,
+    pen: Attrs,
+    origin_mode: bool,
+    wrap_pending: bool,
+}
+
+/// Terminal modes that alter interpretation or visibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Modes {
+    /// DECAWM: wrap at the right margin (default on).
+    pub autowrap: bool,
+    /// DECOM: cursor addressing is relative to the scroll region.
+    pub origin: bool,
+    /// IRM: insert rather than replace on print.
+    pub insert: bool,
+    /// DECTCEM: cursor visible (default on).
+    pub cursor_visible: bool,
+    /// DECCKM: application cursor keys (affects what the *client* sends).
+    pub application_cursor_keys: bool,
+    /// Bracketed paste (mode 2004).
+    pub bracketed_paste: bool,
+    /// Any mouse reporting mode enabled (1000/1002/1003).
+    pub mouse_reporting: bool,
+}
+
+impl Default for Modes {
+    fn default() -> Self {
+        Modes {
+            autowrap: true,
+            origin: false,
+            insert: false,
+            cursor_visible: true,
+            application_cursor_keys: false,
+            bracketed_paste: false,
+            mouse_reporting: false,
+        }
+    }
+}
+
+/// The terminal screen state.
+///
+/// Equality compares only what the user can observe: grid contents, cursor
+/// position and visibility, window title, and the bell count. That is the
+/// contract the display differ ([`crate::display`]) reproduces.
+#[derive(Debug, Clone)]
+pub struct Framebuffer {
+    width: usize,
+    height: usize,
+    rows: Vec<Row>,
+    /// Current cursor.
+    pub cursor: Cursor,
+    /// Current graphic renditions for new text.
+    pub pen: Attrs,
+    /// Modes in effect.
+    pub modes: Modes,
+    /// Scroll region top (inclusive, 0-based).
+    scroll_top: usize,
+    /// Scroll region bottom (inclusive, 0-based).
+    scroll_bottom: usize,
+    tabs: Vec<bool>,
+    title: String,
+    bell_count: u64,
+    wrap_pending: bool,
+    saved_cursor: Option<SavedCursor>,
+    /// Primary-screen stash while the alternate screen is active.
+    alt_saved: Option<(Vec<Row>, Cursor)>,
+    /// Replies the terminal owes the host (DSR/DA reports).
+    answerback: Vec<u8>,
+    /// Last printed character, for REP.
+    last_printed: Option<char>,
+    /// G0 charset is DEC Special Graphics (line drawing).
+    pub line_drawing: bool,
+}
+
+impl PartialEq for Framebuffer {
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width
+            && self.height == other.height
+            && self.rows == other.rows
+            && self.cursor == other.cursor
+            && self.modes.cursor_visible == other.modes.cursor_visible
+            && self.title == other.title
+            && self.bell_count == other.bell_count
+    }
+}
+
+impl Eq for Framebuffer {}
+
+impl Framebuffer {
+    /// Creates a blank screen of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "framebuffer must be at least 1x1");
+        Framebuffer {
+            width,
+            height,
+            rows: vec![Row::blank(width, crate::cell::Color::Default); height],
+            cursor: Cursor { row: 0, col: 0 },
+            pen: Attrs::default(),
+            modes: Modes::default(),
+            scroll_top: 0,
+            scroll_bottom: height - 1,
+            tabs: (0..width).map(|c| c % 8 == 0 && c != 0).collect(),
+            title: String::new(),
+            bell_count: 0,
+            wrap_pending: false,
+            saved_cursor: None,
+            alt_saved: None,
+            answerback: Vec::new(),
+            last_printed: None,
+            line_drawing: false,
+        }
+    }
+
+    /// Screen width in columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Screen height in rows.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// All rows, top to bottom.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// The cell at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn cell(&self, row: usize, col: usize) -> &Cell {
+        &self.rows[row].cells[col]
+    }
+
+    /// Mutable cell access (used by tests and the prediction engine).
+    pub fn cell_mut(&mut self, row: usize, col: usize) -> &mut Cell {
+        &mut self.rows[row].cells[col]
+    }
+
+    /// The window title (OSC 0/2).
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Sets the window title.
+    pub fn set_title(&mut self, title: String) {
+        self.title = title;
+    }
+
+    /// Number of BELs received so far.
+    pub fn bell_count(&self) -> u64 {
+        self.bell_count
+    }
+
+    /// Rings the bell.
+    pub fn ring_bell(&mut self) {
+        self.bell_count += 1;
+    }
+
+    /// Force the bell counter (used when applying a frame diff).
+    pub fn set_bell_count(&mut self, n: u64) {
+        self.bell_count = n;
+    }
+
+    /// Scroll region as an inclusive `(top, bottom)` pair.
+    pub fn scroll_region(&self) -> (usize, usize) {
+        (self.scroll_top, self.scroll_bottom)
+    }
+
+    /// Whether a print at the right margin is pending a wrap.
+    pub fn wrap_pending(&self) -> bool {
+        self.wrap_pending
+    }
+
+    /// Drains any pending terminal-to-host replies (DSR/DA).
+    pub fn take_answerback(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.answerback)
+    }
+
+    pub(crate) fn push_answerback(&mut self, bytes: &[u8]) {
+        self.answerback.extend_from_slice(bytes);
+    }
+
+    /// Blank cell carrying only the pen's background (BCE erase semantics).
+    pub(crate) fn erase_cell(&self) -> Cell {
+        Cell::blank(Attrs {
+            bg: self.pen.bg,
+            ..Attrs::default()
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Cursor movement.
+    // ------------------------------------------------------------------
+
+    /// Moves the cursor to an absolute position, clamping to the screen (or
+    /// to the scroll region when origin mode is on). Clears pending wrap.
+    pub fn move_to(&mut self, row: usize, col: usize) {
+        let (top, bottom) = if self.modes.origin {
+            (self.scroll_top, self.scroll_bottom)
+        } else {
+            (0, self.height - 1)
+        };
+        self.cursor.row = (top + row).min(bottom);
+        self.cursor.col = col.min(self.width - 1);
+        self.wrap_pending = false;
+    }
+
+    /// Relative cursor move, clamped to the screen; clears pending wrap.
+    pub fn move_relative(&mut self, dr: isize, dc: isize) {
+        let row = self.cursor.row as isize + dr;
+        let col = self.cursor.col as isize + dc;
+        self.cursor.row = row.clamp(0, self.height as isize - 1) as usize;
+        self.cursor.col = col.clamp(0, self.width as isize - 1) as usize;
+        self.wrap_pending = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Printing.
+    // ------------------------------------------------------------------
+
+    /// Prints one character at the cursor with current pen, honouring
+    /// insert mode, autowrap, and double-width characters.
+    pub fn print(&mut self, ch: char) {
+        let ch = if self.line_drawing {
+            crate::charset::dec_special(ch)
+        } else {
+            ch
+        };
+        let w = crate::width::char_width(ch);
+        if w == 0 {
+            // Zero-width characters (combining marks) are not composed onto
+            // cells in this implementation; they are dropped.
+            return;
+        }
+        if w == 2 && self.width < 2 {
+            // A double-width character cannot fit on a one-column screen.
+            return;
+        }
+        if self.wrap_pending && self.modes.autowrap {
+            self.wrap_pending = false;
+            self.cursor.col = 0;
+            self.line_feed();
+        }
+        // A wide character that doesn't fit on this line wraps early.
+        if w == 2 && self.cursor.col == self.width - 1 {
+            let erase = self.erase_cell();
+            self.put_cell(self.cursor.row, self.cursor.col, erase);
+            if self.modes.autowrap {
+                self.cursor.col = 0;
+                self.line_feed();
+            } else {
+                // Without autowrap the wide char is dropped at the margin.
+                return;
+            }
+        }
+        if self.modes.insert {
+            let n = w;
+            self.insert_chars(n);
+        }
+        let row = self.cursor.row;
+        let col = self.cursor.col;
+        let cell = Cell {
+            ch,
+            wide: w == 2,
+            wide_continuation: false,
+            attrs: self.pen,
+        };
+        self.put_cell(row, col, cell);
+        if w == 2 {
+            self.put_cell(
+                row,
+                col + 1,
+                Cell {
+                    ch: ' ',
+                    wide: false,
+                    wide_continuation: true,
+                    attrs: self.pen,
+                },
+            );
+        }
+        self.last_printed = Some(ch);
+        let new_col = col + w;
+        if new_col >= self.width {
+            self.cursor.col = self.width - 1;
+            if self.modes.autowrap {
+                self.wrap_pending = true;
+            }
+        } else {
+            self.cursor.col = new_col;
+        }
+    }
+
+    /// Repeats the last printed character `n` times (REP).
+    pub fn repeat_last(&mut self, n: usize) {
+        if let Some(ch) = self.last_printed {
+            for _ in 0..n {
+                self.print(ch);
+            }
+        }
+    }
+
+    /// Writes a cell, maintaining the invariant that wide characters always
+    /// have an intact continuation: overwriting either half blanks the other.
+    fn put_cell(&mut self, row: usize, col: usize, cell: Cell) {
+        let erase = self.erase_cell();
+        let old = self.rows[row].cells[col];
+        if old.wide && col + 1 < self.width {
+            self.rows[row].cells[col + 1] = erase;
+        }
+        if old.wide_continuation && col > 0 {
+            self.rows[row].cells[col - 1] = erase;
+        }
+        self.rows[row].cells[col] = cell;
+    }
+
+    // ------------------------------------------------------------------
+    // Line feeds and scrolling.
+    // ------------------------------------------------------------------
+
+    /// Index / line feed: move down, scrolling if at the region bottom.
+    pub fn line_feed(&mut self) {
+        if self.cursor.row == self.scroll_bottom {
+            self.scroll_up(1);
+        } else if self.cursor.row < self.height - 1 {
+            self.cursor.row += 1;
+        }
+        self.wrap_pending = false;
+    }
+
+    /// Reverse index: move up, scrolling down if at the region top.
+    pub fn reverse_line_feed(&mut self) {
+        if self.cursor.row == self.scroll_top {
+            self.scroll_down(1);
+        } else if self.cursor.row > 0 {
+            self.cursor.row -= 1;
+        }
+        self.wrap_pending = false;
+    }
+
+    /// Scrolls the scroll region up by `n` lines (text moves up).
+    pub fn scroll_up(&mut self, n: usize) {
+        let n = n.min(self.scroll_bottom - self.scroll_top + 1);
+        let bg = self.pen.bg;
+        for _ in 0..n {
+            self.rows.remove(self.scroll_top);
+            self.rows
+                .insert(self.scroll_bottom, Row::blank(self.width, bg));
+        }
+    }
+
+    /// Scrolls the scroll region down by `n` lines (text moves down).
+    pub fn scroll_down(&mut self, n: usize) {
+        let n = n.min(self.scroll_bottom - self.scroll_top + 1);
+        let bg = self.pen.bg;
+        for _ in 0..n {
+            self.rows.remove(self.scroll_bottom);
+            self.rows.insert(self.scroll_top, Row::blank(self.width, bg));
+        }
+    }
+
+    /// Sets the scroll region from 1-based inclusive coordinates, moving the
+    /// cursor home (DECSTBM). Invalid regions reset to the full screen.
+    pub fn set_scroll_region(&mut self, top1: usize, bottom1: usize) {
+        let top = top1.max(1) - 1;
+        let bottom = if bottom1 == 0 { self.height } else { bottom1 } - 1;
+        if top < bottom && bottom < self.height {
+            self.scroll_top = top;
+            self.scroll_bottom = bottom;
+        } else {
+            self.scroll_top = 0;
+            self.scroll_bottom = self.height - 1;
+        }
+        self.move_to(0, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Insert / delete / erase.
+    // ------------------------------------------------------------------
+
+    /// Inserts `n` blank characters at the cursor, shifting the rest right.
+    pub fn insert_chars(&mut self, n: usize) {
+        let row = self.cursor.row;
+        let col = self.cursor.col;
+        let n = n.min(self.width - col);
+        let erase = self.erase_cell();
+        let cells = &mut self.rows[row].cells;
+        // Splitting a wide pair at the insertion point orphans both halves.
+        if cells[col].wide_continuation {
+            cells[col] = erase;
+            if col > 0 {
+                cells[col - 1] = erase;
+            }
+        }
+        cells.splice(col..col, std::iter::repeat(erase).take(n));
+        cells.truncate(self.width);
+        // A wide lead pushed against the right edge loses its continuation.
+        if let Some(last) = cells.last_mut() {
+            if last.wide {
+                *last = erase;
+            }
+        }
+    }
+
+    /// Deletes `n` characters at the cursor, shifting the rest left.
+    pub fn delete_chars(&mut self, n: usize) {
+        let row = self.cursor.row;
+        let col = self.cursor.col;
+        let n = n.min(self.width - col);
+        let erase = self.erase_cell();
+        let cells = &mut self.rows[row].cells;
+        // Deleting the continuation but not the lead orphans the lead.
+        if cells[col].wide_continuation && col > 0 {
+            cells[col - 1] = erase;
+        }
+        // Deleting the lead but not the continuation orphans the latter.
+        if col + n < self.width && cells[col + n].wide_continuation {
+            cells[col + n] = erase;
+        }
+        cells.drain(col..col + n);
+        cells.extend(std::iter::repeat(erase).take(n));
+    }
+
+    /// Erases `n` characters at the cursor without shifting (ECH).
+    pub fn erase_chars(&mut self, n: usize) {
+        let row = self.cursor.row;
+        let col = self.cursor.col;
+        let n = n.min(self.width - col);
+        let erase = self.erase_cell();
+        for c in col..col + n {
+            self.put_cell(row, c, erase);
+        }
+    }
+
+    /// Inserts `n` blank lines at the cursor row (IL); only inside the
+    /// scroll region.
+    pub fn insert_lines(&mut self, n: usize) {
+        if self.cursor.row < self.scroll_top || self.cursor.row > self.scroll_bottom {
+            return;
+        }
+        let n = n.min(self.scroll_bottom - self.cursor.row + 1);
+        let bg = self.pen.bg;
+        for _ in 0..n {
+            self.rows.remove(self.scroll_bottom);
+            self.rows.insert(self.cursor.row, Row::blank(self.width, bg));
+        }
+        self.cursor.col = 0;
+        self.wrap_pending = false;
+    }
+
+    /// Deletes `n` lines at the cursor row (DL); only inside the scroll
+    /// region.
+    pub fn delete_lines(&mut self, n: usize) {
+        if self.cursor.row < self.scroll_top || self.cursor.row > self.scroll_bottom {
+            return;
+        }
+        let n = n.min(self.scroll_bottom - self.cursor.row + 1);
+        let bg = self.pen.bg;
+        for _ in 0..n {
+            self.rows.remove(self.cursor.row);
+            self.rows
+                .insert(self.scroll_bottom, Row::blank(self.width, bg));
+        }
+        self.cursor.col = 0;
+        self.wrap_pending = false;
+    }
+
+    /// Erase in line (EL): 0 = cursor to end, 1 = start to cursor, 2 = all.
+    pub fn erase_line(&mut self, mode: u16) {
+        let row = self.cursor.row;
+        let erase = self.erase_cell();
+        let range = match mode {
+            0 => self.cursor.col..self.width,
+            1 => 0..self.cursor.col + 1,
+            _ => 0..self.width,
+        };
+        for c in range {
+            self.put_cell(row, c, erase);
+        }
+    }
+
+    /// Erase in display (ED): 0 = cursor to end, 1 = start to cursor,
+    /// 2 or 3 = whole screen.
+    pub fn erase_display(&mut self, mode: u16) {
+        match mode {
+            0 => {
+                self.erase_line(0);
+                let erase = self.erase_cell();
+                for r in self.cursor.row + 1..self.height {
+                    self.rows[r].cells.fill(erase);
+                }
+            }
+            1 => {
+                self.erase_line(1);
+                let erase = self.erase_cell();
+                for r in 0..self.cursor.row {
+                    self.rows[r].cells.fill(erase);
+                }
+            }
+            _ => {
+                let erase = self.erase_cell();
+                for r in 0..self.height {
+                    self.rows[r].cells.fill(erase);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tabs.
+    // ------------------------------------------------------------------
+
+    /// Moves to the next tab stop (or the right margin).
+    pub fn tab_forward(&mut self) {
+        let mut col = self.cursor.col;
+        while col + 1 < self.width {
+            col += 1;
+            if self.tabs[col] {
+                break;
+            }
+        }
+        self.cursor.col = col;
+        self.wrap_pending = false;
+    }
+
+    /// Moves to the previous tab stop (or column 0).
+    pub fn tab_backward(&mut self) {
+        let mut col = self.cursor.col;
+        while col > 0 {
+            col -= 1;
+            if self.tabs[col] {
+                break;
+            }
+        }
+        self.cursor.col = col;
+        self.wrap_pending = false;
+    }
+
+    /// Sets a tab stop at the cursor column (HTS).
+    pub fn set_tab(&mut self) {
+        self.tabs[self.cursor.col] = true;
+    }
+
+    /// Clears tab stops: mode 0 at cursor, mode 3 all (TBC).
+    pub fn clear_tabs(&mut self, mode: u16) {
+        match mode {
+            0 => self.tabs[self.cursor.col] = false,
+            3 => self.tabs.fill(false),
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Save/restore and screens.
+    // ------------------------------------------------------------------
+
+    /// DECSC: save cursor, pen, and origin mode.
+    pub fn save_cursor(&mut self) {
+        self.saved_cursor = Some(SavedCursor {
+            cursor: self.cursor,
+            pen: self.pen,
+            origin_mode: self.modes.origin,
+            wrap_pending: self.wrap_pending,
+        });
+    }
+
+    /// DECRC: restore the saved cursor (or home if none saved).
+    pub fn restore_cursor(&mut self) {
+        if let Some(s) = self.saved_cursor {
+            self.cursor = Cursor {
+                row: s.cursor.row.min(self.height - 1),
+                col: s.cursor.col.min(self.width - 1),
+            };
+            self.pen = s.pen;
+            self.modes.origin = s.origin_mode;
+            self.wrap_pending = s.wrap_pending;
+        } else {
+            self.cursor = Cursor { row: 0, col: 0 };
+            self.pen = Attrs::default();
+            self.wrap_pending = false;
+        }
+    }
+
+    /// Switches to the alternate screen (clearing it). No-op if already on.
+    pub fn enter_alternate_screen(&mut self) {
+        if self.alt_saved.is_some() {
+            return;
+        }
+        let blank = vec![Row::blank(self.width, crate::cell::Color::Default); self.height];
+        let saved_rows = std::mem::replace(&mut self.rows, blank);
+        self.alt_saved = Some((saved_rows, self.cursor));
+        self.cursor = Cursor { row: 0, col: 0 };
+        self.wrap_pending = false;
+    }
+
+    /// Returns from the alternate screen, restoring the primary contents.
+    pub fn exit_alternate_screen(&mut self) {
+        if let Some((rows, cursor)) = self.alt_saved.take() {
+            self.rows = rows;
+            self.cursor = Cursor {
+                row: cursor.row.min(self.height - 1),
+                col: cursor.col.min(self.width - 1),
+            };
+            self.wrap_pending = false;
+        }
+    }
+
+    /// True while the alternate screen is active.
+    pub fn in_alternate_screen(&self) -> bool {
+        self.alt_saved.is_some()
+    }
+
+    /// RIS: reset to initial state (size and title are kept; everything
+    /// else returns to power-on defaults).
+    pub fn reset(&mut self) {
+        let title = std::mem::take(&mut self.title);
+        let bells = self.bell_count;
+        *self = Framebuffer::new(self.width, self.height);
+        self.title = title;
+        self.bell_count = bells;
+    }
+
+    /// DECALN: fill the screen with 'E' and reset margins (alignment test).
+    pub fn screen_alignment_test(&mut self) {
+        let cell = Cell::narrow('E', Attrs::default());
+        for row in &mut self.rows {
+            row.cells.fill(cell);
+        }
+        self.scroll_top = 0;
+        self.scroll_bottom = self.height - 1;
+        self.cursor = Cursor { row: 0, col: 0 };
+        self.wrap_pending = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Resize.
+    // ------------------------------------------------------------------
+
+    /// Resizes the screen, preserving the top-left contents (Mosh keeps
+    /// content anchored at the top on resize). Resets the scroll region and
+    /// clamps the cursor.
+    pub fn resize(&mut self, width: usize, height: usize) {
+        assert!(width > 0 && height > 0, "resize to at least 1x1");
+        if width == self.width && height == self.height {
+            return;
+        }
+        for row in &mut self.rows {
+            if width < row.cells.len() {
+                row.cells.truncate(width);
+                // Never leave a dangling wide-char lead in the last column.
+                if let Some(last) = row.cells.last_mut() {
+                    if last.wide {
+                        *last = Cell::default();
+                    }
+                }
+            } else {
+                let pad = width - row.cells.len();
+                row.cells
+                    .extend(std::iter::repeat(Cell::default()).take(pad));
+            }
+        }
+        if height < self.rows.len() {
+            self.rows.truncate(height);
+        } else {
+            let pad = height - self.rows.len();
+            self.rows.extend(
+                std::iter::repeat(Row::blank(width, crate::cell::Color::Default)).take(pad),
+            );
+        }
+        // The alternate-screen stash must track the new size too.
+        if let Some((rows, cursor)) = &mut self.alt_saved {
+            for row in rows.iter_mut() {
+                if width < row.cells.len() {
+                    row.cells.truncate(width);
+                } else {
+                    let pad = width - row.cells.len();
+                    row.cells
+                        .extend(std::iter::repeat(Cell::default()).take(pad));
+                }
+            }
+            if height < rows.len() {
+                rows.truncate(height);
+            } else {
+                let pad = height - rows.len();
+                rows.extend(
+                    std::iter::repeat(Row::blank(width, crate::cell::Color::Default)).take(pad),
+                );
+            }
+            cursor.row = cursor.row.min(height - 1);
+            cursor.col = cursor.col.min(width - 1);
+        }
+        self.width = width;
+        self.height = height;
+        self.scroll_top = 0;
+        self.scroll_bottom = height - 1;
+        self.cursor.row = self.cursor.row.min(height - 1);
+        self.cursor.col = self.cursor.col.min(width - 1);
+        self.tabs = (0..width).map(|c| c % 8 == 0 && c != 0).collect();
+        self.wrap_pending = false;
+    }
+
+    /// Resets interpreter state to the invariants a diff-receiving client is
+    /// known to satisfy (diffs never alter these modes), so the display
+    /// differ's simulation matches how the client will interpret its bytes.
+    ///
+    /// `wrap_pending` is set conservatively: the client *might* have a wrap
+    /// pending from a previous diff's final print, so the differ must issue
+    /// an explicit cursor move before its first print (which clears it on
+    /// both ends).
+    pub fn normalize_for_diff(&mut self) {
+        self.modes.origin = false;
+        self.modes.insert = false;
+        self.modes.autowrap = true;
+        self.scroll_top = 0;
+        self.scroll_bottom = self.height - 1;
+        self.line_drawing = false;
+        self.wrap_pending = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Test / debugging helpers.
+    // ------------------------------------------------------------------
+
+    /// The visible text of one row, with trailing blanks trimmed.
+    pub fn row_text(&self, row: usize) -> String {
+        let mut s: String = self.rows[row]
+            .cells
+            .iter()
+            .filter(|c| !c.wide_continuation)
+            .map(|c| c.ch)
+            .collect();
+        while s.ends_with(' ') {
+            s.pop();
+        }
+        s
+    }
+
+    /// The visible text of the whole screen, one line per row, trailing
+    /// blank rows trimmed. Intended for tests and examples.
+    pub fn to_text(&self) -> String {
+        let mut lines: Vec<String> = (0..self.height).map(|r| self.row_text(r)).collect();
+        while lines.last().is_some_and(|l| l.is_empty()) {
+            lines.pop();
+        }
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Color;
+
+    #[test]
+    fn new_framebuffer_is_blank() {
+        let fb = Framebuffer::new(80, 24);
+        assert_eq!(fb.width(), 80);
+        assert_eq!(fb.height(), 24);
+        assert_eq!(fb.to_text(), "");
+        assert_eq!(fb.cursor, Cursor { row: 0, col: 0 });
+    }
+
+    #[test]
+    fn print_advances_cursor() {
+        let mut fb = Framebuffer::new(10, 3);
+        fb.print('h');
+        fb.print('i');
+        assert_eq!(fb.row_text(0), "hi");
+        assert_eq!(fb.cursor.col, 2);
+    }
+
+    #[test]
+    fn print_at_margin_sets_wrap_pending() {
+        let mut fb = Framebuffer::new(3, 2);
+        for c in "abc".chars() {
+            fb.print(c);
+        }
+        assert_eq!(fb.cursor.col, 2);
+        assert!(fb.wrap_pending());
+        fb.print('d');
+        assert_eq!(fb.row_text(0), "abc");
+        assert_eq!(fb.row_text(1), "d");
+        assert_eq!(fb.cursor, Cursor { row: 1, col: 1 });
+    }
+
+    #[test]
+    fn no_autowrap_overwrites_margin() {
+        let mut fb = Framebuffer::new(3, 2);
+        fb.modes.autowrap = false;
+        for c in "abcd".chars() {
+            fb.print(c);
+        }
+        assert_eq!(fb.row_text(0), "abd");
+        assert_eq!(fb.cursor.row, 0);
+    }
+
+    #[test]
+    fn wide_char_occupies_two_cells() {
+        let mut fb = Framebuffer::new(10, 2);
+        fb.print('漢');
+        assert!(fb.cell(0, 0).wide);
+        assert!(fb.cell(0, 1).wide_continuation);
+        assert_eq!(fb.cursor.col, 2);
+    }
+
+    #[test]
+    fn wide_char_wraps_early_at_margin() {
+        let mut fb = Framebuffer::new(3, 2);
+        fb.print('a');
+        fb.print('b');
+        fb.print('漢');
+        assert_eq!(fb.row_text(0), "ab");
+        assert!(fb.cell(1, 0).wide);
+    }
+
+    #[test]
+    fn overwriting_wide_lead_blanks_continuation() {
+        let mut fb = Framebuffer::new(10, 2);
+        fb.print('漢');
+        fb.move_to(0, 0);
+        fb.print('x');
+        assert_eq!(fb.cell(0, 0).ch, 'x');
+        assert!(!fb.cell(0, 1).wide_continuation);
+        assert_eq!(fb.cell(0, 1).ch, ' ');
+    }
+
+    #[test]
+    fn overwriting_continuation_blanks_lead() {
+        let mut fb = Framebuffer::new(10, 2);
+        fb.print('漢');
+        fb.move_to(0, 1);
+        fb.print('x');
+        assert_eq!(fb.cell(0, 0).ch, ' ');
+        assert!(!fb.cell(0, 0).wide);
+        assert_eq!(fb.cell(0, 1).ch, 'x');
+    }
+
+    #[test]
+    fn line_feed_scrolls_at_bottom() {
+        let mut fb = Framebuffer::new(5, 2);
+        fb.print('a');
+        fb.move_to(1, 0);
+        fb.print('b');
+        fb.move_to(1, 0);
+        fb.line_feed();
+        assert_eq!(fb.row_text(0), "b");
+        assert_eq!(fb.row_text(1), "");
+    }
+
+    #[test]
+    fn scroll_region_confines_scrolling() {
+        let mut fb = Framebuffer::new(5, 4);
+        for (r, t) in ["aa", "bb", "cc", "dd"].iter().enumerate() {
+            fb.move_to(r, 0);
+            for c in t.chars() {
+                fb.print(c);
+            }
+        }
+        fb.set_scroll_region(2, 3); // rows 1..=2 0-based
+        fb.move_to(2, 0); // bottom of region (origin off: absolute row 2)
+        fb.line_feed();
+        assert_eq!(fb.row_text(0), "aa");
+        assert_eq!(fb.row_text(1), "cc");
+        assert_eq!(fb.row_text(2), "");
+        assert_eq!(fb.row_text(3), "dd");
+    }
+
+    #[test]
+    fn reverse_line_feed_scrolls_down_at_top() {
+        let mut fb = Framebuffer::new(5, 3);
+        fb.print('a');
+        fb.move_to(0, 0);
+        fb.reverse_line_feed();
+        assert_eq!(fb.row_text(0), "");
+        assert_eq!(fb.row_text(1), "a");
+    }
+
+    #[test]
+    fn insert_and_delete_chars() {
+        let mut fb = Framebuffer::new(6, 1);
+        for c in "abcde".chars() {
+            fb.print(c);
+        }
+        fb.move_to(0, 1);
+        fb.insert_chars(2);
+        assert_eq!(fb.row_text(0), "a  bcd");
+        fb.delete_chars(2);
+        assert_eq!(fb.row_text(0), "abcd");
+    }
+
+    #[test]
+    fn erase_line_variants() {
+        let mut fb = Framebuffer::new(5, 1);
+        for c in "abcde".chars() {
+            fb.print(c);
+        }
+        fb.move_to(0, 2);
+        fb.erase_line(0);
+        assert_eq!(fb.row_text(0), "ab");
+        for c in "cde".chars() {
+            fb.print(c);
+        }
+        fb.move_to(0, 2);
+        fb.erase_line(1);
+        assert_eq!(fb.row_text(0), "   de");
+        fb.erase_line(2);
+        assert_eq!(fb.row_text(0), "");
+    }
+
+    #[test]
+    fn erase_display_from_cursor() {
+        let mut fb = Framebuffer::new(3, 3);
+        for r in 0..3 {
+            fb.move_to(r, 0);
+            for c in "xyz".chars() {
+                fb.print(c);
+            }
+        }
+        fb.move_to(1, 1);
+        fb.erase_display(0);
+        assert_eq!(fb.row_text(0), "xyz");
+        assert_eq!(fb.row_text(1), "x");
+        assert_eq!(fb.row_text(2), "");
+    }
+
+    #[test]
+    fn erase_uses_pen_background() {
+        let mut fb = Framebuffer::new(4, 1);
+        fb.pen.bg = Color::Indexed(4);
+        fb.erase_line(2);
+        assert_eq!(fb.cell(0, 0).attrs.bg, Color::Indexed(4));
+        assert!(!fb.cell(0, 0).attrs.bold);
+    }
+
+    #[test]
+    fn insert_delete_lines_respect_region() {
+        let mut fb = Framebuffer::new(3, 4);
+        for (r, t) in ["a", "b", "c", "d"].iter().enumerate() {
+            fb.move_to(r, 0);
+            fb.print(t.chars().next().unwrap());
+        }
+        fb.set_scroll_region(1, 3);
+        fb.move_to(1, 0);
+        fb.insert_lines(1);
+        assert_eq!(fb.row_text(0), "a");
+        assert_eq!(fb.row_text(1), "");
+        assert_eq!(fb.row_text(2), "b");
+        assert_eq!(fb.row_text(3), "d");
+        fb.delete_lines(1);
+        assert_eq!(fb.row_text(1), "b");
+        assert_eq!(fb.row_text(2), "");
+    }
+
+    #[test]
+    fn tabs_default_every_eight() {
+        let mut fb = Framebuffer::new(20, 1);
+        fb.tab_forward();
+        assert_eq!(fb.cursor.col, 8);
+        fb.tab_forward();
+        assert_eq!(fb.cursor.col, 16);
+        fb.tab_forward();
+        assert_eq!(fb.cursor.col, 19);
+        fb.tab_backward();
+        assert_eq!(fb.cursor.col, 16);
+    }
+
+    #[test]
+    fn custom_tab_stops() {
+        let mut fb = Framebuffer::new(20, 1);
+        fb.move_to(0, 3);
+        fb.set_tab();
+        fb.move_to(0, 0);
+        fb.tab_forward();
+        assert_eq!(fb.cursor.col, 3);
+        fb.clear_tabs(3);
+        fb.move_to(0, 0);
+        fb.tab_forward();
+        assert_eq!(fb.cursor.col, 19);
+    }
+
+    #[test]
+    fn save_restore_cursor() {
+        let mut fb = Framebuffer::new(10, 5);
+        fb.move_to(2, 3);
+        fb.pen.bold = true;
+        fb.save_cursor();
+        fb.move_to(0, 0);
+        fb.pen.bold = false;
+        fb.restore_cursor();
+        assert_eq!(fb.cursor, Cursor { row: 2, col: 3 });
+        assert!(fb.pen.bold);
+    }
+
+    #[test]
+    fn alternate_screen_round_trip() {
+        let mut fb = Framebuffer::new(5, 2);
+        fb.print('p');
+        fb.enter_alternate_screen();
+        assert_eq!(fb.to_text(), "");
+        fb.print('a');
+        assert_eq!(fb.row_text(0), "a");
+        fb.exit_alternate_screen();
+        assert_eq!(fb.row_text(0), "p");
+    }
+
+    #[test]
+    fn resize_preserves_top_left() {
+        let mut fb = Framebuffer::new(5, 3);
+        fb.print('a');
+        fb.move_to(1, 0);
+        fb.print('b');
+        fb.resize(3, 2);
+        assert_eq!(fb.row_text(0), "a");
+        assert_eq!(fb.row_text(1), "b");
+        fb.resize(8, 4);
+        assert_eq!(fb.row_text(0), "a");
+        assert_eq!(fb.width(), 8);
+    }
+
+    #[test]
+    fn resize_clamps_cursor() {
+        let mut fb = Framebuffer::new(10, 10);
+        fb.move_to(9, 9);
+        fb.resize(4, 4);
+        assert_eq!(fb.cursor, Cursor { row: 3, col: 3 });
+    }
+
+    #[test]
+    fn origin_mode_offsets_addressing() {
+        let mut fb = Framebuffer::new(10, 10);
+        fb.set_scroll_region(3, 8);
+        fb.modes.origin = true;
+        fb.move_to(0, 0);
+        assert_eq!(fb.cursor.row, 2);
+        fb.move_to(99, 0);
+        assert_eq!(fb.cursor.row, 7); // clamped to region bottom
+    }
+
+    #[test]
+    fn equality_ignores_pen_and_region() {
+        let mut a = Framebuffer::new(10, 5);
+        let mut b = Framebuffer::new(10, 5);
+        a.pen.bold = true;
+        a.set_scroll_region(2, 4);
+        b.move_to(0, 0);
+        a.move_to(0, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equality_sees_cells_cursor_title_bell() {
+        let base = Framebuffer::new(10, 5);
+        let mut c = base.clone();
+        c.print('x');
+        assert_ne!(base, c);
+        let mut c = base.clone();
+        c.move_to(1, 1);
+        assert_ne!(base, c);
+        let mut c = base.clone();
+        c.set_title("t".into());
+        assert_ne!(base, c);
+        let mut c = base.clone();
+        c.ring_bell();
+        assert_ne!(base, c);
+        let mut c = base.clone();
+        c.modes.cursor_visible = false;
+        assert_ne!(base, c);
+    }
+
+    #[test]
+    fn reset_keeps_size_and_title() {
+        let mut fb = Framebuffer::new(7, 3);
+        fb.set_title("keepme".into());
+        fb.print('x');
+        fb.modes.autowrap = false;
+        fb.reset();
+        assert_eq!(fb.width(), 7);
+        assert_eq!(fb.title(), "keepme");
+        assert_eq!(fb.to_text(), "");
+        assert!(fb.modes.autowrap);
+    }
+
+    #[test]
+    fn alignment_test_fills_screen() {
+        let mut fb = Framebuffer::new(3, 2);
+        fb.screen_alignment_test();
+        assert_eq!(fb.to_text(), "EEE\nEEE");
+    }
+
+    #[test]
+    fn repeat_last_printed() {
+        let mut fb = Framebuffer::new(10, 1);
+        fb.print('z');
+        fb.repeat_last(3);
+        assert_eq!(fb.row_text(0), "zzzz");
+    }
+}

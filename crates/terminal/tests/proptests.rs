@@ -1,0 +1,234 @@
+//! Property-based tests for the terminal emulator and the frame differ.
+//!
+//! The load-bearing invariant for the whole system is **diff convergence**:
+//! for any two reachable screen states A and B,
+//! `apply(new_frame(init, A, B), A) == B`. SSP relies on this to skip
+//! intermediate states safely (paper §2.3).
+
+use mosh_terminal::{display, Terminal};
+use proptest::prelude::*;
+
+/// Bytes biased toward terminal-relevant content: printable ASCII, escape
+/// sequences, UTF-8 fragments, and control characters.
+fn terminal_bytes() -> impl Strategy<Value = Vec<u8>> {
+    let chunk = prop_oneof![
+        // Plain words.
+        "[ -~]{1,12}".prop_map(|s| s.into_bytes()),
+        // Cursor movement and erase sequences.
+        (0u16..30, 0u16..90).prop_map(|(a, b)| format!("\x1b[{a};{b}H").into_bytes()),
+        (1u16..5).prop_map(|n| format!("\x1b[{n}A").into_bytes()),
+        (1u16..5).prop_map(|n| format!("\x1b[{n}B").into_bytes()),
+        (1u16..9).prop_map(|n| format!("\x1b[{n}C").into_bytes()),
+        (1u16..9).prop_map(|n| format!("\x1b[{n}D").into_bytes()),
+        (0u16..3).prop_map(|n| format!("\x1b[{n}J").into_bytes()),
+        (0u16..3).prop_map(|n| format!("\x1b[{n}K").into_bytes()),
+        (1u16..4).prop_map(|n| format!("\x1b[{n}L").into_bytes()),
+        (1u16..4).prop_map(|n| format!("\x1b[{n}M").into_bytes()),
+        (1u16..6).prop_map(|n| format!("\x1b[{n}@").into_bytes()),
+        (1u16..6).prop_map(|n| format!("\x1b[{n}P").into_bytes()),
+        (1u16..6).prop_map(|n| format!("\x1b[{n}X").into_bytes()),
+        // Renditions.
+        (0u16..110).prop_map(|n| format!("\x1b[{n}m").into_bytes()),
+        (0u8..=255u8).prop_map(|n| format!("\x1b[38;5;{n}m").into_bytes()),
+        // Scroll regions and scrolling.
+        (1u16..10, 1u16..24).prop_map(|(t, b)| format!("\x1b[{t};{b}r").into_bytes()),
+        (1u16..4).prop_map(|n| format!("\x1b[{n}S").into_bytes()),
+        (1u16..4).prop_map(|n| format!("\x1b[{n}T").into_bytes()),
+        // Controls.
+        Just(b"\r".to_vec()),
+        Just(b"\n".to_vec()),
+        Just(b"\r\n".to_vec()),
+        Just(b"\t".to_vec()),
+        Just(b"\x08".to_vec()),
+        Just(b"\x07".to_vec()),
+        // Index / reverse index / save / restore.
+        Just(b"\x1bD".to_vec()),
+        Just(b"\x1bM".to_vec()),
+        Just(b"\x1b7".to_vec()),
+        Just(b"\x1b8".to_vec()),
+        // Modes.
+        Just(b"\x1b[?25l".to_vec()),
+        Just(b"\x1b[?25h".to_vec()),
+        Just(b"\x1b[?1049h".to_vec()),
+        Just(b"\x1b[?1049l".to_vec()),
+        Just(b"\x1b[4h".to_vec()),
+        Just(b"\x1b[4l".to_vec()),
+        Just(b"\x1b[?6h".to_vec()),
+        Just(b"\x1b[?6l".to_vec()),
+        Just(b"\x1b[?7l".to_vec()),
+        Just(b"\x1b[?7h".to_vec()),
+        // Wide and accented characters.
+        Just("漢字".as_bytes().to_vec()),
+        Just("héllo wörld".as_bytes().to_vec()),
+        Just("🎉".as_bytes().to_vec()),
+        // Titles.
+        Just(b"\x1b]0;title\x07".to_vec()),
+        // Line drawing.
+        Just(b"\x1b(0lqqk\x1b(B".to_vec()),
+    ];
+    proptest::collection::vec(chunk, 0..40).prop_map(|chunks| chunks.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser and emulator never panic on arbitrary bytes.
+    #[test]
+    fn emulator_is_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut t = Terminal::new(80, 24);
+        t.write(&bytes);
+    }
+
+    /// The emulator never panics on small screens either.
+    #[test]
+    fn emulator_is_total_on_tiny_screens(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        w in 1usize..4,
+        h in 1usize..4,
+    ) {
+        let mut t = Terminal::new(w, h);
+        t.write(&bytes);
+    }
+
+    /// Diff convergence between two reachable states, with the client built
+    /// the way a real Mosh client is: from an initial diff plus deltas.
+    #[test]
+    fn diff_converges_between_reachable_states(a in terminal_bytes(), b in terminal_bytes()) {
+        let mut term = Terminal::new(80, 24);
+        term.write(&a);
+        let before = term.frame().clone();
+        term.write(&b);
+        let after = term.frame().clone();
+
+        let blank = mosh_terminal::Framebuffer::new(80, 24);
+        let mut client = Terminal::new(80, 24);
+        client.write(display::new_frame(false, &blank, &before).as_bytes());
+        prop_assert_eq!(client.frame(), &before);
+
+        client.write(display::new_frame(true, &before, &after).as_bytes());
+        prop_assert_eq!(client.frame(), &after);
+    }
+
+    /// Convergence holds across a whole *chain* of diffs (the receiver
+    /// applies many instructions in sequence, as SSP does).
+    #[test]
+    fn diff_chain_converges(steps in proptest::collection::vec(terminal_bytes(), 1..6)) {
+        let mut term = Terminal::new(60, 16);
+        let mut client = Terminal::new(60, 16);
+        let blank = mosh_terminal::Framebuffer::new(60, 16);
+        let mut prev = blank.clone();
+        let mut initialized = false;
+        for step in steps {
+            term.write(&step);
+            let next = term.frame().clone();
+            let diff = display::new_frame(initialized, &prev, &next);
+            client.write(diff.as_bytes());
+            prop_assert_eq!(client.frame(), &next);
+            prev = next;
+            initialized = true;
+        }
+    }
+
+    /// Diff convergence from a blank (uninitialized) client.
+    #[test]
+    fn initial_diff_converges(a in terminal_bytes()) {
+        let mut term = Terminal::new(80, 24);
+        term.write(&a);
+        let target = term.frame().clone();
+
+        let blank = mosh_terminal::Framebuffer::new(80, 24);
+        let diff = display::new_frame(false, &blank, &target);
+        let mut client = Terminal::new(80, 24);
+        client.write(diff.as_bytes());
+        prop_assert_eq!(client.frame(), &target);
+    }
+
+    /// An empty diff means equal states, and equal states mean empty diffs.
+    #[test]
+    fn empty_diff_iff_equal(a in terminal_bytes(), b in terminal_bytes()) {
+        let mut term = Terminal::new(40, 10);
+        term.write(&a);
+        let before = term.frame().clone();
+        term.write(&b);
+        let after = term.frame().clone();
+
+        let diff = display::new_frame(true, &before, &after);
+        if before == after {
+            prop_assert_eq!(diff, "");
+        } else {
+            prop_assert!(!diff.is_empty());
+        }
+    }
+
+    /// Diffing is deterministic.
+    #[test]
+    fn diff_is_deterministic(a in terminal_bytes(), b in terminal_bytes()) {
+        let mut term = Terminal::new(40, 12);
+        term.write(&a);
+        let before = term.frame().clone();
+        term.write(&b);
+        let after = term.frame().clone();
+        prop_assert_eq!(
+            display::new_frame(true, &before, &after),
+            display::new_frame(true, &before, &after)
+        );
+    }
+
+    /// Resize never panics and preserves the top-left contents that fit.
+    #[test]
+    fn resize_is_total(
+        bytes in terminal_bytes(),
+        w in 1usize..120,
+        h in 1usize..40,
+    ) {
+        let mut t = Terminal::new(80, 24);
+        t.write(&bytes);
+        t.resize(w, h);
+        prop_assert_eq!(t.frame().width(), w);
+        prop_assert_eq!(t.frame().height(), h);
+        // Cursor stays in bounds.
+        prop_assert!(t.frame().cursor.row < h);
+        prop_assert!(t.frame().cursor.col < w);
+    }
+
+    /// Diff convergence across a resize: the client resizes its emulator
+    /// (the resize travels as a state record, not as bytes), then applies a
+    /// diff computed against the pre-resize state, which repaints.
+    #[test]
+    fn diff_converges_across_resize(
+        a in terminal_bytes(),
+        b in terminal_bytes(),
+        w in 2usize..100,
+        h in 2usize..30,
+    ) {
+        let mut term = Terminal::new(80, 24);
+        term.write(&a);
+        let before = term.frame().clone();
+        term.resize(w, h);
+        term.write(&b);
+        let target = term.frame().clone();
+
+        // Client reaches `before` the legitimate way, then resizes.
+        let blank = mosh_terminal::Framebuffer::new(80, 24);
+        let mut client = Terminal::new(80, 24);
+        client.write(display::new_frame(false, &blank, &before).as_bytes());
+        client.resize(w, h);
+
+        let diff = display::new_frame(true, &before, &target);
+        client.write(diff.as_bytes());
+        prop_assert_eq!(client.frame(), &target);
+    }
+
+    /// Parsing in one call equals parsing byte-by-byte (chunking invariance).
+    #[test]
+    fn chunking_does_not_change_result(bytes in terminal_bytes(), split in any::<prop::sample::Index>()) {
+        let mut whole = Terminal::new(40, 10);
+        whole.write(&bytes);
+
+        let cut = split.index(bytes.len().max(1)).min(bytes.len());
+        let mut parts = Terminal::new(40, 10);
+        parts.write(&bytes[..cut]);
+        parts.write(&bytes[cut..]);
+        prop_assert_eq!(whole.frame(), parts.frame());
+    }
+}

@@ -1,0 +1,389 @@
+//! The replay engine: the paper's evaluation method (§4).
+//!
+//! "A client-side process played the user portion of the traces, and a
+//! server-side process waited for the expected user input and then replied
+//! (in time) with the prerecorded server output." Our applications are
+//! deterministic, so running them live *is* replying with the prerecorded
+//! output — byte-for-byte and with the same think-time.
+//!
+//! For every keystroke we record the user-interface response latency:
+//!
+//! * **Mosh** — zero when the prediction engine displayed the keystroke's
+//!   effect speculatively at input time; otherwise the arrival time of the
+//!   first server frame whose echo ack covers the keystroke (the screen
+//!   then provably reflects it). The echo ack lags real screen content by
+//!   up to 50 ms, so this measure is *conservative against Mosh*.
+//! * **SSH** — the time the client has rendered every output byte the
+//!   application produced in response to the keystroke (known exactly
+//!   from a deterministic dry run).
+//!
+//! Keystrokes that produce no output at all (and were not predicted) are
+//! excluded from both systems alike: no response ever becomes visible.
+
+use crate::stats::Latencies;
+use crate::synth::{KeyKind, TraceKey, UserTrace};
+use crate::workload::{WorkloadApp, SWITCH_BYTE};
+use mosh_core::{Millis, MoshClient, MoshServer};
+use mosh_crypto::Base64Key;
+use mosh_net::{Addr, LinkConfig, Network, Side};
+use mosh_prediction::DisplayPreference;
+use mosh_ssh::{SshClient, SshServer};
+use mosh_tcp::TcpEndpoint;
+use std::collections::VecDeque;
+
+/// Configuration of one replay run.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Client→server link.
+    pub up: LinkConfig,
+    /// Server→client link.
+    pub down: LinkConfig,
+    /// Network RNG seed.
+    pub seed: u64,
+    /// Prediction display preference (Mosh only).
+    pub preference: DisplayPreference,
+    /// Collection-interval override in ms (Figure 3's sweep).
+    pub mindelay: Option<Millis>,
+    /// Run a concurrent bulk TCP download through the same downlink
+    /// bottleneck (the LTE experiment).
+    pub bulk_download: bool,
+}
+
+impl ReplayConfig {
+    /// A replay over the given pair of links with defaults otherwise.
+    pub fn over(up: LinkConfig, down: LinkConfig) -> Self {
+        ReplayConfig {
+            up,
+            down,
+            seed: 42,
+            preference: DisplayPreference::Adaptive,
+            mindelay: None,
+            bulk_download: false,
+        }
+    }
+}
+
+/// The outcome of replaying one trace through one system.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Per-keystroke response latencies (ms).
+    pub latencies: Latencies,
+    /// Keystrokes whose effect displayed instantly (Mosh predictions).
+    pub instant: u64,
+    /// Keystrokes measured.
+    pub measured: u64,
+    /// Mispredictions repaired (Mosh).
+    pub mispredicted: u64,
+    /// Server-side `(write arrival, shipped)` pairs (Figure 3).
+    pub write_delays: Vec<(Millis, Millis)>,
+    /// SSP sender stats (ablations); zeroed for SSH.
+    pub sender_stats: mosh_ssp::sender::SenderStats,
+}
+
+/// A flattened trace: absolute keystroke times plus the switch markers.
+struct FlatTrace {
+    keys: Vec<(Millis, Vec<u8>, KeyKind, bool)>, // (at, bytes, kind, measured)
+    apps: Vec<crate::workload::AppKind>,
+}
+
+fn flatten(trace: &UserTrace) -> FlatTrace {
+    let mut keys = Vec::new();
+    let mut now: Millis = 1500; // Let the session settle first.
+    for (i, seg) in trace.segments.iter().enumerate() {
+        if i > 0 {
+            now += 1500;
+            keys.push((now, vec![SWITCH_BYTE], KeyKind::Control, false));
+        }
+        for TraceKey { gap_ms, bytes, kind } in &seg.keys {
+            now += gap_ms;
+            keys.push((now, bytes.clone(), *kind, true));
+        }
+    }
+    FlatTrace {
+        keys,
+        apps: trace.segments.iter().map(|s| s.app).collect(),
+    }
+}
+
+/// Dry-runs the workload to learn each keystroke's cumulative response
+/// byte target (and which keystrokes produce any output at all).
+fn dry_run(flat: &FlatTrace) -> Vec<u64> {
+    let mut app = WorkloadApp::new(flat.apps.clone());
+    use mosh_core::apps::Application;
+    let mut cumulative: u64 = app.start(0).iter().map(|w| w.bytes.len() as u64).sum();
+    let mut targets = Vec::with_capacity(flat.keys.len());
+    for (at, bytes, _, _) in &flat.keys {
+        let writes = app.on_input(*at, bytes);
+        let produced: u64 = writes.iter().map(|w| w.bytes.len() as u64).sum();
+        cumulative += produced;
+        // Target 0 marks "no visible response".
+        targets.push(if produced == 0 { 0 } else { cumulative });
+    }
+    targets
+}
+
+/// Replays a trace through a full Mosh session over the emulated network.
+pub fn replay_mosh(trace: &UserTrace, cfg: &ReplayConfig) -> ReplayOutcome {
+    let flat = flatten(trace);
+    let targets = dry_run(&flat);
+    let key = Base64Key::from_bytes([0x4d; 16]);
+    let c_addr = Addr::new(1, 1000);
+    let s_addr = Addr::new(2, 60001);
+    let mut net = Network::new(cfg.up.clone(), cfg.down.clone(), cfg.seed);
+    net.register(c_addr, Side::Client);
+    net.register(s_addr, Side::Server);
+
+    let mut client = MoshClient::new(key.clone(), s_addr, 80, 24, cfg.preference);
+    let mut server = MoshServer::new(key, Box::new(WorkloadApp::new(flat.apps.clone())));
+    if let Some(md) = cfg.mindelay {
+        server.set_mindelay(md);
+    }
+
+    let mut bulk = cfg.bulk_download.then(|| bulk_flow(&mut net));
+
+    let mut latencies = Latencies::new();
+    let mut instant = 0u64;
+    let mut measured = 0u64;
+    // Outstanding unresolved keystrokes: (stream index, typed at, counted).
+    let mut pending: VecDeque<(u64, Millis, bool)> = VecDeque::new();
+
+    let end = flat.keys.last().map(|k| k.0).unwrap_or(0) + 20_000;
+    let mut next_key = 0usize;
+    let mut now: Millis = 0;
+    while now < end {
+        while next_key < flat.keys.len() && flat.keys[next_key].0 <= now {
+            let (_, bytes, _, count_it) = &flat.keys[next_key];
+            let shown = client.keystroke(now, bytes);
+            let idx = client.input_end_index();
+            let countable = *count_it && targets[next_key] != 0;
+            if shown && countable {
+                instant += 1;
+                measured += 1;
+                latencies.push(0.0);
+            } else {
+                pending.push_back((idx, now, countable));
+            }
+            next_key += 1;
+        }
+        for (to, w) in client.tick(now) {
+            net.send(c_addr, to, w);
+        }
+        for (to, w) in server.tick(now) {
+            net.send(s_addr, to, w);
+        }
+        if let Some(b) = bulk.as_mut() {
+            b.run(&mut net, now);
+        }
+        now += 1;
+        net.advance_to(now);
+        while let Some(dg) = net.recv(s_addr) {
+            server.receive(now, dg.from, &dg.payload);
+        }
+        let mut got_any = false;
+        while let Some(dg) = net.recv(c_addr) {
+            client.receive(now, &dg.payload);
+            got_any = true;
+        }
+        if let Some(b) = bulk.as_mut() {
+            b.drain(&mut net, now);
+        }
+        if got_any {
+            let ack = client.echo_ack();
+            while let Some(&(idx, at, countable)) = pending.front() {
+                if ack >= idx {
+                    if countable {
+                        measured += 1;
+                        latencies.push((now - at) as f64);
+                    }
+                    pending.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    ReplayOutcome {
+        latencies,
+        instant,
+        measured,
+        mispredicted: client.prediction_stats().mispredicted,
+        write_delays: server.write_delays().to_vec(),
+        sender_stats: *server.sender_stats(),
+    }
+}
+
+/// Replays a trace through the SSH baseline over the emulated network.
+pub fn replay_ssh(trace: &UserTrace, cfg: &ReplayConfig) -> ReplayOutcome {
+    let flat = flatten(trace);
+    let targets = dry_run(&flat);
+    let c_addr = Addr::new(1, 5001);
+    let s_addr = Addr::new(2, 22);
+    let mut net = Network::new(cfg.up.clone(), cfg.down.clone(), cfg.seed);
+    net.register(c_addr, Side::Client);
+    net.register(s_addr, Side::Server);
+
+    let mut client = SshClient::new(c_addr, s_addr, 80, 24);
+    let mut server = SshServer::new(s_addr, c_addr, Box::new(WorkloadApp::new(flat.apps.clone())));
+    let mut bulk = cfg.bulk_download.then(|| bulk_flow(&mut net));
+
+    let mut latencies = Latencies::new();
+    let mut measured = 0u64;
+    let mut pending: VecDeque<(u64, Millis)> = VecDeque::new(); // (byte target, at)
+
+    let end = flat.keys.last().map(|k| k.0).unwrap_or(0) + 130_000;
+    let mut next_key = 0usize;
+    let mut now: Millis = 0;
+    while now < end {
+        while next_key < flat.keys.len() && flat.keys[next_key].0 <= now {
+            let (_, bytes, _, count_it) = &flat.keys[next_key];
+            client.keystroke(now, bytes);
+            if *count_it && targets[next_key] != 0 {
+                pending.push_back((targets[next_key], now));
+            }
+            next_key += 1;
+        }
+        for (to, w) in client.tick(now) {
+            net.send(c_addr, to, w);
+        }
+        for (to, w) in server.tick(now) {
+            net.send(s_addr, to, w);
+        }
+        if let Some(b) = bulk.as_mut() {
+            b.run(&mut net, now);
+        }
+        now += 1;
+        net.advance_to(now);
+        while let Some(dg) = net.recv(s_addr) {
+            server.receive(now, &dg.payload);
+        }
+        let mut got_any = false;
+        while let Some(dg) = net.recv(c_addr) {
+            client.receive(now, &dg.payload);
+            got_any = true;
+        }
+        if let Some(b) = bulk.as_mut() {
+            b.drain(&mut net, now);
+        }
+        if got_any {
+            let rendered = client.rendered_bytes();
+            while let Some(&(target, at)) = pending.front() {
+                if rendered >= target {
+                    measured += 1;
+                    latencies.push((now - at) as f64);
+                    pending.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    ReplayOutcome {
+        latencies,
+        instant: 0,
+        measured,
+        mispredicted: 0,
+        write_delays: Vec::new(),
+        sender_stats: mosh_ssp::sender::SenderStats::default(),
+    }
+}
+
+/// A greedy bulk TCP download sharing the bottleneck (LTE experiment).
+struct BulkFlow {
+    server: TcpEndpoint,
+    client: TcpEndpoint,
+}
+
+fn bulk_flow(net: &mut Network) -> BulkFlow {
+    let bc = Addr::new(1, 9999);
+    let bs = Addr::new(2, 8888);
+    net.register(bc, Side::Client);
+    net.register(bs, Side::Server);
+    let mut server = TcpEndpoint::new(bs, bc);
+    server.write(&vec![0u8; 4_000_000]);
+    BulkFlow {
+        server,
+        client: TcpEndpoint::new(bc, bs),
+    }
+}
+
+impl BulkFlow {
+    fn run(&mut self, net: &mut Network, now: Millis) {
+        // Endless download: keep the send buffer topped up.
+        if self.server.backlog() < 2_000_000 {
+            self.server.write(&vec![0u8; 4_000_000]);
+        }
+        for (to, w) in self.server.tick(now) {
+            net.send(self.server.addr(), to, w);
+        }
+        for (to, w) in self.client.tick(now) {
+            net.send(self.client.addr(), to, w);
+        }
+    }
+
+    fn drain(&mut self, net: &mut Network, now: Millis) {
+        while let Some(dg) = net.recv(self.server.addr()) {
+            self.server.receive(now, &dg.payload);
+        }
+        while let Some(dg) = net.recv(self.client.addr()) {
+            self.client.receive(now, &dg.payload);
+            let _ = self.client.read();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::small_trace;
+
+    #[test]
+    fn mosh_replay_measures_most_keystrokes() {
+        let trace = small_trace(60);
+        let cfg = ReplayConfig::over(LinkConfig::lan(), LinkConfig::lan());
+        let out = replay_mosh(&trace, &cfg);
+        assert!(out.measured >= 50, "measured {}", out.measured);
+        // LAN: everything fast.
+        assert!(out.latencies.median() < 200.0);
+    }
+
+    #[test]
+    fn ssh_replay_measures_most_keystrokes() {
+        let trace = small_trace(60);
+        let cfg = ReplayConfig::over(LinkConfig::lan(), LinkConfig::lan());
+        let out = replay_ssh(&trace, &cfg);
+        assert!(out.measured >= 50, "measured {}", out.measured);
+        assert!(out.latencies.median() < 100.0);
+    }
+
+    #[test]
+    fn mosh_wins_on_high_latency_links() {
+        let trace = small_trace(80);
+        let slow = LinkConfig {
+            delay_ms: 250,
+            ..LinkConfig::lan()
+        };
+        let cfg = ReplayConfig::over(slow.clone(), slow);
+        let mosh = replay_mosh(&trace, &cfg);
+        let ssh = replay_ssh(&trace, &cfg);
+        assert!(
+            mosh.latencies.median() < ssh.latencies.median() / 3.0,
+            "mosh median {} vs ssh {}",
+            mosh.latencies.median(),
+            ssh.latencies.median()
+        );
+        assert!(mosh.instant > 0, "predictions fired");
+        assert!((ssh.latencies.median() - 500.0).abs() < 120.0);
+    }
+
+    #[test]
+    fn replays_are_deterministic() {
+        let trace = small_trace(40);
+        let cfg = ReplayConfig::over(LinkConfig::lan(), LinkConfig::lan());
+        let a = replay_mosh(&trace, &cfg);
+        let b = replay_mosh(&trace, &cfg);
+        assert_eq!(a.latencies.median(), b.latencies.median());
+        assert_eq!(a.instant, b.instant);
+    }
+}

@@ -1,0 +1,157 @@
+//! Latency statistics: the numbers every table in §4 reports.
+
+/// A collection of latency samples in milliseconds.
+#[derive(Debug, Clone, Default)]
+pub struct Latencies {
+    samples: Vec<f64>,
+}
+
+impl Latencies {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, ms: f64) {
+        self.samples.push(ms);
+    }
+
+    /// Merges another collection into this one.
+    pub fn extend(&mut self, other: &Latencies) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The p-th percentile (0–100), by nearest-rank on sorted samples.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// The median latency.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// The arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The population standard deviation (σ, as the paper reports).
+    pub fn stddev(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// Fraction of samples ≤ `threshold_ms` (CDF point).
+    pub fn fraction_below(&self, threshold_ms: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|&&s| s <= threshold_ms).count() as f64
+            / self.samples.len() as f64
+    }
+
+    /// CDF points `(latency_ms, cumulative_percent)` at the given
+    /// thresholds — the series Figure 2 plots.
+    pub fn cdf(&self, thresholds: &[f64]) -> Vec<(f64, f64)> {
+        thresholds
+            .iter()
+            .map(|&t| (t, 100.0 * self.fraction_below(t)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Latencies {
+        let mut l = Latencies::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0] {
+            l.push(v);
+        }
+        l
+    }
+
+    #[test]
+    fn median_of_known_values() {
+        assert!((sample().median() - 5.0).abs() <= 1.0);
+        let mut one = Latencies::new();
+        one.push(42.0);
+        assert_eq!(one.median(), 42.0);
+    }
+
+    #[test]
+    fn mean_of_known_values() {
+        assert!((sample().mean() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stddev_of_known_values() {
+        // Population σ of 1..=10 is ~2.872.
+        assert!((sample().stddev() - 2.8723).abs() < 0.001);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let l = sample();
+        assert!(l.percentile(10.0) <= l.percentile(50.0));
+        assert!(l.percentile(50.0) <= l.percentile(99.0));
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let l = sample();
+        let cdf = l.cdf(&[0.0, 2.0, 5.0, 10.0, 100.0]);
+        for w in cdf.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(cdf.last().expect("non-empty").1, 100.0);
+    }
+
+    #[test]
+    fn empty_collection_is_safe() {
+        let l = Latencies::new();
+        assert_eq!(l.median(), 0.0);
+        assert_eq!(l.mean(), 0.0);
+        assert_eq!(l.stddev(), 0.0);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = sample();
+        let b = sample();
+        a.extend(&b);
+        assert_eq!(a.len(), 20);
+    }
+}

@@ -1,0 +1,405 @@
+//! Synthetic keystroke traces: six users, 9,986 keystrokes.
+//!
+//! The paper's traces are private, so we synthesize six user profiles
+//! matching its described workload (§4): shells, mail clients, editors,
+//! chat, and text-mode browsing, with "typical, real-world" inter-keystroke
+//! timing and the paper's observed mix — roughly 70% predictable "typing"
+//! and 30% "navigation" keystrokes. Long idle periods are compressed, as
+//! the paper's replay did.
+
+use crate::workload::AppKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Total keystrokes across all six users (as in the paper).
+pub const TOTAL_KEYSTROKES: usize = 9_986;
+
+/// Per-user keystroke counts summing to [`TOTAL_KEYSTROKES`].
+pub const USER_KEYSTROKES: [usize; 6] = [2105, 1987, 1612, 1498, 1411, 1373];
+
+/// Classification of a keystroke for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyKind {
+    /// Ordinary typing (printables, backspace): predictable echo.
+    Typing,
+    /// Navigation (arrows, paging, mail index movement): unpredictable.
+    Navigation,
+    /// Control (ENTER, escape, app switching): epoch boundaries.
+    Control,
+}
+
+/// One keystroke of a trace.
+#[derive(Debug, Clone)]
+pub struct TraceKey {
+    /// Gap since the previous keystroke in milliseconds.
+    pub gap_ms: u64,
+    /// The bytes the client sends.
+    pub bytes: Vec<u8>,
+    /// Reporting class.
+    pub kind: KeyKind,
+}
+
+/// A contiguous stretch of a session inside one application.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Which application class hosts this segment.
+    pub app: AppKind,
+    /// The keystrokes, in order.
+    pub keys: Vec<TraceKey>,
+}
+
+/// One user's full trace.
+#[derive(Debug, Clone)]
+pub struct UserTrace {
+    /// Profile name (for reports).
+    pub name: &'static str,
+    /// Segments in session order.
+    pub segments: Vec<Segment>,
+}
+
+impl UserTrace {
+    /// Total keystrokes in the trace (excluding app-switch controls the
+    /// replay inserts between segments).
+    pub fn keystrokes(&self) -> usize {
+        self.segments.iter().map(|s| s.keys.len()).sum()
+    }
+
+    /// Fraction of keystrokes classified as typing.
+    pub fn typing_fraction(&self) -> f64 {
+        let total = self.keystrokes().max(1);
+        let typing = self
+            .segments
+            .iter()
+            .flat_map(|s| &s.keys)
+            .filter(|k| k.kind == KeyKind::Typing)
+            .count();
+        typing as f64 / total as f64
+    }
+}
+
+const WORDS: &[&str] = &[
+    "the", "of", "and", "to", "in", "is", "that", "for", "it", "was", "on", "are", "as",
+    "with", "his", "they", "at", "this", "have", "from", "or", "had", "by", "but", "some",
+    "what", "there", "we", "can", "out", "other", "were", "all", "your", "when", "up", "use",
+    "word", "how", "said", "each", "she", "which", "their", "time", "will", "way", "about",
+    "many", "then", "them", "would", "write", "like", "these", "her", "long", "make",
+    "thing", "see", "him", "two", "has", "look", "more", "day", "could", "come", "did",
+    "number", "sound", "most", "people", "over", "know", "water", "than", "call", "first",
+];
+
+const COMMANDS: &[&str] = &[
+    "ls",
+    "echo finished building the tree",
+    "cat 12",
+    "echo remember to update the changelog before the release",
+    "seq 8",
+    "echo hello world this is a longer line of shell typing",
+    "cat 6",
+    "echo the quick brown fox jumps over the lazy dog",
+    "echo reviewing the patch series now will reply with comments",
+];
+
+struct Gen<'a> {
+    rng: &'a mut StdRng,
+}
+
+impl Gen<'_> {
+    /// Inter-key gap while fluently typing (~120–300 ms).
+    fn typing_gap(&mut self) -> u64 {
+        80 + self.rng.gen_range(0..180) + self.rng.gen_range(0..60)
+    }
+
+    /// Pause at a word boundary or line start (~0.3–2 s, compressed).
+    fn think_gap(&mut self) -> u64 {
+        300 + self.rng.gen_range(0..1700)
+    }
+
+    /// Pause while reading before navigating (~0.4–3 s, compressed).
+    fn read_gap(&mut self) -> u64 {
+        400 + self.rng.gen_range(0..2600)
+    }
+
+    fn type_text(&mut self, text: &str, out: &mut Vec<TraceKey>, budget: &mut usize) {
+        for (i, ch) in text.chars().enumerate() {
+            if *budget == 0 {
+                return;
+            }
+            let gap = if i == 0 { self.think_gap() } else { self.typing_gap() };
+            out.push(TraceKey {
+                gap_ms: gap,
+                bytes: ch.to_string().into_bytes(),
+                kind: KeyKind::Typing,
+            });
+            *budget -= 1;
+            // Occasional typo corrected with one backspace.
+            if *budget > 0 && self.rng.gen_bool(0.02) {
+                out.push(TraceKey {
+                    gap_ms: self.typing_gap(),
+                    bytes: vec![0x7f],
+                    kind: KeyKind::Typing,
+                });
+                *budget -= 1;
+            }
+        }
+    }
+
+    fn press(&mut self, bytes: &[u8], kind: KeyKind, gap: u64, out: &mut Vec<TraceKey>, budget: &mut usize) {
+        if *budget == 0 {
+            return;
+        }
+        out.push(TraceKey {
+            gap_ms: gap,
+            bytes: bytes.to_vec(),
+            kind,
+        });
+        *budget -= 1;
+    }
+}
+
+fn shell_segment(rng: &mut StdRng, budget: &mut usize, chat_style: bool) -> Segment {
+    let mut g = Gen { rng };
+    let mut keys = Vec::new();
+    while *budget > 0 && keys.len() < 400 {
+        if chat_style {
+            // Chat: lines of prose sent with ENTER ("echo" as the message).
+            let n = g.rng.gen_range(5..14);
+            let mut line = String::from("echo");
+            for _ in 0..n {
+                line.push(' ');
+                line.push_str(WORDS[g.rng.gen_range(0..WORDS.len())]);
+            }
+            g.type_text(&line, &mut keys, budget);
+            let gap = g.typing_gap();
+            g.press(b"\r", KeyKind::Control, gap, &mut keys, budget);
+        } else {
+            let cmd = COMMANDS[g.rng.gen_range(0..COMMANDS.len())];
+            g.type_text(cmd, &mut keys, budget);
+            let gap = g.typing_gap();
+            g.press(b"\r", KeyKind::Control, gap, &mut keys, budget);
+        }
+    }
+    Segment {
+        app: AppKind::Shell,
+        keys,
+    }
+}
+
+fn editor_segment(rng: &mut StdRng, budget: &mut usize, vi_style: bool) -> Segment {
+    let mut g = Gen { rng };
+    let mut keys = Vec::new();
+    while *budget > 0 && keys.len() < 500 {
+        // Type a phrase of code/prose.
+        let n = g.rng.gen_range(5..12);
+        for _ in 0..n {
+            let w = WORDS[g.rng.gen_range(0..WORDS.len())];
+            g.type_text(w, &mut keys, budget);
+            let gap = g.typing_gap();
+            g.press(b" ", KeyKind::Typing, gap, &mut keys, budget);
+        }
+        let gap = g.typing_gap();
+        g.press(b"\r", KeyKind::Control, gap, &mut keys, budget);
+        // Navigate around occasionally (arrows; in vi, via normal mode).
+        if vi_style && *budget > 2 && g.rng.gen_bool(0.7) {
+            let gap = g.think_gap();
+            g.press(b"\x1b", KeyKind::Control, gap, &mut keys, budget);
+            for _ in 0..g.rng.gen_range(2..8) {
+                let dir: &[u8] = match g.rng.gen_range(0..4) {
+                    0 => b"\x1b[A",
+                    1 => b"\x1b[B",
+                    2 => b"\x1b[C",
+                    _ => b"\x1b[D",
+                };
+                let gap = g.read_gap();
+                g.press(dir, KeyKind::Navigation, gap, &mut keys, budget);
+            }
+            let gap = g.think_gap();
+            g.press(b"i", KeyKind::Control, gap, &mut keys, budget);
+        } else if g.rng.gen_bool(0.5) {
+            for _ in 0..g.rng.gen_range(2..6) {
+                let dir: &[u8] = if g.rng.gen_bool(0.5) { b"\x1b[A" } else { b"\x1b[B" };
+                let gap = g.read_gap();
+                g.press(dir, KeyKind::Navigation, gap, &mut keys, budget);
+            }
+        }
+    }
+    Segment {
+        app: AppKind::Editor,
+        keys,
+    }
+}
+
+fn mail_segment(rng: &mut StdRng, budget: &mut usize) -> Segment {
+    let mut g = Gen { rng };
+    let mut keys = Vec::new();
+    while *budget > 0 && keys.len() < 300 {
+        // Browse the index ("n" to move to the next message, §3.2).
+        for _ in 0..g.rng.gen_range(5..13) {
+            let k: &[u8] = if g.rng.gen_bool(0.7) { b"n" } else { b"k" };
+            let gap = g.read_gap();
+            g.press(k, KeyKind::Navigation, gap, &mut keys, budget);
+        }
+        let gap = g.read_gap();
+        g.press(b"\r", KeyKind::Control, gap, &mut keys, budget);
+        let gap = g.read_gap();
+        g.press(b"i", KeyKind::Navigation, gap, &mut keys, budget);
+    }
+    Segment {
+        app: AppKind::Mail,
+        keys,
+    }
+}
+
+fn pager_segment(rng: &mut StdRng, budget: &mut usize) -> Segment {
+    let mut g = Gen { rng };
+    let mut keys = Vec::new();
+    while *budget > 0 && keys.len() < 260 {
+        let k: &[u8] = match g.rng.gen_range(0..4) {
+            0 => b" ",
+            1 => b"j",
+            2 => b"j",
+            _ => b"b",
+        };
+        let gap = g.read_gap();
+        g.press(k, KeyKind::Navigation, gap, &mut keys, budget);
+    }
+    Segment {
+        app: AppKind::Pager,
+        keys,
+    }
+}
+
+/// Generates one user's trace with exactly `count` keystrokes.
+fn user(name: &'static str, seed: u64, count: usize, profile: usize) -> UserTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut budget = count;
+    let mut segments = Vec::new();
+    while budget > 0 {
+        let seg = match profile {
+            // bash/zsh heavy user.
+            0 => shell_segment(&mut rng, &mut budget, false),
+            // emacs user: mostly editor, some shell.
+            1 => {
+                if rng.gen_bool(0.75) {
+                    editor_segment(&mut rng, &mut budget, false)
+                } else {
+                    shell_segment(&mut rng, &mut budget, false)
+                }
+            }
+            // vim user.
+            2 => {
+                if rng.gen_bool(0.75) {
+                    editor_segment(&mut rng, &mut budget, true)
+                } else {
+                    shell_segment(&mut rng, &mut budget, false)
+                }
+            }
+            // alpine/mutt user: browsing the index plus composing
+            // replies (remote-echo typing, like alpine's composer).
+            3 => {
+                if rng.gen_bool(0.7) {
+                    mail_segment(&mut rng, &mut budget)
+                } else {
+                    shell_segment(&mut rng, &mut budget, false)
+                }
+            }
+            // irssi/barnowl chat user.
+            4 => shell_segment(&mut rng, &mut budget, true),
+            // links browsing user: pager plus shell.
+            _ => {
+                if rng.gen_bool(0.7) {
+                    pager_segment(&mut rng, &mut budget)
+                } else {
+                    shell_segment(&mut rng, &mut budget, false)
+                }
+            }
+        };
+        if !seg.keys.is_empty() {
+            segments.push(seg);
+        }
+    }
+    UserTrace { name, segments }
+}
+
+/// The six users of the evaluation, 9,986 keystrokes in total.
+pub fn six_users() -> Vec<UserTrace> {
+    vec![
+        user("user1-bash", 101, USER_KEYSTROKES[0], 0),
+        user("user2-emacs", 202, USER_KEYSTROKES[1], 1),
+        user("user3-vim", 303, USER_KEYSTROKES[2], 2),
+        user("user4-alpine", 404, USER_KEYSTROKES[3], 3),
+        user("user5-irssi", 505, USER_KEYSTROKES[4], 4),
+        user("user6-links", 606, USER_KEYSTROKES[5], 5),
+    ]
+}
+
+/// A small trace for fast tests: one shell user, `n` keystrokes.
+pub fn small_trace(n: usize) -> UserTrace {
+    user("test-user", 7, n, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_users_total_exactly_9986() {
+        let users = six_users();
+        assert_eq!(users.len(), 6);
+        let total: usize = users.iter().map(|u| u.keystrokes()).sum();
+        assert_eq!(total, TOTAL_KEYSTROKES);
+    }
+
+    #[test]
+    fn per_user_counts_match() {
+        for (u, want) in six_users().iter().zip(USER_KEYSTROKES) {
+            assert_eq!(u.keystrokes(), want, "{}", u.name);
+        }
+    }
+
+    #[test]
+    fn typing_fraction_is_about_70_percent() {
+        let users = six_users();
+        let total: usize = users.iter().map(|u| u.keystrokes()).sum();
+        let typing: f64 = users
+            .iter()
+            .map(|u| u.typing_fraction() * u.keystrokes() as f64)
+            .sum();
+        let frac = typing / total as f64;
+        assert!(
+            (0.65..=0.82).contains(&frac),
+            "typing fraction {frac:.2} should be near the paper's ~70%"
+        );
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let a = six_users();
+        let b = six_users();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.keystrokes(), y.keystrokes());
+            for (sx, sy) in x.segments.iter().zip(&y.segments) {
+                for (kx, ky) in sx.keys.iter().zip(&sy.keys) {
+                    assert_eq!(kx.bytes, ky.bytes);
+                    assert_eq!(kx.gap_ms, ky.gap_ms);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gaps_are_compressed_real_world() {
+        for u in six_users() {
+            for s in &u.segments {
+                for k in &s.keys {
+                    assert!(k.gap_ms >= 80, "no superhuman typing");
+                    assert!(k.gap_ms <= 5000, "long idles are sped up");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_trace_is_small() {
+        assert_eq!(small_trace(50).keystrokes(), 50);
+    }
+}

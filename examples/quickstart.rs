@@ -1,0 +1,59 @@
+//! Quickstart: a complete Mosh session over an emulated 3G network.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use mosh::core::{LineShell, MoshClient, MoshServer};
+use mosh::crypto::Base64Key;
+use mosh::net::{Addr, LinkConfig, Network, Side};
+use mosh::prediction::DisplayPreference;
+
+fn main() {
+    let key = Base64Key::random();
+    println!("MOSH CONNECT 60001 {key}\n");
+
+    let mut net = Network::new(LinkConfig::evdo_uplink(), LinkConfig::evdo_downlink(), 7);
+    let c = Addr::new(1, 1000);
+    let s = Addr::new(2, 60001);
+    net.register(c, Side::Client);
+    net.register(s, Side::Server);
+
+    let mut client = MoshClient::new(key.clone(), s, 80, 24, DisplayPreference::Adaptive);
+    let mut server = MoshServer::new(key, Box::new(LineShell::new()));
+
+    // The user types `ls` and presses ENTER, with human timing.
+    let script: &[(u64, &[u8])] = &[(2000, b"l"), (2210, b"s"), (2420, b"\r")];
+    let mut si = 0;
+
+    for now in 0..8000u64 {
+        while si < script.len() && script[si].0 <= now {
+            let shown = client.keystroke(now, script[si].1);
+            println!(
+                "t={now:>5} ms  typed {:?}  predicted instantly: {shown}",
+                String::from_utf8_lossy(script[si].1)
+            );
+            si += 1;
+        }
+        for (to, wire) in client.tick(now) {
+            net.send(c, to, wire);
+        }
+        for (to, wire) in server.tick(now) {
+            net.send(s, to, wire);
+        }
+        net.advance_to(now + 1);
+        while let Some(dg) = net.recv(s) {
+            server.receive(now + 1, dg.from, &dg.payload);
+        }
+        while let Some(dg) = net.recv(c) {
+            client.receive(now + 1, &dg.payload);
+        }
+    }
+
+    println!("\nFinal screen as seen by the user (RTT ≈ 500 ms):");
+    println!("┌{}┐", "─".repeat(40));
+    let display = client.display();
+    for row in 0..8 {
+        println!("│{:<40}│", display.row_text(row).chars().take(40).collect::<String>());
+    }
+    println!("└{}┘", "─".repeat(40));
+    println!("client SRTT estimate: {:.0} ms", client.srtt());
+}

@@ -1,0 +1,65 @@
+//! Roaming: the client hops networks mid-session and nothing breaks.
+//!
+//! Paper §2.2: "client roaming happens automatically, without the client's
+//! timing out or even knowing that it has changed public IP addresses."
+//!
+//! Run with `cargo run --example roaming`.
+
+use mosh::core::{LineShell, MoshClient, MoshServer};
+use mosh::crypto::Base64Key;
+use mosh::net::{Addr, LinkConfig, Network, Side};
+use mosh::prediction::DisplayPreference;
+
+fn main() {
+    let key = Base64Key::random();
+    let mut net = Network::new(LinkConfig::lan(), LinkConfig::lan(), 3);
+    let wifi = Addr::new(10, 1000); // coffee-shop Wi-Fi
+    let lte = Addr::new(99, 40512); // cellular, after walking out the door
+    let server = Addr::new(2, 60001);
+    net.register(wifi, Side::Client);
+    net.register(lte, Side::Client);
+    net.register(server, Side::Server);
+
+    let mut client = MoshClient::new(key.clone(), server, 80, 24, DisplayPreference::Adaptive);
+    let mut srv = MoshServer::new(key, Box::new(LineShell::new()));
+
+    let mut from = wifi;
+    for now in 0..4000u64 {
+        match now {
+            1000 => {
+                client.keystroke(now, b"a");
+                println!("t=1000  typed 'a' from {from}");
+            }
+            2000 => {
+                from = lte; // The IP address changes; no reconnect, no API call.
+                println!("t=2000  *** roamed: now sending from {from} ***");
+            }
+            2100 => {
+                client.keystroke(now, b"b");
+                println!("t=2100  typed 'b' from {from}");
+            }
+            _ => {}
+        }
+        for (to, wire) in client.tick(now) {
+            net.send(from, to, wire);
+        }
+        for (to, wire) in srv.tick(now) {
+            net.send(server, to, wire);
+        }
+        net.advance_to(now + 1);
+        while let Some(dg) = net.recv(server) {
+            srv.receive(now + 1, dg.from, &dg.payload);
+        }
+        for addr in [wifi, lte] {
+            while let Some(dg) = net.recv(addr) {
+                client.receive(now + 1, &dg.payload);
+            }
+        }
+    }
+
+    println!("\nserver now targets: {}", srv.target().expect("connected"));
+    println!("screen: {:?}", client.server_frame().row_text(0));
+    assert_eq!(srv.target(), Some(lte));
+    assert_eq!(client.server_frame().row_text(0), "$ ab");
+    println!("both keystrokes arrived; the session never noticed the move.");
+}

@@ -1,0 +1,34 @@
+//! Side-by-side: the same keystrokes over SSH and Mosh on a 3G path.
+//!
+//! Run with `cargo run --release --example ssh_vs_mosh`.
+
+use mosh::net::LinkConfig;
+use mosh::prediction::DisplayPreference;
+use mosh::trace::{replay_mosh, replay_ssh, small_trace, ReplayConfig};
+
+fn main() {
+    let trace = small_trace(150);
+    let cfg = ReplayConfig {
+        up: LinkConfig::evdo_uplink(),
+        down: LinkConfig::evdo_downlink(),
+        seed: 1,
+        preference: DisplayPreference::Adaptive,
+        mindelay: None,
+        bulk_download: false,
+    };
+    println!("replaying 150 keystrokes over an emulated EV-DO (3G) path...\n");
+    let mosh = replay_mosh(&trace, &cfg);
+    let ssh = replay_ssh(&trace, &cfg);
+    println!(
+        "  SSH : median {:>6.0} ms   mean {:>6.0} ms",
+        ssh.latencies.median(),
+        ssh.latencies.mean()
+    );
+    println!(
+        "  Mosh: median {:>6.0} ms   mean {:>6.0} ms   ({} of {} keystrokes instant)",
+        mosh.latencies.median(),
+        mosh.latencies.mean(),
+        mosh.instant,
+        mosh.measured
+    );
+}

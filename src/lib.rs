@@ -1,0 +1,67 @@
+//! # mosh-rs — a Rust reproduction of Mosh (the mobile shell)
+//!
+//! This crate re-exports the full system described in *Mosh: An
+//! Interactive Remote Shell for Mobile Clients* (Winstein & Balakrishnan,
+//! USENIX ATC 2012):
+//!
+//! * [`ssp`] — the State Synchronization Protocol: encrypted, roaming,
+//!   diff-based object synchronization over UDP datagrams (paper §2).
+//! * [`terminal`] — the ECMA-48 character-cell emulator and frame differ
+//!   (paper §3.1).
+//! * [`prediction`] — speculative local echo with epochs and server echo
+//!   acks (paper §3.2).
+//! * [`core`] — client/server sessions and the hosted applications.
+//! * [`net`] — the discrete-event network emulator used for evaluation.
+//! * [`tcp`] / [`ssh`] — the TCP substrate and SSH baseline.
+//! * [`trace`] — six-user keystroke traces, replay, and statistics (§4).
+//! * [`crypto`] — AES-128-OCB authenticated encryption (§2.2).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mosh::core::{LineShell, MoshClient, MoshServer};
+//! use mosh::crypto::Base64Key;
+//! use mosh::net::{Addr, LinkConfig, Network, Side};
+//! use mosh::prediction::DisplayPreference;
+//!
+//! // A shared key, exactly like `mosh-server` prints during bootstrap.
+//! let key = Base64Key::random();
+//!
+//! // An emulated mobile network path.
+//! let mut net = Network::new(LinkConfig::lan(), LinkConfig::lan(), 7);
+//! let (c, s) = (Addr::new(1, 1000), Addr::new(2, 60001));
+//! net.register(c, Side::Client);
+//! net.register(s, Side::Server);
+//!
+//! let mut client = MoshClient::new(key.clone(), s, 80, 24, DisplayPreference::Adaptive);
+//! let mut server = MoshServer::new(key, Box::new(LineShell::new()));
+//!
+//! // Run both endpoints for half a virtual second.
+//! for now in 0..500 {
+//!     for (to, wire) in client.tick(now) {
+//!         net.send(c, to, wire);
+//!     }
+//!     for (to, wire) in server.tick(now) {
+//!         net.send(s, to, wire);
+//!     }
+//!     net.advance_to(now + 1);
+//!     while let Some(dg) = net.recv(s) {
+//!         server.receive(now + 1, dg.from, &dg.payload);
+//!     }
+//!     while let Some(dg) = net.recv(c) {
+//!         client.receive(now + 1, &dg.payload);
+//!     }
+//! }
+//! assert_eq!(client.server_frame().row_text(0), "$");
+//! ```
+
+pub use mosh_core as core;
+pub use mosh_crypto as crypto;
+pub use mosh_net as net;
+pub use mosh_prediction as prediction;
+pub use mosh_ssh as ssh;
+pub use mosh_ssp as ssp;
+pub use mosh_states as states;
+pub use mosh_tcp as tcp;
+pub use mosh_terminal as terminal;
+pub use mosh_trace as trace;

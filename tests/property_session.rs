@@ -1,0 +1,123 @@
+//! End-to-end property tests: whole-session invariants under randomized
+//! networks and inputs.
+
+use mosh::core::{LineShell, MoshClient, MoshServer};
+use mosh::crypto::Base64Key;
+use mosh::net::{Addr, LinkConfig, Network, Side};
+use mosh::prediction::DisplayPreference;
+use proptest::prelude::*;
+
+fn drive(
+    net: &mut Network,
+    client: &mut MoshClient,
+    server: &mut MoshServer,
+    c: Addr,
+    s: Addr,
+    now: &mut u64,
+    until: u64,
+) {
+    while *now < until {
+        for (to, w) in client.tick(*now) {
+            net.send(c, to, w);
+        }
+        for (to, w) in server.tick(*now) {
+            net.send(s, to, w);
+        }
+        *now += 1;
+        net.advance_to(*now);
+        while let Some(dg) = net.recv(s) {
+            server.receive(*now, dg.from, &dg.payload);
+        }
+        while let Some(dg) = net.recv(c) {
+            client.receive(*now, &dg.payload);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any sequence of printable keystrokes over any moderately lossy link
+    /// converges: the client's display eventually equals the server's
+    /// authoritative screen, and the shell received the full line.
+    #[test]
+    fn session_converges_under_random_loss_and_typing(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.35,
+        delay in 5u64..300,
+        text in "[a-z ]{1,24}",
+    ) {
+        let link = LinkConfig { loss, delay_ms: delay, ..LinkConfig::lan() };
+        let key_bytes: [u8; 16] = seed
+            .to_le_bytes()
+            .repeat(2)
+            .try_into()
+            .expect("16 bytes");
+        let key = Base64Key::from_bytes(key_bytes);
+        let mut net = Network::new(link.clone(), link, seed);
+        let c = Addr::new(1, 1000);
+        let s = Addr::new(2, 60001);
+        net.register(c, Side::Client);
+        net.register(s, Side::Server);
+        let mut client = MoshClient::new(key.clone(), s, 80, 24, DisplayPreference::Adaptive);
+        let mut server = MoshServer::new(key, Box::new(LineShell::new()));
+        let mut now = 0u64;
+
+        drive(&mut net, &mut client, &mut server, c, s, &mut now, 3000);
+        for ch in text.bytes() {
+            client.keystroke(now, &[ch]);
+            let until = now + 120;
+            drive(&mut net, &mut client, &mut server, c, s, &mut now, until);
+        }
+        // Quiescence: generous for the lossiest cases (RTO <= 1 s).
+        let until = now + 30_000;
+        drive(&mut net, &mut client, &mut server, c, s, &mut now, until);
+
+        // The server's line buffer saw every keystroke, in order.
+        let expected = format!("$ {}", text);
+        prop_assert_eq!(
+            server.frame().row_text(0),
+            expected.trim_end(),
+            "server echoed the full input"
+        );
+        // The client converged to the authoritative screen, and any
+        // leftover prediction overlays agree with it.
+        prop_assert_eq!(client.server_frame(), server.frame());
+        prop_assert_eq!(&client.display(), server.frame());
+    }
+
+    /// Roaming through an arbitrary sequence of addresses never loses
+    /// keystrokes or reorders them.
+    #[test]
+    fn roaming_preserves_input_ordering(
+        seed in any::<u64>(),
+        hops in proptest::collection::vec(3u32..200, 1..5),
+    ) {
+        let key = Base64Key::from_bytes([9u8; 16]);
+        let mut net = Network::new(LinkConfig::lan(), LinkConfig::lan(), seed);
+        let s = Addr::new(2, 60001);
+        let mut c = Addr::new(1, 1000);
+        net.register(c, Side::Client);
+        net.register(s, Side::Server);
+        let mut client = MoshClient::new(key.clone(), s, 80, 24, DisplayPreference::Never);
+        let mut server = MoshServer::new(key, Box::new(LineShell::new()));
+        let mut now = 0u64;
+        drive(&mut net, &mut client, &mut server, c, s, &mut now, 1000);
+
+        let mut expected = String::from("$ ");
+        for (i, hop) in hops.iter().enumerate() {
+            // Roam to a new address, then type one letter.
+            c = Addr::new(*hop, 1000 + i as u16);
+            net.register(c, Side::Client);
+            let letter = b'a' + (i as u8 % 26);
+            client.keystroke(now, &[letter]);
+            expected.push(letter as char);
+            let until = now + 800;
+            drive(&mut net, &mut client, &mut server, c, s, &mut now, until);
+        }
+        let until = now + 3000;
+        drive(&mut net, &mut client, &mut server, c, s, &mut now, until);
+        prop_assert_eq!(server.frame().row_text(0), expected.trim_end());
+        prop_assert_eq!(server.target(), Some(c), "server follows the last hop");
+    }
+}
