@@ -34,8 +34,13 @@ fn terminal(c: &mut Criterion) {
     let mut chunk = Vec::new();
     for i in 0..50 {
         chunk.extend_from_slice(
-            format!("\x1b[{};1H\x1b[1;3{}mline {} of heavy output\x1b[0m\r\n", i % 24 + 1, i % 8, i)
-                .as_bytes(),
+            format!(
+                "\x1b[{};1H\x1b[1;3{}mline {} of heavy output\x1b[0m\r\n",
+                i % 24 + 1,
+                i % 8,
+                i
+            )
+            .as_bytes(),
         );
     }
     g.throughput(Throughput::Bytes(chunk.len() as u64));

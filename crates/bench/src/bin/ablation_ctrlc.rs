@@ -34,7 +34,11 @@ fn main() {
     let mut client = MoshClient::new(key.clone(), s, 80, 24, DisplayPreference::Never);
     let mut server = MoshServer::new(key, Box::new(LineShell::new()));
     let mut now = 0u64;
-    let run = |client: &mut MoshClient, server: &mut MoshServer, net: &mut Network, now: &mut u64, until: u64| {
+    let run = |client: &mut MoshClient,
+               server: &mut MoshServer,
+               net: &mut Network,
+               now: &mut u64,
+               until: u64| {
         while *now < until {
             for (to, w) in client.tick(*now) {
                 net.send(c, to, w);
@@ -86,7 +90,11 @@ fn main() {
     let mut sclient = SshClient::new(ca, sa, 80, 24);
     let mut sserver = SshServer::new(sa, ca, Box::new(LineShell::new()));
     let mut now = 0u64;
-    let run2 = |client: &mut SshClient, server: &mut SshServer, net: &mut Network, now: &mut u64, until: u64| {
+    let run2 = |client: &mut SshClient,
+                server: &mut SshServer,
+                net: &mut Network,
+                now: &mut u64,
+                until: u64| {
         while *now < until {
             for (to, w) in client.tick(*now) {
                 net.send(ca, to, w);

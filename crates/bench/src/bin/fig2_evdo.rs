@@ -24,7 +24,9 @@ fn main() {
     println!("  mispredictions         {mispred_pct:.1}%  (paper: 0.9%)");
 
     println!("\n  CDF (latency ms -> cumulative %):");
-    let thresholds = [0.0, 5.0, 50.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 800.0, 1000.0];
+    let thresholds = [
+        0.0, 5.0, 50.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 800.0, 1000.0,
+    ];
     println!("   {:>8}  {:>8}  {:>8}", "ms", "Mosh", "SSH");
     for &t in &thresholds {
         println!(

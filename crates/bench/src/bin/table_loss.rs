@@ -19,5 +19,9 @@ fn main() {
     let ssh = run_ssh(&traces, &cfg);
     let mosh = run_mosh(&traces, &cfg);
     print_row("SSH", &ssh.latencies, "0.416 s / 16.8 s / 52.2 s");
-    print_row("Mosh (no predictions)", &mosh.latencies, "0.222 s / 0.329 s / 1.63 s");
+    print_row(
+        "Mosh (no predictions)",
+        &mosh.latencies,
+        "0.222 s / 0.329 s / 1.63 s",
+    );
 }

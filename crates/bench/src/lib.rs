@@ -11,8 +11,8 @@ use mosh_trace::{replay_mosh, replay_ssh, Latencies, ReplayConfig, ReplayOutcome
 /// Which traces to replay: the full six users, or a quick subset when the
 /// binary is invoked with `--quick` (or `MOSH_BENCH_QUICK=1`).
 pub fn traces() -> Vec<UserTrace> {
-    let quick = std::env::args().any(|a| a == "--quick")
-        || std::env::var("MOSH_BENCH_QUICK").is_ok();
+    let quick =
+        std::env::args().any(|a| a == "--quick") || std::env::var("MOSH_BENCH_QUICK").is_ok();
     if quick {
         vec![mosh_trace::small_trace(250)]
     } else {

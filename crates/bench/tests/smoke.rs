@@ -1,0 +1,79 @@
+//! Smoke tests: every figure/table binary must run to completion in
+//! `--quick` mode and print its report. This keeps the evaluation
+//! binaries from silently rotting as the crates under them evolve.
+//!
+//! Cargo builds each `[[bin]]` target before running these tests and
+//! exposes its path through `CARGO_BIN_EXE_<name>`.
+
+use std::process::Command;
+
+fn run_quick(exe: &str, expect: &[&str]) {
+    let out = Command::new(exe)
+        .arg("--quick")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} --quick exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in expect {
+        assert!(
+            stdout.contains(needle),
+            "{exe} --quick output missing {needle:?}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn fig2_evdo_quick() {
+    run_quick(
+        env!("CARGO_BIN_EXE_fig2_evdo"),
+        &["Figure 2", "Mosh", "SSH", "instant keystrokes"],
+    );
+}
+
+#[test]
+fn fig3_collection_quick() {
+    run_quick(
+        env!("CARGO_BIN_EXE_fig3_collection"),
+        &["Figure 3", "curve minimum"],
+    );
+}
+
+#[test]
+fn table_loss_quick() {
+    run_quick(
+        env!("CARGO_BIN_EXE_table_loss"),
+        &["packet loss", "SSH", "Mosh"],
+    );
+}
+
+#[test]
+fn table_lte_quick() {
+    run_quick(env!("CARGO_BIN_EXE_table_lte"), &["SSH", "Mosh"]);
+}
+
+#[test]
+fn table_singapore_quick() {
+    run_quick(
+        env!("CARGO_BIN_EXE_table_singapore"),
+        &["SSH", "Mosh", "instant keystrokes"],
+    );
+}
+
+#[test]
+fn ablation_ack_quick() {
+    run_quick(env!("CARGO_BIN_EXE_ablation_ack"), &["Ablation", "acks"]);
+}
+
+#[test]
+fn ablation_ctrlc_quick() {
+    run_quick(
+        env!("CARGO_BIN_EXE_ablation_ctrlc"),
+        &["Ablation", "Control-C", "visible after"],
+    );
+}

@@ -115,7 +115,10 @@ impl LineShell {
         if self.passwd_pending {
             self.passwd_pending = false;
             self.echo_on = true;
-            emit(t + 30, "\r\npasswd: password updated successfully\r\n".into());
+            emit(
+                t + 30,
+                "\r\npasswd: password updated successfully\r\n".into(),
+            );
             emit(t + 31, self.prompt.into());
             return;
         }
@@ -233,7 +236,10 @@ impl Application for LineShell {
         while self.flooding && self.next_flood_at <= now {
             let mut chunk = String::new();
             for _ in 0..20 {
-                chunk.push_str(&format!("y{}\r\n", "y".repeat((self.flood_line % 40) as usize)));
+                chunk.push_str(&format!(
+                    "y{}\r\n",
+                    "y".repeat((self.flood_line % 40) as usize)
+                ));
                 self.flood_line += 1;
             }
             out.push(TimedWrite {
@@ -292,7 +298,11 @@ impl Editor {
     fn full_redraw(&self, at: Millis) -> TimedWrite {
         let mut s = String::from("\x1b[?1049h\x1b[2J\x1b[H");
         for (i, line) in self.lines.iter().take(self.height - 1).enumerate() {
-            s.push_str(&format!("\x1b[{};1H{}", i + 1, &line[..line.len().min(self.width)]));
+            s.push_str(&format!(
+                "\x1b[{};1H{}",
+                i + 1,
+                &line[..line.len().min(self.width)]
+            ));
         }
         s.push_str(&self.status_line());
         s.push_str(&self.cursor_goto());
@@ -340,12 +350,16 @@ impl Application for Editor {
         match bytes {
             b"\x1b[A" => {
                 self.row = self.row.saturating_sub(1);
-                self.col = self.col.min(self.lines.get(self.row).map_or(0, |l| l.len()));
+                self.col = self
+                    .col
+                    .min(self.lines.get(self.row).map_or(0, |l| l.len()));
                 emit(format!("{}{}", self.status_line(), self.cursor_goto()))
             }
             b"\x1b[B" => {
                 self.row = (self.row + 1).min(self.lines.len().saturating_sub(1));
-                self.col = self.col.min(self.lines.get(self.row).map_or(0, |l| l.len()));
+                self.col = self
+                    .col
+                    .min(self.lines.get(self.row).map_or(0, |l| l.len()));
                 emit(format!("{}{}", self.status_line(), self.cursor_goto()))
             }
             b"\x1b[C" => {
@@ -445,7 +459,9 @@ impl Pager {
     pub fn new(n: usize) -> Self {
         Pager {
             content: (0..n)
-                .map(|i| format!("{i:5}  Lorem ipsum dolor sit amet, consectetur adipiscing elit #{i}"))
+                .map(|i| {
+                    format!("{i:5}  Lorem ipsum dolor sit amet, consectetur adipiscing elit #{i}")
+                })
                 .collect(),
             top: 0,
             width: 80,
@@ -457,13 +473,7 @@ impl Pager {
     fn redraw(&self, at: Millis) -> TimedWrite {
         let mut s = String::from("\x1b[2J\x1b[H");
         let body = self.height - 1;
-        for (i, line) in self
-            .content
-            .iter()
-            .skip(self.top)
-            .take(body)
-            .enumerate()
-        {
+        for (i, line) in self.content.iter().skip(self.top).take(body).enumerate() {
             s.push_str(&format!(
                 "\x1b[{};1H{}",
                 i + 1,
@@ -549,7 +559,14 @@ impl MailReader {
     pub fn new(n: usize) -> Self {
         MailReader {
             subjects: (0..n)
-                .map(|i| format!("  {} person{}@example.com   Re: meeting notes #{}", i + 1, i % 7, i))
+                .map(|i| {
+                    format!(
+                        "  {} person{}@example.com   Re: meeting notes #{}",
+                        i + 1,
+                        i % 7,
+                        i
+                    )
+                })
                 .collect(),
             selected: 0,
             reading: false,
@@ -579,11 +596,7 @@ impl MailReader {
     fn move_bar(&self, old: usize, at: Millis) -> TimedWrite {
         // Realistic mail clients repaint only the two affected rows.
         let mut s = String::new();
-        s.push_str(&format!(
-            "\x1b[{};1H\x1b[K{}",
-            old + 2,
-            self.subjects[old]
-        ));
+        s.push_str(&format!("\x1b[{};1H\x1b[K{}", old + 2, self.subjects[old]));
         s.push_str(&format!(
             "\x1b[{};1H\x1b[7m{}\x1b[0m",
             self.selected + 2,
@@ -602,7 +615,9 @@ impl MailReader {
             self.subjects[self.selected].trim()
         ));
         for p in 0..12 {
-            s.push_str(&format!("Body paragraph {p}: text text text text text.\r\n"));
+            s.push_str(&format!(
+                "Body paragraph {p}: text text text text text.\r\n"
+            ));
         }
         TimedWrite {
             at,

@@ -212,7 +212,11 @@ mod tests {
 
     #[test]
     fn end_to_end_prompt_and_echo() {
-        let mut p = session(LinkConfig::lan(), LinkConfig::lan(), DisplayPreference::Never);
+        let mut p = session(
+            LinkConfig::lan(),
+            LinkConfig::lan(),
+            DisplayPreference::Never,
+        );
         // The hello datagram teaches the server the client's address; the
         // prompt arrives without the user typing anything.
         run(&mut p, 300);
@@ -289,14 +293,21 @@ mod tests {
         let t = p.now + 3000;
         run(&mut p, t);
         // The wrong overlays were repaired: display matches the server.
-        assert_eq!(p.client.display().row_text(0), p.client.server_frame().row_text(0));
+        assert_eq!(
+            p.client.display().row_text(0),
+            p.client.server_frame().row_text(0)
+        );
         assert_eq!(p.client.display().cursor, p.client.server_frame().cursor);
         assert!(p.client.prediction_stats().mispredicted > 0);
     }
 
     #[test]
     fn client_roams_mid_session() {
-        let mut p = session(LinkConfig::lan(), LinkConfig::lan(), DisplayPreference::Never);
+        let mut p = session(
+            LinkConfig::lan(),
+            LinkConfig::lan(),
+            DisplayPreference::Never,
+        );
         p.client.keystroke(0, b"a");
         run(&mut p, 500);
         assert_eq!(p.server.target(), Some(p.c_addr));
@@ -314,7 +325,11 @@ mod tests {
 
     #[test]
     fn display_without_predictions_equals_server_frame() {
-        let mut p = session(LinkConfig::lan(), LinkConfig::lan(), DisplayPreference::Never);
+        let mut p = session(
+            LinkConfig::lan(),
+            LinkConfig::lan(),
+            DisplayPreference::Never,
+        );
         p.client.keystroke(0, b"x");
         run(&mut p, 500);
         assert_eq!(&p.client.display(), p.client.server_frame());
@@ -322,7 +337,11 @@ mod tests {
 
     #[test]
     fn resize_propagates_to_server() {
-        let mut p = session(LinkConfig::lan(), LinkConfig::lan(), DisplayPreference::Never);
+        let mut p = session(
+            LinkConfig::lan(),
+            LinkConfig::lan(),
+            DisplayPreference::Never,
+        );
         p.client.keystroke(0, b"a");
         run(&mut p, 300);
         p.client.resize(p.now, 120, 40);

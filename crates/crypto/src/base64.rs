@@ -189,7 +189,10 @@ mod tests {
 
     #[test]
     fn random_keys_differ() {
-        assert_ne!(Base64Key::random().as_bytes(), Base64Key::random().as_bytes());
+        assert_ne!(
+            Base64Key::random().as_bytes(),
+            Base64Key::random().as_bytes()
+        );
     }
 
     #[test]

@@ -154,7 +154,8 @@ impl Ocb {
             offset[i] = if bitshift == 0 {
                 stretch[i + byteshift]
             } else {
-                (stretch[i + byteshift] << bitshift) | (stretch[i + byteshift + 1] >> (8 - bitshift))
+                (stretch[i + byteshift] << bitshift)
+                    | (stretch[i + byteshift + 1] >> (8 - bitshift))
             };
         }
         offset
@@ -372,7 +373,10 @@ mod tests {
         let ocb = rfc_ocb();
         let nonce = [9u8; 12];
         let sealed = ocb.seal(&nonce, b"right", b"payload");
-        assert_eq!(ocb.open(&nonce, b"wrong", &sealed), Err(CryptoError::BadTag));
+        assert_eq!(
+            ocb.open(&nonce, b"wrong", &sealed),
+            Err(CryptoError::BadTag)
+        );
     }
 
     #[test]
@@ -385,7 +389,10 @@ mod tests {
     #[test]
     fn truncated_input_is_rejected() {
         let ocb = rfc_ocb();
-        assert_eq!(ocb.open(&[1u8; 12], b"", b"short"), Err(CryptoError::Truncated));
+        assert_eq!(
+            ocb.open(&[1u8; 12], b"", b"short"),
+            Err(CryptoError::Truncated)
+        );
     }
 
     #[test]

@@ -66,7 +66,13 @@ impl Addr {
 
 impl std::fmt::Display for Addr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "10.0.{}.{}:{}", self.host >> 8, self.host & 0xff, self.port)
+        write!(
+            f,
+            "10.0.{}.{}:{}",
+            self.host >> 8,
+            self.host & 0xff,
+            self.port
+        )
     }
 }
 

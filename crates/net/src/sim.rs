@@ -181,7 +181,13 @@ impl Network {
 
         if from_side == to_side {
             // Same-side traffic short-circuits (loopback) with 0 delay.
-            self.schedule(self.now, Event::Arrive { dg, sent_at: self.now });
+            self.schedule(
+                self.now,
+                Event::Arrive {
+                    dg,
+                    sent_at: self.now,
+                },
+            );
             return;
         }
 
@@ -230,7 +236,13 @@ impl Network {
         let arrive = depart + self.links[dir].config.delay_ms + jitter;
 
         self.schedule(depart, Event::Depart { dir, size });
-        self.schedule(arrive, Event::Arrive { dg, sent_at: self.now });
+        self.schedule(
+            arrive,
+            Event::Arrive {
+                dg,
+                sent_at: self.now,
+            },
+        );
     }
 
     fn schedule(&mut self, at: Millis, event: Event) {

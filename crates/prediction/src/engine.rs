@@ -445,9 +445,7 @@ impl PredictionEngine {
         if glitch_hits > 0 {
             self.glitch_trigger = GLITCH_REPAIR_COUNT;
         } else {
-            self.glitch_trigger = self
-                .glitch_trigger
-                .saturating_sub(quick_confirms);
+            self.glitch_trigger = self.glitch_trigger.saturating_sub(quick_confirms);
         }
 
         if must_reset {
@@ -679,7 +677,7 @@ mod tests {
     fn no_underline_on_moderate_latency() {
         let base = frame(b"$ ");
         let mut e = confident_engine(&base); // srtt 200 → flagging on
-        // Drop to 60 ms: flagging hysteresis keeps it on until < 50.
+                                             // Drop to 60 ms: flagging hysteresis keeps it on until < 50.
         e.report_frame(600, &frame(b"$ x"), 1, 40.0);
         let fb = frame(b"$ x");
         e.new_user_input(700, 40.0, b"y", &fb, 2);

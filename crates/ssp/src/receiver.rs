@@ -123,9 +123,7 @@ impl<R: SyncState> Receiver<R> {
         }
 
         let advanced = instruction.new_num > self.latest_num();
-        let insert_at = self
-            .states
-            .partition_point(|s| s.num < instruction.new_num);
+        let insert_at = self.states.partition_point(|s| s.num < instruction.new_num);
         self.states.insert(
             insert_at,
             TimestampedState {

@@ -376,7 +376,9 @@ mod tests {
         s.set_current(blob(b"changed"), start);
         assert_eq!(s.tick(start, SRTT, RTO), None);
         assert_eq!(s.tick(start + SEND_MINDELAY - 1, SRTT, RTO), None);
-        let out = s.tick(start + SEND_MINDELAY, SRTT, RTO).expect("sends after mindelay");
+        let out = s
+            .tick(start + SEND_MINDELAY, SRTT, RTO)
+            .expect("sends after mindelay");
         assert_eq!(out.kind, SendKind::Data);
         assert_eq!(out.old_num, 0);
         assert_eq!(out.new_num, 1);
@@ -403,7 +405,9 @@ mod tests {
         s.set_current(blob(b"1"), 1000);
         s.set_current(blob(b"2"), 1002);
         s.set_current(blob(b"3"), 1004);
-        let out = s.tick(1008, SRTT, RTO).expect("one frame for three changes");
+        let out = s
+            .tick(1008, SRTT, RTO)
+            .expect("one frame for three changes");
         assert_eq!(out.diff, b"3");
         assert_eq!(out.new_num, 1); // One state number, not three.
     }
@@ -451,7 +455,9 @@ mod tests {
         assert_eq!(first.kind, SendKind::Data);
         // No ack arrives; after RTO + ACK_DELAY the same state goes again.
         assert_eq!(s.tick(1008 + RTO + ACK_DELAY - 1, SRTT, RTO), None);
-        let again = s.tick(1008 + RTO + ACK_DELAY, SRTT, RTO).expect("retransmit");
+        let again = s
+            .tick(1008 + RTO + ACK_DELAY, SRTT, RTO)
+            .expect("retransmit");
         assert_eq!(again.new_num, 1);
         assert_eq!(again.diff, b"1");
         assert_eq!(s.stats().retransmits, 1);

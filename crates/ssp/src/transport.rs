@@ -162,7 +162,8 @@ impl<L: SyncState, R: SyncState> Transport<L, R> {
 
     /// The next time `tick` could produce output (for event stepping).
     pub fn next_wakeup(&self) -> Option<Millis> {
-        self.sender.next_wakeup(self.datagram.srtt(), self.datagram.rto())
+        self.sender
+            .next_wakeup(self.datagram.srtt(), self.datagram.rto())
     }
 
     /// Runs the sender's timers at `now`, returning encrypted datagrams to

@@ -304,10 +304,7 @@ mod tests {
     fn malformed_diffs_are_rejected() {
         let mut s = UserStream::new();
         assert_eq!(s.apply_diff(&[0xff]), Err(StateError::Malformed));
-        assert_eq!(
-            s.apply_diff(&[0, 1, 9, 9]),
-            Err(StateError::Malformed)
-        );
+        assert_eq!(s.apply_diff(&[0, 1, 9, 9]), Err(StateError::Malformed));
     }
 
     #[test]

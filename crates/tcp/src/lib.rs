@@ -513,7 +513,12 @@ mod tests {
         let initial = c.cwnd();
         c.write(&vec![0u8; 200_000]);
         run(&mut net, &mut c, &mut s, 2000);
-        assert!(c.cwnd() > initial * 4, "cwnd grew: {} -> {}", initial, c.cwnd());
+        assert!(
+            c.cwnd() > initial * 4,
+            "cwnd grew: {} -> {}",
+            initial,
+            c.cwnd()
+        );
     }
 
     #[test]
@@ -529,7 +534,7 @@ mod tests {
         let mut net = Network::new(LinkConfig::lan(), bottleneck, 10);
         let (mut c, mut s) = pair(&mut net);
         s.write(&vec![0u8; 32_000_000]); // Server pushes a big download.
-        // Probe mid-transfer: slow start needs a few RTTs to fill the pipe.
+                                         // Probe mid-transfer: slow start needs a few RTTs to fill the pipe.
         run(&mut net, &mut c, &mut s, 3_000);
         assert!(
             net.queue_depth(1) > 500_000,

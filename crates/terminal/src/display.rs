@@ -47,9 +47,8 @@ const EL_THRESHOLD: usize = 4;
 /// assert_eq!(client.frame(), server.frame());
 /// ```
 pub fn new_frame(initialized: bool, last: &Framebuffer, target: &Framebuffer) -> String {
-    let same_canvas = initialized
-        && last.width() == target.width()
-        && last.height() == target.height();
+    let same_canvas =
+        initialized && last.width() == target.width() && last.height() == target.height();
 
     let mut d = Differ {
         sim: if same_canvas {
@@ -195,7 +194,8 @@ impl Differ {
             let span = if tcell.wide { 2 } else { 1 };
             let matches = *self.sim.cell(row, col) == tcell
                 && (span == 1
-                    || (col + 1 < width && *self.sim.cell(row, col + 1) == *target.cell(row, col + 1)));
+                    || (col + 1 < width
+                        && *self.sim.cell(row, col + 1) == *target.cell(row, col + 1)));
             if matches {
                 col += span;
                 continue;

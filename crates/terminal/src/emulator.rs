@@ -73,7 +73,10 @@ impl Terminal {
         match action {
             Action::Print(c) => self.frame.print(*c),
             Action::Control(b) => self.control(*b),
-            Action::Esc { intermediates, byte } => self.esc(intermediates, *byte),
+            Action::Esc {
+                intermediates,
+                byte,
+            } => self.esc(intermediates, *byte),
             Action::Csi {
                 private,
                 params,
@@ -189,7 +192,9 @@ impl Terminal {
                     self.frame.tab_forward();
                 }
             }
-            b'J' => self.frame.erase_display(params.first().copied().unwrap_or(0)),
+            b'J' => self
+                .frame
+                .erase_display(params.first().copied().unwrap_or(0)),
             b'K' => self.frame.erase_line(params.first().copied().unwrap_or(0)),
             b'L' => self.frame.insert_lines(n),
             b'M' => self.frame.delete_lines(n),

@@ -406,7 +406,8 @@ impl Framebuffer {
         let bg = self.pen.bg;
         for _ in 0..n {
             self.rows.remove(self.scroll_bottom);
-            self.rows.insert(self.scroll_top, Row::blank(self.width, bg));
+            self.rows
+                .insert(self.scroll_top, Row::blank(self.width, bg));
         }
     }
 
@@ -493,7 +494,8 @@ impl Framebuffer {
         let bg = self.pen.bg;
         for _ in 0..n {
             self.rows.remove(self.scroll_bottom);
-            self.rows.insert(self.cursor.row, Row::blank(self.width, bg));
+            self.rows
+                .insert(self.cursor.row, Row::blank(self.width, bg));
         }
         self.cursor.col = 0;
         self.wrap_pending = false;

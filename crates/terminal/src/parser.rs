@@ -130,10 +130,22 @@ impl Parser {
         // C1 controls (from UTF-8 decoding) map onto their ESC equivalents.
         if (0x80..=0x9f).contains(&cp) {
             match cp {
-                0x84 => out.push(Action::Esc { intermediates: vec![], byte: b'D' }),
-                0x85 => out.push(Action::Esc { intermediates: vec![], byte: b'E' }),
-                0x88 => out.push(Action::Esc { intermediates: vec![], byte: b'H' }),
-                0x8d => out.push(Action::Esc { intermediates: vec![], byte: b'M' }),
+                0x84 => out.push(Action::Esc {
+                    intermediates: vec![],
+                    byte: b'D',
+                }),
+                0x85 => out.push(Action::Esc {
+                    intermediates: vec![],
+                    byte: b'E',
+                }),
+                0x88 => out.push(Action::Esc {
+                    intermediates: vec![],
+                    byte: b'H',
+                }),
+                0x8d => out.push(Action::Esc {
+                    intermediates: vec![],
+                    byte: b'M',
+                }),
                 0x9b => {
                     self.clear_sequence();
                     self.state = State::CsiEntry;
@@ -272,7 +284,10 @@ impl Parser {
                     self.params.push(0);
                     self.param_started = true;
                 }
-                let last = self.params.last_mut().expect("param_started implies non-empty");
+                let last = self
+                    .params
+                    .last_mut()
+                    .expect("param_started implies non-empty");
                 *last = last.saturating_mul(10).saturating_add((b - 0x30) as u16);
                 self.state = State::CsiParam;
             }
@@ -370,7 +385,8 @@ impl Parser {
             _ => {
                 if self.osc.len() < MAX_OSC {
                     let mut buf = [0u8; 4];
-                    self.osc.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    self.osc
+                        .extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
                 }
             }
         }
@@ -546,7 +562,12 @@ mod tests {
     #[test]
     fn osc_st_terminated() {
         let a = parse(b"\x1b]2;t\x1b\\");
-        assert_eq!(a, vec![Action::Osc { data: b"2;t".to_vec() }]);
+        assert_eq!(
+            a,
+            vec![Action::Osc {
+                data: b"2;t".to_vec()
+            }]
+        );
     }
 
     #[test]

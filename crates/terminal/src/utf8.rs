@@ -57,7 +57,10 @@ impl Decoded {
     }
 
     fn two(a: char, b: char) -> Self {
-        Decoded { buf: [a, b], len: 2 }
+        Decoded {
+            buf: [a, b],
+            len: 2,
+        }
     }
 }
 
@@ -222,7 +225,10 @@ mod tests {
 
     #[test]
     fn out_of_range_starter_rejected() {
-        assert_eq!(decode_all(&[0xf5, 0x80, 0x80, 0x80]), "\u{fffd}\u{fffd}\u{fffd}\u{fffd}");
+        assert_eq!(
+            decode_all(&[0xf5, 0x80, 0x80, 0x80]),
+            "\u{fffd}\u{fffd}\u{fffd}\u{fffd}"
+        );
     }
 
     #[test]

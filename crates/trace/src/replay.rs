@@ -94,7 +94,12 @@ fn flatten(trace: &UserTrace) -> FlatTrace {
             now += 1500;
             keys.push((now, vec![SWITCH_BYTE], KeyKind::Control, false));
         }
-        for TraceKey { gap_ms, bytes, kind } in &seg.keys {
+        for TraceKey {
+            gap_ms,
+            bytes,
+            kind,
+        } in &seg.keys
+        {
             now += gap_ms;
             keys.push((now, bytes.clone(), *kind, true));
         }
@@ -224,7 +229,11 @@ pub fn replay_ssh(trace: &UserTrace, cfg: &ReplayConfig) -> ReplayOutcome {
     net.register(s_addr, Side::Server);
 
     let mut client = SshClient::new(c_addr, s_addr, 80, 24);
-    let mut server = SshServer::new(s_addr, c_addr, Box::new(WorkloadApp::new(flat.apps.clone())));
+    let mut server = SshServer::new(
+        s_addr,
+        c_addr,
+        Box::new(WorkloadApp::new(flat.apps.clone())),
+    );
     let mut bulk = cfg.bulk_download.then(|| bulk_flow(&mut net));
 
     let mut latencies = Latencies::new();

@@ -78,13 +78,13 @@ impl UserTrace {
 }
 
 const WORDS: &[&str] = &[
-    "the", "of", "and", "to", "in", "is", "that", "for", "it", "was", "on", "are", "as",
-    "with", "his", "they", "at", "this", "have", "from", "or", "had", "by", "but", "some",
-    "what", "there", "we", "can", "out", "other", "were", "all", "your", "when", "up", "use",
-    "word", "how", "said", "each", "she", "which", "their", "time", "will", "way", "about",
-    "many", "then", "them", "would", "write", "like", "these", "her", "long", "make",
-    "thing", "see", "him", "two", "has", "look", "more", "day", "could", "come", "did",
-    "number", "sound", "most", "people", "over", "know", "water", "than", "call", "first",
+    "the", "of", "and", "to", "in", "is", "that", "for", "it", "was", "on", "are", "as", "with",
+    "his", "they", "at", "this", "have", "from", "or", "had", "by", "but", "some", "what", "there",
+    "we", "can", "out", "other", "were", "all", "your", "when", "up", "use", "word", "how", "said",
+    "each", "she", "which", "their", "time", "will", "way", "about", "many", "then", "them",
+    "would", "write", "like", "these", "her", "long", "make", "thing", "see", "him", "two", "has",
+    "look", "more", "day", "could", "come", "did", "number", "sound", "most", "people", "over",
+    "know", "water", "than", "call", "first",
 ];
 
 const COMMANDS: &[&str] = &[
@@ -106,17 +106,17 @@ struct Gen<'a> {
 impl Gen<'_> {
     /// Inter-key gap while fluently typing (~120–300 ms).
     fn typing_gap(&mut self) -> u64 {
-        80 + self.rng.gen_range(0..180) + self.rng.gen_range(0..60)
+        80 + self.rng.gen_range(0..180u64) + self.rng.gen_range(0..60u64)
     }
 
     /// Pause at a word boundary or line start (~0.3–2 s, compressed).
     fn think_gap(&mut self) -> u64 {
-        300 + self.rng.gen_range(0..1700)
+        300 + self.rng.gen_range(0..1700u64)
     }
 
     /// Pause while reading before navigating (~0.4–3 s, compressed).
     fn read_gap(&mut self) -> u64 {
-        400 + self.rng.gen_range(0..2600)
+        400 + self.rng.gen_range(0..2600u64)
     }
 
     fn type_text(&mut self, text: &str, out: &mut Vec<TraceKey>, budget: &mut usize) {
@@ -124,7 +124,11 @@ impl Gen<'_> {
             if *budget == 0 {
                 return;
             }
-            let gap = if i == 0 { self.think_gap() } else { self.typing_gap() };
+            let gap = if i == 0 {
+                self.think_gap()
+            } else {
+                self.typing_gap()
+            };
             out.push(TraceKey {
                 gap_ms: gap,
                 bytes: ch.to_string().into_bytes(),
@@ -143,7 +147,14 @@ impl Gen<'_> {
         }
     }
 
-    fn press(&mut self, bytes: &[u8], kind: KeyKind, gap: u64, out: &mut Vec<TraceKey>, budget: &mut usize) {
+    fn press(
+        &mut self,
+        bytes: &[u8],
+        kind: KeyKind,
+        gap: u64,
+        out: &mut Vec<TraceKey>,
+        budget: &mut usize,
+    ) {
         if *budget == 0 {
             return;
         }
@@ -216,7 +227,11 @@ fn editor_segment(rng: &mut StdRng, budget: &mut usize, vi_style: bool) -> Segme
             g.press(b"i", KeyKind::Control, gap, &mut keys, budget);
         } else if g.rng.gen_bool(0.5) {
             for _ in 0..g.rng.gen_range(2..6) {
-                let dir: &[u8] = if g.rng.gen_bool(0.5) { b"\x1b[A" } else { b"\x1b[B" };
+                let dir: &[u8] = if g.rng.gen_bool(0.5) {
+                    b"\x1b[A"
+                } else {
+                    b"\x1b[B"
+                };
                 let gap = g.read_gap();
                 g.press(dir, KeyKind::Navigation, gap, &mut keys, budget);
             }

@@ -31,7 +31,11 @@ fn main() {
     let text = b"speculation makes remote editing feel local ";
     let mut instant = 0u32;
     let mut now = 0u64;
-    let mut drive = |client: &mut MoshClient, server: &mut MoshServer, net: &mut Network, now: &mut u64, until: u64| {
+    let drive = |client: &mut MoshClient,
+                 server: &mut MoshServer,
+                 net: &mut Network,
+                 now: &mut u64,
+                 until: u64| {
         while *now < until {
             for (to, wire) in client.tick(*now) {
                 net.send(c, to, wire);

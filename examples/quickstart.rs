@@ -52,7 +52,10 @@ fn main() {
     println!("┌{}┐", "─".repeat(40));
     let display = client.display();
     for row in 0..8 {
-        println!("│{:<40}│", display.row_text(row).chars().take(40).collect::<String>());
+        println!(
+            "│{:<40}│",
+            display.row_text(row).chars().take(40).collect::<String>()
+        );
     }
     println!("└{}┘", "─".repeat(40));
     println!("client SRTT estimate: {:.0} ms", client.srtt());

@@ -14,7 +14,12 @@ struct Session {
     now: u64,
 }
 
-fn session(up: LinkConfig, down: LinkConfig, seed: u64, app: Box<dyn mosh::core::Application>) -> Session {
+fn session(
+    up: LinkConfig,
+    down: LinkConfig,
+    seed: u64,
+    app: Box<dyn mosh::core::Application>,
+) -> Session {
     let key = Base64Key::from_bytes([seed as u8; 16]);
     let mut net = Network::new(up, down, seed);
     let c = Addr::new(1, 1000);
@@ -96,7 +101,12 @@ fn editor_full_screen_over_satellite_latency() {
 
 #[test]
 fn mail_navigation_syncs_highlight() {
-    let mut se = session(LinkConfig::lan(), LinkConfig::lan(), 3, Box::new(MailReader::new(10)));
+    let mut se = session(
+        LinkConfig::lan(),
+        LinkConfig::lan(),
+        3,
+        Box::new(MailReader::new(10)),
+    );
     run(&mut se, 1000);
     se.client.keystroke(se.now, b"n");
     let until = se.now + 500;
@@ -112,7 +122,12 @@ fn mail_navigation_syncs_highlight() {
 #[test]
 fn pager_over_intermittent_connectivity() {
     // 100% loss blackout in the middle of a session; SSP recovers silently.
-    let mut se = session(LinkConfig::lan(), LinkConfig::lan(), 4, Box::new(Pager::new(200)));
+    let mut se = session(
+        LinkConfig::lan(),
+        LinkConfig::lan(),
+        4,
+        Box::new(Pager::new(200)),
+    );
     run(&mut se, 1000);
     let first_page = se.client.server_frame().row_text(0);
 
@@ -120,8 +135,14 @@ fn pager_over_intermittent_connectivity() {
     se.client.keystroke(se.now, b" ");
     // Swap in a dead network.
     let mut dead = Network::new(
-        LinkConfig { loss: 1.0, ..LinkConfig::lan() },
-        LinkConfig { loss: 1.0, ..LinkConfig::lan() },
+        LinkConfig {
+            loss: 1.0,
+            ..LinkConfig::lan()
+        },
+        LinkConfig {
+            loss: 1.0,
+            ..LinkConfig::lan()
+        },
         4,
     );
     dead.register(se.c, Side::Client);
@@ -143,7 +164,10 @@ fn pager_over_intermittent_connectivity() {
     let until = se.now + 8000;
     run(&mut se, until);
     assert_ne!(se.client.server_frame().row_text(1), "", "screen updated");
-    assert!(se.client.server_frame().to_text().contains("More"), "pager state synced");
+    assert!(
+        se.client.server_frame().to_text().contains("More"),
+        "pager state synced"
+    );
 }
 
 #[test]
@@ -161,7 +185,10 @@ fn control_c_stops_flood_within_a_round_trip() {
     type_line(&mut se, b"yes\r", 100);
     let until = se.now + 3000;
     run(&mut se, until);
-    assert!(se.client.server_frame().to_text().contains('y'), "flood visible");
+    assert!(
+        se.client.server_frame().to_text().contains('y'),
+        "flood visible"
+    );
 
     se.client.keystroke(se.now, &[0x03]);
     let pressed = se.now;
@@ -183,7 +210,12 @@ fn control_c_stops_flood_within_a_round_trip() {
 
 #[test]
 fn resize_mid_session_repaints_correctly() {
-    let mut se = session(LinkConfig::lan(), LinkConfig::lan(), 6, Box::new(LineShell::new()));
+    let mut se = session(
+        LinkConfig::lan(),
+        LinkConfig::lan(),
+        6,
+        Box::new(LineShell::new()),
+    );
     run(&mut se, 1000);
     type_line(&mut se, b"echo wide\r", 120);
     let until = se.now + 1000;
@@ -198,7 +230,12 @@ fn resize_mid_session_repaints_correctly() {
 
 #[test]
 fn tampered_datagrams_never_corrupt_the_session() {
-    let mut se = session(LinkConfig::lan(), LinkConfig::lan(), 7, Box::new(LineShell::new()));
+    let mut se = session(
+        LinkConfig::lan(),
+        LinkConfig::lan(),
+        7,
+        Box::new(LineShell::new()),
+    );
     run(&mut se, 500);
     // Inject garbage and bit-flipped copies at the server.
     se.server.receive(se.now, se.c, b"complete garbage");
@@ -211,7 +248,12 @@ fn tampered_datagrams_never_corrupt_the_session() {
 
 #[test]
 fn heartbeats_keep_last_heard_fresh_when_idle() {
-    let mut se = session(LinkConfig::lan(), LinkConfig::lan(), 8, Box::new(LineShell::new()));
+    let mut se = session(
+        LinkConfig::lan(),
+        LinkConfig::lan(),
+        8,
+        Box::new(LineShell::new()),
+    );
     run(&mut se, 15_000);
     let heard = se.client.last_heard().expect("server spoke");
     assert!(se.now - heard < 3500, "heartbeats every 3 s keep contact");

@@ -1,0 +1,206 @@
+//! Offline shim for the subset of the `criterion` crate API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so this in-tree crate
+//! provides a small wall-clock benchmark harness behind the `criterion`
+//! API: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. There are no statistics, plots, or baselines — each benchmark
+//! is timed for a short fixed budget and reported as ns/iter (plus MB/s
+//! or Melem/s when a throughput is declared).
+//!
+//! Environment knobs:
+//!
+//! * `CRITERION_MEASURE_MS` — per-benchmark measurement budget in
+//!   milliseconds (default 300).
+
+use std::time::{Duration, Instant};
+
+/// Declared work per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] runs and times the
+/// workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and a first estimate of the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.measure / 10 || warm_iters < 1 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+
+        // For cheap workloads, only consult the clock every 64
+        // iterations so the Instant::now() call doesn't dominate the
+        // measurement; for slow ones (estimated from warm-up), check
+        // every iteration or a 50 ms benchmark overshoots a 20 ms
+        // budget 64-fold.
+        let est_per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let check_every = if est_per_iter * 64 > self.measure {
+            1
+        } else {
+            64
+        };
+
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if iters % check_every == 0 && start.elapsed() >= self.measure {
+                break;
+            }
+            if iters >= 100_000_000 {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// One named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            measure: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            measure: self.measure,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{id:<40} (no iterations recorded)");
+            return;
+        }
+        let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        let rate = throughput.map(|t| match t {
+            Throughput::Bytes(n) => {
+                let mbps = n as f64 * b.iters as f64 / b.elapsed.as_secs_f64() / 1e6;
+                format!("  {mbps:>10.1} MB/s")
+            }
+            Throughput::Elements(n) => {
+                let meps = n as f64 * b.iters as f64 / b.elapsed.as_secs_f64() / 1e6;
+                format!("  {meps:>10.2} Melem/s")
+            }
+        });
+        println!(
+            "{id:<40} {ns_per_iter:>12.1} ns/iter{}",
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// `criterion_group!(name, fn1, fn2, ...)` — defines `fn name()` that runs
+/// each registered benchmark function against a default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group1, ...)` — defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        std::env::set_var("CRITERION_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(64));
+        let mut count = 0u64;
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,946 @@
+//! Offline shim for the subset of the `proptest` crate API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so this in-tree crate
+//! supplies the pieces the workspace's property tests need: the
+//! [`proptest!`] macro, [`prelude`], strategies over ranges / tuples /
+//! collections / regex-like string patterns, `prop_oneof!`, `Just`,
+//! `any::<T>()`, `prop::sample::Index`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs and
+//!   panics; it is not minimized.
+//! * **Deterministic seeding.** Each test derives its RNG stream from the
+//!   test's module path and the case number, so failures reproduce exactly
+//!   across runs. Set `PROPTEST_CASES` to override the number of cases
+//!   (e.g. `PROPTEST_CASES=16` for a quick smoke pass).
+//! * **Regex strategies** support the subset used here: literals, `[...]`
+//!   classes with ranges, and `{n}` / `{m,n}` / `?` / `*` / `+`
+//!   quantifiers.
+
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum generate attempts per successful case before giving up
+        /// (guards against `prop_assume!` rejecting everything).
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case failed an assertion.
+        Fail(String),
+        /// The case was rejected by `prop_assume!` and should not count.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic RNG handed to strategies (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform usize in `[lo, hi]` (inclusive).
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            debug_assert!(lo <= hi);
+            let span = (hi - lo) as u64;
+            if span == u64::MAX {
+                return self.next_u64() as usize;
+            }
+            lo + (self.next_u64() % (span + 1)) as usize
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn f64_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// FNV-1a, used to derive a per-test base seed from its path.
+    pub fn fnv(s: &str) -> u64 {
+        let mut h = FNV_OFFSET;
+        for b in s.bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    /// Drives one `proptest!`-generated test: counts successful cases,
+    /// tolerates `prop_assume!` rejections, reports failures with their
+    /// inputs.
+    pub struct Runner {
+        name: &'static str,
+        target: u32,
+        ran: u32,
+        attempts: u64,
+        max_attempts: u64,
+        base_seed: u64,
+    }
+
+    impl Runner {
+        pub fn new(config: &ProptestConfig, name: &'static str) -> Self {
+            let target = match std::env::var("PROPTEST_CASES") {
+                Ok(v) => v.parse().unwrap_or(config.cases),
+                Err(_) => config.cases,
+            };
+            Runner {
+                name,
+                target,
+                ran: 0,
+                attempts: 0,
+                max_attempts: target as u64 + config.max_global_rejects as u64,
+                base_seed: fnv(name),
+            }
+        }
+
+        pub fn more(&self) -> bool {
+            if self.ran < self.target && self.attempts >= self.max_attempts {
+                panic!(
+                    "{}: gave up after {} attempts ({} of {} cases passed); \
+                     prop_assume! rejects nearly everything",
+                    self.name, self.attempts, self.ran, self.target
+                );
+            }
+            self.ran < self.target
+        }
+
+        pub fn rng(&mut self) -> TestRng {
+            self.attempts += 1;
+            // Run the attempt counter through the SplitMix64 finalizer
+            // before seeding. A linear increment by the generator's own
+            // gamma would make case n+1's stream a one-draw shift of
+            // case n's, collapsing multi-input coverage to a sliding
+            // window over a single orbit.
+            let mut z = self.base_seed ^ self.attempts.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            TestRng::new(z ^ (z >> 31))
+        }
+
+        pub fn record(
+            &mut self,
+            inputs: &[String],
+            outcome: Result<Result<(), TestCaseError>, Box<dyn std::any::Any + Send>>,
+        ) {
+            match outcome {
+                Ok(Ok(())) => self.ran += 1,
+                Ok(Err(TestCaseError::Reject(_))) => {}
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    eprintln!("{} failed on case {}: {}", self.name, self.attempts, msg);
+                    for line in inputs {
+                        eprintln!("    {line}");
+                    }
+                    panic!("{}: {}", self.name, msg);
+                }
+                Err(payload) => {
+                    eprintln!("{} panicked on case {}; inputs:", self.name, self.attempts);
+                    for line in inputs {
+                        eprintln!("    {line}");
+                    }
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values. Unlike the real crate there is no value tree
+    /// and no shrinking: `generate` produces a value directly.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe view of [`Strategy`] so heterogeneous strategies can be
+    /// unified under one element type (for `prop_oneof!`).
+    trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between strategies of a common value type
+    /// (the expansion of `prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.usize_in(0, self.options.len() - 1);
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let lo = self.start as i128;
+                    let span = (self.end as i128 - lo) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo + off as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.f64_unit() * (self.end - self.start);
+            // scale-and-add can round up to the exclusive bound (e.g.
+            // on 1-ulp spans); clamp to the largest value below `end`.
+            if v >= self.end {
+                self.end.next_down().max(self.start)
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            // A 24-bit fraction built directly in f32 stays strictly
+            // below 1.0; narrowing an f64 sample could round up to 1.0
+            // and emit the exclusive upper bound.
+            let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+            let v = self.start + unit * (self.end - self.start);
+            if v >= self.end {
+                self.end.next_down().max(self.start)
+            } else {
+                v
+            }
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// String literals act as regex-like strategies producing `String`,
+    /// supporting the subset documented at the crate root.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for atom in &atoms {
+                let n = rng.usize_in(atom.min, atom.max);
+                for _ in 0..n {
+                    let idx = rng.usize_in(0, atom.chars.len() - 1);
+                    out.push(atom.chars[idx]);
+                }
+            }
+            out
+        }
+    }
+
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let mut alphabet = Vec::new();
+            match chars[i] {
+                '[' => {
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                            assert!(lo <= hi, "bad class range in {pattern:?}");
+                            for c in lo..=hi {
+                                alphabet.push(char::from_u32(c).expect("valid range"));
+                            }
+                            i += 3;
+                        } else {
+                            alphabet.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated [ in {pattern:?}");
+                    i += 1; // skip ']'
+                }
+                '\\' => {
+                    assert!(i + 1 < chars.len(), "trailing \\ in {pattern:?}");
+                    alphabet.push(chars[i + 1]);
+                    i += 2;
+                }
+                c => {
+                    alphabet.push(c);
+                    i += 1;
+                }
+            }
+            // Optional quantifier.
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .map(|p| p + i)
+                            .unwrap_or_else(|| panic!("unterminated {{ in {pattern:?}"));
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((lo, hi)) => (
+                                lo.trim().parse().expect("bad quantifier"),
+                                hi.trim().parse().expect("bad quantifier"),
+                            ),
+                            None => {
+                                let n = body.trim().parse().expect("bad quantifier");
+                                (n, n)
+                            }
+                        }
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(!alphabet.is_empty(), "empty alphabet in {pattern:?}");
+            atoms.push(Atom {
+                chars: alphabet,
+                min,
+                max,
+            });
+        }
+        atoms
+    }
+
+    /// `any::<T>()` — the canonical strategy for a type.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical generation strategy, reachable via
+    /// [`any`].
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::new()
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.f64_unit()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Mostly ASCII, sometimes wider, like the real crate's bias.
+            match rng.next_u64() % 4 {
+                0 => char::from_u32(rng.usize_in(0x20, 0x7e) as u32).expect("ascii"),
+                1 => char::from_u32(rng.usize_in(0xa0, 0x2fff) as u32).unwrap_or('x'),
+                _ => char::from_u32(rng.usize_in(0x20, 0xffff) as u32).unwrap_or('y'),
+            }
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for [`vec`], inclusive on both ends.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub lo: usize,
+        pub hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// `proptest::collection::vec` — a vector whose length is drawn from
+    /// `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    /// An index into a collection of as-yet-unknown size
+    /// (`prop::sample::Index`).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn from_raw(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// Maps this abstract index onto a collection of `len` elements.
+        /// Panics if `len == 0`, like the real crate.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace mirror so `prop::sample::Index`, `prop::collection::vec`,
+    /// etc. resolve after a glob import of the prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests. Each function body runs once per generated
+/// case; `prop_assert*` failures report the inputs and panic (no
+/// shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __runner = $crate::test_runner::Runner::new(
+                &__config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            while __runner.more() {
+                let mut __rng = __runner.rng();
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                let __inputs = vec![
+                    $(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),+
+                ];
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::core::result::Result::Ok(())
+                        },
+                    ),
+                );
+                __runner.record(&__inputs, __outcome);
+            }
+        }
+    )*};
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {}", args)`.
+#[macro_export]
+macro_rules! prop_assert {
+    // The stringified condition is passed as a plain message, never as a
+    // format! string: conditions containing braces (struct literals,
+    // matches! patterns) must not be interpreted as format placeholders.
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    __l, __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\nassertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` with optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left != right`\n  both: {:?}",
+                    __l
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\nassertion failed: `left != right`\n  both: {:?}",
+                    format!($($fmt)+),
+                    __l
+                ),
+            ));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)` — reject the current case without failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// `prop_oneof![s1, s2, ...]` — uniform choice among strategies with a
+/// common value type. Weighted arms are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_generates_within_spec() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ -~]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.bytes().all(|b| (0x20..=0x7e).contains(&b)));
+
+            let t = Strategy::generate(&"[a-z ]{1,24}", &mut rng);
+            assert!((1..=24).contains(&t.chars().count()));
+            assert!(t.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let mut rng = TestRng::new(5);
+        let strat = crate::collection::vec(any::<u8>(), 3..7);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((3..=6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_tuples_compose() {
+        let strat = prop_oneof![
+            (1u16..5, 1u16..5).prop_map(|(a, b)| vec![a as u8, b as u8]),
+            Just(vec![9u8]),
+        ];
+        let mut rng = TestRng::new(1);
+        let mut saw_pair = false;
+        let mut saw_just = false;
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            match v.len() {
+                1 => {
+                    assert_eq!(v, vec![9]);
+                    saw_just = true;
+                }
+                2 => {
+                    assert!(v.iter().all(|&b| (1..5).contains(&b)));
+                    saw_pair = true;
+                }
+                n => panic!("unexpected len {n}"),
+            }
+        }
+        assert!(saw_pair && saw_just);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u32..10, v in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 4);
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+            prop_assert_eq!(x + 0, x);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let gen_once = || {
+            let mut rng = TestRng::new(99);
+            Strategy::generate(&crate::collection::vec(any::<u64>(), 5..9), &mut rng)
+        };
+        assert_eq!(gen_once(), gen_once());
+    }
+
+    #[test]
+    fn consecutive_case_streams_are_not_shifted_copies() {
+        // Regression: seeding attempt n with base + n*gamma (the
+        // generator's own increment) made case n+1's stream a one-draw
+        // shift of case n's.
+        let mut runner = crate::test_runner::Runner::new(
+            &ProptestConfig::with_cases(64),
+            "shim::stream_independence",
+        );
+        let streams: Vec<[u64; 4]> = (0..64)
+            .map(|_| {
+                let mut rng = runner.rng();
+                std::array::from_fn(|_| rng.next_u64())
+            })
+            .collect();
+        for pair in streams.windows(2) {
+            assert_ne!(pair[0][1..], pair[1][..3], "stream n+1 is stream n shifted");
+            assert_ne!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn f32_range_never_emits_exclusive_upper_bound() {
+        // Regression: narrowing an f64 unit sample to f32 could round to
+        // 1.0 and emit `end` itself.
+        let mut rng = TestRng::new(77);
+        for _ in 0..100_000 {
+            let v = Strategy::generate(&(0.0f32..1.0), &mut rng);
+            assert!((0.0..1.0).contains(&v), "emitted {v}");
+        }
+    }
+
+    #[test]
+    fn index_maps_into_bounds() {
+        let mut rng = TestRng::new(2);
+        for len in 1usize..50 {
+            let idx = <crate::sample::Index as crate::arbitrary::Arbitrary>::arbitrary(&mut rng);
+            assert!(idx.index(len) < len);
+        }
+    }
+}
