@@ -88,6 +88,22 @@ fn ssp(c: &mut Criterion) {
     g.finish();
 }
 
+fn session(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session");
+    // Full-stack replay throughput: dominated by how many steps the
+    // driver takes. Event-driven stepping visits only the instants where
+    // a timer or delivery fires, instead of every virtual millisecond.
+    g.bench_function("replay_60_keystrokes_evdo", |b| {
+        let trace = mosh_trace::small_trace(60);
+        let cfg = mosh_trace::ReplayConfig::over(
+            mosh_net::LinkConfig::evdo_uplink(),
+            mosh_net::LinkConfig::evdo_downlink(),
+        );
+        b.iter(|| mosh_trace::replay_mosh(&trace, &cfg));
+    });
+    g.finish();
+}
+
 fn prediction(c: &mut Criterion) {
     let mut g = c.benchmark_group("prediction");
     g.bench_function("keystroke_prediction", |b| {
@@ -107,5 +123,5 @@ fn prediction(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, crypto, terminal, ssp, prediction);
+criterion_group!(benches, crypto, terminal, ssp, session, prediction);
 criterion_main!(benches);

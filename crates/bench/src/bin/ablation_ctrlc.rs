@@ -5,9 +5,10 @@
 //! sequences continue to work" — within about one RTT. SSH, in contrast,
 //! must deliver the entire backlog through the choked link first.
 
+use mosh_core::session::{Party, SessionLoop};
 use mosh_core::{LineShell, MoshClient, MoshServer};
 use mosh_crypto::Base64Key;
-use mosh_net::{Addr, LinkConfig, Network, Side};
+use mosh_net::{Addr, LinkConfig, Network, Side, SimChannel};
 use mosh_prediction::DisplayPreference;
 use mosh_ssh::{SshClient, SshServer};
 
@@ -33,45 +34,36 @@ fn main() {
     net.register(s, Side::Server);
     let mut client = MoshClient::new(key.clone(), s, 80, 24, DisplayPreference::Never);
     let mut server = MoshServer::new(key, Box::new(LineShell::new()));
-    let mut now = 0u64;
-    let run = |client: &mut MoshClient,
-               server: &mut MoshServer,
-               net: &mut Network,
-               now: &mut u64,
-               until: u64| {
-        while *now < until {
-            for (to, w) in client.tick(*now) {
-                net.send(c, to, w);
-            }
-            for (to, w) in server.tick(*now) {
-                net.send(s, to, w);
-            }
-            *now += 1;
-            net.advance_to(*now);
-            while let Some(dg) = net.recv(s) {
-                server.receive(*now, dg.from, &dg.payload);
-            }
-            while let Some(dg) = net.recv(c) {
-                client.receive(*now, &dg.payload);
-            }
-        }
-    };
-    run(&mut client, &mut server, &mut net, &mut now, 1000);
+    let mut sl = SessionLoop::new(SimChannel::new(net));
+
+    sl.pump_until(
+        &mut [Party::new(c, &mut client), Party::new(s, &mut server)],
+        1000,
+    );
     for b in b"yes\r" {
-        client.keystroke(now, &[*b]);
-        let until = now + 50;
-        run(&mut client, &mut server, &mut net, &mut now, until);
+        client.keystroke(sl.now(), &[*b]);
+        let t = sl.now() + 50;
+        sl.pump_until(
+            &mut [Party::new(c, &mut client), Party::new(s, &mut server)],
+            t,
+        );
     }
-    let until = now + 5000;
-    run(&mut client, &mut server, &mut net, &mut now, until); // flood rages
-    client.keystroke(now, &[0x03]);
-    let pressed = now;
+    let t = sl.now() + 5000;
+    sl.pump_until(
+        &mut [Party::new(c, &mut client), Party::new(s, &mut server)],
+        t,
+    ); // flood rages
+    client.keystroke(sl.now(), &[0x03]);
+    let pressed = sl.now();
     let mut stopped_at = None;
-    while now < pressed + 60_000 {
-        let until = now + 10;
-        run(&mut client, &mut server, &mut net, &mut now, until);
+    while sl.now() < pressed + 60_000 {
+        let t = sl.now() + 10;
+        sl.pump_until(
+            &mut [Party::new(c, &mut client), Party::new(s, &mut server)],
+            t,
+        );
         if client.server_frame().to_text().contains("^C") {
-            stopped_at = Some(now);
+            stopped_at = Some(sl.now());
             break;
         }
     }
@@ -89,45 +81,36 @@ fn main() {
     net.register(sa, Side::Server);
     let mut sclient = SshClient::new(ca, sa, 80, 24);
     let mut sserver = SshServer::new(sa, ca, Box::new(LineShell::new()));
-    let mut now = 0u64;
-    let run2 = |client: &mut SshClient,
-                server: &mut SshServer,
-                net: &mut Network,
-                now: &mut u64,
-                until: u64| {
-        while *now < until {
-            for (to, w) in client.tick(*now) {
-                net.send(ca, to, w);
-            }
-            for (to, w) in server.tick(*now) {
-                net.send(sa, to, w);
-            }
-            *now += 1;
-            net.advance_to(*now);
-            while let Some(dg) = net.recv(sa) {
-                server.receive(*now, &dg.payload);
-            }
-            while let Some(dg) = net.recv(ca) {
-                client.receive(*now, &dg.payload);
-            }
-        }
-    };
-    run2(&mut sclient, &mut sserver, &mut net, &mut now, 1000);
+    let mut sl = SessionLoop::new(SimChannel::new(net));
+
+    sl.pump_until(
+        &mut [Party::new(ca, &mut sclient), Party::new(sa, &mut sserver)],
+        1000,
+    );
     for b in b"yes\r" {
-        sclient.keystroke(now, &[*b]);
-        let until = now + 50;
-        run2(&mut sclient, &mut sserver, &mut net, &mut now, until);
+        sclient.keystroke(sl.now(), &[*b]);
+        let t = sl.now() + 50;
+        sl.pump_until(
+            &mut [Party::new(ca, &mut sclient), Party::new(sa, &mut sserver)],
+            t,
+        );
     }
-    let until = now + 5000;
-    run2(&mut sclient, &mut sserver, &mut net, &mut now, until);
-    sclient.keystroke(now, &[0x03]);
-    let pressed = now;
+    let t = sl.now() + 5000;
+    sl.pump_until(
+        &mut [Party::new(ca, &mut sclient), Party::new(sa, &mut sserver)],
+        t,
+    );
+    sclient.keystroke(sl.now(), &[0x03]);
+    let pressed = sl.now();
     let mut stopped_at = None;
-    while now < pressed + 120_000 {
-        let until = now + 10;
-        run2(&mut sclient, &mut sserver, &mut net, &mut now, until);
+    while sl.now() < pressed + 120_000 {
+        let t = sl.now() + 10;
+        sl.pump_until(
+            &mut [Party::new(ca, &mut sclient), Party::new(sa, &mut sserver)],
+            t,
+        );
         if sclient.frame().to_text().contains("^C") {
-            stopped_at = Some(now);
+            stopped_at = Some(sl.now());
             break;
         }
     }

@@ -44,6 +44,16 @@ pub trait Application: Send {
         Vec::new()
     }
 
+    /// The earliest time [`Application::poll`] could produce output, if
+    /// the application knows it. Event-driven drivers step straight to
+    /// this time instead of polling every millisecond; applications that
+    /// return `None` (the default) are still polled at the server's
+    /// coarse poll floor, so this is an accuracy contract, not liveness:
+    /// if a time is returned, no output may become due before it.
+    fn next_wakeup(&self, _now: Millis) -> Option<Millis> {
+        None
+    }
+
     /// The window changed size.
     fn on_resize(&mut self, _now: Millis, _width: usize, _height: usize) -> Vec<TimedWrite> {
         Vec::new()
@@ -249,6 +259,13 @@ impl Application for LineShell {
             self.next_flood_at += 1;
         }
         out
+    }
+
+    fn next_wakeup(&self, _now: Millis) -> Option<Millis> {
+        // A running flood writes another chunk every millisecond; the
+        // event-driven server must poll at exactly that cadence to match
+        // the 1 ms reference loop.
+        self.flooding.then_some(self.next_flood_at)
     }
 }
 

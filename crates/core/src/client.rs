@@ -88,6 +88,11 @@ impl MoshClient {
         self.transport.remote_state().echo_ack()
     }
 
+    /// Number of the newest server state received (frame counter).
+    pub fn remote_state_num(&self) -> u64 {
+        self.transport.remote_state_num()
+    }
+
     /// Types one keystroke at `now`. Returns true when the keystroke's
     /// effect was displayed speculatively, before any server round trip
     /// (the paper's "instant" outcome).
@@ -158,19 +163,19 @@ mod tests {
     use super::*;
     use crate::apps::LineShell;
     use crate::server::MoshServer;
-    use mosh_net::{LinkConfig, Network, Side};
+    use crate::session::{Party, SessionLoop};
+    use mosh_net::{LinkConfig, Network, Side, SimChannel};
 
     fn key() -> Base64Key {
         Base64Key::from_bytes([2u8; 16])
     }
 
     struct Pair {
-        net: Network,
+        sl: SessionLoop<SimChannel>,
         client: MoshClient,
         server: MoshServer,
         c_addr: Addr,
         s_addr: Addr,
-        now: Millis,
     }
 
     fn session(up: LinkConfig, down: LinkConfig, pref: DisplayPreference) -> Pair {
@@ -180,34 +185,28 @@ mod tests {
         net.register(c_addr, Side::Client);
         net.register(s_addr, Side::Server);
         Pair {
-            net,
+            sl: SessionLoop::new(SimChannel::new(net)),
             client: MoshClient::new(key(), s_addr, 80, 24, pref),
             server: MoshServer::new(key(), Box::new(LineShell::new())),
             c_addr,
             s_addr,
-            now: 0,
+        }
+    }
+
+    impl Pair {
+        fn now(&self) -> Millis {
+            self.sl.now()
         }
     }
 
     fn run(p: &mut Pair, until: Millis) {
-        while p.now < until {
-            for (to, w) in p.client.tick(p.now) {
-                p.net.send(p.c_addr, to, w);
-            }
-            for (to, w) in p.server.tick(p.now) {
-                p.net.send(p.s_addr, to, w);
-            }
-            p.now += 1;
-            p.net.advance_to(p.now);
-            let from = p.c_addr;
-            while let Some(dg) = p.net.recv(p.s_addr) {
-                let _ = from;
-                p.server.receive(p.now, dg.from, &dg.payload);
-            }
-            while let Some(dg) = p.net.recv(p.c_addr) {
-                p.client.receive(p.now, &dg.payload);
-            }
-        }
+        p.sl.pump_until(
+            &mut [
+                Party::new(p.c_addr, &mut p.client),
+                Party::new(p.s_addr, &mut p.server),
+            ],
+            until,
+        );
     }
 
     #[test]
@@ -221,12 +220,12 @@ mod tests {
         // prompt arrives without the user typing anything.
         run(&mut p, 300);
         assert_eq!(p.client.server_frame().row_text(0), "$");
-        p.client.keystroke(p.now, b"l");
-        let t = p.now + 200;
+        p.client.keystroke(p.now(), b"l");
+        let t = p.now() + 200;
         run(&mut p, t);
         assert_eq!(p.client.server_frame().row_text(0), "$ l");
-        p.client.keystroke(p.now, b"s");
-        p.client.keystroke(p.now, b"\r");
+        p.client.keystroke(p.now(), b"s");
+        p.client.keystroke(p.now(), b"\r");
         run(&mut p, 1500);
         let text = p.client.server_frame().to_text();
         assert!(text.contains("Makefile"), "ls output arrived: {text}");
@@ -244,14 +243,14 @@ mod tests {
         // train SRTT and confirm the first epoch.
         run(&mut p, 1500);
         assert_eq!(p.client.server_frame().row_text(0), "$");
-        p.client.keystroke(p.now, b"e");
-        let t = p.now + 2000;
+        p.client.keystroke(p.now(), b"e");
+        let t = p.now() + 2000;
         run(&mut p, t);
         assert_eq!(p.client.server_frame().row_text(0), "$ e");
 
         // Now type: the echo must appear immediately in the display,
         // long before the server round trip.
-        let shown = p.client.keystroke(p.now, b"c");
+        let shown = p.client.keystroke(p.now(), b"c");
         assert!(shown, "prediction must display instantly");
         let display = p.client.display();
         assert_eq!(display.row_text(0), "$ ec");
@@ -259,7 +258,7 @@ mod tests {
         assert_eq!(p.client.server_frame().row_text(0), "$ e");
 
         // And the server eventually confirms.
-        let t = p.now + 2000;
+        let t = p.now() + 2000;
         run(&mut p, t);
         assert_eq!(p.client.server_frame().row_text(0), "$ ec");
         assert_eq!(p.client.prediction_stats().mispredicted, 0);
@@ -276,8 +275,8 @@ mod tests {
         // Train the predictor on echoing input.
         run(&mut p, 1000);
         for k in [b"a", b"b"] {
-            p.client.keystroke(p.now, k);
-            let t = p.now + 700;
+            p.client.keystroke(p.now(), k);
+            let t = p.now() + 700;
             run(&mut p, t);
         }
         assert_eq!(p.client.server_frame().row_text(0), "$ ab");
@@ -286,11 +285,11 @@ mod tests {
         // Delete past the start of the line: the extra backspaces predict
         // cursor motion the shell will not echo.
         for _ in 0..4 {
-            p.client.keystroke(p.now, b"\x7f");
-            let t = p.now + 30;
+            p.client.keystroke(p.now(), b"\x7f");
+            let t = p.now() + 30;
             run(&mut p, t);
         }
-        let t = p.now + 3000;
+        let t = p.now() + 3000;
         run(&mut p, t);
         // The wrong overlays were repaired: display matches the server.
         assert_eq!(
@@ -314,10 +313,12 @@ mod tests {
 
         // The client's address changes (new network); nothing re-connects.
         let new_addr = Addr::new(99, 4321);
-        p.net.register(new_addr, Side::Client);
+        p.sl.channel_mut()
+            .network_mut()
+            .register(new_addr, Side::Client);
         p.c_addr = new_addr;
-        p.client.keystroke(p.now, b"b");
-        let t = p.now + 1000;
+        p.client.keystroke(p.now(), b"b");
+        let t = p.now() + 1000;
         run(&mut p, t);
         assert_eq!(p.server.target(), Some(new_addr), "server re-targeted");
         assert_eq!(p.client.server_frame().row_text(0), "$ ab");
@@ -344,8 +345,8 @@ mod tests {
         );
         p.client.keystroke(0, b"a");
         run(&mut p, 300);
-        p.client.resize(p.now, 120, 40);
-        let t = p.now + 500;
+        p.client.resize(p.now(), 120, 40);
+        let t = p.now() + 500;
         run(&mut p, t);
         assert_eq!(p.server.frame().width(), 120);
         assert_eq!(p.client.server_frame().width(), 120);

@@ -11,6 +11,10 @@
 //! * [`apps`] — deterministic models of the application classes in the
 //!   paper's traces: shell, full-screen editor, pager, mail reader, and a
 //!   runaway flood for the Control-C experiment.
+//! * [`session`] — the event-driven [`session::SessionLoop`] driver: it
+//!   steps any set of endpoints over a `mosh_net::Channel` substrate
+//!   (simulator or live UDP) by `min(next_wakeup, next_event_time)` and
+//!   yields typed [`session::SessionEvent`]s.
 //!
 //! Endpoints are I/O-free: `tick(now)` returns addressed datagrams and
 //! `receive(now, ...)` consumes them, under any transport — the
@@ -19,10 +23,12 @@
 pub mod apps;
 pub mod client;
 pub mod server;
+pub mod session;
 
 pub use apps::{Application, Editor, LineShell, MailReader, Pager, TimedWrite};
 pub use client::MoshClient;
 pub use server::MoshServer;
+pub use session::{Endpoint, Party, SessionEvent, SessionLoop};
 
 /// Virtual time in milliseconds.
 pub type Millis = u64;

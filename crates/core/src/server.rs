@@ -221,7 +221,10 @@ impl MoshServer {
 
     /// The earliest time `tick` needs to run again (event-driven stepping).
     pub fn next_wakeup(&self, now: Millis) -> Millis {
-        let mut next = now + 50; // Poll floor for app floods / echo acks.
+        let mut next = now + 50; // Poll floor for apps that can't predict their output.
+        if let Some(t) = self.app.next_wakeup(now) {
+            next = next.min(t);
+        }
         if let Some(w) = self.pending_writes.front() {
             next = next.min(w.at);
         }
@@ -232,6 +235,11 @@ impl MoshServer {
             next = next.min(t);
         }
         next.max(now)
+    }
+
+    /// Time the client was last heard from.
+    pub fn last_heard(&self) -> Option<Millis> {
+        self.transport.last_heard()
     }
 }
 

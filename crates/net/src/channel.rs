@@ -1,0 +1,335 @@
+//! Pluggable datagram substrates: the seam between SSP and the world.
+//!
+//! The paper's central design claim (§2) is that SSP is a pure state
+//! machine: all timing is supplied by the caller, so the same endpoint
+//! code runs under the evaluation simulator and over live UDP. A
+//! [`Channel`] is that seam — it owns a clock and moves datagrams, and
+//! nothing else:
+//!
+//! * [`SimChannel`] adapts the discrete-event [`Network`] emulator.
+//!   `wait_until` advances virtual time instantly, so 40 hours of traces
+//!   replay in seconds.
+//! * [`UdpChannel`] wraps a real `std::net::UdpSocket` with a
+//!   monotonic-clock→[`Millis`] mapping. `wait_until` genuinely blocks
+//!   (until the deadline or earlier traffic), so the same session loop
+//!   that drives the simulator drives a live session.
+//!
+//! Drivers (see `mosh_core::session::SessionLoop`) step time by
+//! `min(endpoint wakeups, next_event_time, deadline)` instead of polling
+//! every millisecond.
+
+use crate::sim::Network;
+use crate::{Addr, Datagram, Millis};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, ToSocketAddrs, UdpSocket};
+use std::time::{Duration, Instant};
+
+/// A datagram substrate plus a clock.
+///
+/// All methods are non-blocking except [`Channel::wait_until`], which is
+/// where a backend either advances virtual time (simulator) or sleeps on
+/// the socket (UDP).
+pub trait Channel {
+    /// Current time on this channel's clock.
+    fn now(&self) -> Millis;
+
+    /// Sends one datagram. Datagram semantics: may be lost, reordered, or
+    /// duplicated; never an error the caller must handle.
+    fn send(&mut self, from: Addr, to: Addr, payload: Vec<u8>);
+
+    /// Takes the next delivered datagram addressed to `addr`, if any.
+    fn recv(&mut self, addr: Addr) -> Option<Datagram>;
+
+    /// Takes the next delivered datagram for *any* endpoint, in delivery
+    /// order. Drivers use this instead of scanning every address.
+    fn poll_any(&mut self) -> Option<Datagram>;
+
+    /// Time of the next already-scheduled delivery, if the substrate can
+    /// know it (the simulator can; real networks cannot).
+    fn next_event_time(&self) -> Option<Millis>;
+
+    /// Blocks (or advances virtual time) until `deadline`, returning the
+    /// new `now`. May return early — but never before `now` — when
+    /// traffic arrives first; callers must re-check their own timers.
+    fn wait_until(&mut self, deadline: Millis) -> Millis;
+}
+
+// ---------------------------------------------------------------------
+// SimChannel
+// ---------------------------------------------------------------------
+
+/// The discrete-event [`Network`] emulator behind the [`Channel`] seam.
+///
+/// Both sides of an emulated session share one `SimChannel` (the network
+/// *is* the shared medium); a driver multiplexes its endpoints over it by
+/// destination address via [`Channel::poll_any`].
+#[derive(Debug)]
+pub struct SimChannel {
+    net: Network,
+}
+
+impl SimChannel {
+    /// Wraps an emulated network. Register endpoints on the network
+    /// (before or after wrapping) exactly as without the seam.
+    pub fn new(net: Network) -> Self {
+        SimChannel { net }
+    }
+
+    /// The underlying emulator (for stats and assertions).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable access (to register roamed addresses, swap link
+    /// conditions mid-session, ...). When replacing the network outright,
+    /// first `advance_to` the current [`Channel::now`] on the incoming
+    /// network: this channel's clock *is* the network's, and endpoint
+    /// time must never move backwards.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Unwraps the emulator.
+    pub fn into_network(self) -> Network {
+        self.net
+    }
+}
+
+impl Channel for SimChannel {
+    fn now(&self) -> Millis {
+        self.net.now()
+    }
+
+    fn send(&mut self, from: Addr, to: Addr, payload: Vec<u8>) {
+        self.net.send(from, to, payload);
+    }
+
+    fn recv(&mut self, addr: Addr) -> Option<Datagram> {
+        self.net.recv(addr)
+    }
+
+    fn poll_any(&mut self) -> Option<Datagram> {
+        self.net.poll_any().map(|(_, dg)| dg)
+    }
+
+    fn next_event_time(&self) -> Option<Millis> {
+        self.net.next_event_time()
+    }
+
+    fn wait_until(&mut self, deadline: Millis) -> Millis {
+        let t = deadline.max(self.net.now());
+        self.net.advance_to(t);
+        t
+    }
+}
+
+// ---------------------------------------------------------------------
+// UdpChannel
+// ---------------------------------------------------------------------
+
+/// Maximum UDP datagram we accept (fragments are far smaller).
+const MAX_DATAGRAM: usize = 64 * 1024;
+
+/// The [`Addr`] for an IPv4 socket address: the four octets packed
+/// big-endian into `host`.
+pub fn addr_from_socket(sa: SocketAddr) -> Option<Addr> {
+    match sa {
+        SocketAddr::V4(v4) => Some(Addr::new(u32::from(*v4.ip()), v4.port())),
+        SocketAddr::V6(_) => None,
+    }
+}
+
+/// The IPv4 socket address an [`Addr`] stands for (inverse of
+/// [`addr_from_socket`]).
+pub fn socket_from_addr(a: Addr) -> SocketAddrV4 {
+    SocketAddrV4::new(Ipv4Addr::from(a.host), a.port)
+}
+
+/// A live UDP socket behind the [`Channel`] seam (IPv4 only).
+///
+/// Time is milliseconds on a monotonic clock since the channel was
+/// created — the same [`Millis`] the state machines already speak. The
+/// two ends of a session each run their own clock; SSP only ever compares
+/// times locally (RTT comes from echoed timestamps), so the clocks need
+/// not agree.
+#[derive(Debug)]
+pub struct UdpChannel {
+    socket: UdpSocket,
+    /// Epoch for the `Millis` mapping. Survives `rebind` so virtual time
+    /// never jumps backwards for the endpoint, even as the client roams.
+    start: Instant,
+    local: Addr,
+    inbox: VecDeque<Datagram>,
+    buf: Box<[u8; MAX_DATAGRAM]>,
+}
+
+impl UdpChannel {
+    /// Binds a socket (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let socket = UdpSocket::bind(addr)?;
+        let local = addr_from_socket(socket.local_addr()?)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::Unsupported, "IPv4 sockets only"))?;
+        Ok(UdpChannel {
+            socket,
+            start: Instant::now(),
+            local,
+            inbox: VecDeque::new(),
+            buf: Box::new([0u8; MAX_DATAGRAM]),
+        })
+    }
+
+    /// This socket's address in [`Addr`] form.
+    pub fn local_addr(&self) -> Addr {
+        self.local
+    }
+
+    /// Re-binds to a fresh socket — roaming, the paper's way (§2.2): the
+    /// client simply starts sending from a new address; the server learns
+    /// it from the source of the next authentic datagram. The clock epoch
+    /// and any undelivered inbox survive, so the endpoint's virtual time
+    /// stays monotonic across the move.
+    pub fn rebind<A: ToSocketAddrs>(&mut self, addr: A) -> io::Result<()> {
+        let socket = UdpSocket::bind(addr)?;
+        self.local = addr_from_socket(socket.local_addr()?)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::Unsupported, "IPv4 sockets only"))?;
+        self.socket = socket;
+        // Undelivered datagrams were addressed to the old socket but
+        // belong to this endpoint; re-stamp them so a driver matching on
+        // the (new) local address still delivers them.
+        for dg in &mut self.inbox {
+            dg.to = self.local;
+        }
+        Ok(())
+    }
+}
+
+impl Channel for UdpChannel {
+    fn now(&self) -> Millis {
+        self.start.elapsed().as_millis() as Millis
+    }
+
+    fn send(&mut self, _from: Addr, to: Addr, payload: Vec<u8>) {
+        // Datagram semantics: a failed send is a lost packet, and SSP's
+        // retransmission timers already handle loss.
+        let _ = self.socket.send_to(&payload, socket_from_addr(to));
+    }
+
+    fn recv(&mut self, addr: Addr) -> Option<Datagram> {
+        let idx = self.inbox.iter().position(|dg| dg.to == addr)?;
+        self.inbox.remove(idx)
+    }
+
+    fn poll_any(&mut self) -> Option<Datagram> {
+        self.inbox.pop_front()
+    }
+
+    fn next_event_time(&self) -> Option<Millis> {
+        None // A real network cannot announce its arrivals.
+    }
+
+    fn wait_until(&mut self, deadline: Millis) -> Millis {
+        loop {
+            let now = self.now();
+            if now >= deadline || !self.inbox.is_empty() {
+                return now;
+            }
+            let timeout = Duration::from_millis(deadline - now);
+            if self.socket.set_read_timeout(Some(timeout)).is_err() {
+                return deadline.max(self.now());
+            }
+            match self.socket.recv_from(&mut self.buf[..]) {
+                Ok((n, src)) => {
+                    if let Some(from) = addr_from_socket(src) {
+                        self.inbox.push_back(Datagram {
+                            from,
+                            to: self.local,
+                            payload: self.buf[..n].to_vec(),
+                        });
+                    }
+                    return self.now();
+                }
+                // Timeout (or a transient error like an ICMP-propagated
+                // ECONNREFUSED): loop; the `now >= deadline` check exits.
+                Err(_) => continue,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinkConfig, Side};
+
+    #[test]
+    fn sim_channel_carries_datagrams_with_virtual_time() {
+        let mut net = Network::new(LinkConfig::lan(), LinkConfig::lan(), 1);
+        let c = Addr::new(1, 1000);
+        let s = Addr::new(2, 60001);
+        net.register(c, Side::Client);
+        net.register(s, Side::Server);
+        let mut ch = SimChannel::new(net);
+        ch.send(c, s, b"hello".to_vec());
+        assert!(ch.poll_any().is_none(), "not delivered yet");
+        let t = ch.next_event_time().expect("delivery scheduled");
+        let now = ch.wait_until(t);
+        assert_eq!(now, t);
+        // The departure event comes first on a LAN; step until arrival.
+        let dg = loop {
+            if let Some(dg) = ch.poll_any() {
+                break dg;
+            }
+            let t = ch.next_event_time().expect("arrival still pending");
+            ch.wait_until(t);
+        };
+        assert_eq!(dg.payload, b"hello");
+        assert_eq!(dg.from, c);
+        assert_eq!(dg.to, s);
+    }
+
+    #[test]
+    fn addr_socket_mapping_round_trips() {
+        let sa: SocketAddr = "127.0.0.1:60001".parse().unwrap();
+        let a = addr_from_socket(sa).unwrap();
+        assert_eq!(a.port, 60001);
+        assert_eq!(SocketAddr::V4(socket_from_addr(a)), sa);
+    }
+
+    #[test]
+    fn udp_channel_loopback_round_trip() {
+        let mut a = UdpChannel::bind("127.0.0.1:0").unwrap();
+        let mut b = UdpChannel::bind("127.0.0.1:0").unwrap();
+        a.send(a.local_addr(), b.local_addr(), b"ping".to_vec());
+        // Wait up to ~1 s of channel time for delivery.
+        let deadline = b.now() + 1000;
+        let dg = loop {
+            b.wait_until((b.now() + 20).min(deadline));
+            if let Some(dg) = b.poll_any() {
+                break dg;
+            }
+            assert!(b.now() < deadline, "loopback datagram never arrived");
+        };
+        assert_eq!(dg.payload, b"ping");
+        assert_eq!(dg.from, a.local_addr());
+        assert_eq!(dg.to, b.local_addr());
+    }
+
+    #[test]
+    fn udp_wait_until_reaches_the_deadline_when_idle() {
+        let mut ch = UdpChannel::bind("127.0.0.1:0").unwrap();
+        let target = ch.now() + 30;
+        let now = ch.wait_until(target);
+        assert!(now >= target, "woke at {now}, wanted {target}");
+    }
+
+    #[test]
+    fn udp_rebind_changes_address_but_not_clock() {
+        let mut ch = UdpChannel::bind("127.0.0.1:0").unwrap();
+        let old = ch.local_addr();
+        let before = ch.now();
+        ch.rebind("127.0.0.1:0").unwrap();
+        assert_ne!(ch.local_addr().port, old.port);
+        assert!(ch.now() >= before, "clock survives the rebind");
+    }
+}

@@ -16,6 +16,9 @@
 //! * Virtual time is explicit: every call happens at a caller-supplied
 //!   millisecond clock, so 40 hours of keystroke traces replay in seconds
 //!   and every run is exactly reproducible from its seed.
+//! * [`Channel`] — the pluggable substrate seam: [`SimChannel`] adapts
+//!   this emulator, [`UdpChannel`] runs the same endpoints over a real
+//!   nonblocking UDP socket with a monotonic-clock [`Millis`] mapping.
 //!
 //! # Examples
 //!
@@ -35,9 +38,11 @@
 //! assert_eq!(dg.from, client);
 //! ```
 
+pub mod channel;
 pub mod link;
 pub mod sim;
 
+pub use channel::{Channel, SimChannel, UdpChannel};
 pub use link::LinkConfig;
 pub use sim::{Network, NetworkStats, Side};
 
@@ -66,11 +71,20 @@ impl Addr {
 
 impl std::fmt::Display for Addr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `host` packs an IPv4 address big-endian (see `channel`); small
+        // emulator hosts render as 10.0.x.y for readability.
+        let host = if self.host < (1 << 16) {
+            (10 << 24) | self.host
+        } else {
+            self.host
+        };
         write!(
             f,
-            "10.0.{}.{}:{}",
-            self.host >> 8,
-            self.host & 0xff,
+            "{}.{}.{}.{}:{}",
+            host >> 24,
+            (host >> 16) & 0xff,
+            (host >> 8) & 0xff,
+            host & 0xff,
             self.port
         )
     }

@@ -111,7 +111,12 @@ impl Ord for Scheduled {
 pub struct Network {
     links: [LinkState; 2], // [0] = up (client->server), [1] = down
     sides: HashMap<Addr, Side>,
-    mailboxes: HashMap<Addr, VecDeque<Datagram>>,
+    /// Per-destination mailboxes; each datagram carries its global
+    /// delivery sequence number so [`Network::poll_any`] can yield strict
+    /// delivery order across endpoints while [`Network::recv`] stays an
+    /// O(1) pop (and traffic nobody drains degrades no one else).
+    mailboxes: HashMap<Addr, VecDeque<(u64, Datagram)>>,
+    delivery_seq: u64,
     events: BinaryHeap<Reverse<Scheduled>>,
     event_seq: u64,
     now: Millis,
@@ -137,6 +142,7 @@ impl Network {
             ],
             sides: HashMap::new(),
             mailboxes: HashMap::new(),
+            delivery_seq: 0,
             events: BinaryHeap::new(),
             event_seq: 0,
             now: 0,
@@ -149,7 +155,6 @@ impl Network {
     /// address they use; old ones may stay registered.
     pub fn register(&mut self, addr: Addr, side: Side) {
         self.sides.insert(addr, side);
-        self.mailboxes.entry(addr).or_default();
     }
 
     /// Current virtual time.
@@ -276,7 +281,11 @@ impl Network {
                     dir_stats.delivered += 1;
                     dir_stats.bytes_delivered += dg.payload.len() as u64;
                     dir_stats.total_latency_ms += at - sent_at;
-                    self.mailboxes.entry(dg.to).or_default().push_back(dg);
+                    self.delivery_seq += 1;
+                    self.mailboxes
+                        .entry(dg.to)
+                        .or_default()
+                        .push_back((self.delivery_seq, dg));
                 }
             }
         }
@@ -290,7 +299,23 @@ impl Network {
 
     /// Takes the next delivered datagram for an endpoint, if any.
     pub fn recv(&mut self, addr: Addr) -> Option<Datagram> {
-        self.mailboxes.get_mut(&addr)?.pop_front()
+        self.mailboxes.get_mut(&addr)?.pop_front().map(|(_, dg)| dg)
+    }
+
+    /// Takes the next delivered datagram for *any* endpoint, in strict
+    /// delivery order across endpoints, together with the receiving
+    /// address. Event-driven drivers use this instead of polling
+    /// [`Network::recv`] once per registered address per step. Mailboxes
+    /// hold global sequence numbers, so the minimum-front selection is
+    /// deterministic (sequence numbers are unique) and O(#endpoints).
+    pub fn poll_any(&mut self) -> Option<(Addr, Datagram)> {
+        let addr = self
+            .mailboxes
+            .iter()
+            .filter_map(|(addr, q)| q.front().map(|&(seq, _)| (seq, *addr)))
+            .min()
+            .map(|(_, addr)| addr)?;
+        self.recv(addr).map(|dg| (addr, dg))
     }
 }
 
@@ -494,6 +519,37 @@ mod tests {
             net.advance_to(t);
         }
         assert!(net.now() >= 136);
+    }
+
+    #[test]
+    fn poll_any_yields_delivery_order_across_endpoints() {
+        let (mut net, c, s) = basic(LinkConfig::lan(), LinkConfig::lan());
+        let c2 = Addr::new(1, 2000);
+        net.register(c2, Side::Client);
+        net.send(c, s, b"to server".to_vec());
+        net.send(s, c, b"to client".to_vec());
+        net.send(s, c2, b"to c2".to_vec());
+        net.advance_to(10);
+        let (a1, d1) = net.poll_any().expect("first");
+        let (a2, d2) = net.poll_any().expect("second");
+        let (a3, d3) = net.poll_any().expect("third");
+        assert_eq!((a1, d1.payload.as_slice()), (s, b"to server".as_ref()));
+        assert_eq!((a2, d2.payload.as_slice()), (c, b"to client".as_ref()));
+        assert_eq!((a3, d3.payload.as_slice()), (c2, b"to c2".as_ref()));
+        assert!(net.poll_any().is_none());
+    }
+
+    #[test]
+    fn recv_interleaves_with_poll_any_per_destination_fifo() {
+        let (mut net, c, s) = basic(LinkConfig::lan(), LinkConfig::lan());
+        for i in 0..4u8 {
+            net.send(c, s, vec![i]);
+        }
+        net.advance_to(10);
+        assert_eq!(net.recv(s).unwrap().payload, vec![0]);
+        assert_eq!(net.poll_any().unwrap().1.payload, vec![1]);
+        assert_eq!(net.recv(s).unwrap().payload, vec![2]);
+        assert_eq!(net.poll_any().unwrap().1.payload, vec![3]);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! the baseline omits it (see DESIGN.md, substitution #3).
 
 use mosh_core::apps::{Application, TimedWrite};
+use mosh_core::session::{Endpoint, SessionEvent};
 use mosh_net::{Addr, Millis};
 use mosh_tcp::TcpEndpoint;
 use mosh_terminal::Terminal;
@@ -56,6 +57,11 @@ impl SshClient {
     /// Runs timers; returns addressed datagrams.
     pub fn tick(&mut self, now: Millis) -> Vec<(Addr, Vec<u8>)> {
         self.tcp.tick(now)
+    }
+
+    /// The earliest time `tick` needs to run again (event stepping).
+    pub fn next_wakeup(&self, now: Millis) -> Millis {
+        self.tcp.next_wakeup(now)
     }
 
     /// The screen as the user sees it (no speculation — this is SSH).
@@ -159,19 +165,76 @@ impl SshServer {
         }
         self.tcp.tick(now)
     }
+
+    /// The earliest time `tick` needs to run again (event stepping).
+    pub fn next_wakeup(&self, now: Millis) -> Millis {
+        let mut next = self.tcp.next_wakeup(now);
+        if let Some(t) = self.app.next_wakeup(now) {
+            next = next.min(t);
+        }
+        if let Some(w) = self.pending.front() {
+            next = next.min(w.at);
+        }
+        next.max(now)
+    }
+}
+
+impl Endpoint for SshClient {
+    fn receive(&mut self, now: Millis, _from: Addr, wire: &[u8], events: &mut Vec<SessionEvent>) {
+        let before = self.rendered_bytes;
+        SshClient::receive(self, now, wire);
+        if self.rendered_bytes != before {
+            events.push(SessionEvent::BytesRendered {
+                at: now,
+                total: self.rendered_bytes,
+            });
+        }
+    }
+
+    fn tick(
+        &mut self,
+        now: Millis,
+        out: &mut Vec<(Addr, Vec<u8>)>,
+        _events: &mut Vec<SessionEvent>,
+    ) {
+        out.extend(SshClient::tick(self, now));
+    }
+
+    fn next_wakeup(&self, now: Millis) -> Millis {
+        SshClient::next_wakeup(self, now)
+    }
+}
+
+impl Endpoint for SshServer {
+    fn receive(&mut self, now: Millis, _from: Addr, wire: &[u8], _events: &mut Vec<SessionEvent>) {
+        SshServer::receive(self, now, wire);
+    }
+
+    fn tick(
+        &mut self,
+        now: Millis,
+        out: &mut Vec<(Addr, Vec<u8>)>,
+        _events: &mut Vec<SessionEvent>,
+    ) {
+        out.extend(SshServer::tick(self, now));
+    }
+
+    fn next_wakeup(&self, now: Millis) -> Millis {
+        SshServer::next_wakeup(self, now)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use mosh_core::apps::LineShell;
-    use mosh_net::{LinkConfig, Network, Side};
+    use mosh_core::session::{Party, SessionLoop};
+    use mosh_net::{LinkConfig, Network, Side, SimChannel};
 
     struct Session {
-        net: Network,
+        sl: SessionLoop<SimChannel>,
         client: SshClient,
         server: SshServer,
-        now: Millis,
     }
 
     fn session(up: LinkConfig, down: LinkConfig, seed: u64) -> Session {
@@ -181,30 +244,25 @@ mod tests {
         net.register(c, Side::Client);
         net.register(s, Side::Server);
         Session {
-            net,
+            sl: SessionLoop::new(SimChannel::new(net)),
             client: SshClient::new(c, s, 80, 24),
             server: SshServer::new(s, c, Box::new(LineShell::new())),
-            now: 0,
+        }
+    }
+
+    impl Session {
+        fn now(&self) -> Millis {
+            self.sl.now()
         }
     }
 
     fn run(se: &mut Session, until: Millis) {
-        while se.now < until {
-            for (to, w) in se.client.tick(se.now) {
-                se.net.send(se.client.addr(), to, w);
-            }
-            for (to, w) in se.server.tick(se.now) {
-                se.net.send(se.server.addr(), to, w);
-            }
-            se.now += 1;
-            se.net.advance_to(se.now);
-            while let Some(dg) = se.net.recv(se.server.addr()) {
-                se.server.receive(se.now, &dg.payload);
-            }
-            while let Some(dg) = se.net.recv(se.client.addr()) {
-                se.client.receive(se.now, &dg.payload);
-            }
-        }
+        let c = se.client.addr();
+        let s = se.server.addr();
+        se.sl.pump_until(
+            &mut [Party::new(c, &mut se.client), Party::new(s, &mut se.server)],
+            until,
+        );
     }
 
     #[test]
@@ -212,9 +270,9 @@ mod tests {
         let mut se = session(LinkConfig::lan(), LinkConfig::lan(), 1);
         run(&mut se, 200);
         assert_eq!(se.client.frame().row_text(0), "$");
-        se.client.keystroke(se.now, b"l");
-        se.client.keystroke(se.now, b"s");
-        let t = se.now + 300;
+        se.client.keystroke(se.now(), b"l");
+        se.client.keystroke(se.now(), b"s");
+        let t = se.now() + 300;
         run(&mut se, t);
         assert_eq!(se.client.frame().row_text(0), "$ ls");
     }
@@ -227,8 +285,8 @@ mod tests {
         };
         let mut se = session(slow.clone(), slow, 2);
         run(&mut se, 1000);
-        se.client.keystroke(se.now, b"x");
-        let typed_at = se.now;
+        se.client.keystroke(se.now(), b"x");
+        let typed_at = se.now();
         // Well under one RTT: nothing on screen.
         let t = typed_at + 150;
         run(&mut se, t);
@@ -243,9 +301,9 @@ mod tests {
         let mut se = session(LinkConfig::lan(), LinkConfig::lan(), 3);
         run(&mut se, 100);
         for b in b"cat 30\r" {
-            se.client.keystroke(se.now, &[*b]);
+            se.client.keystroke(se.now(), &[*b]);
         }
-        let t = se.now + 2000;
+        let t = se.now() + 2000;
         run(&mut se, t);
         let text = se.client.frame().to_text();
         assert!(text.contains("file line 29"), "all output rendered");
@@ -264,16 +322,16 @@ mod tests {
         };
         let mut se = session(lossy.clone(), lossy, 777);
         run(&mut se, 3000);
-        se.client.keystroke(se.now, b"z");
-        let typed = se.now;
+        se.client.keystroke(se.now(), b"z");
+        let typed = se.now();
         // Keep running until the echo shows; with 75% round-trip loss this
         // routinely takes several RTO backoffs.
         let mut echoed_at = None;
-        while se.now < typed + 120_000 {
-            let t = se.now + 10;
+        while se.now() < typed + 120_000 {
+            let t = se.now() + 10;
             run(&mut se, t);
             if se.client.frame().row_text(0).contains('z') {
-                echoed_at = Some(se.now);
+                echoed_at = Some(se.now());
                 break;
             }
         }

@@ -16,4 +16,4 @@ pub mod workload;
 pub use replay::{replay_mosh, replay_ssh, ReplayConfig, ReplayOutcome};
 pub use stats::Latencies;
 pub use synth::{six_users, small_trace, KeyKind, UserTrace};
-pub use workload::{AppKind, WorkloadApp};
+pub use workload::{AppKind, WorkloadApp, SWITCH_BYTE};

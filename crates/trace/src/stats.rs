@@ -27,6 +27,12 @@ impl Latencies {
         self.samples.len()
     }
 
+    /// The raw samples, in insertion order (exact-equality comparisons in
+    /// determinism tests).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
     /// True when no samples have been recorded.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()

@@ -91,6 +91,10 @@ impl Application for WorkloadApp {
         self.current.poll(now)
     }
 
+    fn next_wakeup(&self, now: Millis) -> Option<Millis> {
+        self.current.next_wakeup(now)
+    }
+
     fn on_resize(&mut self, now: Millis, width: usize, height: usize) -> Vec<TimedWrite> {
         self.current.on_resize(now, width, height)
     }

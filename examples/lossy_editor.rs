@@ -5,9 +5,9 @@
 //!
 //! Run with `cargo run --example lossy_editor`.
 
-use mosh::core::{Editor, MoshClient, MoshServer};
+use mosh::core::{Editor, MoshClient, MoshServer, Party, SessionLoop};
 use mosh::crypto::Base64Key;
-use mosh::net::{Addr, LinkConfig, Network, Side};
+use mosh::net::{Addr, LinkConfig, Network, Side, SimChannel};
 use mosh::prediction::DisplayPreference;
 
 fn main() {
@@ -26,44 +26,30 @@ fn main() {
 
     let mut client = MoshClient::new(key.clone(), s, 80, 24, DisplayPreference::Adaptive);
     let mut server = MoshServer::new(key, Box::new(Editor::new()));
+    let mut session = SessionLoop::new(SimChannel::new(net));
 
     // Type a sentence into the editor with realistic timing.
     let text = b"speculation makes remote editing feel local ";
     let mut instant = 0u32;
-    let mut now = 0u64;
-    let drive = |client: &mut MoshClient,
-                 server: &mut MoshServer,
-                 net: &mut Network,
-                 now: &mut u64,
-                 until: u64| {
-        while *now < until {
-            for (to, wire) in client.tick(*now) {
-                net.send(c, to, wire);
-            }
-            for (to, wire) in server.tick(*now) {
-                net.send(s, to, wire);
-            }
-            net.advance_to(*now + 1);
-            *now += 1;
-            while let Some(dg) = net.recv(s) {
-                server.receive(*now, dg.from, &dg.payload);
-            }
-            while let Some(dg) = net.recv(c) {
-                client.receive(*now, &dg.payload);
-            }
-        }
-    };
-
-    drive(&mut client, &mut server, &mut net, &mut now, 2000);
+    session.pump_until(
+        &mut [Party::new(c, &mut client), Party::new(s, &mut server)],
+        2000,
+    );
     for &b in text {
-        if client.keystroke(now, &[b]) {
+        if client.keystroke(session.now(), &[b]) {
             instant += 1;
         }
-        let until = now + 140;
-        drive(&mut client, &mut server, &mut net, &mut now, until);
+        let until = session.now() + 140;
+        session.pump_until(
+            &mut [Party::new(c, &mut client), Party::new(s, &mut server)],
+            until,
+        );
     }
-    let until = now + 5000;
-    drive(&mut client, &mut server, &mut net, &mut now, until);
+    let until = session.now() + 5000;
+    session.pump_until(
+        &mut [Party::new(c, &mut client), Party::new(s, &mut server)],
+        until,
+    );
 
     let display = client.display();
     println!("editor screen after typing over a 10%-loss, 300 ms RTT link:");

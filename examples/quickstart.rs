@@ -2,9 +2,9 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use mosh::core::{LineShell, MoshClient, MoshServer};
+use mosh::core::{LineShell, MoshClient, MoshServer, Party, SessionLoop};
 use mosh::crypto::Base64Key;
-use mosh::net::{Addr, LinkConfig, Network, Side};
+use mosh::net::{Addr, LinkConfig, Network, Side, SimChannel};
 use mosh::prediction::DisplayPreference;
 
 fn main() {
@@ -19,34 +19,26 @@ fn main() {
 
     let mut client = MoshClient::new(key.clone(), s, 80, 24, DisplayPreference::Adaptive);
     let mut server = MoshServer::new(key, Box::new(LineShell::new()));
+    let mut session = SessionLoop::new(SimChannel::new(net));
 
-    // The user types `ls` and presses ENTER, with human timing.
+    // The user types `ls` and presses ENTER, with human timing. The loop
+    // steps straight from event to event: no per-millisecond polling.
     let script: &[(u64, &[u8])] = &[(2000, b"l"), (2210, b"s"), (2420, b"\r")];
-    let mut si = 0;
-
-    for now in 0..8000u64 {
-        while si < script.len() && script[si].0 <= now {
-            let shown = client.keystroke(now, script[si].1);
-            println!(
-                "t={now:>5} ms  typed {:?}  predicted instantly: {shown}",
-                String::from_utf8_lossy(script[si].1)
-            );
-            si += 1;
-        }
-        for (to, wire) in client.tick(now) {
-            net.send(c, to, wire);
-        }
-        for (to, wire) in server.tick(now) {
-            net.send(s, to, wire);
-        }
-        net.advance_to(now + 1);
-        while let Some(dg) = net.recv(s) {
-            server.receive(now + 1, dg.from, &dg.payload);
-        }
-        while let Some(dg) = net.recv(c) {
-            client.receive(now + 1, &dg.payload);
-        }
+    for (at, bytes) in script {
+        session.pump_until(
+            &mut [Party::new(c, &mut client), Party::new(s, &mut server)],
+            *at,
+        );
+        let shown = client.keystroke(*at, bytes);
+        println!(
+            "t={at:>5} ms  typed {:?}  predicted instantly: {shown}",
+            String::from_utf8_lossy(bytes)
+        );
     }
+    session.pump_until(
+        &mut [Party::new(c, &mut client), Party::new(s, &mut server)],
+        8000,
+    );
 
     println!("\nFinal screen as seen by the user (RTT ≈ 500 ms):");
     println!("┌{}┐", "─".repeat(40));

@@ -2,12 +2,15 @@
 //!
 //! Paper §2.2: "client roaming happens automatically, without the client's
 //! timing out or even knowing that it has changed public IP addresses."
+//! Under the [`SessionLoop`] API, roaming on the simulator is literally
+//! one assignment — the client party's address changes between pumps —
+//! and the driver reports the server's re-target as a `Roamed` event.
 //!
 //! Run with `cargo run --example roaming`.
 
-use mosh::core::{LineShell, MoshClient, MoshServer};
+use mosh::core::{LineShell, MoshClient, MoshServer, Party, SessionEvent, SessionLoop};
 use mosh::crypto::Base64Key;
-use mosh::net::{Addr, LinkConfig, Network, Side};
+use mosh::net::{Addr, LinkConfig, Network, Side, SimChannel};
 use mosh::prediction::DisplayPreference;
 
 fn main() {
@@ -22,44 +25,45 @@ fn main() {
 
     let mut client = MoshClient::new(key.clone(), server, 80, 24, DisplayPreference::Adaptive);
     let mut srv = MoshServer::new(key, Box::new(LineShell::new()));
+    let mut session = SessionLoop::new(SimChannel::new(net));
 
-    let mut from = wifi;
-    for now in 0..4000u64 {
-        match now {
-            1000 => {
-                client.keystroke(now, b"a");
-                println!("t=1000  typed 'a' from {from}");
-            }
-            2000 => {
-                from = lte; // The IP address changes; no reconnect, no API call.
-                println!("t=2000  *** roamed: now sending from {from} ***");
-            }
-            2100 => {
-                client.keystroke(now, b"b");
-                println!("t=2100  typed 'b' from {from}");
-            }
-            _ => {}
-        }
-        for (to, wire) in client.tick(now) {
-            net.send(from, to, wire);
-        }
-        for (to, wire) in srv.tick(now) {
-            net.send(server, to, wire);
-        }
-        net.advance_to(now + 1);
-        while let Some(dg) = net.recv(server) {
-            srv.receive(now + 1, dg.from, &dg.payload);
-        }
-        for addr in [wifi, lte] {
-            while let Some(dg) = net.recv(addr) {
-                client.receive(now + 1, &dg.payload);
-            }
+    // On Wi-Fi: connect and type 'a'.
+    session.pump_until(
+        &mut [Party::new(wifi, &mut client), Party::new(server, &mut srv)],
+        1000,
+    );
+    client.keystroke(1000, b"a");
+    println!("t=1000  typed 'a' from {wifi}");
+    session.pump_until(
+        &mut [Party::new(wifi, &mut client), Party::new(server, &mut srv)],
+        2000,
+    );
+
+    // The IP address changes; no reconnect, no API call — the client
+    // simply sends from its new address from now on.
+    println!("t=2000  *** roamed: now sending from {lte} ***");
+    session.pump_until(
+        &mut [Party::new(lte, &mut client), Party::new(server, &mut srv)],
+        2100,
+    );
+    client.keystroke(2100, b"b");
+    println!("t=2100  typed 'b' from {lte}");
+    let events = session.pump_until(
+        &mut [Party::new(lte, &mut client), Party::new(server, &mut srv)],
+        4000,
+    );
+
+    for ev in &events {
+        if let SessionEvent::Roamed { at, to } = ev {
+            println!("t={at}  server re-targeted to {to}");
         }
     }
-
     println!("\nserver now targets: {}", srv.target().expect("connected"));
     println!("screen: {:?}", client.server_frame().row_text(0));
     assert_eq!(srv.target(), Some(lte));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, SessionEvent::Roamed { to, .. } if *to == lte)));
     assert_eq!(client.server_frame().row_text(0), "$ ab");
     println!("both keystrokes arrived; the session never noticed the move.");
 }

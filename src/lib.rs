@@ -16,18 +16,29 @@
 //! * [`trace`] — six-user keystroke traces, replay, and statistics (§4).
 //! * [`crypto`] — AES-128-OCB authenticated encryption (§2.2).
 //!
+//! The I/O seam is the [`net::Channel`] trait: the same `MoshClient` /
+//! `MoshServer` state machines run over [`net::SimChannel`] (the
+//! discrete-event emulator, virtual time) and [`net::UdpChannel`] (a real
+//! socket, wall-clock time) — the paper's §2 design claim, executable.
+//! A [`core::SessionLoop`] drives any set of endpoints over either
+//! substrate, stepping straight to the next timer or delivery instead of
+//! polling every millisecond, and reports [`core::SessionEvent`]s
+//! (`FrameAdvanced`, `Roamed`, `PeerTimeout`, ...).
+//!
 //! # Quickstart
 //!
 //! ```
-//! use mosh::core::{LineShell, MoshClient, MoshServer};
+//! use mosh::core::{LineShell, MoshClient, MoshServer, Party, SessionLoop};
 //! use mosh::crypto::Base64Key;
-//! use mosh::net::{Addr, LinkConfig, Network, Side};
+//! use mosh::net::{Addr, LinkConfig, Network, Side, SimChannel};
 //! use mosh::prediction::DisplayPreference;
 //!
 //! // A shared key, exactly like `mosh-server` prints during bootstrap.
 //! let key = Base64Key::random();
 //!
-//! // An emulated mobile network path.
+//! // An emulated mobile network path. (Swap `SimChannel` for
+//! // `UdpChannel::bind("127.0.0.1:0")` and the same session runs over
+//! // real sockets — see `examples/udp_pair.rs`.)
 //! let mut net = Network::new(LinkConfig::lan(), LinkConfig::lan(), 7);
 //! let (c, s) = (Addr::new(1, 1000), Addr::new(2, 60001));
 //! net.register(c, Side::Client);
@@ -36,23 +47,24 @@
 //! let mut client = MoshClient::new(key.clone(), s, 80, 24, DisplayPreference::Adaptive);
 //! let mut server = MoshServer::new(key, Box::new(LineShell::new()));
 //!
-//! // Run both endpoints for half a virtual second.
-//! for now in 0..500 {
-//!     for (to, wire) in client.tick(now) {
-//!         net.send(c, to, wire);
-//!     }
-//!     for (to, wire) in server.tick(now) {
-//!         net.send(s, to, wire);
-//!     }
-//!     net.advance_to(now + 1);
-//!     while let Some(dg) = net.recv(s) {
-//!         server.receive(now + 1, dg.from, &dg.payload);
-//!     }
-//!     while let Some(dg) = net.recv(c) {
-//!         client.receive(now + 1, &dg.payload);
-//!     }
-//! }
+//! // Run both endpoints for half a virtual second: the loop steps from
+//! // event to event (keystrokes, frames, acks), not millisecond to
+//! // millisecond, and the schedule is identical either way.
+//! let mut session = SessionLoop::new(SimChannel::new(net));
+//! let events = session.pump_until(
+//!     &mut [Party::new(c, &mut client), Party::new(s, &mut server)],
+//!     500,
+//! );
 //! assert_eq!(client.server_frame().row_text(0), "$");
+//! assert!(!events.is_empty(), "the prompt arrived in a frame event");
+//!
+//! // Type a keystroke, then let the session settle.
+//! client.keystroke(session.now(), b"l");
+//! session.pump_until(
+//!     &mut [Party::new(c, &mut client), Party::new(s, &mut server)],
+//!     1000,
+//! );
+//! assert_eq!(client.server_frame().row_text(0), "$ l");
 //! ```
 
 pub use mosh_core as core;

@@ -1,17 +1,19 @@
-//! Cross-crate integration tests: full sessions over hostile networks.
+//! Cross-crate integration tests: full sessions over hostile networks,
+//! driven by the event-driven `SessionLoop` instead of a 1 ms pump.
 
-use mosh::core::{Editor, LineShell, MailReader, MoshClient, MoshServer, Pager};
+use mosh::core::{
+    Editor, LineShell, MailReader, MoshClient, MoshServer, Pager, Party, SessionLoop,
+};
 use mosh::crypto::Base64Key;
-use mosh::net::{Addr, LinkConfig, Network, Side};
+use mosh::net::{Addr, LinkConfig, Network, Side, SimChannel};
 use mosh::prediction::DisplayPreference;
 
 struct Session {
-    net: Network,
+    sl: SessionLoop<SimChannel>,
     client: MoshClient,
     server: MoshServer,
     c: Addr,
     s: Addr,
-    now: u64,
 }
 
 fn session(
@@ -27,39 +29,44 @@ fn session(
     net.register(c, Side::Client);
     net.register(s, Side::Server);
     Session {
-        net,
+        sl: SessionLoop::new(SimChannel::new(net)),
         client: MoshClient::new(key.clone(), s, 80, 24, DisplayPreference::Adaptive),
         server: MoshServer::new(key, app),
         c,
         s,
-        now: 0,
     }
 }
 
-fn run(se: &mut Session, until: u64) {
-    while se.now < until {
-        for (to, w) in se.client.tick(se.now) {
-            se.net.send(se.c, to, w);
-        }
-        for (to, w) in se.server.tick(se.now) {
-            se.net.send(se.s, to, w);
-        }
-        se.now += 1;
-        se.net.advance_to(se.now);
-        while let Some(dg) = se.net.recv(se.s) {
-            se.server.receive(se.now, dg.from, &dg.payload);
-        }
-        while let Some(dg) = se.net.recv(se.c) {
-            se.client.receive(se.now, &dg.payload);
-        }
+impl Session {
+    fn now(&self) -> u64 {
+        self.sl.now()
+    }
+
+    fn run(&mut self, until: u64) {
+        self.sl.pump_until(
+            &mut [
+                Party::new(self.c, &mut self.client),
+                Party::new(self.s, &mut self.server),
+            ],
+            until,
+        );
+    }
+
+    /// Replaces the emulated network mid-session (blackouts, recoveries).
+    /// The incoming network is fast-forwarded to the session clock first:
+    /// `SimChannel` reads time from its network, and endpoint-visible
+    /// time must never go backwards.
+    fn swap_network(&mut self, mut net: Network) {
+        net.advance_to(self.sl.now());
+        std::mem::swap(self.sl.channel_mut().network_mut(), &mut net);
     }
 }
 
 fn type_line(se: &mut Session, line: &[u8], gap: u64) {
     for b in line {
-        se.client.keystroke(se.now, &[*b]);
-        let until = se.now + gap;
-        run(se, until);
+        se.client.keystroke(se.now(), &[*b]);
+        let until = se.now() + gap;
+        se.run(until);
     }
 }
 
@@ -72,10 +79,10 @@ fn shell_session_over_lossy_3g() {
         ..LinkConfig::lan()
     };
     let mut se = session(lossy.clone(), lossy, 1, Box::new(LineShell::new()));
-    run(&mut se, 2500);
+    se.run(2500);
     type_line(&mut se, b"echo resilient\r", 160);
-    let until = se.now + 8000;
-    run(&mut se, until);
+    let until = se.now() + 8000;
+    se.run(until);
     let text = se.client.server_frame().to_text();
     assert!(text.contains("resilient"), "output arrived: {text}");
     // Display (with overlays) equals authority after quiescence.
@@ -89,10 +96,10 @@ fn editor_full_screen_over_satellite_latency() {
         ..LinkConfig::lan()
     };
     let mut se = session(sat.clone(), sat, 2, Box::new(Editor::new()));
-    run(&mut se, 3000);
+    se.run(3000);
     type_line(&mut se, b"hello editor", 150);
-    let until = se.now + 4000;
-    run(&mut se, until);
+    let until = se.now() + 4000;
+    se.run(until);
     let row0 = se.client.server_frame().row_text(0);
     assert!(row0.contains("hello editor"), "typed text visible: {row0}");
     // The editor's status line made it across too.
@@ -107,13 +114,13 @@ fn mail_navigation_syncs_highlight() {
         3,
         Box::new(MailReader::new(10)),
     );
-    run(&mut se, 1000);
-    se.client.keystroke(se.now, b"n");
-    let until = se.now + 500;
-    run(&mut se, until);
-    se.client.keystroke(se.now, b"n");
-    let until = se.now + 500;
-    run(&mut se, until);
+    se.run(1000);
+    se.client.keystroke(se.now(), b"n");
+    let until = se.now() + 500;
+    se.run(until);
+    se.client.keystroke(se.now(), b"n");
+    let until = se.now() + 500;
+    se.run(until);
     // The highlight (inverse video) sits on the third message (index 2).
     let f = se.client.server_frame();
     assert!(f.cell(3, 0).attrs.inverse, "bar on row 3 after two 'n'");
@@ -128,11 +135,11 @@ fn pager_over_intermittent_connectivity() {
         4,
         Box::new(Pager::new(200)),
     );
-    run(&mut se, 1000);
+    se.run(1000);
     let first_page = se.client.server_frame().row_text(0);
 
     // Page forward twice during a blackout (packets vanish).
-    se.client.keystroke(se.now, b" ");
+    se.client.keystroke(se.now(), b" ");
     // Swap in a dead network.
     let mut dead = Network::new(
         LinkConfig {
@@ -147,9 +154,9 @@ fn pager_over_intermittent_connectivity() {
     );
     dead.register(se.c, Side::Client);
     dead.register(se.s, Side::Server);
-    std::mem::swap(&mut se.net, &mut dead);
-    let until = se.now + 4000;
-    run(&mut se, until);
+    se.swap_network(dead);
+    let until = se.now() + 4000;
+    se.run(until);
     assert_eq!(
         se.client.server_frame().row_text(0),
         first_page,
@@ -160,9 +167,9 @@ fn pager_over_intermittent_connectivity() {
     let mut alive = Network::new(LinkConfig::lan(), LinkConfig::lan(), 4);
     alive.register(se.c, Side::Client);
     alive.register(se.s, Side::Server);
-    std::mem::swap(&mut se.net, &mut alive);
-    let until = se.now + 8000;
-    run(&mut se, until);
+    se.swap_network(alive);
+    let until = se.now() + 8000;
+    se.run(until);
     assert_ne!(se.client.server_frame().row_text(1), "", "screen updated");
     assert!(
         se.client.server_frame().to_text().contains("More"),
@@ -181,23 +188,23 @@ fn control_c_stops_flood_within_a_round_trip() {
         ..LinkConfig::lan()
     };
     let mut se = session(LinkConfig::lan(), narrow, 5, Box::new(LineShell::new()));
-    run(&mut se, 1000);
+    se.run(1000);
     type_line(&mut se, b"yes\r", 100);
-    let until = se.now + 3000;
-    run(&mut se, until);
+    let until = se.now() + 3000;
+    se.run(until);
     assert!(
         se.client.server_frame().to_text().contains('y'),
         "flood visible"
     );
 
-    se.client.keystroke(se.now, &[0x03]);
-    let pressed = se.now;
+    se.client.keystroke(se.now(), &[0x03]);
+    let pressed = se.now();
     let mut seen_at = None;
-    while se.now < pressed + 10_000 {
-        let until = se.now + 10;
-        run(&mut se, until);
+    while se.now() < pressed + 10_000 {
+        let until = se.now() + 10;
+        se.run(until);
         if se.client.server_frame().to_text().contains("^C") {
-            seen_at = Some(se.now);
+            seen_at = Some(se.now());
             break;
         }
     }
@@ -216,13 +223,13 @@ fn resize_mid_session_repaints_correctly() {
         6,
         Box::new(LineShell::new()),
     );
-    run(&mut se, 1000);
+    se.run(1000);
     type_line(&mut se, b"echo wide\r", 120);
-    let until = se.now + 1000;
-    run(&mut se, until);
-    se.client.resize(se.now, 132, 40);
-    let until = se.now + 2000;
-    run(&mut se, until);
+    let until = se.now() + 1000;
+    se.run(until);
+    se.client.resize(se.now(), 132, 40);
+    let until = se.now() + 2000;
+    se.run(until);
     assert_eq!(se.server.frame().width(), 132);
     assert_eq!(se.client.server_frame().width(), 132);
     assert!(se.client.server_frame().to_text().contains("wide"));
@@ -236,13 +243,13 @@ fn tampered_datagrams_never_corrupt_the_session() {
         7,
         Box::new(LineShell::new()),
     );
-    run(&mut se, 500);
+    se.run(500);
     // Inject garbage and bit-flipped copies at the server.
-    se.server.receive(se.now, se.c, b"complete garbage");
-    se.server.receive(se.now, se.c, &[0u8; 64]);
+    se.server.receive(se.now(), se.c, b"complete garbage");
+    se.server.receive(se.now(), se.c, &[0u8; 64]);
     type_line(&mut se, b"ok\r", 100);
-    let until = se.now + 2000;
-    run(&mut se, until);
+    let until = se.now() + 2000;
+    se.run(until);
     assert!(se.client.server_frame().to_text().contains("ok"));
 }
 
@@ -254,7 +261,7 @@ fn heartbeats_keep_last_heard_fresh_when_idle() {
         8,
         Box::new(LineShell::new()),
     );
-    run(&mut se, 15_000);
+    se.run(15_000);
     let heard = se.client.last_heard().expect("server spoke");
-    assert!(se.now - heard < 3500, "heartbeats every 3 s keep contact");
+    assert!(se.now() - heard < 3500, "heartbeats every 3 s keep contact");
 }

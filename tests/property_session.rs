@@ -1,37 +1,21 @@
 //! End-to-end property tests: whole-session invariants under randomized
-//! networks and inputs.
+//! networks and inputs, driven by the event-driven `SessionLoop`.
 
-use mosh::core::{LineShell, MoshClient, MoshServer};
+use mosh::core::{LineShell, MoshClient, MoshServer, Party, SessionLoop};
 use mosh::crypto::Base64Key;
-use mosh::net::{Addr, LinkConfig, Network, Side};
+use mosh::net::{Addr, LinkConfig, Network, Side, SimChannel};
 use mosh::prediction::DisplayPreference;
 use proptest::prelude::*;
 
 fn drive(
-    net: &mut Network,
+    sl: &mut SessionLoop<SimChannel>,
     client: &mut MoshClient,
     server: &mut MoshServer,
     c: Addr,
     s: Addr,
-    now: &mut u64,
     until: u64,
 ) {
-    while *now < until {
-        for (to, w) in client.tick(*now) {
-            net.send(c, to, w);
-        }
-        for (to, w) in server.tick(*now) {
-            net.send(s, to, w);
-        }
-        *now += 1;
-        net.advance_to(*now);
-        while let Some(dg) = net.recv(s) {
-            server.receive(*now, dg.from, &dg.payload);
-        }
-        while let Some(dg) = net.recv(c) {
-            client.receive(*now, &dg.payload);
-        }
-    }
+    sl.pump_until(&mut [Party::new(c, client), Party::new(s, server)], until);
 }
 
 proptest! {
@@ -61,17 +45,17 @@ proptest! {
         net.register(s, Side::Server);
         let mut client = MoshClient::new(key.clone(), s, 80, 24, DisplayPreference::Adaptive);
         let mut server = MoshServer::new(key, Box::new(LineShell::new()));
-        let mut now = 0u64;
+        let mut sl = SessionLoop::new(SimChannel::new(net));
 
-        drive(&mut net, &mut client, &mut server, c, s, &mut now, 3000);
+        drive(&mut sl, &mut client, &mut server, c, s, 3000);
         for ch in text.bytes() {
-            client.keystroke(now, &[ch]);
-            let until = now + 120;
-            drive(&mut net, &mut client, &mut server, c, s, &mut now, until);
+            client.keystroke(sl.now(), &[ch]);
+            let until = sl.now() + 120;
+            drive(&mut sl, &mut client, &mut server, c, s, until);
         }
         // Quiescence: generous for the lossiest cases (RTO <= 1 s).
-        let until = now + 30_000;
-        drive(&mut net, &mut client, &mut server, c, s, &mut now, until);
+        let until = sl.now() + 30_000;
+        drive(&mut sl, &mut client, &mut server, c, s, until);
 
         // The server's line buffer saw every keystroke, in order.
         let expected = format!("$ {}", text);
@@ -101,22 +85,22 @@ proptest! {
         net.register(s, Side::Server);
         let mut client = MoshClient::new(key.clone(), s, 80, 24, DisplayPreference::Never);
         let mut server = MoshServer::new(key, Box::new(LineShell::new()));
-        let mut now = 0u64;
-        drive(&mut net, &mut client, &mut server, c, s, &mut now, 1000);
+        let mut sl = SessionLoop::new(SimChannel::new(net));
+        drive(&mut sl, &mut client, &mut server, c, s, 1000);
 
         let mut expected = String::from("$ ");
         for (i, hop) in hops.iter().enumerate() {
             // Roam to a new address, then type one letter.
             c = Addr::new(*hop, 1000 + i as u16);
-            net.register(c, Side::Client);
+            sl.channel_mut().network_mut().register(c, Side::Client);
             let letter = b'a' + (i as u8 % 26);
-            client.keystroke(now, &[letter]);
+            client.keystroke(sl.now(), &[letter]);
             expected.push(letter as char);
-            let until = now + 800;
-            drive(&mut net, &mut client, &mut server, c, s, &mut now, until);
+            let until = sl.now() + 800;
+            drive(&mut sl, &mut client, &mut server, c, s, until);
         }
-        let until = now + 3000;
-        drive(&mut net, &mut client, &mut server, c, s, &mut now, until);
+        let until = sl.now() + 3000;
+        drive(&mut sl, &mut client, &mut server, c, s, until);
         prop_assert_eq!(server.frame().row_text(0), expected.trim_end());
         prop_assert_eq!(server.target(), Some(c), "server follows the last hop");
     }
