@@ -115,7 +115,7 @@ fn prediction(c: &mut Criterion) {
         b.iter(|| {
             idx += 1;
             e.new_user_input(idx, 200.0, b"x", &frame, idx);
-            if idx % 32 == 0 {
+            if idx.is_multiple_of(32) {
                 e.reset();
             }
         });

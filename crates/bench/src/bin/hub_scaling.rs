@@ -1,0 +1,156 @@
+//! Multi-session scaling: wall-clock cost per simulated user when one
+//! `ServerHub` multiplexes 1 / 8 / 64 concurrent Mosh sessions.
+//!
+//! Each session is a full client↔server pair in its own emulated network
+//! world, typing steadily; the hub drives them all through one timer
+//! wheel. The quantity that must hold for a production front end is the
+//! *per-user* cost staying flat as the fleet grows (the wheel pops one
+//! session per wakeup; idle neighbors are free). Results land in
+//! `BENCH_hub_scaling.json` so the perf trajectory captures multi-session
+//! scaling run over run.
+//!
+//! Wall-clock numbers vary by machine; the per-user *wakeup* counts are
+//! deterministic.
+
+use mosh_core::{HubSession, LineShell, MoshClient, MoshServer, Party, ServerHub, SessionId};
+use mosh_crypto::Base64Key;
+use mosh_net::{Addr, LinkConfig, Network, Poller, Side, SimChannel, SimPoller};
+use mosh_prediction::DisplayPreference;
+use std::time::Instant;
+
+const C: Addr = Addr::new(1, 1000);
+const S: Addr = Addr::new(2, 60001);
+
+struct FleetResult {
+    sessions: usize,
+    wall_ms: f64,
+    wakeups: u64,
+    delivered: u64,
+}
+
+fn run_fleet(n: usize, horizon: u64) -> FleetResult {
+    let mut hub = ServerHub::new(SimPoller::new());
+    let mut sids: Vec<SessionId> = Vec::new();
+    let mut users: Vec<(MoshClient, MoshServer)> = Vec::new();
+    for i in 0..n {
+        let mut net = Network::new(
+            LinkConfig::evdo_uplink(),
+            LinkConfig::evdo_downlink(),
+            i as u64 + 1,
+        );
+        net.register(C, Side::Client);
+        net.register(S, Side::Server);
+        let tok = hub.poller_mut().add(SimChannel::new(net));
+        sids.push(hub.add_session(tok));
+        let key = Base64Key::from_bytes([i as u8; 16]);
+        users.push((
+            MoshClient::new(key.clone(), S, 80, 24, DisplayPreference::Adaptive),
+            MoshServer::new(key, Box::new(LineShell::new())),
+        ));
+    }
+
+    // Everyone types one keystroke a second (staggered per user), ENTER
+    // every eighth — a steady interactive load on every session.
+    let start = Instant::now();
+    let mut now = 0u64;
+    let mut key_no = 0u64;
+    while now < horizon {
+        let target = (now + 1_000).min(horizon);
+        let mut leases: Vec<[Party<'_>; 2]> = users
+            .iter_mut()
+            .map(|(c, s)| [Party::new(C, c), Party::new(S, s)])
+            .collect();
+        let mut sessions: Vec<HubSession<'_, '_>> = leases
+            .iter_mut()
+            .zip(sids.iter())
+            .map(|(parties, sid)| HubSession::new(*sid, parties, target))
+            .collect();
+        hub.pump(&mut sessions);
+        drop(sessions);
+        drop(leases);
+        now = target;
+        if now < horizon {
+            let byte = if key_no % 8 == 7 {
+                b'\r'
+            } else {
+                b'a' + (key_no % 26) as u8
+            };
+            for (client, _) in users.iter_mut() {
+                client.keystroke(now, &[byte]);
+            }
+            key_no += 1;
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let stats = hub.stats();
+    FleetResult {
+        sessions: n,
+        wall_ms,
+        wakeups: stats.wakeups,
+        delivered: stats.delivered,
+    }
+}
+
+fn main() {
+    let quick =
+        std::env::args().any(|a| a == "--quick") || std::env::var("MOSH_BENCH_QUICK").is_ok();
+    let horizon: u64 = if quick { 20_000 } else { 120_000 };
+
+    println!("=== hub_scaling: one ServerHub, N concurrent Mosh sessions ===");
+    println!("  ({horizon} virtual ms per fleet, EV-DO links, steady typing)\n");
+    println!(
+        "  {:>8}  {:>12}  {:>14}  {:>16}  {:>14}",
+        "sessions", "wall ms", "wall ms/user", "wakeups/user", "dgrams/user"
+    );
+
+    let mut results = Vec::new();
+    for n in [1usize, 8, 64] {
+        let r = run_fleet(n, horizon);
+        println!(
+            "  {:>8}  {:>12.1}  {:>14.2}  {:>16.1}  {:>14.1}",
+            r.sessions,
+            r.wall_ms,
+            r.wall_ms / r.sessions as f64,
+            r.wakeups as f64 / r.sessions as f64,
+            r.delivered as f64 / r.sessions as f64,
+        );
+        results.push(r);
+    }
+
+    // The perf-trajectory artifact.
+    let mut json = String::from("{\n  \"bench\": \"hub_scaling\",\n");
+    json.push_str(&format!("  \"horizon_ms\": {horizon},\n  \"results\": [\n"));
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"sessions\": {}, \"wall_ms\": {:.3}, \"wall_ms_per_session\": {:.3}, \
+             \"wakeups_per_session\": {:.1}, \"datagrams_per_session\": {:.1}}}{}\n",
+            r.sessions,
+            r.wall_ms,
+            r.wall_ms / r.sessions as f64,
+            r.wakeups as f64 / r.sessions as f64,
+            r.delivered as f64 / r.sessions as f64,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_hub_scaling.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_hub_scaling.json"),
+        Err(e) => println!("\ncould not write BENCH_hub_scaling.json: {e}"),
+    }
+
+    let per_user: Vec<f64> = results
+        .iter()
+        .map(|r| r.wall_ms / r.sessions as f64)
+        .collect();
+    println!(
+        "per-user cost 1 -> 64 sessions: {:.2} ms -> {:.2} ms ({})",
+        per_user[0],
+        per_user[2],
+        if per_user[2] <= per_user[0] * 3.0 {
+            "flat-ish: the wheel scales"
+        } else {
+            "growing: investigate"
+        }
+    );
+}

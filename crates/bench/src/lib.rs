@@ -6,7 +6,9 @@
 
 use mosh_net::LinkConfig;
 use mosh_prediction::DisplayPreference;
-use mosh_trace::{replay_mosh, replay_ssh, Latencies, ReplayConfig, ReplayOutcome, UserTrace};
+use mosh_trace::{
+    replay_mosh_many, replay_ssh_many, Latencies, ReplayConfig, ReplayOutcome, UserTrace,
+};
 
 /// Which traces to replay: the full six users, or a quick subset when the
 /// binary is invoked with `--quick` (or `MOSH_BENCH_QUICK=1`).
@@ -32,14 +34,17 @@ pub struct SystemResult {
     pub mispredicted: u64,
 }
 
-/// Replays every trace through Mosh and pools the results.
+/// Replays every trace through Mosh — all users concurrently on one
+/// multi-session hub — and pools the results (identical to dedicated
+/// per-user loops, by the hub's schedule-identity guarantee).
 pub fn run_mosh(traces: &[UserTrace], cfg: &ReplayConfig) -> SystemResult {
-    pool(traces.iter().map(|t| replay_mosh(t, cfg)))
+    pool(replay_mosh_many(traces, cfg).into_iter())
 }
 
-/// Replays every trace through SSH and pools the results.
+/// Replays every trace through SSH on one multi-session hub and pools
+/// the results.
 pub fn run_ssh(traces: &[UserTrace], cfg: &ReplayConfig) -> SystemResult {
-    pool(traces.iter().map(|t| replay_ssh(t, cfg)))
+    pool(replay_ssh_many(traces, cfg).into_iter())
 }
 
 fn pool(outcomes: impl Iterator<Item = ReplayOutcome>) -> SystemResult {

@@ -77,3 +77,11 @@ fn ablation_ctrlc_quick() {
         &["Ablation", "Control-C", "visible after"],
     );
 }
+
+#[test]
+fn hub_scaling_quick() {
+    run_quick(
+        env!("CARGO_BIN_EXE_hub_scaling"),
+        &["hub_scaling", "sessions", "wakeups/user", "per-user cost"],
+    );
+}

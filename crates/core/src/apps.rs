@@ -214,15 +214,13 @@ impl Application for LineShell {
                     });
                 }
                 0x0d => self.run_command(now, &mut out),
-                0x7f | 0x08 => {
-                    if !self.line.is_empty() {
-                        self.line.pop();
-                        if self.echo_on {
-                            out.push(TimedWrite {
-                                at: now + self.echo_delay,
-                                bytes: b"\x08 \x08".to_vec(),
-                            });
-                        }
+                0x7f | 0x08 if !self.line.is_empty() => {
+                    self.line.pop();
+                    if self.echo_on {
+                        out.push(TimedWrite {
+                            at: now + self.echo_delay,
+                            bytes: b"\x08 \x08".to_vec(),
+                        });
                     }
                 }
                 0x20..=0x7e => {

@@ -63,6 +63,25 @@ impl MoshClient {
         self.server_addr
     }
 
+    /// Points the client at a different server address — the same
+    /// session, reached another way (e.g. the server's IPv6 address
+    /// after the client rebinds onto an IPv6 socket). The crypto session
+    /// is untouched; only the destination of future datagrams changes.
+    pub fn retarget(&mut self, server_addr: Addr) {
+        self.server_addr = server_addr;
+    }
+
+    /// True when `wire` authenticates under this session's key, without
+    /// consuming it (multi-session demultiplexing; paper §2.2).
+    pub fn authenticates(&self, wire: &[u8]) -> bool {
+        self.transport.authenticates(wire)
+    }
+
+    /// Wire counters (sent/accepted/rejected datagrams).
+    pub fn transport_stats(&self) -> &mosh_ssp::transport::TransportStats {
+        self.transport.stats()
+    }
+
     /// Smoothed RTT estimate.
     pub fn srtt(&self) -> f64 {
         self.transport.srtt()

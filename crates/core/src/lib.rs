@@ -11,10 +11,17 @@
 //! * [`apps`] — deterministic models of the application classes in the
 //!   paper's traces: shell, full-screen editor, pager, mail reader, and a
 //!   runaway flood for the Control-C experiment.
-//! * [`session`] — the event-driven [`session::SessionLoop`] driver: it
-//!   steps any set of endpoints over a `mosh_net::Channel` substrate
-//!   (simulator or live UDP) by `min(next_wakeup, next_event_time)` and
-//!   yields typed [`session::SessionEvent`]s.
+//! * [`session`] — the event-driven per-session machinery: the
+//!   [`session::SessionDriver`] mechanics and the single-session
+//!   [`session::SessionLoop`] driver, stepping endpoints over a
+//!   `mosh_net::Channel` substrate (simulator or live UDP) by
+//!   `min(next_wakeup, next_event_time)` and yielding typed
+//!   [`session::SessionEvent`]s.
+//! * [`hub`] — the multi-session server runtime: [`hub::ServerHub`]
+//!   drives any number of sessions behind one `mosh_net::Poller` with a
+//!   timer wheel of per-session wakeups, demultiplexing datagrams by
+//!   address and falling back to cryptographic authentication when
+//!   roaming makes addresses collide (§2.2).
 //!
 //! Endpoints are I/O-free: `tick(now)` returns addressed datagrams and
 //! `receive(now, ...)` consumes them, under any transport — the
@@ -22,13 +29,15 @@
 
 pub mod apps;
 pub mod client;
+pub mod hub;
 pub mod server;
 pub mod session;
 
 pub use apps::{Application, Editor, LineShell, MailReader, Pager, TimedWrite};
 pub use client::MoshClient;
+pub use hub::{HubSession, HubStats, ServerHub, SessionId};
 pub use server::MoshServer;
-pub use session::{Endpoint, Party, SessionEvent, SessionLoop};
+pub use session::{Endpoint, Party, SessionDriver, SessionEvent, SessionLoop};
 
 /// Virtual time in milliseconds.
 pub type Millis = u64;

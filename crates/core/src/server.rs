@@ -106,6 +106,20 @@ impl MoshServer {
         self.transport.sender_stats()
     }
 
+    /// True when `wire` authenticates under this session's key, without
+    /// consuming it. A multi-session hub uses this to demultiplex
+    /// datagrams whose source address is ambiguous (two roaming clients
+    /// behind one NAT address, paper §2.2) — authentication, never the
+    /// address, decides session identity.
+    pub fn authenticates(&self, wire: &[u8]) -> bool {
+        self.transport.authenticates(wire)
+    }
+
+    /// Wire counters (sent/accepted/rejected datagrams).
+    pub fn transport_stats(&self) -> &mosh_ssp::transport::TransportStats {
+        self.transport.stats()
+    }
+
     fn schedule_writes(&mut self, writes: Vec<TimedWrite>) {
         for w in writes {
             // Keep ordered by due time (stable for equal times).
@@ -358,15 +372,13 @@ mod tests {
         let mut client = client_transport();
         // Tell the server where the client is (any authentic datagram).
         client.set_current_state(UserStream::new(), 0);
-        let mut now = 0;
-        for _ in 0..6000 {
+        for now in 0..6000 {
             for w in client.tick(now) {
                 server.receive(now, client_addr(), &w);
             }
             for (_, w) in server.tick(now) {
                 let _ = client.receive(now, &w);
             }
-            now += 1;
         }
         // The prompt reached the client's copy of the screen.
         assert_eq!(client.remote_state().frame().row_text(0), "$");

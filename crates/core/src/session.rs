@@ -9,6 +9,13 @@
 //! [`Channel`] substrate — the discrete-event simulator or a live UDP
 //! socket — and reports what happened as typed [`SessionEvent`]s.
 //!
+//! The per-session mechanics live in [`SessionDriver`], which owns no
+//! I/O: it ticks a session's endpoints, computes the next interesting
+//! instant, delivers datagrams, and tracks peer-timeout episodes.
+//! [`SessionLoop`] is `SessionDriver` + one dedicated channel;
+//! `crate::hub::ServerHub` is many `SessionDriver`s + one
+//! `mosh_net::Poller` + a timer wheel.
+//!
 //! The stepping is **schedule-identical** to the 1 ms reference loop (a
 //! root-level test asserts byte-identical wire transcripts): an endpoint's
 //! [`Endpoint::next_wakeup`] is a promise that `tick` is a no-op before
@@ -22,7 +29,7 @@
 use crate::client::MoshClient;
 use crate::server::MoshServer;
 use crate::Millis;
-use mosh_net::{Addr, Channel};
+use mosh_net::{Addr, Channel, Datagram};
 use std::collections::HashMap;
 
 /// Something a session endpoint did or learned, stamped with when.
@@ -85,6 +92,18 @@ pub trait Endpoint {
     fn last_heard(&self) -> Option<Millis> {
         None
     }
+
+    /// True when `wire` cryptographically authenticates to this endpoint's
+    /// session, judged **without** consuming the datagram or mutating any
+    /// state. A multi-session hub consults this to demultiplex traffic
+    /// whose source address is ambiguous — two clients roamed behind one
+    /// NAT address (paper §2.2) — so plaintext is never misrouted.
+    /// Endpoints without datagram authentication (SSH/TCP baselines, test
+    /// instruments) keep the default `false` and can only be addressed by
+    /// a unique receive address.
+    fn authenticates(&self, _wire: &[u8]) -> bool {
+        false
+    }
 }
 
 impl Endpoint for MoshClient {
@@ -117,6 +136,10 @@ impl Endpoint for MoshClient {
     fn last_heard(&self) -> Option<Millis> {
         MoshClient::last_heard(self)
     }
+
+    fn authenticates(&self, wire: &[u8]) -> bool {
+        MoshClient::authenticates(self, wire)
+    }
 }
 
 impl Endpoint for MoshServer {
@@ -148,6 +171,10 @@ impl Endpoint for MoshServer {
     fn last_heard(&self) -> Option<Millis> {
         MoshServer::last_heard(self)
     }
+
+    fn authenticates(&self, wire: &[u8]) -> bool {
+        MoshServer::authenticates(self, wire)
+    }
 }
 
 /// An endpoint bound to the address it receives on. The caller keeps
@@ -168,10 +195,17 @@ impl<'a> Party<'a> {
     }
 }
 
-/// The driver: owns a [`Channel`] substrate and steps any set of
-/// [`Party`]s over it, virtual-time (simulator) or wall-clock (UDP).
-pub struct SessionLoop<C: Channel> {
-    channel: C,
+/// The per-session half of a driver: everything a session needs except
+/// the I/O substrate.
+///
+/// A `SessionDriver` ticks a session's endpoints, computes the next
+/// interesting instant, delivers datagrams to the party that claims them,
+/// and tracks peer-silence episodes. It never owns a channel: the caller
+/// supplies a `send` sink and the current time, which is what lets one
+/// substrate serve one session ([`SessionLoop`]) or thousands
+/// (`crate::hub::ServerHub`) with identical per-session semantics.
+#[derive(Debug, Default)]
+pub struct SessionDriver {
     peer_timeout: Option<Millis>,
     /// Per address: the `last_heard` value already reported, so each
     /// silence episode yields one [`SessionEvent::PeerTimeout`].
@@ -180,21 +214,129 @@ pub struct SessionLoop<C: Channel> {
     outbox: Vec<(Addr, Vec<u8>)>,
 }
 
+impl SessionDriver {
+    /// A driver with no peer timeout configured.
+    pub fn new() -> Self {
+        SessionDriver::default()
+    }
+
+    /// Emits [`SessionEvent::PeerTimeout`] when a party's peer has been
+    /// silent for `timeout` (once per silence episode); `None` disables.
+    pub fn set_peer_timeout(&mut self, timeout: Option<Millis>) {
+        self.peer_timeout = timeout;
+    }
+
+    /// Ticks every party at `now`, forwarding each produced datagram to
+    /// `send` as `(from, to, wire)` in party order — the order that fixes
+    /// how same-instant datagrams enter the substrate.
+    pub fn tick_parties(
+        &mut self,
+        parties: &mut [Party<'_>],
+        now: Millis,
+        send: &mut dyn FnMut(Addr, Addr, Vec<u8>),
+        events: &mut Vec<SessionEvent>,
+    ) {
+        for p in parties.iter_mut() {
+            p.endpoint.tick(now, &mut self.outbox, events);
+            for (to, wire) in self.outbox.drain(..) {
+                send(p.addr, to, wire);
+            }
+        }
+    }
+
+    /// The next instant anything can happen for this session, clamped to
+    /// `(now, target]`: the earliest endpoint wakeup, the substrate's next
+    /// scheduled event (if it can know one), or the caller's target.
+    pub fn next_step(
+        &self,
+        parties: &[Party<'_>],
+        now: Millis,
+        target: Millis,
+        substrate_event: Option<Millis>,
+    ) -> Millis {
+        let mut next = target;
+        for p in parties.iter() {
+            next = next.min(p.endpoint.next_wakeup(now));
+        }
+        if let Some(t) = substrate_event {
+            next = next.min(t);
+        }
+        next.min(target).max(now + 1)
+    }
+
+    /// Delivers one datagram to the party whose address it names,
+    /// returning false when no party claims it (the datagram is dropped,
+    /// as a real socket would).
+    pub fn deliver(
+        &mut self,
+        parties: &mut [Party<'_>],
+        now: Millis,
+        dg: &Datagram,
+        events: &mut Vec<SessionEvent>,
+    ) -> bool {
+        if let Some(p) = parties.iter_mut().find(|p| p.addr == dg.to) {
+            p.endpoint.receive(now, dg.from, &dg.payload, events);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs the peer-silence check at `now` (a no-op unless a timeout is
+    /// configured), emitting one event per party per silence episode.
+    pub fn check_timeouts(
+        &mut self,
+        parties: &[Party<'_>],
+        now: Millis,
+        events: &mut Vec<SessionEvent>,
+    ) {
+        let Some(limit) = self.peer_timeout else {
+            return;
+        };
+        for p in parties.iter() {
+            // `None` means the endpoint does not track peer contact at
+            // all (SSH/TCP endpoints, test instruments) — not "silent
+            // since the epoch" — so it never times out. Detecting a peer
+            // that was *never* reached is the caller's job.
+            let Some(heard) = p.endpoint.last_heard() else {
+                continue;
+            };
+            let silent_for = now.saturating_sub(heard);
+            if silent_for < limit {
+                // Contact is fresh; re-arm for the next episode.
+                self.reported_silence.remove(&p.addr);
+            } else if self.reported_silence.get(&p.addr) != Some(&heard) {
+                self.reported_silence.insert(p.addr, heard);
+                events.push(SessionEvent::PeerTimeout {
+                    at: now,
+                    silent_for,
+                });
+            }
+        }
+    }
+}
+
+/// The single-session driver: one [`SessionDriver`] bound to one
+/// dedicated [`Channel`] substrate, virtual-time (simulator) or
+/// wall-clock (UDP).
+pub struct SessionLoop<C: Channel> {
+    channel: C,
+    driver: SessionDriver,
+}
+
 impl<C: Channel> SessionLoop<C> {
     /// A driver over `channel`.
     pub fn new(channel: C) -> Self {
         SessionLoop {
             channel,
-            peer_timeout: None,
-            reported_silence: HashMap::new(),
-            outbox: Vec::new(),
+            driver: SessionDriver::new(),
         }
     }
 
     /// Emits [`SessionEvent::PeerTimeout`] when a party's peer has been
     /// silent for `timeout` (once per silence episode).
     pub fn with_peer_timeout(mut self, timeout: Millis) -> Self {
-        self.peer_timeout = Some(timeout);
+        self.driver.set_peer_timeout(Some(timeout));
         self
     }
 
@@ -231,67 +373,30 @@ impl<C: Channel> SessionLoop<C> {
         let mut now = self.channel.now();
         while now < target {
             // Tick everyone at `now`; ship what they produced.
-            for p in parties.iter_mut() {
-                p.endpoint.tick(now, &mut self.outbox, &mut events);
-                for (to, wire) in self.outbox.drain(..) {
-                    self.channel.send(p.addr, to, wire);
-                }
-            }
+            let channel = &mut self.channel;
+            self.driver.tick_parties(
+                parties,
+                now,
+                &mut |from, to, wire| channel.send(from, to, wire),
+                &mut events,
+            );
 
             // Step to the next instant anything can happen.
-            let mut next = target;
-            for p in parties.iter() {
-                next = next.min(p.endpoint.next_wakeup(now));
-            }
-            if let Some(t) = self.channel.next_event_time() {
-                next = next.min(t);
-            }
-            let next = next.min(target).max(now + 1);
+            let next = self
+                .driver
+                .next_step(parties, now, target, self.channel.next_event_time());
             now = self.channel.wait_until(next);
 
-            // Deliver everything that arrived by `now`.
+            // Deliver everything that arrived by `now`. Datagrams for
+            // addresses nobody claims (e.g. a roamed-away source) are
+            // dropped, as a real socket would.
             while let Some(dg) = self.channel.poll_any() {
-                if let Some(p) = parties.iter_mut().find(|p| p.addr == dg.to) {
-                    p.endpoint.receive(now, dg.from, &dg.payload, &mut events);
-                }
-                // Datagrams for addresses nobody claims (e.g. a roamed-
-                // away source) are dropped, as a real socket would.
+                self.driver.deliver(parties, now, &dg, &mut events);
             }
 
-            if let Some(limit) = self.peer_timeout {
-                self.check_timeouts(parties, now, limit, &mut events);
-            }
+            self.driver.check_timeouts(parties, now, &mut events);
         }
         events
-    }
-
-    fn check_timeouts(
-        &mut self,
-        parties: &[Party<'_>],
-        now: Millis,
-        limit: Millis,
-        events: &mut Vec<SessionEvent>,
-    ) {
-        for p in parties.iter() {
-            // `None` means the endpoint does not track peer contact at
-            // all (SSH/TCP endpoints, test instruments) — not "silent
-            // since the epoch" — so it never times out. Detecting a peer
-            // that was *never* reached is the caller's job.
-            let Some(heard) = p.endpoint.last_heard() else {
-                continue;
-            };
-            let silent_for = now.saturating_sub(heard);
-            if silent_for < limit {
-                // Contact is fresh; re-arm for the next episode.
-                self.reported_silence.remove(&p.addr);
-            } else if self.reported_silence.get(&p.addr) != Some(&heard) {
-                self.reported_silence.insert(p.addr, heard);
-                events.push(SessionEvent::PeerTimeout {
-                    at: now,
-                    silent_for,
-                });
-            }
-        }
     }
 }
 

@@ -49,13 +49,13 @@ pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
         }
     }
     let bytes = s.as_bytes();
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return Err(CryptoError::BadKey);
     }
     let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
     for chunk in bytes.chunks(4) {
         let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
-        if pad > 2 || chunk[..4 - pad].iter().any(|&c| c == b'=') {
+        if pad > 2 || chunk[..4 - pad].contains(&b'=') {
             return Err(CryptoError::BadKey);
         }
         let mut n = 0u32;

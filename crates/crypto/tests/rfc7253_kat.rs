@@ -11,7 +11,7 @@ use mosh_crypto::aes::Aes128;
 use mosh_crypto::ocb::Ocb;
 
 fn unhex(s: &str) -> Vec<u8> {
-    assert!(s.len() % 2 == 0, "odd hex length: {s:?}");
+    assert!(s.len().is_multiple_of(2), "odd hex length: {s:?}");
     (0..s.len())
         .step_by(2)
         .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("valid hex"))

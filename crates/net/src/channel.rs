@@ -19,10 +19,12 @@
 //! every millisecond.
 
 use crate::sim::Network;
-use crate::{Addr, Datagram, Millis};
+use crate::{Addr, Datagram, Host, Millis};
 use std::collections::VecDeque;
 use std::io;
-use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, ToSocketAddrs, UdpSocket};
+use std::net::{
+    Ipv4Addr, Ipv6Addr, SocketAddr, SocketAddrV4, SocketAddrV6, ToSocketAddrs, UdpSocket,
+};
 use std::time::{Duration, Instant};
 
 /// A datagram substrate plus a clock.
@@ -131,28 +133,51 @@ impl Channel for SimChannel {
 /// Maximum UDP datagram we accept (fragments are far smaller).
 const MAX_DATAGRAM: usize = 64 * 1024;
 
-/// The [`Addr`] for an IPv4 socket address: the four octets packed
-/// big-endian into `host`.
-pub fn addr_from_socket(sa: SocketAddr) -> Option<Addr> {
+/// Upper bound on datagrams consumed by one non-blocking [`UdpChannel::drain`].
+const MAX_DRAIN: usize = 1024;
+
+/// The [`Addr`] for a socket address of either family. IPv4-mapped IPv6
+/// sources (`::ffff:a.b.c.d`, what a dual-stack socket reports for IPv4
+/// senders) are normalized to [`Host::V4`], so a peer has one identity no
+/// matter which family the kernel reported it under.
+pub fn addr_from_socket(sa: SocketAddr) -> Addr {
     match sa {
-        SocketAddr::V4(v4) => Some(Addr::new(u32::from(*v4.ip()), v4.port())),
-        SocketAddr::V6(_) => None,
+        SocketAddr::V4(v4) => Addr::new(u32::from(*v4.ip()), v4.port()),
+        SocketAddr::V6(v6) => match v6.ip().to_ipv4_mapped() {
+            Some(v4) => Addr::new(u32::from(v4), v6.port()),
+            None => Addr::v6(u128::from(*v6.ip()), v6.port()),
+        },
     }
 }
 
-/// The IPv4 socket address an [`Addr`] stands for (inverse of
-/// [`addr_from_socket`]).
-pub fn socket_from_addr(a: Addr) -> SocketAddrV4 {
-    SocketAddrV4::new(Ipv4Addr::from(a.host), a.port)
+/// The socket address an [`Addr`] stands for (inverse of
+/// [`addr_from_socket`]). IPv4-mapped IPv6 hosts come back out as plain
+/// V4 socket addresses — the kernel routes those from sockets of either
+/// family, which is what makes a mid-session IPv4→IPv6 rebind work.
+pub fn socket_from_addr(a: Addr) -> SocketAddr {
+    match a.host {
+        Host::V4(h) => SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::from(h), a.port)),
+        Host::V6(h) => {
+            let ip = Ipv6Addr::from(h);
+            match ip.to_ipv4_mapped() {
+                Some(v4) => SocketAddr::V4(SocketAddrV4::new(v4, a.port)),
+                None => SocketAddr::V6(SocketAddrV6::new(ip, a.port, 0, 0)),
+            }
+        }
+    }
 }
 
-/// A live UDP socket behind the [`Channel`] seam (IPv4 only).
+/// A live UDP socket behind the [`Channel`] seam (IPv4 or IPv6).
 ///
 /// Time is milliseconds on a monotonic clock since the channel was
 /// created — the same [`Millis`] the state machines already speak. The
 /// two ends of a session each run their own clock; SSP only ever compares
 /// times locally (RTT comes from echoed timestamps), so the clocks need
 /// not agree.
+///
+/// Sends to a family the socket cannot reach (an IPv6 destination from an
+/// IPv4 socket) fail at the kernel and count as packet loss — datagram
+/// semantics, and SSP's retransmission timers already cover loss.
 #[derive(Debug)]
 pub struct UdpChannel {
     socket: UdpSocket,
@@ -162,20 +187,25 @@ pub struct UdpChannel {
     local: Addr,
     inbox: VecDeque<Datagram>,
     buf: Box<[u8; MAX_DATAGRAM]>,
+    /// Whether the socket currently sits in nonblocking mode, so
+    /// [`UdpChannel::drain`] sweeps (readiness pollers call it every
+    /// millisecond) don't pay two `fcntl`s per call.
+    nonblocking: bool,
 }
 
 impl UdpChannel {
-    /// Binds a socket (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    /// Binds a socket of either family (`"127.0.0.1:0"`, `"[::1]:0"`, or
+    /// `"[::]:0"` for a dual-stack wildcard, with `0` an ephemeral port).
     pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
         let socket = UdpSocket::bind(addr)?;
-        let local = addr_from_socket(socket.local_addr()?)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::Unsupported, "IPv4 sockets only"))?;
+        let local = addr_from_socket(socket.local_addr()?);
         Ok(UdpChannel {
             socket,
             start: Instant::now(),
             local,
             inbox: VecDeque::new(),
             buf: Box::new([0u8; MAX_DATAGRAM]),
+            nonblocking: false,
         })
     }
 
@@ -184,23 +214,69 @@ impl UdpChannel {
         self.local
     }
 
+    /// Switches the socket's blocking mode only when it actually changes.
+    fn set_mode(&mut self, nonblocking: bool) -> io::Result<()> {
+        if self.nonblocking != nonblocking {
+            self.socket.set_nonblocking(nonblocking)?;
+            self.nonblocking = nonblocking;
+        }
+        Ok(())
+    }
+
     /// Re-binds to a fresh socket — roaming, the paper's way (§2.2): the
     /// client simply starts sending from a new address; the server learns
-    /// it from the source of the next authentic datagram. The clock epoch
-    /// and any undelivered inbox survive, so the endpoint's virtual time
-    /// stays monotonic across the move.
+    /// it from the source of the next authentic datagram. The new socket
+    /// may be of the other address family (IPv4 → IPv6 or back). The
+    /// clock epoch and any undelivered inbox survive, so the endpoint's
+    /// virtual time stays monotonic across the move.
     pub fn rebind<A: ToSocketAddrs>(&mut self, addr: A) -> io::Result<()> {
         let socket = UdpSocket::bind(addr)?;
-        self.local = addr_from_socket(socket.local_addr()?)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::Unsupported, "IPv4 sockets only"))?;
+        self.local = addr_from_socket(socket.local_addr()?);
         self.socket = socket;
-        // Undelivered datagrams were addressed to the old socket but
-        // belong to this endpoint; re-stamp them so a driver matching on
-        // the (new) local address still delivers them.
+        self.nonblocking = false; // fresh sockets start blocking
+                                  // Undelivered datagrams were addressed to the old socket but
+                                  // belong to this endpoint; re-stamp them so a driver matching on
+                                  // the (new) local address still delivers them.
         for dg in &mut self.inbox {
             dg.to = self.local;
         }
         Ok(())
+    }
+
+    /// Drains everything currently queued on the socket into the inbox
+    /// without blocking, returning how many datagrams arrived. This is
+    /// the readiness primitive [`crate::poller::UdpPoller`] builds on:
+    /// a hub serving many sessions sweeps all its sockets instead of
+    /// blocking on one. The socket is left in nonblocking mode between
+    /// sweeps; the blocking paths switch it back on demand.
+    pub fn drain(&mut self) -> usize {
+        if self.set_mode(true).is_err() {
+            return 0;
+        }
+        let mut got = 0;
+        // Bounded so a persistently erroring socket cannot spin forever.
+        for _ in 0..MAX_DRAIN {
+            match self.socket.recv_from(&mut self.buf[..]) {
+                Ok((n, src)) => {
+                    self.inbox.push_back(Datagram {
+                        from: addr_from_socket(src),
+                        to: self.local,
+                        payload: self.buf[..n].to_vec(),
+                    });
+                    got += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // Transient errors (ICMP-propagated ECONNREFUSED) occupy
+                // one queue slot each; keep draining past them.
+                Err(_) => continue,
+            }
+        }
+        got
+    }
+
+    /// Number of delivered-but-unread datagrams.
+    pub fn inbox_len(&self) -> usize {
+        self.inbox.len()
     }
 }
 
@@ -210,9 +286,18 @@ impl Channel for UdpChannel {
     }
 
     fn send(&mut self, _from: Addr, to: Addr, payload: Vec<u8>) {
+        // An AF_INET6 socket cannot portably send to an AF_INET sockaddr
+        // (Linux tolerates it; BSD kernels return EAFNOSUPPORT), so a
+        // V6-bound channel addresses IPv4 peers in v4-mapped form.
+        let target = match (self.local.is_v6(), socket_from_addr(to)) {
+            (true, SocketAddr::V4(v4)) => {
+                SocketAddr::V6(SocketAddrV6::new(v4.ip().to_ipv6_mapped(), v4.port(), 0, 0))
+            }
+            (_, sa) => sa,
+        };
         // Datagram semantics: a failed send is a lost packet, and SSP's
         // retransmission timers already handle loss.
-        let _ = self.socket.send_to(&payload, socket_from_addr(to));
+        let _ = self.socket.send_to(&payload, target);
     }
 
     fn recv(&mut self, addr: Addr) -> Option<Datagram> {
@@ -234,19 +319,22 @@ impl Channel for UdpChannel {
             if now >= deadline || !self.inbox.is_empty() {
                 return now;
             }
+            // A drain sweep may have left the socket nonblocking; this
+            // path genuinely blocks (with a read timeout).
+            if self.set_mode(false).is_err() {
+                return deadline.max(self.now());
+            }
             let timeout = Duration::from_millis(deadline - now);
             if self.socket.set_read_timeout(Some(timeout)).is_err() {
                 return deadline.max(self.now());
             }
             match self.socket.recv_from(&mut self.buf[..]) {
                 Ok((n, src)) => {
-                    if let Some(from) = addr_from_socket(src) {
-                        self.inbox.push_back(Datagram {
-                            from,
-                            to: self.local,
-                            payload: self.buf[..n].to_vec(),
-                        });
-                    }
+                    self.inbox.push_back(Datagram {
+                        from: addr_from_socket(src),
+                        to: self.local,
+                        payload: self.buf[..n].to_vec(),
+                    });
                     return self.now();
                 }
                 // Timeout (or a transient error like an ICMP-propagated
@@ -291,9 +379,22 @@ mod tests {
     #[test]
     fn addr_socket_mapping_round_trips() {
         let sa: SocketAddr = "127.0.0.1:60001".parse().unwrap();
-        let a = addr_from_socket(sa).unwrap();
+        let a = addr_from_socket(sa);
         assert_eq!(a.port, 60001);
-        assert_eq!(SocketAddr::V4(socket_from_addr(a)), sa);
+        assert!(!a.is_v6());
+        assert_eq!(socket_from_addr(a), sa);
+
+        let sa6: SocketAddr = "[fe80::1]:60002".parse().unwrap();
+        let a6 = addr_from_socket(sa6);
+        assert!(a6.is_v6());
+        assert_eq!(socket_from_addr(a6), sa6);
+
+        // A v4-mapped source (dual-stack socket reporting an IPv4 peer)
+        // normalizes to the plain V4 identity and socket address.
+        let mapped: SocketAddr = "[::ffff:127.0.0.1]:60003".parse().unwrap();
+        let am = addr_from_socket(mapped);
+        assert_eq!(am, Addr::new(0x7f00_0001, 60003));
+        assert_eq!(socket_from_addr(am), "127.0.0.1:60003".parse().unwrap());
     }
 
     #[test]

@@ -40,53 +40,108 @@
 
 pub mod channel;
 pub mod link;
+pub mod poller;
 pub mod sim;
 
 pub use channel::{Channel, SimChannel, UdpChannel};
 pub use link::LinkConfig;
+pub use poller::{Poller, SimPoller, Token, UdpPoller};
 pub use sim::{Network, NetworkStats, Side};
 
 /// Virtual time in milliseconds since the start of the simulation.
 pub type Millis = u64;
 
-/// A network endpoint address: an abstract host plus a UDP-style port.
+/// A host identifier, agnostic to address family.
+///
+/// Emulated hosts and real IPv4 addresses share the [`Host::V4`] variant
+/// (the four octets packed big-endian); real IPv6 addresses pack their
+/// sixteen octets into [`Host::V6`]. IPv4-mapped IPv6 addresses
+/// (`::ffff:a.b.c.d`) are normalized to `V4` at the socket boundary, so
+/// a dual-stack peer has exactly one `Host` no matter which family the
+/// kernel reported it under.
+///
+/// Known limitation: the IPv6 scope id is not carried, so link-local
+/// peers (`fe80::…%iface`) cannot be replied to — their datagrams are
+/// received and authenticated, but replies reconstruct scope 0 and fail
+/// as loss. Global and loopback IPv6 (the deployment cases) are
+/// unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Host {
+    /// Abstract emulator host, or an IPv4 address packed big-endian.
+    V4(u32),
+    /// An IPv6 address packed big-endian.
+    V6(u128),
+}
+
+impl From<u32> for Host {
+    fn from(host: u32) -> Host {
+        Host::V4(host)
+    }
+}
+
+/// A network endpoint address: a [`Host`] plus a UDP-style port.
 ///
 /// Roaming is modelled exactly as the paper describes it — the client's
 /// address simply changes, and the server learns the new one from the
-/// source address of authentic datagrams (§2.2).
+/// source address of authentic datagrams (§2.2). Because `Host` carries
+/// the family, "changes" includes hopping between IPv4 and IPv6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Addr {
-    /// Abstract host identifier (stands in for an IP address).
-    pub host: u32,
+    /// Host identifier (emulated host, IPv4, or IPv6).
+    pub host: Host,
     /// Port number.
     pub port: u16,
 }
 
 impl Addr {
-    /// Creates an address.
-    pub fn new(host: u32, port: u16) -> Self {
-        Addr { host, port }
+    /// Creates an emulator/IPv4 address.
+    pub const fn new(host: u32, port: u16) -> Self {
+        Addr {
+            host: Host::V4(host),
+            port,
+        }
+    }
+
+    /// Creates an IPv6 address from its big-endian packed octets.
+    pub const fn v6(host: u128, port: u16) -> Self {
+        Addr {
+            host: Host::V6(host),
+            port,
+        }
+    }
+
+    /// True for IPv6 hosts (IPv4-mapped addresses are normalized to
+    /// [`Host::V4`] before they ever become an `Addr`).
+    pub const fn is_v6(&self) -> bool {
+        matches!(self.host, Host::V6(_))
     }
 }
 
 impl std::fmt::Display for Addr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        // `host` packs an IPv4 address big-endian (see `channel`); small
-        // emulator hosts render as 10.0.x.y for readability.
-        let host = if self.host < (1 << 16) {
-            (10 << 24) | self.host
-        } else {
-            self.host
-        };
-        write!(
-            f,
-            "{}.{}.{}.{}:{}",
-            host >> 24,
-            (host >> 16) & 0xff,
-            (host >> 8) & 0xff,
-            host & 0xff,
-            self.port
-        )
+        match self.host {
+            Host::V4(raw) => {
+                // `host` packs an IPv4 address big-endian (see `channel`);
+                // small emulator hosts render as 10.0.x.y for readability.
+                let host = if raw < (1 << 16) {
+                    (10 << 24) | raw
+                } else {
+                    raw
+                };
+                write!(
+                    f,
+                    "{}.{}.{}.{}:{}",
+                    host >> 24,
+                    (host >> 16) & 0xff,
+                    (host >> 8) & 0xff,
+                    host & 0xff,
+                    self.port
+                )
+            }
+            Host::V6(raw) => {
+                write!(f, "[{}]:{}", std::net::Ipv6Addr::from(raw), self.port)
+            }
+        }
     }
 }
 

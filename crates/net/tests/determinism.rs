@@ -4,10 +4,10 @@
 //! evaluation number in `crates/bench` and every future performance
 //! refactor of the emulator leans on this invariant.
 
-use mosh_net::{Addr, LinkConfig, Network, Side};
+use mosh_net::{Addr, Host, LinkConfig, Network, Side};
 
 /// One observed delivery: (arrival time, direction tag, from, to, payload).
-type Delivery = (u64, u8, (u32, u16), (u32, u16), Vec<u8>);
+type Delivery = (u64, u8, (Host, u16), (Host, u16), Vec<u8>);
 
 /// Drives a scripted bidirectional workload over `net` and returns the
 /// complete delivery schedule plus the final aggregate counters.

@@ -638,7 +638,7 @@ mod tests {
         let mut e = confident_engine(&base);
         // Fill the row to one short of the margin.
         let mut t = Terminal::new(40, 8);
-        t.write(&vec![b'a'; 39]);
+        t.write(&[b'a'; 39]);
         let fb = t.frame().clone();
         let shown = e.new_user_input(500, SLOW, b"z", &fb, 2);
         assert!(!shown, "margin predictions must not display");

@@ -228,11 +228,15 @@ impl Endpoint for SshServer {
 mod tests {
     use super::*;
     use mosh_core::apps::LineShell;
-    use mosh_core::session::{Party, SessionLoop};
-    use mosh_net::{LinkConfig, Network, Side, SimChannel};
+    use mosh_core::session::Party;
+    use mosh_core::{HubSession, ServerHub, SessionId};
+    use mosh_net::{LinkConfig, Network, Poller, Side, SimChannel, SimPoller};
 
+    /// SSH baseline sessions ride the same multi-session runtime as Mosh
+    /// ones: one hub, one session (more join by `add_session`).
     struct Session {
-        sl: SessionLoop<SimChannel>,
+        hub: ServerHub<SimPoller>,
+        sid: SessionId,
         client: SshClient,
         server: SshServer,
     }
@@ -243,8 +247,12 @@ mod tests {
         let s = Addr::new(2, 22);
         net.register(c, Side::Client);
         net.register(s, Side::Server);
+        let mut hub = ServerHub::new(SimPoller::new());
+        let tok = hub.poller_mut().add(SimChannel::new(net));
+        let sid = hub.add_session(tok);
         Session {
-            sl: SessionLoop::new(SimChannel::new(net)),
+            hub,
+            sid,
             client: SshClient::new(c, s, 80, 24),
             server: SshServer::new(s, c, Box::new(LineShell::new())),
         }
@@ -252,17 +260,16 @@ mod tests {
 
     impl Session {
         fn now(&self) -> Millis {
-            self.sl.now()
+            self.hub.now(self.sid)
         }
     }
 
     fn run(se: &mut Session, until: Millis) {
         let c = se.client.addr();
         let s = se.server.addr();
-        se.sl.pump_until(
-            &mut [Party::new(c, &mut se.client), Party::new(s, &mut se.server)],
-            until,
-        );
+        let mut parties = [Party::new(c, &mut se.client), Party::new(s, &mut se.server)];
+        se.hub
+            .pump(&mut [HubSession::new(se.sid, &mut parties, until)]);
     }
 
     #[test]

@@ -75,6 +75,14 @@ impl DatagramLayer {
         self.max_seq_seen
     }
 
+    /// True when `wire` authenticates under this session's key and
+    /// direction, **without** consuming it: no sequence-number, RTT, or
+    /// timestamp state changes. Multi-session demultiplexers use this to
+    /// decide which session a datagram belongs to before delivering it.
+    pub fn verify(&self, wire: &[u8]) -> bool {
+        self.session.decrypt(wire).is_ok()
+    }
+
     /// Encrypts a transport payload into a wire datagram stamped `now`.
     pub fn encode(&mut self, now: Millis, payload: &[u8]) -> Vec<u8> {
         let ts = (now & 0xffff) as u16;

@@ -200,6 +200,15 @@ impl<L: SyncState, R: SyncState> Transport<L, R> {
             .collect()
     }
 
+    /// True when `wire` authenticates under this session's key and
+    /// direction, without consuming it or mutating any state. This is
+    /// the paper's §2.2 roaming rule generalized to many sessions behind
+    /// one socket: when source addresses collide, *only* cryptographic
+    /// authentication decides which session a datagram belongs to.
+    pub fn authenticates(&self, wire: &[u8]) -> bool {
+        self.datagram.verify(wire)
+    }
+
     /// Consumes one wire datagram received at `now`.
     pub fn receive(&mut self, now: Millis, wire: &[u8]) -> Result<ReceiveEvent, SspError> {
         let received = match self.datagram.decode(now, wire) {
@@ -267,14 +276,14 @@ mod tests {
             for w in b.tick(now) {
                 b_to_a.push((now + 1, w));
             }
-            for (at, w) in a_to_b.drain(..).collect::<Vec<_>>() {
+            for (at, w) in std::mem::take(&mut a_to_b) {
                 if at <= now {
                     let _ = b.receive(now, &w);
                 } else {
                     a_to_b.push((at, w));
                 }
             }
-            for (at, w) in b_to_a.drain(..).collect::<Vec<_>>() {
+            for (at, w) in std::mem::take(&mut b_to_a) {
                 if at <= now {
                     let _ = a.receive(now, &w);
                 } else {

@@ -70,7 +70,7 @@ impl CompleteTerminal {
 
     /// The current screen.
     pub fn frame(&self) -> &Framebuffer {
-        &self.terminal.frame()
+        self.terminal.frame()
     }
 
     /// Drains any device reports the emulator owes the application.

@@ -287,10 +287,7 @@ impl TcpEndpoint {
                 self.reorder.insert(seq, payload.to_vec());
             }
             // Drain whatever became contiguous.
-            loop {
-                let Some((&seq, _)) = self.reorder.range(..=self.rcv_nxt).next_back() else {
-                    break;
-                };
+            while let Some((&seq, _)) = self.reorder.range(..=self.rcv_nxt).next_back() {
                 let data = self.reorder.remove(&seq).expect("keyed");
                 let overlap = (self.rcv_nxt - seq) as usize;
                 if overlap < data.len() {

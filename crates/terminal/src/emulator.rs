@@ -92,7 +92,7 @@ impl Terminal {
             0x07 => self.frame.ring_bell(),
             0x08 => self.frame.move_relative(0, -1),
             0x09 => self.frame.tab_forward(),
-            0x0a | 0x0b | 0x0c => self.frame.line_feed(),
+            0x0a..=0x0c => self.frame.line_feed(),
             0x0d => {
                 self.frame.cursor.col = 0;
                 // CR clears a pending wrap.

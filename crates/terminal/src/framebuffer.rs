@@ -444,7 +444,7 @@ impl Framebuffer {
                 cells[col - 1] = erase;
             }
         }
-        cells.splice(col..col, std::iter::repeat(erase).take(n));
+        cells.splice(col..col, std::iter::repeat_n(erase, n));
         cells.truncate(self.width);
         // A wide lead pushed against the right edge loses its continuation.
         if let Some(last) = cells.last_mut() {
@@ -470,7 +470,7 @@ impl Framebuffer {
             cells[col + n] = erase;
         }
         cells.drain(col..col + n);
-        cells.extend(std::iter::repeat(erase).take(n));
+        cells.extend(std::iter::repeat_n(erase, n));
     }
 
     /// Erases `n` characters at the cursor without shifting (ECH).
@@ -708,17 +708,17 @@ impl Framebuffer {
                 }
             } else {
                 let pad = width - row.cells.len();
-                row.cells
-                    .extend(std::iter::repeat(Cell::default()).take(pad));
+                row.cells.extend(std::iter::repeat_n(Cell::default(), pad));
             }
         }
         if height < self.rows.len() {
             self.rows.truncate(height);
         } else {
             let pad = height - self.rows.len();
-            self.rows.extend(
-                std::iter::repeat(Row::blank(width, crate::cell::Color::Default)).take(pad),
-            );
+            self.rows.extend(std::iter::repeat_n(
+                Row::blank(width, crate::cell::Color::Default),
+                pad,
+            ));
         }
         // The alternate-screen stash must track the new size too.
         if let Some((rows, cursor)) = &mut self.alt_saved {
@@ -727,17 +727,17 @@ impl Framebuffer {
                     row.cells.truncate(width);
                 } else {
                     let pad = width - row.cells.len();
-                    row.cells
-                        .extend(std::iter::repeat(Cell::default()).take(pad));
+                    row.cells.extend(std::iter::repeat_n(Cell::default(), pad));
                 }
             }
             if height < rows.len() {
                 rows.truncate(height);
             } else {
                 let pad = height - rows.len();
-                rows.extend(
-                    std::iter::repeat(Row::blank(width, crate::cell::Color::Default)).take(pad),
-                );
+                rows.extend(std::iter::repeat_n(
+                    Row::blank(width, crate::cell::Color::Default),
+                    pad,
+                ));
             }
             cursor.row = cursor.row.min(height - 1);
             cursor.col = cursor.col.min(width - 1);

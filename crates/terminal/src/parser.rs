@@ -192,7 +192,7 @@ impl Parser {
                 self.state = State::Ground;
                 true
             }
-            0x07 | 0x08 | 0x09 | 0x0a | 0x0b | 0x0c | 0x0d | 0x0e | 0x0f => {
+            0x07..=0x0f => {
                 out.push(Action::Control(b as u8));
                 true
             }

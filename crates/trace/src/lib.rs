@@ -13,7 +13,9 @@ pub mod stats;
 pub mod synth;
 pub mod workload;
 
-pub use replay::{replay_mosh, replay_ssh, ReplayConfig, ReplayOutcome};
+pub use replay::{
+    replay_mosh, replay_mosh_many, replay_ssh, replay_ssh_many, ReplayConfig, ReplayOutcome,
+};
 pub use stats::Latencies;
 pub use synth::{six_users, small_trace, KeyKind, UserTrace};
 pub use workload::{AppKind, WorkloadApp, SWITCH_BYTE};

@@ -20,21 +20,25 @@
 //! Keystrokes that produce no output at all (and were not predicted) are
 //! excluded from both systems alike: no response ever becomes visible.
 //!
-//! Sessions are driven by [`SessionLoop`], which steps virtual time from
-//! event to event instead of polling every millisecond; the resolution of
-//! keystrokes against server acknowledgments rides on the loop's typed
-//! events ([`SessionEvent::FrameAdvanced`] for Mosh,
+//! Sessions are driven by the multi-session [`ServerHub`]: every user in
+//! a replay batch is one hub session in its own discrete-event world, all
+//! demultiplexed through a single timer wheel and one event loop — the
+//! six-user workloads that used to be six dedicated loops are now one
+//! hub. Per-session stepping is event-driven (virtual time jumps straight
+//! to the next wakeup or delivery), and the resolution of keystrokes
+//! against server acknowledgments rides on the hub's typed events
+//! ([`SessionEvent::FrameAdvanced`] for Mosh,
 //! [`SessionEvent::BytesRendered`] for SSH), so the measured schedule is
-//! identical to the historical 1 ms pump — just reached in far fewer
-//! steps (see `tests/schedule_identity.rs`).
+//! identical to the historical 1 ms pump and to dedicated per-user loops
+//! alike (see `tests/schedule_identity.rs` and `tests/hub_identity.rs`).
 
 use crate::stats::Latencies;
 use crate::synth::{KeyKind, TraceKey, UserTrace};
 use crate::workload::{WorkloadApp, SWITCH_BYTE};
-use mosh_core::session::{Endpoint, Party, SessionEvent, SessionLoop};
-use mosh_core::{Millis, MoshClient, MoshServer};
+use mosh_core::session::{Endpoint, Party, SessionEvent};
+use mosh_core::{HubSession, Millis, MoshClient, MoshServer, ServerHub, SessionId};
 use mosh_crypto::Base64Key;
-use mosh_net::{Addr, LinkConfig, Network, Side, SimChannel};
+use mosh_net::{Addr, LinkConfig, Network, Poller, Side, SimChannel, SimPoller};
 use mosh_prediction::DisplayPreference;
 use mosh_ssh::{SshClient, SshServer};
 use mosh_tcp::TcpEndpoint;
@@ -138,202 +142,318 @@ fn dry_run(flat: &FlatTrace) -> Vec<u64> {
 
 /// Replays a trace through a full Mosh session over the emulated network.
 pub fn replay_mosh(trace: &UserTrace, cfg: &ReplayConfig) -> ReplayOutcome {
-    let flat = flatten(trace);
-    let targets = dry_run(&flat);
-    let key = Base64Key::from_bytes([0x4d; 16]);
-    let c_addr = Addr::new(1, 1000);
-    let s_addr = Addr::new(2, 60001);
-    let mut net = Network::new(cfg.up.clone(), cfg.down.clone(), cfg.seed);
-    net.register(c_addr, Side::Client);
-    net.register(s_addr, Side::Server);
-
-    let mut client = MoshClient::new(key.clone(), s_addr, 80, 24, cfg.preference);
-    let mut server = MoshServer::new(key, Box::new(WorkloadApp::new(flat.apps.clone())));
-    if let Some(md) = cfg.mindelay {
-        server.set_mindelay(md);
-    }
-
-    let mut bulk = cfg.bulk_download.then(|| BulkFlow::new(&mut net));
-    let mut sloop = SessionLoop::new(SimChannel::new(net));
-
-    let mut latencies = Latencies::new();
-    let mut instant = 0u64;
-    let mut measured = 0u64;
-    // Outstanding unresolved keystrokes: (stream index, typed at, counted).
-    let mut pending: VecDeque<(u64, Millis, bool)> = VecDeque::new();
-
-    let end = flat.keys.last().map(|k| k.0).unwrap_or(0) + 20_000;
-    let mut next_key = 0usize;
-    loop {
-        let target = flat.keys.get(next_key).map(|k| k.0).unwrap_or(end);
-        let events = pump_with_bulk(
-            &mut sloop,
-            &mut client,
-            &mut server,
-            bulk.as_mut(),
-            c_addr,
-            s_addr,
-            target,
-        );
-        // Resolve keystrokes against the frames that arrived: the first
-        // frame event whose echo ack covers a keystroke fixes its latency.
-        for ev in &events {
-            if let SessionEvent::FrameAdvanced { at, echo_ack, .. } = ev {
-                while let Some(&(idx, typed_at, countable)) = pending.front() {
-                    if *echo_ack >= idx {
-                        if countable {
-                            measured += 1;
-                            latencies.push((*at - typed_at) as f64);
-                        }
-                        pending.pop_front();
-                    } else {
-                        break;
-                    }
-                }
-            }
-        }
-        if next_key >= flat.keys.len() {
-            break;
-        }
-        // Inject every keystroke due now; the next pump ticks it out.
-        while next_key < flat.keys.len() && flat.keys[next_key].0 <= target {
-            let (_, bytes, _, count_it) = &flat.keys[next_key];
-            let shown = client.keystroke(target, bytes);
-            let idx = client.input_end_index();
-            let countable = *count_it && targets[next_key] != 0;
-            if shown && countable {
-                instant += 1;
-                measured += 1;
-                latencies.push(0.0);
-            } else {
-                pending.push_back((idx, target, countable));
-            }
-            next_key += 1;
-        }
-    }
-
-    ReplayOutcome {
-        latencies,
-        instant,
-        measured,
-        mispredicted: client.prediction_stats().mispredicted,
-        write_delays: server.write_delays().to_vec(),
-        sender_stats: *server.sender_stats(),
-    }
+    replay_mosh_many(std::slice::from_ref(trace), cfg)
+        .pop()
+        .expect("one trace in, one outcome out")
 }
 
 /// Replays a trace through the SSH baseline over the emulated network.
 pub fn replay_ssh(trace: &UserTrace, cfg: &ReplayConfig) -> ReplayOutcome {
-    let flat = flatten(trace);
-    let targets = dry_run(&flat);
-    let c_addr = Addr::new(1, 5001);
-    let s_addr = Addr::new(2, 22);
-    let mut net = Network::new(cfg.up.clone(), cfg.down.clone(), cfg.seed);
-    net.register(c_addr, Side::Client);
-    net.register(s_addr, Side::Server);
+    replay_ssh_many(std::slice::from_ref(trace), cfg)
+        .pop()
+        .expect("one trace in, one outcome out")
+}
 
-    let mut client = SshClient::new(c_addr, s_addr, 80, 24);
-    let mut server = SshServer::new(
-        s_addr,
-        c_addr,
-        Box::new(WorkloadApp::new(flat.apps.clone())),
-    );
-    let mut bulk = cfg.bulk_download.then(|| BulkFlow::new(&mut net));
-    let mut sloop = SessionLoop::new(SimChannel::new(net));
+/// Per-user replay state shared by the Mosh and SSH engines: the
+/// flattened script, the per-keystroke response-byte targets, and the
+/// measurement accumulators.
+struct UserRun {
+    sid: SessionId,
+    keys: Vec<(Millis, Vec<u8>, KeyKind, bool)>,
+    targets: Vec<u64>,
+    next_key: usize,
+    /// Virtual time this user's world is driven to in the current round.
+    round_target: Millis,
+    end: Millis,
+    done: bool,
+    latencies: Latencies,
+    instant: u64,
+    measured: u64,
+}
 
-    let mut latencies = Latencies::new();
-    let mut measured = 0u64;
-    let mut pending: VecDeque<(u64, Millis)> = VecDeque::new(); // (byte target, at)
+impl UserRun {
+    fn new(sid: SessionId, flat: FlatTrace, targets: Vec<u64>, settle: Millis) -> Self {
+        let end = flat.keys.last().map(|k| k.0).unwrap_or(0) + settle;
+        UserRun {
+            sid,
+            keys: flat.keys,
+            targets,
+            next_key: 0,
+            round_target: 0,
+            end,
+            done: false,
+            latencies: Latencies::new(),
+            instant: 0,
+            measured: 0,
+        }
+    }
 
-    let end = flat.keys.last().map(|k| k.0).unwrap_or(0) + 130_000;
-    let mut next_key = 0usize;
+    /// The next instant this user needs control back: its next keystroke,
+    /// or the post-trace settle deadline.
+    fn next_target(&self) -> Millis {
+        self.keys
+            .get(self.next_key)
+            .map(|k| k.0)
+            .unwrap_or(self.end)
+    }
+}
+
+/// Replays a batch of traces through full Mosh sessions — one
+/// [`ServerHub`] driving every user concurrently, each in its own
+/// emulated network world (same links, same seed: users are statistically
+/// identical runs, exactly as the per-user processes of the paper's
+/// evaluation were). Outcomes come back in trace order and are identical
+/// to running each trace through a dedicated loop.
+pub fn replay_mosh_many(traces: &[UserTrace], cfg: &ReplayConfig) -> Vec<ReplayOutcome> {
+    let key = Base64Key::from_bytes([0x4d; 16]);
+    let c_addr = Addr::new(1, 1000);
+    let s_addr = Addr::new(2, 60001);
+
+    let mut hub = ServerHub::new(SimPoller::new());
+    let mut users: Vec<UserRun> = Vec::new();
+    let mut endpoints: Vec<(MoshClient, MoshServer, Option<BulkFlow>)> = Vec::new();
+    // Outstanding unresolved keystrokes per user: (index, typed at, counted).
+    let mut pendings: Vec<VecDeque<(u64, Millis, bool)>> = Vec::new();
+    for trace in traces {
+        let flat = flatten(trace);
+        let targets = dry_run(&flat);
+        let mut net = Network::new(cfg.up.clone(), cfg.down.clone(), cfg.seed);
+        net.register(c_addr, Side::Client);
+        net.register(s_addr, Side::Server);
+        let client = MoshClient::new(key.clone(), s_addr, 80, 24, cfg.preference);
+        let mut server =
+            MoshServer::new(key.clone(), Box::new(WorkloadApp::new(flat.apps.clone())));
+        if let Some(md) = cfg.mindelay {
+            server.set_mindelay(md);
+        }
+        let bulk = cfg.bulk_download.then(|| BulkFlow::new(&mut net));
+        let tok = hub.poller_mut().add(SimChannel::new(net));
+        let sid = hub.add_session(tok);
+        users.push(UserRun::new(sid, flat, targets, 20_000));
+        endpoints.push((client, server, bulk));
+        pendings.push(VecDeque::new());
+    }
+
     loop {
-        let target = flat.keys.get(next_key).map(|k| k.0).unwrap_or(end);
-        let events = pump_with_bulk(
-            &mut sloop,
-            &mut client,
-            &mut server,
-            bulk.as_mut(),
-            c_addr,
-            s_addr,
-            target,
-        );
-        // A keystroke's response is visible once the client has rendered
-        // every byte the application produced for it (octet stream: all
-        // output arrives in full and in order).
-        for ev in &events {
-            if let SessionEvent::BytesRendered { at, total } = ev {
-                while let Some(&(byte_target, typed_at)) = pending.front() {
-                    if *total >= byte_target {
-                        measured += 1;
-                        latencies.push((*at - typed_at) as f64);
-                        pending.pop_front();
+        let events = pump_live_users(&mut hub, &mut users, &mut endpoints, |eps| {
+            mosh_parties(eps, c_addr, s_addr)
+        });
+        if events.is_none() {
+            break;
+        }
+        // Resolve keystrokes against the frames that arrived: the first
+        // frame event whose echo ack covers a keystroke fixes its latency.
+        for (sid, ev) in events.expect("checked above") {
+            let u = &mut users[sid.0];
+            if let SessionEvent::FrameAdvanced { at, echo_ack, .. } = ev {
+                while let Some(&(idx, typed_at, countable)) = pendings[sid.0].front() {
+                    if echo_ack >= idx {
+                        if countable {
+                            u.measured += 1;
+                            u.latencies.push((at - typed_at) as f64);
+                        }
+                        pendings[sid.0].pop_front();
                     } else {
                         break;
                     }
                 }
             }
         }
-        if next_key >= flat.keys.len() {
+        // Inject every keystroke due now; the next pump ticks it out.
+        for (u, (client, _, _)) in users.iter_mut().zip(endpoints.iter_mut()) {
+            if u.done {
+                continue;
+            }
+            if u.next_key >= u.keys.len() {
+                u.done = true;
+                continue;
+            }
+            let target = u.round_target;
+            while u.next_key < u.keys.len() && u.keys[u.next_key].0 <= target {
+                let (_, bytes, _, count_it) = &u.keys[u.next_key];
+                let shown = client.keystroke(target, bytes);
+                let idx = client.input_end_index();
+                let countable = *count_it && u.targets[u.next_key] != 0;
+                if shown && countable {
+                    u.instant += 1;
+                    u.measured += 1;
+                    u.latencies.push(0.0);
+                } else {
+                    pendings[u.sid.0].push_back((idx, target, countable));
+                }
+                u.next_key += 1;
+            }
+        }
+    }
+
+    users
+        .into_iter()
+        .zip(endpoints)
+        .map(|(u, (client, server, _))| ReplayOutcome {
+            latencies: u.latencies,
+            instant: u.instant,
+            measured: u.measured,
+            mispredicted: client.prediction_stats().mispredicted,
+            write_delays: server.write_delays().to_vec(),
+            sender_stats: *server.sender_stats(),
+        })
+        .collect()
+}
+
+/// Replays a batch of traces through the SSH baseline — one [`ServerHub`]
+/// driving every user concurrently (see [`replay_mosh_many`]).
+pub fn replay_ssh_many(traces: &[UserTrace], cfg: &ReplayConfig) -> Vec<ReplayOutcome> {
+    let c_addr = Addr::new(1, 5001);
+    let s_addr = Addr::new(2, 22);
+
+    let mut hub = ServerHub::new(SimPoller::new());
+    let mut users: Vec<UserRun> = Vec::new();
+    let mut endpoints: Vec<(SshClient, SshServer, Option<BulkFlow>)> = Vec::new();
+    // Outstanding keystrokes per user: (response byte target, typed at).
+    let mut pendings: Vec<VecDeque<(u64, Millis)>> = Vec::new();
+    for trace in traces {
+        let flat = flatten(trace);
+        let targets = dry_run(&flat);
+        let mut net = Network::new(cfg.up.clone(), cfg.down.clone(), cfg.seed);
+        net.register(c_addr, Side::Client);
+        net.register(s_addr, Side::Server);
+        let client = SshClient::new(c_addr, s_addr, 80, 24);
+        let server = SshServer::new(
+            s_addr,
+            c_addr,
+            Box::new(WorkloadApp::new(flat.apps.clone())),
+        );
+        let bulk = cfg.bulk_download.then(|| BulkFlow::new(&mut net));
+        let tok = hub.poller_mut().add(SimChannel::new(net));
+        let sid = hub.add_session(tok);
+        users.push(UserRun::new(sid, flat, targets, 130_000));
+        endpoints.push((client, server, bulk));
+        pendings.push(VecDeque::new());
+    }
+
+    loop {
+        let events = pump_live_users(&mut hub, &mut users, &mut endpoints, |eps| {
+            ssh_parties(eps, c_addr, s_addr)
+        });
+        if events.is_none() {
             break;
         }
-        while next_key < flat.keys.len() && flat.keys[next_key].0 <= target {
-            let (_, bytes, _, count_it) = &flat.keys[next_key];
-            client.keystroke(target, bytes);
-            if *count_it && targets[next_key] != 0 {
-                pending.push_back((targets[next_key], target));
+        // A keystroke's response is visible once the client has rendered
+        // every byte the application produced for it (octet stream: all
+        // output arrives in full and in order).
+        for (sid, ev) in events.expect("checked above") {
+            let u = &mut users[sid.0];
+            if let SessionEvent::BytesRendered { at, total } = ev {
+                while let Some(&(byte_target, typed_at)) = pendings[sid.0].front() {
+                    if total >= byte_target {
+                        u.measured += 1;
+                        u.latencies.push((at - typed_at) as f64);
+                        pendings[sid.0].pop_front();
+                    } else {
+                        break;
+                    }
+                }
             }
-            next_key += 1;
+        }
+        for (u, (client, _, _)) in users.iter_mut().zip(endpoints.iter_mut()) {
+            if u.done {
+                continue;
+            }
+            if u.next_key >= u.keys.len() {
+                u.done = true;
+                continue;
+            }
+            let target = u.round_target;
+            while u.next_key < u.keys.len() && u.keys[u.next_key].0 <= target {
+                let (_, bytes, _, count_it) = &u.keys[u.next_key];
+                client.keystroke(target, bytes);
+                if *count_it && u.targets[u.next_key] != 0 {
+                    pendings[u.sid.0].push_back((u.targets[u.next_key], target));
+                }
+                u.next_key += 1;
+            }
         }
     }
 
-    ReplayOutcome {
-        latencies,
-        instant: 0,
-        measured,
-        mispredicted: 0,
-        write_delays: Vec::new(),
-        sender_stats: mosh_ssp::sender::SenderStats::default(),
-    }
+    users
+        .into_iter()
+        .zip(endpoints)
+        .map(|(u, _)| ReplayOutcome {
+            latencies: u.latencies,
+            instant: 0,
+            measured: u.measured,
+            mispredicted: 0,
+            write_delays: Vec::new(),
+            sender_stats: mosh_ssp::sender::SenderStats::default(),
+        })
+        .collect()
 }
 
-/// One pump step with the optional bulk flow riding along. Party order
-/// matters for determinism: it fixes the order same-instant datagrams
-/// enter the emulator, exactly as the historical loop ticked them.
-fn pump_with_bulk(
-    sloop: &mut SessionLoop<SimChannel>,
-    client: &mut dyn Endpoint,
-    server: &mut dyn Endpoint,
-    bulk: Option<&mut BulkFlow>,
+/// One hub round: every not-yet-finished user is leased to the hub and
+/// driven to its own next target (its next keystroke instant, or its
+/// settle deadline). Returns `None` once every user has finished —
+/// otherwise the tagged events of the round.
+fn pump_live_users<E>(
+    hub: &mut ServerHub<SimPoller>,
+    users: &mut [UserRun],
+    endpoints: &mut [E],
+    mut parties_of: impl FnMut(&mut E) -> Vec<Party<'_>>,
+) -> Option<Vec<(SessionId, SessionEvent)>> {
+    for u in users.iter_mut() {
+        if !u.done {
+            u.round_target = u.next_target();
+        }
+    }
+    let mut leases: Vec<(SessionId, Millis, Vec<Party<'_>>)> = users
+        .iter()
+        .zip(endpoints.iter_mut())
+        .filter(|(u, _)| !u.done)
+        .map(|(u, eps)| (u.sid, u.round_target, parties_of(eps)))
+        .collect();
+    if leases.is_empty() {
+        return None;
+    }
+    let mut sessions: Vec<HubSession<'_, '_>> = leases
+        .iter_mut()
+        .map(|(sid, target, parties)| HubSession::new(*sid, parties, *target))
+        .collect();
+    Some(hub.pump(&mut sessions))
+}
+
+/// A Mosh user's lease. Party order matters for determinism: it fixes the
+/// order same-instant datagrams enter the emulator, exactly as the
+/// historical loop ticked them.
+fn mosh_parties(
+    eps: &mut (MoshClient, MoshServer, Option<BulkFlow>),
     c_addr: Addr,
     s_addr: Addr,
-    target: Millis,
-) -> Vec<SessionEvent> {
-    match bulk {
-        Some(b) => sloop.pump_until(
-            &mut [
-                Party::new(c_addr, client),
-                Party::new(s_addr, server),
-                Party::new(BULK_SERVER, &mut b.sender),
-                Party::new(BULK_CLIENT, &mut b.receiver),
-            ],
-            target,
-        ),
-        None => sloop.pump_until(
-            &mut [Party::new(c_addr, client), Party::new(s_addr, server)],
-            target,
-        ),
+) -> Vec<Party<'_>> {
+    let (client, server, bulk) = eps;
+    let mut parties = vec![Party::new(c_addr, client), Party::new(s_addr, server)];
+    if let Some(b) = bulk {
+        parties.push(Party::new(BULK_SERVER, &mut b.sender));
+        parties.push(Party::new(BULK_CLIENT, &mut b.receiver));
     }
+    parties
 }
 
-const BULK_CLIENT: Addr = Addr {
-    host: 1,
-    port: 9999,
-};
-const BULK_SERVER: Addr = Addr {
-    host: 2,
-    port: 8888,
-};
+/// An SSH user's lease (see [`mosh_parties`]).
+fn ssh_parties(
+    eps: &mut (SshClient, SshServer, Option<BulkFlow>),
+    c_addr: Addr,
+    s_addr: Addr,
+) -> Vec<Party<'_>> {
+    let (client, server, bulk) = eps;
+    let mut parties: Vec<Party<'_>> = vec![Party::new(c_addr, client), Party::new(s_addr, server)];
+    if let Some(b) = bulk {
+        parties.push(Party::new(BULK_SERVER, &mut b.sender));
+        parties.push(Party::new(BULK_CLIENT, &mut b.receiver));
+    }
+    parties
+}
+
+const BULK_CLIENT: Addr = Addr::new(1, 9999);
+const BULK_SERVER: Addr = Addr::new(2, 8888);
 
 /// A greedy bulk TCP download sharing the bottleneck (LTE experiment).
 struct BulkFlow {

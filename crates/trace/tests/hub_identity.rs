@@ -1,0 +1,85 @@
+//! Batch replay on one hub == dedicated replay per user.
+//!
+//! `replay_mosh_many`/`replay_ssh_many` drive every user of a batch as
+//! one session of a single `ServerHub`. Multiplexing must be invisible:
+//! the outcome of a user inside any batch must equal the outcome of
+//! replaying that user alone (which `schedule_identity.rs` in turn pins
+//! to the historical 1 ms pump). Together the two suites give the full
+//! chain: hub batch == dedicated loop == 1 ms reference, sample for
+//! sample.
+
+use mosh_net::LinkConfig;
+use mosh_trace::{
+    replay_mosh, replay_mosh_many, replay_ssh, replay_ssh_many, small_trace, ReplayConfig,
+    ReplayOutcome, UserTrace,
+};
+
+fn traces() -> Vec<UserTrace> {
+    // Different lengths → users finish their scripts at different times,
+    // exercising the hub's park-finished-sessions path.
+    vec![small_trace(60), small_trace(90), small_trace(40)]
+}
+
+fn assert_outcomes_equal(sys: &str, batch: &[ReplayOutcome], solo: &[ReplayOutcome]) {
+    assert_eq!(batch.len(), solo.len());
+    for (i, (b, s)) in batch.iter().zip(solo.iter()).enumerate() {
+        assert_eq!(
+            b.latencies.samples(),
+            s.latencies.samples(),
+            "{sys} user {i}: latency sample streams diverged under the hub"
+        );
+        assert_eq!(b.instant, s.instant, "{sys} user {i}: instant");
+        assert_eq!(b.measured, s.measured, "{sys} user {i}: measured");
+        assert_eq!(
+            b.mispredicted, s.mispredicted,
+            "{sys} user {i}: mispredicted"
+        );
+        assert_eq!(
+            b.write_delays, s.write_delays,
+            "{sys} user {i}: write delays (Figure 3 inputs)"
+        );
+        assert_eq!(
+            b.sender_stats, s.sender_stats,
+            "{sys} user {i}: sender counters (ablation inputs)"
+        );
+        assert!(
+            b.measured > 20,
+            "{sys} user {i}: enough keystrokes measured"
+        );
+    }
+}
+
+#[test]
+fn mosh_batch_replay_equals_dedicated_replays() {
+    let traces = traces();
+    let cfg = ReplayConfig::over(LinkConfig::evdo_uplink(), LinkConfig::evdo_downlink());
+    let batch = replay_mosh_many(&traces, &cfg);
+    let solo: Vec<_> = traces.iter().map(|t| replay_mosh(t, &cfg)).collect();
+    assert_outcomes_equal("mosh", &batch, &solo);
+}
+
+#[test]
+fn ssh_batch_replay_equals_dedicated_replays() {
+    let traces = traces();
+    let cfg = ReplayConfig::over(LinkConfig::netem_lossy(), LinkConfig::netem_lossy());
+    let batch = replay_ssh_many(&traces, &cfg);
+    let solo: Vec<_> = traces.iter().map(|t| replay_ssh(t, &cfg)).collect();
+    assert_outcomes_equal("ssh", &batch, &solo);
+}
+
+#[test]
+fn bulk_download_batch_still_matches() {
+    let traces = vec![small_trace(25), small_trace(30)];
+    let mut cfg = ReplayConfig::over(LinkConfig::lte_uplink(), LinkConfig::lte_downlink());
+    cfg.bulk_download = true;
+    let batch = replay_mosh_many(&traces, &cfg);
+    let solo: Vec<_> = traces.iter().map(|t| replay_mosh(t, &cfg)).collect();
+    assert_eq!(batch.len(), 2);
+    for (i, (b, s)) in batch.iter().zip(solo.iter()).enumerate() {
+        assert_eq!(
+            b.latencies.samples(),
+            s.latencies.samples(),
+            "bulk user {i} diverged"
+        );
+    }
+}

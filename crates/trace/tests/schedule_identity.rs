@@ -31,9 +31,12 @@ struct Reference {
     sender_stats: mosh_ssp::sender::SenderStats,
 }
 
+/// A flattened key script: (absolute time, bytes, measured).
+type FlatKeys = Vec<(Millis, Vec<u8>, bool)>;
+
 /// Flattens exactly as the replay engine does (kept in lockstep by the
 /// assertions below — a drift in either copy shows up as divergence).
-fn flatten(trace: &UserTrace) -> (Vec<(Millis, Vec<u8>, bool)>, Vec<AppKind>) {
+fn flatten(trace: &UserTrace) -> (FlatKeys, Vec<AppKind>) {
     let mut keys = Vec::new();
     let mut now: Millis = 1500;
     for (i, seg) in trace.segments.iter().enumerate() {

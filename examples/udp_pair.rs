@@ -3,18 +3,21 @@
 //!
 //! Every other example runs under the discrete-event emulator. This one
 //! proves the paper's §2 design claim — SSP is a pure state machine with
-//! caller-supplied time — by running the *identical* `MoshClient`,
-//! `MoshServer`, and `SessionLoop` over `UdpChannel`, where `wait_until`
-//! really blocks on the socket and `now` is a monotonic wall clock.
+//! caller-supplied time — by running the *identical* `MoshClient` and
+//! `MoshServer` over `UdpChannel`, where waits really block on the socket
+//! and `now` is a monotonic wall clock. The server side runs the
+//! production shape: a `ServerHub` over a `UdpPoller` — one event loop
+//! that would serve hundreds of sessions exactly like this single one
+//! (`tests/hub_sessions.rs` drives eight concurrent ones).
 //!
 //! The client types `echo hi` + ENTER; the demo succeeds once the echoed
 //! command output has crossed the wire twice (keystrokes up, frames down).
 //!
 //! Run with `cargo run --example udp_pair`.
 
-use mosh::core::{LineShell, MoshClient, MoshServer, Party, SessionLoop};
+use mosh::core::{HubSession, LineShell, MoshClient, MoshServer, Party, ServerHub, SessionLoop};
 use mosh::crypto::Base64Key;
-use mosh::net::UdpChannel;
+use mosh::net::{Poller, UdpChannel, UdpPoller};
 use mosh::prediction::DisplayPreference;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -33,10 +36,13 @@ fn main() {
     let server_key = key.clone();
     let server_thread = std::thread::spawn(move || {
         let mut server = MoshServer::new(server_key, Box::new(LineShell::new()));
-        let mut session = SessionLoop::new(server_channel);
+        let mut hub = ServerHub::new(UdpPoller::new());
+        let tok = hub.poller_mut().add(server_channel);
+        let sid = hub.add_session(tok);
         while !server_done.load(Ordering::Relaxed) {
-            let t = session.now() + 50;
-            session.pump_until(&mut [Party::new(server_addr, &mut server)], t);
+            let t = hub.now(sid) + 50;
+            let mut parties = [Party::new(server_addr, &mut server)];
+            hub.pump(&mut [HubSession::new(sid, &mut parties, t)]);
         }
         server
     });

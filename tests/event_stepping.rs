@@ -8,9 +8,12 @@
 //! test pits the two drivers against each other over a lossy, jittery
 //! link and demands **byte-identical wire transcripts** on both sides.
 
-use mosh::core::{Endpoint, LineShell, MoshClient, MoshServer, Party, SessionEvent, SessionLoop};
+use mosh::core::{
+    Endpoint, HubSession, LineShell, MoshClient, MoshServer, Party, ServerHub, SessionEvent,
+    SessionId, SessionLoop,
+};
 use mosh::crypto::Base64Key;
-use mosh::net::{Addr, LinkConfig, Network, Side, SimChannel};
+use mosh::net::{Addr, LinkConfig, Network, Poller, Side, SimChannel, SimPoller};
 use mosh::prediction::DisplayPreference;
 
 /// One wire-level action: (virtual time, 's'end or 'r'eceive, peer, bytes).
@@ -52,16 +55,14 @@ impl<E: Endpoint> Endpoint for Recorder<E> {
     fn last_heard(&self) -> Option<u64> {
         self.inner.last_heard()
     }
+
+    fn authenticates(&self, wire: &[u8]) -> bool {
+        self.inner.authenticates(wire)
+    }
 }
 
-const C: Addr = Addr {
-    host: 1,
-    port: 1000,
-};
-const S: Addr = Addr {
-    host: 2,
-    port: 60001,
-};
+const C: Addr = Addr::new(1, 1000);
+const S: Addr = Addr::new(2, 60001);
 const END: u64 = 25_000;
 
 fn net(seed: u64) -> Network {
@@ -209,6 +210,94 @@ fn wire_schedule_is_byte_identical_to_the_1ms_loop() {
         assert!(
             rscreen.contains('y') && rscreen.contains("Makefile"),
             "seed {seed}: flood and post-interrupt `ls` both reached the client"
+        );
+    }
+}
+
+/// The same sessions driven by one multi-session `ServerHub` instead of
+/// dedicated `SessionLoop`s. Each session lives in its own emulated
+/// world; the hub interleaves them through one timer wheel.
+fn hub_run(seeds: &[u64]) -> Vec<(Transcript, Transcript, String)> {
+    let mut hub = ServerHub::new(SimPoller::new());
+    let mut sids: Vec<SessionId> = Vec::new();
+    let mut recs: Vec<(Recorder<MoshClient>, Recorder<MoshServer>)> = Vec::new();
+    for &seed in seeds {
+        let tok = hub.poller_mut().add(SimChannel::new(net(seed)));
+        sids.push(hub.add_session(tok));
+        let (client, server) = endpoints(seed);
+        recs.push((Recorder::new(client), Recorder::new(server)));
+    }
+
+    let pump_all = |hub: &mut ServerHub<SimPoller>,
+                    recs: &mut Vec<(Recorder<MoshClient>, Recorder<MoshServer>)>,
+                    target: u64| {
+        let mut leases: Vec<[Party<'_>; 2]> = recs
+            .iter_mut()
+            .map(|(c, s)| [Party::new(C, c), Party::new(S, s)])
+            .collect();
+        let mut sessions: Vec<HubSession<'_, '_>> = leases
+            .iter_mut()
+            .zip(sids.iter())
+            .map(|(parties, sid)| HubSession::new(*sid, parties, target))
+            .collect();
+        hub.pump(&mut sessions);
+    };
+
+    for (at, bytes) in script() {
+        pump_all(&mut hub, &mut recs, at);
+        for (client, _) in recs.iter_mut() {
+            client.inner.keystroke(at, &bytes);
+        }
+    }
+    pump_all(&mut hub, &mut recs, END);
+
+    recs.into_iter()
+        .map(|(c, s)| {
+            let screen = c.inner.server_frame().to_text();
+            (c.log, s.log, screen)
+        })
+        .collect()
+}
+
+/// The multi-session acceptance bar: a hub driving N sessions produces
+/// byte-identical per-session wire transcripts to N dedicated
+/// `SessionLoop`s (which are themselves pinned to the 1 ms reference
+/// above) — multiplexing changes *nothing* about any single session.
+#[test]
+fn hub_matches_dedicated_loops_byte_for_byte() {
+    let seeds = [7u64, 42, 1234];
+    let hubbed = hub_run(&seeds);
+    for (i, &seed) in seeds.iter().enumerate() {
+        let (dc, ds, dscreen) = event_driven_run(seed);
+        let (hc, hs, hscreen) = &hubbed[i];
+        assert_eq!(
+            dc.len(),
+            hc.len(),
+            "seed {seed}: client wire-action count diverged under the hub"
+        );
+        assert_eq!(
+            ds.len(),
+            hs.len(),
+            "seed {seed}: server wire-action count diverged under the hub"
+        );
+        for (n, (a, b)) in dc.iter().zip(hc.iter()).enumerate() {
+            assert_eq!(
+                a, b,
+                "seed {seed}: client wire action #{n} diverged \
+                 (dedicated loop vs hub)"
+            );
+        }
+        for (n, (a, b)) in ds.iter().zip(hs.iter()).enumerate() {
+            assert_eq!(
+                a, b,
+                "seed {seed}: server wire action #{n} diverged \
+                 (dedicated loop vs hub)"
+            );
+        }
+        assert_eq!(&dscreen, hscreen, "seed {seed}: final screens diverged");
+        assert!(
+            dc.len() > 30,
+            "seed {seed}: session too quiet to prove anything"
         );
     }
 }

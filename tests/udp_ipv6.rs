@@ -1,0 +1,219 @@
+//! IPv6 live-substrate tests: full Mosh sessions over `[::1]` loopback
+//! sockets, and the family-crossing roam — an IPv4 socket rebound to an
+//! IPv6 one mid-session, nothing reconnecting.
+//!
+//! Like `tests/udp_session.rs`, a single test thread alternates short
+//! pumps between the two ends; the server side runs the production shape
+//! (a `ServerHub` over a `UdpPoller`). Environments without IPv6
+//! loopback or without dual-stack sockets skip gracefully (loudly, on
+//! stderr) instead of failing.
+
+use mosh::core::{
+    HubSession, LineShell, MoshClient, MoshServer, Party, ServerHub, SessionEvent, SessionId,
+    SessionLoop,
+};
+use mosh::crypto::Base64Key;
+use mosh::net::{Addr, Poller, UdpChannel, UdpPoller};
+use mosh::prediction::DisplayPreference;
+
+/// IPv6 loopback as an `Addr`: `[::1]`.
+fn v6_loopback(port: u16) -> Addr {
+    Addr::v6(1, port)
+}
+
+/// IPv4 loopback as an `Addr`: `127.0.0.1`.
+fn v4_loopback(port: u16) -> Addr {
+    Addr::new(0x7f00_0001, port)
+}
+
+struct HubServer {
+    hub: ServerHub<UdpPoller>,
+    sid: SessionId,
+    server: MoshServer,
+    listen: Addr,
+    events: Vec<SessionEvent>,
+}
+
+impl HubServer {
+    fn new(channel: UdpChannel, key: Base64Key) -> Self {
+        let listen = channel.local_addr();
+        let mut hub = ServerHub::new(UdpPoller::new());
+        let tok = hub.poller_mut().add(channel);
+        let sid = hub.add_session(tok);
+        HubServer {
+            hub,
+            sid,
+            server: MoshServer::new(key, Box::new(LineShell::new())),
+            listen,
+            events: Vec::new(),
+        }
+    }
+
+    fn step(&mut self) {
+        let t = self.hub.now(self.sid) + 4;
+        let mut parties = [Party::new(self.listen, &mut self.server)];
+        let ev = self
+            .hub
+            .pump(&mut [HubSession::new(self.sid, &mut parties, t)]);
+        self.events.extend(ev.into_iter().map(|(_, e)| e));
+    }
+}
+
+struct Client {
+    sl: SessionLoop<UdpChannel>,
+    client: MoshClient,
+    addr: Addr,
+}
+
+impl Client {
+    fn new(channel: UdpChannel, key: Base64Key, server: Addr) -> Self {
+        let addr = channel.local_addr();
+        Client {
+            sl: SessionLoop::new(channel),
+            client: MoshClient::new(key, server, 80, 24, DisplayPreference::Never),
+            addr,
+        }
+    }
+
+    fn step(&mut self) {
+        let t = self.sl.now() + 4;
+        self.sl
+            .pump_until(&mut [Party::new(self.addr, &mut self.client)], t);
+    }
+}
+
+fn step_until(
+    client: &mut Client,
+    server: &mut HubServer,
+    limit_ms: u64,
+    what: &str,
+    mut cond: impl FnMut(&Client, &HubServer) -> bool,
+) {
+    let start = std::time::Instant::now();
+    while !cond(client, server) {
+        assert!(
+            start.elapsed().as_millis() < limit_ms as u128,
+            "timed out waiting for: {what}"
+        );
+        client.step();
+        server.step();
+    }
+}
+
+#[test]
+fn keystroke_echo_round_trip_over_ipv6_loopback() {
+    let Ok(server_channel) = UdpChannel::bind("[::1]:0") else {
+        eprintln!("skipping: no IPv6 loopback in this environment");
+        return;
+    };
+    let client_channel = UdpChannel::bind("[::1]:0").expect("second [::1] socket");
+    let key = Base64Key::from_bytes([0x61; 16]);
+
+    let s_addr = server_channel.local_addr();
+    assert!(s_addr.is_v6(), "[::1] maps to a V6 host: {s_addr}");
+    assert_eq!(s_addr, v6_loopback(s_addr.port));
+
+    let mut server = HubServer::new(server_channel, key.clone());
+    let mut client = Client::new(client_channel, key, s_addr);
+    assert!(client.addr.is_v6());
+
+    step_until(&mut client, &mut server, 15_000, "server prompt", |c, _| {
+        c.client.server_frame().row_text(0) == "$"
+    });
+    client.client.keystroke(client.sl.now(), b"x");
+    step_until(&mut client, &mut server, 15_000, "echo of 'x'", |c, _| {
+        c.client.server_frame().row_text(0) == "$ x"
+    });
+    // The server learned the client's real IPv6 socket address.
+    let target = server.server.target().expect("target learned");
+    assert!(target.is_v6(), "learned target is IPv6: {target}");
+    assert_eq!(target, client.addr);
+}
+
+#[test]
+fn mid_session_rebind_from_ipv4_socket_to_ipv6_socket() {
+    // Probe dual-stack reachability first (Linux bindv6only=0): an IPv4
+    // sender must reach a `[::]` wildcard socket. Skip where it cannot.
+    {
+        let Ok(probe6) = std::net::UdpSocket::bind("[::]:0") else {
+            eprintln!("skipping: no IPv6 sockets in this environment");
+            return;
+        };
+        let probe_port = probe6.local_addr().expect("probe addr").port();
+        let probe4 = std::net::UdpSocket::bind("127.0.0.1:0").expect("v4 probe socket");
+        let reachable = probe4.send_to(b"?", ("127.0.0.1", probe_port)).is_ok() && {
+            probe6
+                .set_read_timeout(Some(std::time::Duration::from_millis(500)))
+                .expect("probe timeout");
+            probe6.recv_from(&mut [0u8; 4]).is_ok()
+        };
+        if !reachable {
+            eprintln!("skipping: no dual-stack v4->[::] delivery in this environment");
+            return;
+        }
+    }
+
+    // The server listens dual-stack: one `[::]` socket reachable from
+    // both families.
+    let server_channel = UdpChannel::bind("[::]:0").expect("dual-stack server socket");
+    let port = server_channel.local_addr().port;
+
+    let key = Base64Key::from_bytes([0x62; 16]);
+    let mut server = HubServer::new(server_channel, key.clone());
+
+    // Phase 1: the client lives on an IPv4 socket and reaches the server
+    // by its IPv4 identity.
+    let client_channel = UdpChannel::bind("127.0.0.1:0").expect("v4 client socket");
+    let mut client = Client::new(client_channel, key, v4_loopback(port));
+    assert!(!client.addr.is_v6());
+
+    step_until(&mut client, &mut server, 15_000, "server prompt", |c, _| {
+        c.client.server_frame().row_text(0) == "$"
+    });
+    client.client.keystroke(client.sl.now(), b"a");
+    step_until(&mut client, &mut server, 15_000, "echo of 'a'", |c, _| {
+        c.client.server_frame().row_text(0) == "$ a"
+    });
+    let v4_target = server.server.target().expect("v4-era target");
+    assert!(
+        !v4_target.is_v6(),
+        "v4-mapped source normalized to V4: {v4_target}"
+    );
+
+    // Phase 2: roam across address families. Rebind the client onto an
+    // IPv6 socket and point it at the server's IPv6 identity. Nothing
+    // reconnects; the next authentic datagram re-targets the server
+    // (paper §2.2 — the address changed, the session did not).
+    client
+        .sl
+        .channel_mut()
+        .rebind("[::]:0")
+        .expect("rebind onto an IPv6 socket");
+    client.addr = client.sl.channel().local_addr();
+    assert!(client.addr.is_v6(), "now sending from {}", client.addr);
+    client.client.retarget(v6_loopback(port));
+
+    client.client.keystroke(client.sl.now(), b"b");
+    step_until(
+        &mut client,
+        &mut server,
+        15_000,
+        "echo of 'b' after the family switch",
+        |c, _| c.client.server_frame().row_text(0) == "$ ab",
+    );
+    let roamed = server.server.target().expect("post-roam target");
+    assert!(roamed.is_v6(), "server now targets IPv6: {roamed}");
+    assert!(
+        server
+            .events
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Roamed { to, .. } if to.is_v6())),
+        "the hub reported the cross-family roam: {:?}",
+        server.events
+    );
+    assert_eq!(
+        server.server.frame().row_text(0),
+        "$ ab",
+        "no keystroke lost across the family switch"
+    );
+}

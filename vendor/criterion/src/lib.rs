@@ -62,7 +62,7 @@ impl Bencher {
         loop {
             std::hint::black_box(f());
             iters += 1;
-            if iters % check_every == 0 && start.elapsed() >= self.measure {
+            if iters.is_multiple_of(check_every) && start.elapsed() >= self.measure {
                 break;
             }
             if iters >= 100_000_000 {
