@@ -85,3 +85,11 @@ fn hub_scaling_quick() {
         &["hub_scaling", "sessions", "wakeups/user", "per-user cost"],
     );
 }
+
+#[test]
+fn crypto_ops_quick() {
+    run_quick(
+        env!("CARGO_BIN_EXE_crypto_ops"),
+        &["crypto_ops", "seal MB/s", "open MB/s", "speedup", "demux"],
+    );
+}

@@ -44,12 +44,15 @@ pub trait Application: Send {
         Vec::new()
     }
 
-    /// The earliest time [`Application::poll`] could produce output, if
-    /// the application knows it. Event-driven drivers step straight to
-    /// this time instead of polling every millisecond; applications that
-    /// return `None` (the default) are still polled at the server's
-    /// coarse poll floor, so this is an accuracy contract, not liveness:
-    /// if a time is returned, no output may become due before it.
+    /// The earliest time [`Application::poll`] could produce output.
+    /// Event-driven drivers step straight to this time instead of polling
+    /// on a coarse floor, so this is a *liveness contract*: `Some(t)`
+    /// promises no output becomes due before `t`, and `None` (the
+    /// default) promises [`Application::poll`] produces **nothing** until
+    /// an [`Application::on_input`] / [`Application::on_resize`] /
+    /// [`Application::start`] call re-arms the schedule. An application
+    /// with genuinely unpredictable spontaneous output must return a
+    /// concrete polling time, not `None`.
     fn next_wakeup(&self, _now: Millis) -> Option<Millis> {
         None
     }

@@ -10,7 +10,8 @@ use mosh_crypto::session::Direction;
 use mosh_crypto::Base64Key;
 use mosh_net::Addr;
 use mosh_prediction::{DisplayPreference, PredictionEngine, PredictionStats};
-use mosh_ssp::transport::Transport;
+use mosh_ssp::datagram::Opened;
+use mosh_ssp::transport::{ReceiveEvent, Transport};
 use mosh_states::{CompleteTerminal, UserStream};
 use mosh_terminal::Framebuffer;
 
@@ -77,6 +78,19 @@ impl MoshClient {
         self.transport.authenticates(wire)
     }
 
+    /// Authenticates and decrypts `wire` without consuming it, returning
+    /// the opened-datagram token on success — the decrypt-once demux
+    /// probe. Consume the token with [`MoshClient::receive_opened`].
+    pub fn try_open(&mut self, wire: &[u8]) -> Option<Opened> {
+        self.transport.open(wire).ok()
+    }
+
+    /// Number of OCB open attempts this endpoint has performed
+    /// (decrypt-once instrumentation).
+    pub fn decrypt_count(&self) -> u64 {
+        self.transport.decrypt_count()
+    }
+
     /// Wire counters (sent/accepted/rejected datagrams).
     pub fn transport_stats(&self) -> &mosh_ssp::transport::TransportStats {
         self.transport.stats()
@@ -118,13 +132,20 @@ impl MoshClient {
     pub fn keystroke(&mut self, now: Millis, bytes: &[u8]) -> bool {
         self.input.push_keystroke(bytes);
         self.transport.set_current_state(self.input.clone(), now);
-        let frame = self.transport.remote_state().frame().clone();
-        self.prediction.new_user_input(
+        // Split borrows: the predictor reads the latest frame in place —
+        // no per-keystroke framebuffer clone.
+        let Self {
+            transport,
+            prediction,
+            input,
+            ..
+        } = self;
+        prediction.new_user_input(
             now,
-            self.transport.srtt(),
+            transport.srtt(),
             bytes,
-            &frame,
-            self.input.end_index(),
+            transport.remote_state().frame(),
+            input.end_index(),
         )
     }
 
@@ -139,13 +160,31 @@ impl MoshClient {
         let Ok(event) = self.transport.receive(now, wire) else {
             return;
         };
+        self.after_receive(now, event);
+    }
+
+    /// Handles an already-opened datagram at `now` (the decrypt-once
+    /// path): same behavior as [`MoshClient::receive`] of the original
+    /// wire, without a second OCB pass.
+    pub fn receive_opened(&mut self, now: Millis, opened: Opened) {
+        let Ok(event) = self.transport.recv_opened(now, opened) else {
+            return;
+        };
+        self.after_receive(now, event);
+    }
+
+    fn after_receive(&mut self, now: Millis, event: ReceiveEvent) {
         if event.remote_advanced && self.transport.remote_state_num() != self.last_remote_num {
             self.last_remote_num = self.transport.remote_state_num();
-            let remote = self.transport.remote_state();
-            let frame = remote.frame().clone();
-            let echo_ack = remote.echo_ack();
-            self.prediction
-                .report_frame(now, &frame, echo_ack, self.transport.srtt());
+            // Split borrows: the predictor reads the new frame in place —
+            // no per-frame framebuffer clone.
+            let Self {
+                transport,
+                prediction,
+                ..
+            } = self;
+            let remote = transport.remote_state();
+            prediction.report_frame(now, remote.frame(), remote.echo_ack(), transport.srtt());
         }
     }
 
@@ -158,9 +197,12 @@ impl MoshClient {
             .collect()
     }
 
-    /// The earliest time `tick` needs to run again.
+    /// The earliest time `tick` needs to run again. Purely
+    /// transport-driven (collection interval, frame gate, delayed acks,
+    /// heartbeats): with nothing scheduled the client sleeps until a
+    /// receive or a keystroke re-arms it — no polling floor.
     pub fn next_wakeup(&self, now: Millis) -> Millis {
-        self.transport.next_wakeup().unwrap_or(now + 50).max(now)
+        self.transport.next_wakeup().unwrap_or(Millis::MAX).max(now)
     }
 
     /// The latest authoritative server screen, without predictions.

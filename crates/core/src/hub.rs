@@ -15,7 +15,11 @@
 //!   **cryptographic authentication** when addresses collide (two
 //!   clients roamed behind one NAT address — the paper's §2.2 roaming
 //!   rule, generalized: the address is a routing hint, the key is the
-//!   identity, and plaintext is never misrouted).
+//!   identity, and plaintext is never misrouted). The authenticating
+//!   probe is `Endpoint::try_open`, which *keeps* the verified
+//!   plaintext: the winning session consumes the already-opened token,
+//!   so an ambiguous-address datagram crosses AES-OCB **exactly once**
+//!   (the decrypt-once receive pipeline).
 //!
 //! Per-session scheduling decisions are made by the same
 //! [`SessionDriver`] that powers the single-session
@@ -27,6 +31,7 @@
 use crate::session::{Party, SessionDriver, SessionEvent};
 use crate::Millis;
 use mosh_net::{Addr, Datagram, Poller, Token};
+use mosh_ssp::datagram::Opened;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -270,12 +275,24 @@ impl<P: Poller> ServerHub<P> {
             while let Some((t2, dg)) = self.poller.poll_any() {
                 let at = self.poller.now(t2);
                 match self.route(t2, &dg, sessions, &to_index) {
-                    Some(j) => {
+                    Some((j, opened)) => {
                         let sj = sessions[j].id;
                         scratch.clear();
-                        self.slots[sj.0]
-                            .driver
-                            .deliver(sessions[j].parties, at, &dg, &mut scratch);
+                        let driver = &mut self.slots[sj.0].driver;
+                        match opened {
+                            // Ambiguous address: the routing probe already
+                            // opened the datagram — deliver the plaintext
+                            // token, never a second decrypt.
+                            Some(op) => driver.deliver_opened(
+                                sessions[j].parties,
+                                at,
+                                dg.from,
+                                dg.to,
+                                op,
+                                &mut scratch,
+                            ),
+                            None => driver.deliver(sessions[j].parties, at, &dg, &mut scratch),
+                        };
                         self.stats.delivered += 1;
                         events.extend(scratch.drain(..).map(|e| (sj, e)));
                         if !woken.contains(&j) {
@@ -357,40 +374,35 @@ impl<P: Poller> ServerHub<P> {
         None
     }
 
-    /// Decides which leased session a datagram belongs to.
+    /// Decides which leased session a datagram belongs to, returning the
+    /// lease index and — when authentication had to decide — the
+    /// already-opened datagram token.
     ///
     /// 1. By receive address: if exactly one lease claims `(token, to)`,
-    ///    it gets the datagram — the single-session fast path, identical
-    ///    to `SessionLoop` (inauthentic line noise included: the endpoint
-    ///    rejects it itself, keeping its counters byte-identical).
+    ///    it gets the raw datagram — the single-session fast path,
+    ///    identical to `SessionLoop` (inauthentic line noise included:
+    ///    the endpoint rejects it itself, keeping its counters
+    ///    byte-identical).
     /// 2. Ambiguous receive address (many sessions behind one socket):
-    ///    **authentication decides.** Source-address routes learned from
-    ///    earlier authentic traffic only order the candidates so the
-    ///    common case verifies one key; roaming collisions degrade to
-    ///    trying every candidate. No candidate authenticates → dropped.
+    ///    **authentication decides**, and the deciding decrypt is the only
+    ///    one the datagram ever gets — `Endpoint::try_open` keeps the
+    ///    verified plaintext, which `pump` then delivers to the winner as
+    ///    an opened token. Source-address routes learned from earlier
+    ///    authentic traffic order the candidates so the common case opens
+    ///    against one key; roaming collisions degrade to trying every
+    ///    candidate. No candidate authenticates → dropped.
     fn route(
         &mut self,
         tok: Token,
         dg: &Datagram,
-        sessions: &[HubSession<'_, '_>],
+        sessions: &mut [HubSession<'_, '_>],
         to_index: &HashMap<(Token, Addr), Vec<usize>>,
-    ) -> Option<usize> {
+    ) -> Option<(usize, Option<Opened>)> {
         let cands = to_index.get(&(tok, dg.to))?;
         if cands.len() == 1 {
-            return Some(cands[0]);
+            return Some((cands[0], None));
         }
 
-        // The verification decrypt is separate from the delivery decrypt
-        // inside the endpoint (2× AES-OCB per ambiguous datagram when the
-        // hint is warm). Folding them needs a decrypt-once receive path
-        // through `Endpoint` — a known follow-up, see ROADMAP.
-        let authenticates = |j: usize| {
-            sessions[j]
-                .parties
-                .iter()
-                .find(|p| p.addr == dg.to)
-                .is_some_and(|p| p.endpoint.authenticates(&dg.payload))
-        };
         // Hinted candidates first (sessions that previously authenticated
         // traffic from this source), then the rest in lease order.
         let hinted: Vec<usize> = self
@@ -403,11 +415,17 @@ impl<P: Poller> ServerHub<P> {
             })
             .unwrap_or_default();
         let rest = cands.iter().copied().filter(|j| !hinted.contains(j));
-        let j = hinted
-            .iter()
-            .copied()
-            .chain(rest)
-            .find(|&j| authenticates(j))?;
+        let mut winner = None;
+        for j in hinted.iter().copied().chain(rest) {
+            let Some(p) = sessions[j].parties.iter_mut().find(|p| p.addr == dg.to) else {
+                continue;
+            };
+            if let Some(opened) = p.endpoint.try_open(&dg.payload) {
+                winner = Some((j, opened));
+                break;
+            }
+        }
+        let (j, opened) = winner?;
 
         self.stats.auth_routed += 1;
         let route = self.routes.entry((tok, dg.from)).or_default();
@@ -415,7 +433,7 @@ impl<P: Poller> ServerHub<P> {
             route.retain(|sid| *sid != sessions[j].id);
             route.insert(0, sessions[j].id);
         }
-        Some(j)
+        Some((j, Some(opened)))
     }
 }
 

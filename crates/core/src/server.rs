@@ -20,7 +20,8 @@ use crate::Millis;
 use mosh_crypto::session::Direction;
 use mosh_crypto::Base64Key;
 use mosh_net::Addr;
-use mosh_ssp::transport::Transport;
+use mosh_ssp::datagram::Opened;
+use mosh_ssp::transport::{ReceiveEvent, Transport};
 use mosh_states::{CompleteTerminal, UserEvent, UserStream};
 use std::collections::VecDeque;
 
@@ -115,20 +116,37 @@ impl MoshServer {
         self.transport.authenticates(wire)
     }
 
+    /// Authenticates and decrypts `wire` without consuming it, returning
+    /// the opened-datagram token on success — the decrypt-once demux
+    /// probe. Consume the token with [`MoshServer::receive_opened`].
+    pub fn try_open(&mut self, wire: &[u8]) -> Option<Opened> {
+        self.transport.open(wire).ok()
+    }
+
+    /// Number of OCB open attempts this endpoint has performed
+    /// (decrypt-once instrumentation).
+    pub fn decrypt_count(&self) -> u64 {
+        self.transport.decrypt_count()
+    }
+
     /// Wire counters (sent/accepted/rejected datagrams).
     pub fn transport_stats(&self) -> &mosh_ssp::transport::TransportStats {
         self.transport.stats()
     }
 
     fn schedule_writes(&mut self, writes: Vec<TimedWrite>) {
+        Self::schedule_into(&mut self.pending_writes, writes);
+    }
+
+    /// Queues writes ordered by due time (stable for equal times); an
+    /// associated fn so callers holding other field borrows can use it.
+    fn schedule_into(pending_writes: &mut VecDeque<TimedWrite>, writes: Vec<TimedWrite>) {
         for w in writes {
-            // Keep ordered by due time (stable for equal times).
-            let pos = self
-                .pending_writes
+            let pos = pending_writes
                 .iter()
                 .position(|p| p.at > w.at)
-                .unwrap_or(self.pending_writes.len());
-            self.pending_writes.insert(pos, w);
+                .unwrap_or(pending_writes.len());
+            pending_writes.insert(pos, w);
         }
     }
 
@@ -137,6 +155,20 @@ impl MoshServer {
         let Ok(event) = self.transport.receive(now, wire) else {
             return; // Inauthentic datagrams are line noise.
         };
+        self.after_receive(now, from, event);
+    }
+
+    /// Handles an already-opened datagram from `from` at `now` (the
+    /// decrypt-once path): same behavior as [`MoshServer::receive`] of
+    /// the original wire, without a second OCB pass.
+    pub fn receive_opened(&mut self, now: Millis, from: Addr, opened: Opened) {
+        let Ok(event) = self.transport.recv_opened(now, opened) else {
+            return;
+        };
+        self.after_receive(now, from, event);
+    }
+
+    fn after_receive(&mut self, now: Millis, from: Addr, event: ReceiveEvent) {
         if event.new_high_seq {
             // Roaming: re-target to the newest authentic source address.
             self.target = Some(from);
@@ -145,22 +177,35 @@ impl MoshServer {
             return;
         }
         // Apply newly arrived user events to the application/terminal.
-        let remote = self.transport.remote_state().clone();
-        for (idx, ev) in remote.events_from(self.applied_through) {
+        // Split borrows: the remote user stream is iterated in place (it
+        // holds every event of the session, so cloning it per datagram
+        // would cost ever more as the session ages).
+        let Self {
+            transport,
+            app,
+            terminal,
+            dirty,
+            applied_through,
+            echo_queue,
+            pending_writes,
+            ..
+        } = self;
+        let remote = transport.remote_state();
+        for (idx, ev) in remote.events_from(*applied_through) {
             match ev {
                 UserEvent::Keystroke(bytes) => {
-                    let writes = self.app.on_input(now, bytes);
-                    self.schedule_writes(writes);
+                    let writes = app.on_input(now, bytes);
+                    Self::schedule_into(pending_writes, writes);
                 }
                 UserEvent::Resize { width, height } => {
-                    self.terminal.resize(*width as usize, *height as usize);
-                    self.dirty = true;
-                    let writes = self.app.on_resize(now, *width as usize, *height as usize);
-                    self.schedule_writes(writes);
+                    terminal.resize(*width as usize, *height as usize);
+                    *dirty = true;
+                    let writes = app.on_resize(now, *width as usize, *height as usize);
+                    Self::schedule_into(pending_writes, writes);
                 }
             }
-            self.echo_queue.push_back((idx + 1, now));
-            self.applied_through = idx + 1;
+            echo_queue.push_back((idx + 1, now));
+            *applied_through = idx + 1;
         }
     }
 
@@ -234,8 +279,15 @@ impl MoshServer {
     }
 
     /// The earliest time `tick` needs to run again (event-driven stepping).
+    ///
+    /// Purely schedule-driven: the application's own wakeup, the pending
+    /// write queue, the echo-ack timer, and the transport's timers. There
+    /// is no polling floor — `Application::next_wakeup`'s contract is that
+    /// `None` means no spontaneous output until input re-arms it, so a
+    /// quiet session sleeps until its next real deadline instead of
+    /// burning a wakeup every 50 ms.
     pub fn next_wakeup(&self, now: Millis) -> Millis {
-        let mut next = now + 50; // Poll floor for apps that can't predict their output.
+        let mut next = Millis::MAX;
         if let Some(t) = self.app.next_wakeup(now) {
             next = next.min(t);
         }

@@ -30,6 +30,7 @@ use crate::client::MoshClient;
 use crate::server::MoshServer;
 use crate::Millis;
 use mosh_net::{Addr, Channel, Datagram};
+use mosh_ssp::datagram::Opened;
 use std::collections::HashMap;
 
 /// Something a session endpoint did or learned, stamped with when.
@@ -95,21 +96,50 @@ pub trait Endpoint {
 
     /// True when `wire` cryptographically authenticates to this endpoint's
     /// session, judged **without** consuming the datagram or mutating any
-    /// state. A multi-session hub consults this to demultiplex traffic
-    /// whose source address is ambiguous — two clients roamed behind one
-    /// NAT address (paper §2.2) — so plaintext is never misrouted.
-    /// Endpoints without datagram authentication (SSH/TCP baselines, test
-    /// instruments) keep the default `false` and can only be addressed by
-    /// a unique receive address.
+    /// state — the read-only (`&self`) companion of [`Endpoint::try_open`]
+    /// for callers that only need the boolean. The hub's demux itself
+    /// probes with `try_open` instead, which keeps the verified plaintext
+    /// it already paid for. Endpoints without datagram authentication
+    /// (SSH/TCP baselines, test instruments) keep the default `false` and
+    /// can only be addressed by a unique receive address.
     fn authenticates(&self, _wire: &[u8]) -> bool {
         false
     }
+
+    /// The decrypt-once demux probe: authenticates **and decrypts**
+    /// `wire` without consuming it, returning the opened-datagram token
+    /// when it belongs to this endpoint's session. Like
+    /// [`Endpoint::authenticates`] this mutates no protocol state — but
+    /// the verification decrypt is kept instead of discarded, so the hub
+    /// can hand the winner its plaintext via
+    /// [`Endpoint::receive_opened`] and an ambiguous-address datagram
+    /// crosses AES-OCB exactly once. Endpoints without datagram
+    /// authentication keep the default `None`.
+    fn try_open(&mut self, _wire: &[u8]) -> Option<Opened> {
+        None
+    }
+
+    /// Consumes a token this endpoint produced from [`Endpoint::try_open`]
+    /// — identical observable behavior to [`Endpoint::receive`] of the
+    /// original wire, minus the duplicate OCB pass. Only ever called with
+    /// this endpoint's own tokens; endpoints whose `try_open` never
+    /// returns `Some` never see this call.
+    fn receive_opened(
+        &mut self,
+        now: Millis,
+        from: Addr,
+        opened: Opened,
+        events: &mut Vec<SessionEvent>,
+    ) {
+        let _ = (now, from, opened, events);
+        debug_assert!(false, "receive_opened without a matching try_open");
+    }
 }
 
-impl Endpoint for MoshClient {
-    fn receive(&mut self, now: Millis, _from: Addr, wire: &[u8], events: &mut Vec<SessionEvent>) {
-        let before = self.remote_state_num();
-        MoshClient::receive(self, now, wire);
+impl MoshClient {
+    /// Emits [`SessionEvent::FrameAdvanced`] when a receive advanced the
+    /// displayed server state (shared by the wire and opened paths).
+    fn report_frame_advance(&self, before: u64, now: Millis, events: &mut Vec<SessionEvent>) {
         let state_num = self.remote_state_num();
         if state_num != before {
             events.push(SessionEvent::FrameAdvanced {
@@ -118,6 +148,14 @@ impl Endpoint for MoshClient {
                 echo_ack: self.echo_ack(),
             });
         }
+    }
+}
+
+impl Endpoint for MoshClient {
+    fn receive(&mut self, now: Millis, _from: Addr, wire: &[u8], events: &mut Vec<SessionEvent>) {
+        let before = self.remote_state_num();
+        MoshClient::receive(self, now, wire);
+        self.report_frame_advance(before, now, events);
     }
 
     fn tick(
@@ -140,12 +178,28 @@ impl Endpoint for MoshClient {
     fn authenticates(&self, wire: &[u8]) -> bool {
         MoshClient::authenticates(self, wire)
     }
+
+    fn try_open(&mut self, wire: &[u8]) -> Option<Opened> {
+        MoshClient::try_open(self, wire)
+    }
+
+    fn receive_opened(
+        &mut self,
+        now: Millis,
+        _from: Addr,
+        opened: Opened,
+        events: &mut Vec<SessionEvent>,
+    ) {
+        let before = self.remote_state_num();
+        MoshClient::receive_opened(self, now, opened);
+        self.report_frame_advance(before, now, events);
+    }
 }
 
-impl Endpoint for MoshServer {
-    fn receive(&mut self, now: Millis, from: Addr, wire: &[u8], events: &mut Vec<SessionEvent>) {
-        let before = self.target();
-        MoshServer::receive(self, now, from, wire);
+impl MoshServer {
+    /// Emits [`SessionEvent::Roamed`] when a receive re-targeted the
+    /// client address (shared by the wire and opened paths).
+    fn report_roam(&self, before: Option<Addr>, now: Millis, events: &mut Vec<SessionEvent>) {
         let target = self.target();
         if target != before {
             events.push(SessionEvent::Roamed {
@@ -153,6 +207,14 @@ impl Endpoint for MoshServer {
                 to: target.expect("target only ever moves to an address"),
             });
         }
+    }
+}
+
+impl Endpoint for MoshServer {
+    fn receive(&mut self, now: Millis, from: Addr, wire: &[u8], events: &mut Vec<SessionEvent>) {
+        let before = self.target();
+        MoshServer::receive(self, now, from, wire);
+        self.report_roam(before, now, events);
     }
 
     fn tick(
@@ -174,6 +236,22 @@ impl Endpoint for MoshServer {
 
     fn authenticates(&self, wire: &[u8]) -> bool {
         MoshServer::authenticates(self, wire)
+    }
+
+    fn try_open(&mut self, wire: &[u8]) -> Option<Opened> {
+        MoshServer::try_open(self, wire)
+    }
+
+    fn receive_opened(
+        &mut self,
+        now: Millis,
+        from: Addr,
+        opened: Opened,
+        events: &mut Vec<SessionEvent>,
+    ) {
+        let before = self.target();
+        MoshServer::receive_opened(self, now, from, opened);
+        self.report_roam(before, now, events);
     }
 }
 
@@ -276,6 +354,27 @@ impl SessionDriver {
     ) -> bool {
         if let Some(p) = parties.iter_mut().find(|p| p.addr == dg.to) {
             p.endpoint.receive(now, dg.from, &dg.payload, events);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Delivers an already-opened datagram (see [`Endpoint::try_open`])
+    /// to the party at `to`, returning false when no party claims the
+    /// address. The decrypt-once tail of the hub's demux: the winning
+    /// endpoint consumes its own token without re-opening the wire.
+    pub fn deliver_opened(
+        &mut self,
+        parties: &mut [Party<'_>],
+        now: Millis,
+        from: Addr,
+        to: Addr,
+        opened: Opened,
+        events: &mut Vec<SessionEvent>,
+    ) -> bool {
+        if let Some(p) = parties.iter_mut().find(|p| p.addr == to) {
+            p.endpoint.receive_opened(now, from, opened, events);
             true
         } else {
             false

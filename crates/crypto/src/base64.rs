@@ -125,7 +125,7 @@ impl std::fmt::Display for Base64Key {
 impl std::fmt::Debug for Base64Key {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material in logs.
-        f.write_str("Base64Key {{ .. }}")
+        f.write_str("Base64Key { .. }")
     }
 }
 

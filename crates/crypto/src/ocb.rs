@@ -8,8 +8,15 @@
 //!
 //! The implementation follows the RFC's pseudocode closely; the unit tests
 //! check every published RFC 7253 sample vector for this parameter set.
+//!
+//! Two API shapes cover the same algorithm: [`Ocb::seal`]/[`Ocb::open`]
+//! allocate their output, while [`Ocb::seal_into`]/[`Ocb::open_into`]
+//! append into a caller-supplied buffer — the per-datagram hot path reuses
+//! one buffer across packets and never touches the heap. The allocating
+//! variants are thin wrappers over the `_into` ones, so the RFC vectors
+//! (and a property test) pin both.
 
-use crate::aes::{Aes128, Block};
+use crate::aes::{Aes128, Block, BlockCipher};
 use crate::CryptoError;
 
 /// OCB3 tag length in bytes (TAGLEN128 parameter set).
@@ -18,11 +25,7 @@ pub const TAG_LEN: usize = 16;
 /// XOR two blocks.
 #[inline]
 fn xor(a: &Block, b: &Block) -> Block {
-    let mut out = [0u8; 16];
-    for i in 0..16 {
-        out[i] = a[i] ^ b[i];
-    }
-    out
+    (u128::from_ne_bytes(*a) ^ u128::from_ne_bytes(*b)).to_ne_bytes()
 }
 
 /// Doubling in GF(2^128) per RFC 7253 §2: shift left one bit and reduce.
@@ -46,6 +49,10 @@ fn ntz(i: u64) -> usize {
 
 /// An OCB3 encryption/decryption context bound to one AES-128 key.
 ///
+/// Generic over the [`BlockCipher`] seam so the `crypto_ops` bench can
+/// instantiate the same mode over `aes::baseline::Aes128` and measure the
+/// T-table speedup; everything else uses the default (fast) cipher.
+///
 /// # Examples
 ///
 /// ```
@@ -58,8 +65,8 @@ fn ntz(i: u64) -> usize {
 /// assert_eq!(pt, b"secret payload");
 /// ```
 #[derive(Clone)]
-pub struct Ocb {
-    aes: Aes128,
+pub struct Ocb<C: BlockCipher = Aes128> {
+    aes: C,
     /// `L_*` in the RFC: `E_K(0^128)`.
     l_star: Block,
     /// `L_$`: `double(L_*)`.
@@ -69,17 +76,24 @@ pub struct Ocb {
     l: Vec<Block>,
 }
 
-impl std::fmt::Debug for Ocb {
+impl<C: BlockCipher> std::fmt::Debug for Ocb<C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key-derived material.
-        f.write_str("Ocb {{ .. }}")
+        f.write_str("Ocb { .. }")
     }
 }
 
 impl Ocb {
-    /// Creates a context from a 128-bit key.
+    /// Creates a context from a 128-bit key (over the fast T-table AES).
     pub fn new(key: &[u8; 16]) -> Self {
-        let aes = Aes128::new(key);
+        Ocb::with_cipher(key)
+    }
+}
+
+impl<C: BlockCipher> Ocb<C> {
+    /// Creates a context from a 128-bit key over block cipher `C`.
+    pub fn with_cipher(key: &[u8; 16]) -> Self {
+        let aes = C::new(key);
         let l_star = aes.encrypt_block(&[0u8; 16]);
         let l_dollar = double(&l_star);
         let mut l = Vec::with_capacity(40);
@@ -106,14 +120,13 @@ impl Ocb {
     fn hash(&self, ad: &[u8]) -> Block {
         let mut sum = [0u8; 16];
         let mut offset = [0u8; 16];
-        let full = ad.len() / 16;
-        for i in 0..full {
+        let mut chunks = ad.chunks_exact(16);
+        for (i, chunk) in chunks.by_ref().enumerate() {
             offset = xor(&offset, self.l_at((i + 1) as u64));
-            let mut block = [0u8; 16];
-            block.copy_from_slice(&ad[16 * i..16 * i + 16]);
+            let block: Block = chunk.try_into().expect("exact chunk");
             sum = xor(&sum, &self.aes.encrypt_block(&xor(&block, &offset)));
         }
-        let rest = &ad[16 * full..];
+        let rest = chunks.remainder();
         if !rest.is_empty() {
             offset = xor(&offset, &self.l_star);
             let mut block = [0u8; 16];
@@ -161,25 +174,24 @@ impl Ocb {
         offset
     }
 
-    /// Encrypts and authenticates `plaintext` with `ad` as associated data.
-    ///
-    /// Returns `ciphertext || tag`; the output is exactly
-    /// `plaintext.len() + TAG_LEN` bytes.
-    pub fn seal(&self, nonce: &[u8], ad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    /// Encrypts and authenticates `plaintext` with `ad` as associated data,
+    /// **appending** `ciphertext || tag` (exactly `plaintext.len() +
+    /// TAG_LEN` bytes) to `out`. Never allocates beyond growing `out`, so
+    /// a reused buffer makes steady-state sealing allocation-free.
+    pub fn seal_into(&self, nonce: &[u8], ad: &[u8], plaintext: &[u8], out: &mut Vec<u8>) {
+        out.reserve(plaintext.len() + TAG_LEN);
         let mut offset = self.initial_offset(nonce);
         let mut checksum = [0u8; 16];
-        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
 
-        let full = plaintext.len() / 16;
-        for i in 0..full {
-            let mut block = [0u8; 16];
-            block.copy_from_slice(&plaintext[16 * i..16 * i + 16]);
+        let mut chunks = plaintext.chunks_exact(16);
+        for (i, chunk) in chunks.by_ref().enumerate() {
+            let block: Block = chunk.try_into().expect("exact chunk");
             offset = xor(&offset, self.l_at((i + 1) as u64));
             let c = xor(&offset, &self.aes.encrypt_block(&xor(&block, &offset)));
             out.extend_from_slice(&c);
             checksum = xor(&checksum, &block);
         }
-        let rest = &plaintext[16 * full..];
+        let rest = chunks.remainder();
         if !rest.is_empty() {
             offset = xor(&offset, &self.l_star);
             let pad = self.aes.encrypt_block(&offset);
@@ -195,42 +207,58 @@ impl Ocb {
         let tag_body = xor(&xor(&checksum, &offset), &self.l_dollar);
         let tag = xor(&self.aes.encrypt_block(&tag_body), &self.hash(ad));
         out.extend_from_slice(&tag);
+    }
+
+    /// Encrypts and authenticates `plaintext` with `ad` as associated data.
+    ///
+    /// Returns `ciphertext || tag`; the output is exactly
+    /// `plaintext.len() + TAG_LEN` bytes. Thin allocating wrapper over
+    /// [`Ocb::seal_into`].
+    pub fn seal(&self, nonce: &[u8], ad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        self.seal_into(nonce, ad, plaintext, &mut out);
         out
     }
 
-    /// Verifies and decrypts `ciphertext || tag`.
-    ///
-    /// Returns [`CryptoError::BadTag`] if authentication fails, in which case
-    /// no plaintext is released.
-    pub fn open(&self, nonce: &[u8], ad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    /// Verifies and decrypts `ciphertext || tag`, **appending** the
+    /// plaintext to `out`. On any failure `out` is restored to its
+    /// original length — no unauthenticated plaintext is ever released.
+    /// Never allocates beyond growing `out`.
+    pub fn open_into(
+        &self,
+        nonce: &[u8],
+        ad: &[u8],
+        sealed: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CryptoError> {
+        let start = out.len();
         if sealed.len() < TAG_LEN {
             return Err(CryptoError::Truncated);
         }
         let (ciphertext, received_tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        out.reserve(ciphertext.len());
 
         let mut offset = self.initial_offset(nonce);
         let mut checksum = [0u8; 16];
-        let mut out = Vec::with_capacity(ciphertext.len());
 
-        let full = ciphertext.len() / 16;
-        for i in 0..full {
-            let mut block = [0u8; 16];
-            block.copy_from_slice(&ciphertext[16 * i..16 * i + 16]);
+        let mut chunks = ciphertext.chunks_exact(16);
+        for (i, chunk) in chunks.by_ref().enumerate() {
+            let block: Block = chunk.try_into().expect("exact chunk");
             offset = xor(&offset, self.l_at((i + 1) as u64));
             let p = xor(&offset, &self.aes.decrypt_block(&xor(&block, &offset)));
             out.extend_from_slice(&p);
             checksum = xor(&checksum, &p);
         }
-        let rest = &ciphertext[16 * full..];
+        let rest = chunks.remainder();
         if !rest.is_empty() {
             offset = xor(&offset, &self.l_star);
             let pad = self.aes.encrypt_block(&offset);
-            let start = out.len();
+            let partial = out.len();
             for (i, &c) in rest.iter().enumerate() {
                 out.push(c ^ pad[i]);
             }
             let mut block = [0u8; 16];
-            block[..rest.len()].copy_from_slice(&out[start..]);
+            block[..rest.len()].copy_from_slice(&out[partial..]);
             block[rest.len()] = 0x80;
             checksum = xor(&checksum, &block);
         }
@@ -244,8 +272,20 @@ impl Ocb {
             diff |= a ^ b;
         }
         if diff != 0 {
+            out.truncate(start);
             return Err(CryptoError::BadTag);
         }
+        Ok(())
+    }
+
+    /// Verifies and decrypts `ciphertext || tag`.
+    ///
+    /// Returns [`CryptoError::BadTag`] if authentication fails, in which case
+    /// no plaintext is released. Thin allocating wrapper over
+    /// [`Ocb::open_into`].
+    pub fn open(&self, nonce: &[u8], ad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let mut out = Vec::with_capacity(sealed.len().saturating_sub(TAG_LEN));
+        self.open_into(nonce, ad, sealed, &mut out)?;
         Ok(out)
     }
 }
@@ -277,6 +317,26 @@ mod tests {
         assert_eq!(sealed, expected, "seal mismatch for nonce {nonce_hex}");
         let opened = ocb.open(&nonce, &ad, &sealed).expect("tag must verify");
         assert_eq!(opened, pt, "open mismatch for nonce {nonce_hex}");
+
+        // The _into variants are the same algorithm: byte-identical
+        // output through a reused, pre-populated buffer (append
+        // semantics preserved).
+        let mut buf = b"prefix".to_vec();
+        ocb.seal_into(&nonce, &ad, &pt, &mut buf);
+        assert_eq!(&buf[..6], b"prefix");
+        assert_eq!(&buf[6..], &expected[..], "seal_into mismatch");
+        let mut buf = b"pre".to_vec();
+        ocb.open_into(&nonce, &ad, &sealed, &mut buf)
+            .expect("tag must verify via open_into");
+        assert_eq!(&buf[..3], b"pre");
+        assert_eq!(&buf[3..], &pt[..], "open_into mismatch");
+
+        // And the byte-oriented baseline cipher produces the same wire
+        // bytes (the mode is cipher-agnostic; only speed differs).
+        let key: [u8; 16] = hex("000102030405060708090A0B0C0D0E0F").try_into().unwrap();
+        let slow: Ocb<crate::aes::baseline::Aes128> = Ocb::with_cipher(&key);
+        assert_eq!(slow.seal(&nonce, &ad, &pt), expected);
+        assert_eq!(slow.open(&nonce, &ad, &sealed).unwrap(), pt);
     }
 
     #[test]
@@ -393,6 +453,22 @@ mod tests {
             ocb.open(&[1u8; 12], b"", b"short"),
             Err(CryptoError::Truncated)
         );
+    }
+
+    #[test]
+    fn open_into_releases_nothing_on_failure() {
+        // A tampered message must leave the caller's buffer exactly as it
+        // was — not even a prefix of the bogus plaintext appended.
+        let ocb = rfc_ocb();
+        let nonce = [9u8; 12];
+        let mut sealed = ocb.seal(&nonce, b"", b"twenty-nine bytes of payload!");
+        sealed[5] ^= 0x10;
+        let mut out = b"kept".to_vec();
+        assert_eq!(
+            ocb.open_into(&nonce, b"", &sealed, &mut out),
+            Err(CryptoError::BadTag)
+        );
+        assert_eq!(out, b"kept");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::base64::Base64Key;
 use crate::ocb::{Ocb, TAG_LEN};
 use crate::CryptoError;
+use std::cell::Cell;
 
 /// Which way a datagram travels. The bit prevents reflection attacks: a
 /// receiver only accepts packets stamped with the *other* direction.
@@ -83,6 +84,16 @@ pub struct Session {
     ocb: Ocb,
     direction: Direction,
     next_seq: u64,
+    /// OCB open attempts (successful or not) performed by this endpoint —
+    /// the decrypt-once instrumentation: a multi-session hub must cost
+    /// exactly one of these per delivered datagram, even when the receive
+    /// address is ambiguous and the datagram was first opened to decide
+    /// which session owns it.
+    decrypt_ops: Cell<u64>,
+    /// Reusable plaintext buffer, lent out via [`Session::take_scratch`]
+    /// and returned via [`Session::recycle_scratch`], so the steady-state
+    /// per-datagram path does zero heap allocation.
+    scratch: Vec<u8>,
 }
 
 impl Session {
@@ -92,6 +103,8 @@ impl Session {
             ocb: Ocb::new(key.as_bytes()),
             direction,
             next_seq: 0,
+            decrypt_ops: Cell::new(0),
+            scratch: Vec::new(),
         }
     }
 
@@ -103,6 +116,30 @@ impl Session {
     /// The sequence number the next outgoing datagram will carry.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Number of OCB open attempts this endpoint has performed, successful
+    /// or not (truncated datagrams never reach OCB and are not counted).
+    /// Instrumentation for the decrypt-once receive pipeline.
+    pub fn decrypt_count(&self) -> u64 {
+        self.decrypt_ops.get()
+    }
+
+    /// Lends out the reusable plaintext buffer (empty, but with its
+    /// accumulated capacity). Pair with [`Session::recycle_scratch`] so
+    /// the steady-state receive path never allocates.
+    pub fn take_scratch(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.scratch)
+    }
+
+    /// Returns a buffer taken with [`Session::take_scratch`] (any buffer,
+    /// really) for reuse by later datagrams. Contents are discarded; the
+    /// larger capacity wins.
+    pub fn recycle_scratch(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        if buf.capacity() > self.scratch.capacity() {
+            self.scratch = buf;
+        }
     }
 
     /// Builds the 12-byte OCB nonce for a direction+sequence pair.
@@ -119,33 +156,60 @@ impl Session {
     /// Panics if the session has exhausted its 2^63 sequence numbers; callers
     /// must rekey long before this (Mosh sessions never approach it).
     pub fn encrypt(&mut self, payload: &[u8]) -> Vec<u8> {
+        let mut wire = Vec::new();
+        self.encrypt_into(payload, &mut wire);
+        wire
+    }
+
+    /// Encrypts a payload into `wire` (cleared first), consuming one
+    /// sequence number. Identical bytes to [`Session::encrypt`], but the
+    /// caller controls the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has exhausted its 2^63 sequence numbers.
+    pub fn encrypt_into(&mut self, payload: &[u8], wire: &mut Vec<u8>) {
         assert!(self.next_seq <= MAX_SEQ, "sequence number space exhausted");
         let dir_seq = self.direction.bit() | self.next_seq;
         self.next_seq += 1;
-        let mut wire = Vec::with_capacity(8 + payload.len() + TAG_LEN);
+        wire.clear();
+        wire.reserve(8 + payload.len() + TAG_LEN);
         wire.extend_from_slice(&dir_seq.to_be_bytes());
-        wire.extend_from_slice(&self.ocb.seal(&Self::nonce(dir_seq), &[], payload));
-        wire
+        self.ocb
+            .seal_into(&Self::nonce(dir_seq), &[], payload, wire);
     }
 
     /// Authenticates and decrypts a wire datagram from the peer.
     ///
     /// Returns the peer's sequence number and payload. Fails if the packet is
-    /// truncated, fails its tag, or carries our own direction bit.
+    /// truncated, fails its tag, or carries our own direction bit. Thin
+    /// allocating wrapper over [`Session::decrypt_into`].
     pub fn decrypt(&self, wire: &[u8]) -> Result<Message, CryptoError> {
+        let mut payload = Vec::new();
+        let seq = self.decrypt_into(wire, &mut payload)?;
+        Ok(Message { seq, payload })
+    }
+
+    /// Authenticates and decrypts a wire datagram into `payload` (cleared
+    /// first), returning the peer's sequence number. On any failure the
+    /// buffer is left empty — no unauthenticated plaintext is released.
+    /// With a recycled buffer (see [`Session::take_scratch`]) this is the
+    /// zero-allocation receive path.
+    pub fn decrypt_into(&self, wire: &[u8], payload: &mut Vec<u8>) -> Result<u64, CryptoError> {
+        payload.clear();
         if wire.len() < 8 + TAG_LEN {
             return Err(CryptoError::Truncated);
         }
+        self.decrypt_ops.set(self.decrypt_ops.get() + 1);
         let dir_seq = u64::from_be_bytes(wire[..8].try_into().expect("length checked"));
-        let payload = self.ocb.open(&Self::nonce(dir_seq), &[], &wire[8..])?;
+        self.ocb
+            .open_into(&Self::nonce(dir_seq), &[], &wire[8..], payload)?;
         // Authentic — now enforce that it came from the other side.
         if dir_seq & (1 << 63) != self.direction.opposite().bit() {
+            payload.clear();
             return Err(CryptoError::BadDirection);
         }
-        Ok(Message {
-            seq: dir_seq & MAX_SEQ,
-            payload,
-        })
+        Ok(dir_seq & MAX_SEQ)
     }
 }
 
@@ -231,5 +295,76 @@ mod tests {
         let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
         let wire = client.encrypt(&payload);
         assert_eq!(server.decrypt(&wire).unwrap().payload, payload);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        let (mut a, _) = pair();
+        let (mut b, server) = pair();
+        let mut wire = Vec::new();
+        let mut payload = Vec::new();
+        for msg in [&b"x"[..], b"", b"a longer payload spanning blocks....."] {
+            // Same seq stream on both sessions -> byte-identical wires.
+            let allocating = a.encrypt(msg);
+            b.encrypt_into(msg, &mut wire);
+            assert_eq!(wire, allocating);
+            let seq = server.decrypt_into(&wire, &mut payload).unwrap();
+            let message = server.decrypt(&wire).unwrap();
+            assert_eq!(seq, message.seq);
+            assert_eq!(payload, message.payload);
+        }
+    }
+
+    #[test]
+    fn decrypt_into_leaves_buffer_empty_on_failure() {
+        let (mut client, server) = pair();
+        let mut wire = client.encrypt(b"secret");
+        wire[10] ^= 1;
+        let mut payload = b"stale".to_vec();
+        assert_eq!(
+            server.decrypt_into(&wire, &mut payload),
+            Err(CryptoError::BadTag)
+        );
+        assert!(payload.is_empty());
+        // Reflection: authenticates, then fails the direction check —
+        // plaintext still withheld.
+        let wire = client.encrypt(b"boomerang");
+        let mut payload = b"stale".to_vec();
+        assert_eq!(
+            client.decrypt_into(&wire, &mut payload),
+            Err(CryptoError::BadDirection)
+        );
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn decrypt_count_tracks_ocb_opens_only() {
+        let (mut client, server) = pair();
+        assert_eq!(server.decrypt_count(), 0);
+        let wire = client.encrypt(b"one");
+        server.decrypt(&wire).unwrap();
+        assert_eq!(server.decrypt_count(), 1);
+        // Truncated datagrams never reach OCB: not counted.
+        assert_eq!(server.decrypt(&[0u8; 7]), Err(CryptoError::Truncated));
+        assert_eq!(server.decrypt_count(), 1);
+        // Failed tag checks are still OCB work: counted.
+        let mut bad = client.encrypt(b"two");
+        bad[12] ^= 0xff;
+        assert!(server.decrypt(&bad).is_err());
+        assert_eq!(server.decrypt_count(), 2);
+    }
+
+    #[test]
+    fn scratch_buffer_recycles_capacity() {
+        let (mut client, mut server) = pair();
+        let wire = client.encrypt(&[0xcd; 600]);
+        let mut buf = server.take_scratch();
+        server.decrypt_into(&wire, &mut buf).unwrap();
+        assert_eq!(buf.len(), 600);
+        let cap = buf.capacity();
+        server.recycle_scratch(buf);
+        let reused = server.take_scratch();
+        assert!(reused.is_empty());
+        assert_eq!(reused.capacity(), cap, "capacity survives the round trip");
     }
 }

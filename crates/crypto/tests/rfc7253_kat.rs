@@ -3,11 +3,14 @@
 //! Round-trip properties (see `proptests.rs`) can pass with a wrong-but-
 //! self-consistent cipher; these golden vectors cannot:
 //!
-//! * AES-128 against the FIPS 197 Appendix C.1 example.
+//! * AES-128 against the FIPS 197 Appendix C.1 example — both the
+//!   T-table hot path and the byte-oriented `baseline` reference.
 //! * AES-128-OCB-TAGLEN128 against every RFC 7253 Appendix A sample
-//!   vector, plus the RFC's iterative all-lengths self-test.
+//!   vector, plus the RFC's iterative all-lengths self-test. The
+//!   allocating `seal`/`open` are thin wrappers over the buffer-reusing
+//!   `seal_into`/`open_into`, and the vectors pin both shapes.
 
-use mosh_crypto::aes::Aes128;
+use mosh_crypto::aes::{baseline, Aes128};
 use mosh_crypto::ocb::Ocb;
 
 fn unhex(s: &str) -> Vec<u8> {
@@ -32,6 +35,9 @@ fn aes128_fips197_appendix_c1() {
     let aes = Aes128::new(&key);
     assert_eq!(aes.encrypt_block(&pt), ct);
     assert_eq!(aes.decrypt_block(&ct), pt);
+    let slow = baseline::Aes128::new(&key);
+    assert_eq!(slow.encrypt_block(&pt), ct);
+    assert_eq!(slow.decrypt_block(&ct), pt);
 }
 
 /// The sixteen AES-128-OCB-TAGLEN128 sample vectors from RFC 7253
@@ -166,6 +172,43 @@ fn ocb_rfc7253_sample_vectors_open() {
         assert!(
             ocb.open(&unhex(nonce), &unhex(ad), &tampered).is_err(),
             "tampered tag accepted for nonce {nonce}"
+        );
+    }
+}
+
+#[test]
+fn ocb_rfc7253_sample_vectors_into_variants_and_baseline_cipher() {
+    let key: [u8; 16] = unhex("000102030405060708090A0B0C0D0E0F")
+        .try_into()
+        .unwrap();
+    let ocb = Ocb::new(&key);
+    let slow: Ocb<baseline::Aes128> = Ocb::with_cipher(&key);
+    let mut sealed = Vec::new();
+    let mut opened = Vec::new();
+    for (nonce, ad, pt, expected) in RFC7253_VECTORS {
+        // The buffer-reusing hot-path variants hit every golden vector...
+        sealed.clear();
+        ocb.seal_into(&unhex(nonce), &unhex(ad), &unhex(pt), &mut sealed);
+        assert_eq!(
+            sealed,
+            unhex(expected),
+            "seal_into mismatch for nonce {nonce}"
+        );
+        opened.clear();
+        ocb.open_into(&unhex(nonce), &unhex(ad), &sealed, &mut opened)
+            .unwrap_or_else(|e| panic!("open_into failed for nonce {nonce}: {e:?}"));
+        assert_eq!(opened, unhex(pt), "open_into mismatch for nonce {nonce}");
+
+        // ...and so does OCB over the byte-oriented baseline cipher.
+        assert_eq!(
+            slow.seal(&unhex(nonce), &unhex(ad), &unhex(pt)),
+            unhex(expected),
+            "baseline seal mismatch for nonce {nonce}"
+        );
+        assert_eq!(
+            slow.open(&unhex(nonce), &unhex(ad), &sealed).unwrap(),
+            unhex(pt),
+            "baseline open mismatch for nonce {nonce}"
         );
     }
 }

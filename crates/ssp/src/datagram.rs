@@ -12,7 +12,6 @@
 //!   datagram arrives with a new-high sequence number.
 
 use crate::rtt::RttEstimator;
-use crate::wire::Reader;
 use crate::{Millis, SspError};
 use mosh_crypto::session::{Direction, Session};
 use mosh_crypto::Base64Key;
@@ -29,6 +28,29 @@ pub struct Received {
     /// roaming: the source address of such a packet becomes the new target).
     pub new_high: bool,
     /// Transport payload (a fragment).
+    pub payload: Vec<u8>,
+}
+
+/// A verified-and-decrypted datagram token: proof that one OCB pass
+/// already happened.
+///
+/// Produced by [`DatagramLayer::open`] (verification *without* consuming
+/// the datagram — no sequence, RTT, or timestamp state changes) and
+/// consumed by [`DatagramLayer::accept`], which does the bookkeeping the
+/// plaintext was opened for. A multi-session demultiplexer opens a
+/// datagram once to decide which session owns it, then hands the token to
+/// that session — the verification work is never thrown away, so an
+/// ambiguous-address datagram crosses AES-OCB exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Opened {
+    /// The sender's sequence number (direction bit already checked and
+    /// stripped).
+    pub seq: u64,
+    /// The full authenticated plaintext: `timestamp ‖ timestamp_reply ‖
+    /// transport payload`. Backed by the session's recycled scratch
+    /// buffer; [`DatagramLayer::accept`] shifts it in place into
+    /// [`Received::payload`], and [`DatagramLayer::recycle`] takes it
+    /// back once consumed.
     pub payload: Vec<u8>,
 }
 
@@ -77,10 +99,17 @@ impl DatagramLayer {
 
     /// True when `wire` authenticates under this session's key and
     /// direction, **without** consuming it: no sequence-number, RTT, or
-    /// timestamp state changes. Multi-session demultiplexers use this to
-    /// decide which session a datagram belongs to before delivering it.
+    /// timestamp state changes. Prefer [`DatagramLayer::open`] in a
+    /// demultiplexer — it returns the plaintext this verification already
+    /// paid for instead of discarding it.
     pub fn verify(&self, wire: &[u8]) -> bool {
         self.session.decrypt(wire).is_ok()
+    }
+
+    /// Number of OCB open attempts this layer has performed (successful
+    /// or not) — the decrypt-once instrumentation.
+    pub fn decrypt_count(&self) -> u64 {
+        self.session.decrypt_count()
     }
 
     /// Encrypts a transport payload into a wire datagram stamped `now`.
@@ -94,28 +123,64 @@ impl DatagramLayer {
                 (their_ts as u64).wrapping_add(held) as u16
             }
         };
-        let mut plain = Vec::with_capacity(4 + payload.len());
+        // Assemble the plaintext in the session's recycled scratch so the
+        // only allocation on this path is the returned wire itself.
+        let mut plain = self.session.take_scratch();
+        plain.reserve(4 + payload.len());
         plain.extend_from_slice(&ts.to_be_bytes());
         plain.extend_from_slice(&ts_reply.to_be_bytes());
         plain.extend_from_slice(payload);
-        self.session.encrypt(&plain)
+        let mut wire = Vec::new();
+        self.session.encrypt_into(&plain, &mut wire);
+        self.session.recycle_scratch(plain);
+        wire
     }
 
-    /// Authenticates and decodes a wire datagram received at `now`,
-    /// feeding the RTT estimator from any echoed timestamp.
-    pub fn decode(&mut self, now: Millis, wire: &[u8]) -> Result<Received, SspError> {
-        let msg = self.session.decrypt(wire).map_err(SspError::Crypto)?;
-        let mut r = Reader::new(&msg.payload);
-        let ts = r.u16()?;
-        let ts_reply = r.u16()?;
-        let payload = r.take(r.remaining())?.to_vec();
+    /// Authenticates and decrypts a wire datagram **without** consuming
+    /// it: no sequence-number, RTT, or timestamp state changes — the
+    /// non-mutating verification a demultiplexer runs on candidate
+    /// sessions, except the plaintext is kept instead of discarded. Hand
+    /// the token to [`DatagramLayer::accept`] (on this same layer) to
+    /// actually consume the datagram.
+    pub fn open(&mut self, wire: &[u8]) -> Result<Opened, SspError> {
+        let mut buf = self.session.take_scratch();
+        match self.session.decrypt_into(wire, &mut buf) {
+            Ok(seq) => Ok(Opened { seq, payload: buf }),
+            Err(e) => {
+                self.session.recycle_scratch(buf);
+                Err(SspError::Crypto(e))
+            }
+        }
+    }
+
+    /// Consumes an already-opened datagram at `now`: parses the
+    /// timestamps, feeds the RTT estimator, and advances the new-high
+    /// bookkeeping — everything [`DatagramLayer::decode`] does after its
+    /// decrypt. The token's own buffer becomes [`Received::payload`]
+    /// (shifted in place, no allocation); hand it back via
+    /// [`DatagramLayer::recycle`] once consumed and the steady-state
+    /// receive path never touches the heap.
+    pub fn accept(&mut self, now: Millis, opened: Opened) -> Result<Received, SspError> {
+        let Opened {
+            seq,
+            payload: mut buf,
+        } = opened;
+        if buf.len() < 4 {
+            self.session.recycle_scratch(buf);
+            return Err(SspError::Malformed);
+        }
+        let ts = u16::from_be_bytes([buf[0], buf[1]]);
+        let ts_reply = u16::from_be_bytes([buf[2], buf[3]]);
+        buf.copy_within(4.., 0);
+        buf.truncate(buf.len() - 4);
+        let payload = buf;
 
         let new_high = match self.max_seq_seen {
             None => true,
-            Some(max) => msg.seq > max,
+            Some(max) => seq > max,
         };
         if new_high {
-            self.max_seq_seen = Some(msg.seq);
+            self.max_seq_seen = Some(seq);
             // Only new-high packets update the saved timestamp: echoing a
             // stale reordered timestamp would inflate the peer's estimate.
             self.saved_timestamp = Some((ts, now));
@@ -128,10 +193,25 @@ impl DatagramLayer {
         }
 
         Ok(Received {
-            seq: msg.seq,
+            seq,
             new_high,
             payload,
         })
+    }
+
+    /// Authenticates and decodes a wire datagram received at `now`,
+    /// feeding the RTT estimator from any echoed timestamp. Exactly
+    /// [`DatagramLayer::open`] followed by [`DatagramLayer::accept`].
+    pub fn decode(&mut self, now: Millis, wire: &[u8]) -> Result<Received, SspError> {
+        let opened = self.open(wire)?;
+        self.accept(now, opened)
+    }
+
+    /// Returns a consumed [`Received::payload`] buffer to the scratch
+    /// pool, closing the zero-allocation loop: open → accept → consume →
+    /// recycle.
+    pub fn recycle(&mut self, buf: Vec<u8>) {
+        self.session.recycle_scratch(buf);
     }
 }
 
@@ -221,6 +301,63 @@ mod tests {
         let reply = server.encode(t0 + 5, b"pong");
         client.decode(t0 + 10, &reply).unwrap();
         assert_eq!(client.srtt(), 10.0);
+    }
+
+    #[test]
+    fn open_then_accept_equals_decode() {
+        let (mut client, mut server_a) = pair();
+        let (_, mut server_b) = pair();
+        let w0 = client.encode(0, b"first");
+        let w1 = client.encode(5, b"second");
+        // One server decodes directly; its twin goes through the split
+        // open/accept pipeline. Identical results, identical RTT state.
+        let direct0 = server_a.decode(10, &w0).unwrap();
+        let opened0 = server_b.open(&w0).unwrap();
+        assert_eq!(opened0.seq, 0);
+        let split0 = server_b.accept(10, opened0).unwrap();
+        assert_eq!(direct0, split0);
+        let direct1 = server_a.decode(12, &w1).unwrap();
+        let split1 = {
+            let opened = server_b.open(&w1).unwrap();
+            server_b.accept(12, opened).unwrap()
+        };
+        assert_eq!(direct1, split1);
+        assert_eq!(server_a.max_seq_seen(), server_b.max_seq_seen());
+        assert_eq!(server_a.srtt(), server_b.srtt());
+    }
+
+    #[test]
+    fn open_does_not_consume_the_datagram() {
+        let (mut client, mut server) = pair();
+        let w_old = client.encode(0, b"old"); // seq 0
+        let w_new = client.encode(100, b"new"); // seq 1
+        server.decode(10, &w_old).unwrap();
+        let before = (server.max_seq_seen(), server.srtt());
+        // Opening (even repeatedly, even of a would-be-new-high packet)
+        // changes no sequence, RTT, or timestamp state.
+        for _ in 0..3 {
+            let opened = server.open(&w_new).unwrap();
+            assert_eq!(opened.seq, 1);
+            assert_eq!(&opened.payload[4..], b"new");
+        }
+        assert_eq!((server.max_seq_seen(), server.srtt()), before);
+        // Rejected wires recycle their buffer and report the crypto error.
+        let mut bad = w_new.clone();
+        bad[9] ^= 1;
+        assert!(server.open(&bad).is_err());
+        assert_eq!((server.max_seq_seen(), server.srtt()), before);
+    }
+
+    #[test]
+    fn decrypt_count_counts_every_ocb_pass() {
+        let (mut client, mut server) = pair();
+        let w = client.encode(0, b"x");
+        assert_eq!(server.decrypt_count(), 0);
+        assert!(server.verify(&w));
+        let opened = server.open(&w).unwrap();
+        server.accept(1, opened).unwrap();
+        // verify + open each cost one OCB pass; accept costs none.
+        assert_eq!(server.decrypt_count(), 2);
     }
 
     #[test]

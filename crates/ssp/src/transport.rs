@@ -8,7 +8,7 @@
 //! the same state machine runs under the discrete-event simulator and the
 //! live UDP adapter.
 
-use crate::datagram::DatagramLayer;
+use crate::datagram::{DatagramLayer, Opened};
 use crate::fragment::{fragment, Fragment, FragmentAssembly, FRAGMENT_PAYLOAD};
 use crate::instruction::{Instruction, PROTOCOL_VERSION};
 use crate::receiver::{Receiver, ReceiverStats};
@@ -205,13 +205,45 @@ impl<L: SyncState, R: SyncState> Transport<L, R> {
     /// the paper's §2.2 roaming rule generalized to many sessions behind
     /// one socket: when source addresses collide, *only* cryptographic
     /// authentication decides which session a datagram belongs to.
+    /// Prefer [`Transport::open`] in a demultiplexer: it keeps the
+    /// plaintext this verification already paid for.
     pub fn authenticates(&self, wire: &[u8]) -> bool {
         self.datagram.verify(wire)
     }
 
+    /// Number of OCB open attempts this endpoint has performed,
+    /// successful or not (decrypt-once instrumentation).
+    pub fn decrypt_count(&self) -> u64 {
+        self.datagram.decrypt_count()
+    }
+
+    /// Authenticates and decrypts `wire` **without** consuming it: no
+    /// transport, sequence, RTT, or counter state changes (a failed open
+    /// here is a demux probe, not line noise — it is not counted as a
+    /// rejected datagram). On success, pass the token to
+    /// [`Transport::recv_opened`] to consume the datagram without a
+    /// second decrypt.
+    pub fn open(&mut self, wire: &[u8]) -> Result<Opened, SspError> {
+        self.datagram.open(wire)
+    }
+
     /// Consumes one wire datagram received at `now`.
     pub fn receive(&mut self, now: Millis, wire: &[u8]) -> Result<ReceiveEvent, SspError> {
-        let received = match self.datagram.decode(now, wire) {
+        match self.datagram.open(wire) {
+            Ok(opened) => self.recv_opened(now, opened),
+            Err(e) => {
+                self.stats.datagrams_rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Consumes an already-opened datagram at `now` — the second half of
+    /// the decrypt-once receive path. Identical behavior (state, stats,
+    /// events) to [`Transport::receive`] of the original wire, minus the
+    /// duplicate OCB pass.
+    pub fn recv_opened(&mut self, now: Millis, opened: Opened) -> Result<ReceiveEvent, SspError> {
+        let received = match self.datagram.accept(now, opened) {
             Ok(r) => r,
             Err(e) => {
                 self.stats.datagrams_rejected += 1;
@@ -226,7 +258,11 @@ impl<L: SyncState, R: SyncState> Transport<L, R> {
             remote_advanced: false,
         };
 
-        let Some(payload) = self.assembly.add(Fragment::decode(&received.payload)?) else {
+        // The fragment copies what it needs; the payload buffer goes back
+        // to the scratch pool (the zero-allocation receive loop).
+        let fragment = Fragment::decode(&received.payload);
+        self.datagram.recycle(received.payload);
+        let Some(payload) = self.assembly.add(fragment?) else {
             return Ok(event);
         };
         let instruction = Instruction::decode(&payload)?;

@@ -59,6 +59,23 @@ impl<E: Endpoint> Endpoint for Recorder<E> {
     fn authenticates(&self, wire: &[u8]) -> bool {
         self.inner.authenticates(wire)
     }
+
+    fn try_open(&mut self, wire: &[u8]) -> Option<mosh::ssp::datagram::Opened> {
+        self.inner.try_open(wire)
+    }
+
+    fn receive_opened(
+        &mut self,
+        now: u64,
+        from: Addr,
+        opened: mosh::ssp::datagram::Opened,
+        events: &mut Vec<SessionEvent>,
+    ) {
+        // Only reachable through an ambiguous-address demux; the suites
+        // here give every endpoint a unique receive address, so raw-wire
+        // `receive` keeps doing the transcript logging.
+        self.inner.receive_opened(now, from, opened, events);
+    }
 }
 
 const C: Addr = Addr::new(1, 1000);

@@ -1,0 +1,343 @@
+//! The decrypt-once acceptance bar: an ambiguous-address datagram through
+//! the hub demux crosses AES-OCB **exactly once** — the authenticating
+//! routing probe *is* the delivery decrypt — while per-session behavior
+//! stays byte-identical to dedicated `SessionLoop`s.
+//!
+//! Two full Mosh sessions share one emulated world and one server receive
+//! address (the shape of hundreds of sessions behind one UDP socket), so
+//! every client→server datagram is ambiguous by address and must be
+//! routed by cryptographic authentication. Before the decrypt-once
+//! pipeline, each such datagram cost two OCB passes (a verification
+//! decrypt whose plaintext was thrown away, then the delivery decrypt);
+//! the per-endpoint `decrypt_count` instrumentation proves it now costs
+//! one. Adversarial injections at the end pin the hub's dropped-counter
+//! on wires that authenticate to no session.
+
+use mosh::core::{
+    Endpoint, HubSession, LineShell, MoshClient, MoshServer, Party, ServerHub, SessionEvent,
+    SessionId, SessionLoop,
+};
+use mosh::crypto::Base64Key;
+use mosh::net::{Addr, LinkConfig, Network, Poller, Side, SimChannel, SimPoller};
+use mosh::prediction::DisplayPreference;
+use mosh::ssp::datagram::Opened;
+
+/// One wire-level action: (virtual time, 's'end or 'r'eceive, peer, bytes).
+type Transcript = Vec<(u64, u8, Addr, Vec<u8>)>;
+
+/// Records raw wire traffic around an endpoint. Receives that arrive as
+/// already-opened tokens (the ambiguous-address path) are not logged —
+/// identity for those endpoints is asserted over their *send* transcript,
+/// which pins their entire observable schedule.
+struct Recorder<E> {
+    inner: E,
+    log: Transcript,
+}
+
+impl<E> Recorder<E> {
+    fn new(inner: E) -> Self {
+        Recorder {
+            inner,
+            log: Vec::new(),
+        }
+    }
+
+    fn sends(&self) -> Transcript {
+        self.log
+            .iter()
+            .filter(|(_, kind, _, _)| *kind == b's')
+            .cloned()
+            .collect()
+    }
+}
+
+impl<E: Endpoint> Endpoint for Recorder<E> {
+    fn receive(&mut self, now: u64, from: Addr, wire: &[u8], events: &mut Vec<SessionEvent>) {
+        self.log.push((now, b'r', from, wire.to_vec()));
+        self.inner.receive(now, from, wire, events);
+    }
+
+    fn tick(&mut self, now: u64, out: &mut Vec<(Addr, Vec<u8>)>, events: &mut Vec<SessionEvent>) {
+        let start = out.len();
+        self.inner.tick(now, out, events);
+        for (to, wire) in &out[start..] {
+            self.log.push((now, b's', *to, wire.clone()));
+        }
+    }
+
+    fn next_wakeup(&self, now: u64) -> u64 {
+        self.inner.next_wakeup(now)
+    }
+
+    fn last_heard(&self) -> Option<u64> {
+        self.inner.last_heard()
+    }
+
+    fn authenticates(&self, wire: &[u8]) -> bool {
+        self.inner.authenticates(wire)
+    }
+
+    fn try_open(&mut self, wire: &[u8]) -> Option<Opened> {
+        self.inner.try_open(wire)
+    }
+
+    fn receive_opened(
+        &mut self,
+        now: u64,
+        from: Addr,
+        opened: Opened,
+        events: &mut Vec<SessionEvent>,
+    ) {
+        self.inner.receive_opened(now, from, opened, events);
+    }
+}
+
+/// Client addresses are distinct; the server address is shared — every
+/// inbound server-side datagram is ambiguous.
+const CLIENTS: [Addr; 2] = [Addr::new(1, 1000), Addr::new(3, 3000)];
+const S: Addr = Addr::new(2, 60001);
+const END: u64 = 9000;
+
+fn key(i: usize) -> Base64Key {
+    Base64Key::from_bytes([0x40 + i as u8; 16])
+}
+
+fn endpoints(i: usize) -> (MoshClient, MoshServer) {
+    (
+        MoshClient::new(key(i), S, 80, 24, DisplayPreference::Never),
+        MoshServer::new(key(i), Box::new(LineShell::new())),
+    )
+}
+
+/// Per-session keystroke script, staggered so the sessions interleave.
+fn script(i: usize) -> Vec<(u64, u8)> {
+    vec![
+        (500 + 37 * i as u64, b'a' + i as u8),
+        (1100 + 53 * i as u64, b'z' - i as u8),
+    ]
+}
+
+/// The dedicated-loop reference: session `i` alone in its own world (lan
+/// links consume no randomness, so per-datagram delivery is independent
+/// of any neighbor — the solo schedule IS the shared-world schedule).
+fn dedicated_run(i: usize) -> (Transcript, Transcript, String) {
+    let mut net = Network::new(LinkConfig::lan(), LinkConfig::lan(), 99);
+    net.register(CLIENTS[i], Side::Client);
+    net.register(S, Side::Server);
+    let (client, server) = endpoints(i);
+    let mut client = Recorder::new(client);
+    let mut server = Recorder::new(server);
+    let mut sl = SessionLoop::new(SimChannel::new(net));
+
+    for (at, byte) in script(i) {
+        sl.pump_until(
+            &mut [
+                Party::new(CLIENTS[i], &mut client),
+                Party::new(S, &mut server),
+            ],
+            at,
+        );
+        client.inner.keystroke(at, &[byte]);
+    }
+    sl.pump_until(
+        &mut [
+            Party::new(CLIENTS[i], &mut client),
+            Party::new(S, &mut server),
+        ],
+        END,
+    );
+    let screen = client.inner.server_frame().to_text();
+    (client.log, server.sends(), screen)
+}
+
+#[test]
+fn ambiguous_datagrams_are_decrypted_exactly_once_and_transcripts_match() {
+    // --- The hub run: both sessions behind ONE world and ONE server
+    // address, sharing a single poller source token.
+    let mut net = Network::new(LinkConfig::lan(), LinkConfig::lan(), 99);
+    net.register(CLIENTS[0], Side::Client);
+    net.register(CLIENTS[1], Side::Client);
+    net.register(S, Side::Server);
+    let mut hub = ServerHub::new(SimPoller::new());
+    let tok = hub.poller_mut().add(SimChannel::new(net));
+    let sids: Vec<SessionId> = (0..2).map(|_| hub.add_session(tok)).collect();
+
+    let mut recs: Vec<(Recorder<MoshClient>, Recorder<MoshServer>)> = (0..2)
+        .map(|i| {
+            let (c, s) = endpoints(i);
+            (Recorder::new(c), Recorder::new(s))
+        })
+        .collect();
+
+    let pump_all = |hub: &mut ServerHub<SimPoller>,
+                    recs: &mut Vec<(Recorder<MoshClient>, Recorder<MoshServer>)>,
+                    target: u64| {
+        let mut leases: Vec<[Party<'_>; 2]> = recs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, (c, s))| [Party::new(CLIENTS[i], c), Party::new(S, s)])
+            .collect();
+        let mut sessions: Vec<HubSession<'_, '_>> = leases
+            .iter_mut()
+            .zip(sids.iter())
+            .map(|(parties, sid)| HubSession::new(*sid, parties, target))
+            .collect();
+        hub.pump(&mut sessions);
+    };
+
+    // Interleave both sessions' keystroke instants into one pump plan.
+    let mut instants: Vec<(u64, usize, u8)> = Vec::new();
+    for i in 0..2 {
+        for (at, byte) in script(i) {
+            instants.push((at, i, byte));
+        }
+    }
+    instants.sort();
+    for (at, i, byte) in instants {
+        pump_all(&mut hub, &mut recs, at);
+        recs[i].0.inner.keystroke(at, &[byte]);
+    }
+    pump_all(&mut hub, &mut recs, END);
+
+    // --- Both sessions behaved: each echoed exactly its own keystrokes.
+    for (i, (client, server)) in recs.iter().enumerate() {
+        let expected = format!("$ {}{}", (b'a' + i as u8) as char, (b'z' - i as u8) as char);
+        assert_eq!(
+            client.inner.server_frame().row_text(0),
+            expected,
+            "session {i} echo"
+        );
+        assert_eq!(
+            server.inner.transport_stats().datagrams_rejected,
+            0,
+            "auth demux never fed session {i} a foreign datagram"
+        );
+    }
+    let stats = hub.stats();
+    assert_eq!(stats.dropped, 0, "no legitimate datagram was dropped");
+    assert!(
+        stats.auth_routed > 0,
+        "the shared server address forced authentication routing"
+    );
+
+    // --- THE decrypt-once bar. Every server-side datagram was ambiguous
+    // and auth-routed; the winner's routing probe is the only OCB pass it
+    // ever gets. The single extra decrypt is the one cold-hint miss (the
+    // first datagram from the second client is probed against session 0
+    // before session 1 claims it). The old demux paid 2× per delivery.
+    let received: u64 = recs
+        .iter()
+        .map(|(_, s)| s.inner.transport_stats().datagrams_received)
+        .sum();
+    let decrypts: u64 = recs.iter().map(|(_, s)| s.inner.decrypt_count()).sum();
+    assert!(
+        received >= 16,
+        "enough traffic to prove anything: {received}"
+    );
+    assert_eq!(
+        decrypts,
+        received + 1,
+        "every ambiguous delivery cost exactly one OCB open \
+         (plus the single cold-hint probe miss)"
+    );
+    // Client side (unique addresses, fast path): also exactly one per
+    // accepted datagram.
+    for (i, (client, _)) in recs.iter().enumerate() {
+        assert_eq!(
+            client.inner.decrypt_count(),
+            client.inner.transport_stats().datagrams_received,
+            "client {i} decrypts once per datagram"
+        );
+    }
+
+    // --- Byte-identity against dedicated loops: full client transcripts
+    // (both directions, raw wires) and full server send transcripts pin
+    // the schedule; screens pin the outcome.
+    for (i, (client, server)) in recs.iter().enumerate() {
+        let (ded_client, ded_server_sends, ded_screen) = dedicated_run(i);
+        assert_eq!(
+            client.log, ded_client,
+            "session {i}: client wire transcript diverged from dedicated loop"
+        );
+        assert_eq!(
+            server.sends(),
+            ded_server_sends,
+            "session {i}: server send transcript diverged from dedicated loop"
+        );
+        assert_eq!(client.inner.server_frame().to_text(), ded_screen);
+        assert!(
+            client.log.len() > 10,
+            "session {i} too quiet to prove anything"
+        );
+    }
+
+    // --- Adversarial injections: wires that authenticate to no session
+    // are dropped by the hub (its rejected-counter), not delivered.
+    let dropped_before = hub.stats().dropped;
+    let delivered_before = hub.stats().delivered;
+    let some_client_wire = recs[0]
+        .0
+        .log
+        .iter()
+        .find(|(_, kind, _, _)| *kind == b's')
+        .map(|(_, _, _, w)| w.clone())
+        .expect("client sent something");
+    let some_server_wire = recs[0]
+        .1
+        .log
+        .iter()
+        .find(|(_, kind, _, _)| *kind == b's')
+        .map(|(_, _, _, w)| w.clone())
+        .expect("server sent something");
+    let mut flipped_tag = some_client_wire.clone();
+    *flipped_tag.last_mut().unwrap() ^= 0x01;
+    let mut foreign_client = MoshClient::new(
+        Base64Key::from_bytes([0xEE; 16]),
+        S,
+        80,
+        24,
+        DisplayPreference::Never,
+    );
+    let foreign = (0..100)
+        .find_map(|t| foreign_client.tick(t).into_iter().next().map(|(_, w)| w))
+        .expect("foreign hello");
+    let injections: [Vec<u8>; 4] = [
+        some_client_wire[..12].to_vec(), // truncated
+        flipped_tag,                     // tampered tag
+        some_server_wire,                // reflected own-direction wire
+        foreign,                         // cross-session key confusion
+    ];
+    let n_injections = injections.len() as u64;
+    for bad in injections {
+        hub.poller_mut()
+            .channel_mut(tok)
+            .network_mut()
+            .send(CLIENTS[0], S, bad);
+    }
+    let target = hub.now(sids[0]) + 50;
+    pump_all(&mut hub, &mut recs, target);
+    let stats = hub.stats();
+    assert_eq!(
+        stats.dropped,
+        dropped_before + n_injections,
+        "each adversarial wire hit the hub's rejected-counter"
+    );
+    assert_eq!(
+        stats.delivered - delivered_before,
+        {
+            let received_now: u64 = recs
+                .iter()
+                .map(|(_, s)| s.inner.transport_stats().datagrams_received)
+                .sum();
+            received_now - received
+        },
+        "no adversarial wire was delivered to any session"
+    );
+    for (i, (_, server)) in recs.iter().enumerate() {
+        assert_eq!(
+            server.inner.transport_stats().datagrams_rejected,
+            0,
+            "failed routing probes never count against session {i}"
+        );
+    }
+}
