@@ -1,35 +1,42 @@
-//! Multi-session scaling: wall-clock cost per simulated user when one
-//! `ServerHub` multiplexes 1 / 8 / 64 concurrent Mosh sessions.
+//! Multi-session scaling: wall-clock cost per simulated user when a hub
+//! multiplexes 1 / 8 / 64 concurrent Mosh sessions — and, at 64
+//! sessions, when the hub is sharded over 1 / 2 / 4 / 8 worker threads.
 //!
 //! Each session is a full client↔server pair in its own emulated network
-//! world, typing steadily; the hub drives them all through one timer
-//! wheel. The quantity that must hold for a production front end is the
-//! *per-user* cost staying flat as the fleet grows (the wheel pops one
-//! session per wakeup; idle neighbors are free). Results land in
-//! `BENCH_hub_scaling.json` so the perf trajectory captures multi-session
-//! scaling run over run.
+//! world, typing steadily; the hub drives them all through per-shard
+//! timer wheels. Two quantities must hold for a production front end:
+//! the *per-user* cost staying flat as the fleet grows (the wheel pops
+//! one session per wakeup; idle neighbors are free), and the 64-session
+//! cost dropping as shards are added on a multicore machine (sessions
+//! are independent worlds — sharding is embarrassingly parallel, so the
+//! ceiling is the core count; a single-core machine pins the speedup at
+//! ~1×, which the JSON records alongside the detected parallelism).
+//! Results land in `BENCH_hub_scaling.json` so the perf trajectory
+//! captures both axes run over run.
 //!
 //! Wall-clock numbers vary by machine; the per-user *wakeup* counts are
-//! deterministic.
+//! deterministic and identical at every shard count.
 
-use mosh_core::{HubSession, LineShell, MoshClient, MoshServer, Party, ServerHub, SessionId};
+use mosh_core::{HubSession, LineShell, MoshClient, MoshServer, Party, SessionId, ShardedHub};
 use mosh_crypto::Base64Key;
-use mosh_net::{Addr, LinkConfig, Network, Poller, Side, SimChannel, SimPoller};
+use mosh_net::{Addr, LinkConfig, Network, Side, SimChannel, SimPoller};
 use mosh_prediction::DisplayPreference;
 use std::time::Instant;
 
 const C: Addr = Addr::new(1, 1000);
 const S: Addr = Addr::new(2, 60001);
 
+#[derive(Clone, Copy)]
 struct FleetResult {
     sessions: usize,
+    shards: usize,
     wall_ms: f64,
     wakeups: u64,
     delivered: u64,
 }
 
-fn run_fleet(n: usize, horizon: u64) -> FleetResult {
-    let mut hub = ServerHub::new(SimPoller::new());
+fn run_fleet(n: usize, shards: usize, horizon: u64) -> FleetResult {
+    let mut hub = ShardedHub::with_shards(shards, SimPoller::new);
     let mut sids: Vec<SessionId> = Vec::new();
     let mut users: Vec<(MoshClient, MoshServer)> = Vec::new();
     for i in 0..n {
@@ -40,8 +47,7 @@ fn run_fleet(n: usize, horizon: u64) -> FleetResult {
         );
         net.register(C, Side::Client);
         net.register(S, Side::Server);
-        let tok = hub.poller_mut().add(SimChannel::new(net));
-        sids.push(hub.add_session(tok));
+        sids.push(hub.add_session(SimChannel::new(net)));
         let key = Base64Key::from_bytes([i as u8; 16]);
         users.push((
             MoshClient::new(key.clone(), S, 80, 24, DisplayPreference::Adaptive),
@@ -86,52 +92,89 @@ fn run_fleet(n: usize, horizon: u64) -> FleetResult {
     let stats = hub.stats();
     FleetResult {
         sessions: n,
+        shards,
         wall_ms,
         wakeups: stats.wakeups,
         delivered: stats.delivered,
     }
 }
 
+fn print_row(r: &FleetResult) {
+    println!(
+        "  {:>8}  {:>6}  {:>12.1}  {:>14.2}  {:>16.1}  {:>14.1}",
+        r.sessions,
+        r.shards,
+        r.wall_ms,
+        r.wall_ms / r.sessions as f64,
+        r.wakeups as f64 / r.sessions as f64,
+        r.delivered as f64 / r.sessions as f64,
+    );
+}
+
+fn json_row(r: &FleetResult, last: bool) -> String {
+    format!(
+        "    {{\"sessions\": {}, \"shards\": {}, \"wall_ms\": {:.3}, \
+         \"wall_ms_per_session\": {:.3}, \"wakeups_per_session\": {:.1}, \
+         \"datagrams_per_session\": {:.1}}}{}\n",
+        r.sessions,
+        r.shards,
+        r.wall_ms,
+        r.wall_ms / r.sessions as f64,
+        r.wakeups as f64 / r.sessions as f64,
+        r.delivered as f64 / r.sessions as f64,
+        if last { "" } else { "," },
+    )
+}
+
 fn main() {
     let quick =
         std::env::args().any(|a| a == "--quick") || std::env::var("MOSH_BENCH_QUICK").is_ok();
     let horizon: u64 = if quick { 20_000 } else { 120_000 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
-    println!("=== hub_scaling: one ServerHub, N concurrent Mosh sessions ===");
-    println!("  ({horizon} virtual ms per fleet, EV-DO links, steady typing)\n");
+    println!("=== hub_scaling: one sharded hub, N concurrent Mosh sessions ===");
+    println!("  ({horizon} virtual ms per fleet, EV-DO links, steady typing, {cores} core(s))\n");
     println!(
-        "  {:>8}  {:>12}  {:>14}  {:>16}  {:>14}",
-        "sessions", "wall ms", "wall ms/user", "wakeups/user", "dgrams/user"
+        "  {:>8}  {:>6}  {:>12}  {:>14}  {:>16}  {:>14}",
+        "sessions", "shards", "wall ms", "wall ms/user", "wakeups/user", "dgrams/user"
     );
 
+    // Axis 1: fleet size at one shard (the PR 3/4 trajectory series).
     let mut results = Vec::new();
     for n in [1usize, 8, 64] {
-        let r = run_fleet(n, horizon);
-        println!(
-            "  {:>8}  {:>12.1}  {:>14.2}  {:>16.1}  {:>14.1}",
-            r.sessions,
-            r.wall_ms,
-            r.wall_ms / r.sessions as f64,
-            r.wakeups as f64 / r.sessions as f64,
-            r.delivered as f64 / r.sessions as f64,
-        );
+        let r = run_fleet(n, 1, horizon);
+        print_row(&r);
         results.push(r);
+    }
+
+    // Axis 2: shard count at 64 sessions (the threaded-hub series). The
+    // 1-shard row IS the 64-session row above — no need to replay it.
+    println!();
+    let solo_wakeups = results[2].wakeups;
+    let mut threaded = vec![results[2]];
+    for shards in [2usize, 4, 8] {
+        let r = run_fleet(64, shards, horizon);
+        print_row(&r);
+        assert_eq!(
+            r.wakeups, solo_wakeups,
+            "sharding must not change the deterministic schedule"
+        );
+        threaded.push(r);
     }
 
     // The perf-trajectory artifact.
     let mut json = String::from("{\n  \"bench\": \"hub_scaling\",\n");
-    json.push_str(&format!("  \"horizon_ms\": {horizon},\n  \"results\": [\n"));
+    json.push_str(&format!(
+        "  \"horizon_ms\": {horizon},\n  \"cores\": {cores},\n  \"results\": [\n"
+    ));
     for (i, r) in results.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"sessions\": {}, \"wall_ms\": {:.3}, \"wall_ms_per_session\": {:.3}, \
-             \"wakeups_per_session\": {:.1}, \"datagrams_per_session\": {:.1}}}{}\n",
-            r.sessions,
-            r.wall_ms,
-            r.wall_ms / r.sessions as f64,
-            r.wakeups as f64 / r.sessions as f64,
-            r.delivered as f64 / r.sessions as f64,
-            if i + 1 < results.len() { "," } else { "" },
-        ));
+        json.push_str(&json_row(r, i + 1 == results.len()));
+    }
+    json.push_str("  ],\n  \"threads_64_sessions\": [\n");
+    for (i, r) in threaded.iter().enumerate() {
+        json.push_str(&json_row(r, i + 1 == threaded.len()));
     }
     json.push_str("  ]\n}\n");
     match std::fs::write("BENCH_hub_scaling.json", &json) {
@@ -151,6 +194,17 @@ fn main() {
             "flat-ish: the wheel scales"
         } else {
             "growing: investigate"
+        }
+    );
+    let speedup = threaded[0].wall_ms / threaded[2].wall_ms;
+    println!(
+        "64-session speedup at 4 shards: {speedup:.2}x on {cores} core(s) ({})",
+        if cores == 1 {
+            "single core: sharding can only break even here"
+        } else if speedup >= 1.5 {
+            "shards scale"
+        } else {
+            "below 1.5x: investigate"
         }
     );
 }

@@ -88,7 +88,10 @@ pub fn print_row(system: &str, l: &Latencies, paper: &str) {
     );
 }
 
-/// The standard Mosh replay configuration over a pair of links.
+/// The standard Mosh replay configuration over a pair of links. Batch
+/// replays honor `MOSH_REPLAY_THREADS` (default 1): per-user results are
+/// identical at every thread count — the sharded hub is byte-identical
+/// to the single-threaded one — so the knob only buys wall clock.
 pub fn mosh_cfg(up: LinkConfig, down: LinkConfig) -> ReplayConfig {
     ReplayConfig {
         up,
@@ -97,5 +100,14 @@ pub fn mosh_cfg(up: LinkConfig, down: LinkConfig) -> ReplayConfig {
         preference: DisplayPreference::Adaptive,
         mindelay: None,
         bulk_download: false,
+        threads: replay_threads(),
     }
+}
+
+/// Worker threads for batch replays (`MOSH_REPLAY_THREADS`, default 1).
+pub fn replay_threads() -> usize {
+    std::env::var("MOSH_REPLAY_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
 }

@@ -82,7 +82,14 @@ fn ablation_ctrlc_quick() {
 fn hub_scaling_quick() {
     run_quick(
         env!("CARGO_BIN_EXE_hub_scaling"),
-        &["hub_scaling", "sessions", "wakeups/user", "per-user cost"],
+        &[
+            "hub_scaling",
+            "sessions",
+            "shards",
+            "wakeups/user",
+            "per-user cost",
+            "speedup at 4 shards",
+        ],
     );
 }
 

@@ -16,9 +16,13 @@ use mosh_states::{CompleteTerminal, UserStream};
 use mosh_terminal::Framebuffer;
 
 /// The client half of a Mosh session.
+///
+/// The authoritative input history lives *inside* the transport's sender
+/// (its current state), mutated in place per keystroke — there is no
+/// second copy cloned into the sender per event, and acknowledged
+/// history is pruned where it lives.
 pub struct MoshClient {
     transport: Transport<UserStream, CompleteTerminal>,
-    input: UserStream,
     prediction: PredictionEngine,
     server_addr: Addr,
     /// Numbers of remote states already reported to the predictor.
@@ -41,18 +45,18 @@ impl MoshClient {
         // Mosh clients always announce their window size immediately; this
         // doubles as the hello datagram that teaches the server the
         // client's address.
-        let mut input = UserStream::new();
-        input.push_resize(width as u16, height as u16);
         let mut transport = Transport::new(
             key,
             Direction::ToServer,
             UserStream::new(),
             CompleteTerminal::initial(),
         );
-        transport.set_current_state(input.clone(), 0);
+        transport
+            .current_state_mut()
+            .push_resize(width as u16, height as u16);
+        transport.commit_current(0);
         MoshClient {
             transport,
-            input,
             prediction: PredictionEngine::new(preference),
             server_addr,
             last_remote_num: 0,
@@ -112,8 +116,10 @@ impl MoshClient {
     }
 
     /// Total keystrokes entered so far (user-stream event index space).
+    /// Indices are global, so pruning acknowledged history never shifts
+    /// them.
     pub fn input_end_index(&self) -> u64 {
-        self.input.end_index()
+        self.transport.current_state().end_index()
     }
 
     /// Echo-ack index of the newest *applied* server frame.
@@ -130,14 +136,15 @@ impl MoshClient {
     /// effect was displayed speculatively, before any server round trip
     /// (the paper's "instant" outcome).
     pub fn keystroke(&mut self, now: Millis, bytes: &[u8]) -> bool {
-        self.input.push_keystroke(bytes);
-        self.transport.set_current_state(self.input.clone(), now);
+        // The input history is mutated where the sender keeps it — no
+        // whole-stream clone per keystroke.
+        self.transport.current_state_mut().push_keystroke(bytes);
+        self.transport.commit_current(now);
         // Split borrows: the predictor reads the latest frame in place —
         // no per-keystroke framebuffer clone.
         let Self {
             transport,
             prediction,
-            input,
             ..
         } = self;
         prediction.new_user_input(
@@ -145,14 +152,16 @@ impl MoshClient {
             transport.srtt(),
             bytes,
             transport.remote_state().frame(),
-            input.end_index(),
+            transport.current_state().end_index(),
         )
     }
 
     /// Notifies the server of a window-size change.
     pub fn resize(&mut self, now: Millis, width: usize, height: usize) {
-        self.input.push_resize(width as u16, height as u16);
-        self.transport.set_current_state(self.input.clone(), now);
+        self.transport
+            .current_state_mut()
+            .push_resize(width as u16, height as u16);
+        self.transport.commit_current(now);
     }
 
     /// Handles one wire datagram at `now`.

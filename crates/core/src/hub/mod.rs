@@ -1,0 +1,90 @@
+//! The multi-session server runtime, in two layers:
+//!
+//! * [`shard`] — [`ServerHub`]: one poller, one timer wheel, N sessions
+//!   on **one thread**. The unit of work since PR 3; a sharded runtime
+//!   calls one of these a *shard*.
+//! * [`router`] — [`ShardedHub`]: N worker threads, each owning a
+//!   private `ServerHub`, fed by a sharding front end that assigns
+//!   sessions to shards at accept time. Sessions are independent worlds
+//!   behind tokens and endpoints are `Send`, so sharding is a layering
+//!   decision, not a locking problem — per-session transcripts are
+//!   byte-identical to the single-threaded hub for every shard count.
+//!
+//! The types shared by both layers — [`SessionId`], the per-pump
+//! [`HubSession`] lease, and the [`HubStats`] counters — live here.
+
+pub mod router;
+pub mod shard;
+
+pub use router::ShardedHub;
+pub use shard::ServerHub;
+
+use crate::session::Party;
+use crate::Millis;
+
+/// Identifies one session within a hub, in registration order. A
+/// [`ShardedHub`] hands out *global* ids and maps them to the owning
+/// shard's local ids internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub usize);
+
+/// One session's per-pump lease: which registered session it is, the
+/// endpoints it currently lends to the hub, and how far to drive it.
+///
+/// Like [`crate::session::SessionLoop`], the hub borrows endpoints per
+/// pump — the caller keeps ownership, injects keystrokes between pumps,
+/// and models roaming by changing a party's address (simulator) or
+/// rebinding a socket (live).
+pub struct HubSession<'p, 'e> {
+    /// The registered session this lease belongs to.
+    pub id: SessionId,
+    /// The endpoints, bound to their current receive addresses.
+    pub parties: &'p mut [Party<'e>],
+    /// Drive this session's clock up to this instant (its own source's
+    /// clock — sources tick independently).
+    pub target: Millis,
+}
+
+impl<'p, 'e> HubSession<'p, 'e> {
+    /// A lease for `id` driving `parties` until `target`.
+    pub fn new(id: SessionId, parties: &'p mut [Party<'e>], target: Millis) -> Self {
+        HubSession {
+            id,
+            parties,
+            target,
+        }
+    }
+}
+
+/// Hub-level counters (wakeups are the scaling quantity: each costs
+/// `O(log sessions)`, so totals grow linearly with live sessions and not
+/// at all with idle ones). A [`ShardedHub`] reports the sum over its
+/// shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HubStats {
+    /// Timer-wheel pops serviced.
+    pub wakeups: u64,
+    /// Datagrams delivered to a session.
+    pub delivered: u64,
+    /// Datagrams no session claimed (unknown address, or authentication
+    /// failed against every candidate).
+    pub dropped: u64,
+    /// Deliveries that needed the cryptographic-authentication fallback
+    /// (ambiguous receive address).
+    pub auth_routed: u64,
+    /// Unclaimed datagrams handed to the unclaimed-datagram hook instead
+    /// of being dropped (a sharded front end's bounce path — the wire
+    /// goes back to the distributor to try the next shard).
+    pub bounced: u64,
+}
+
+impl HubStats {
+    /// Member-wise sum (aggregating shard counters).
+    pub(crate) fn add(&mut self, other: HubStats) {
+        self.wakeups += other.wakeups;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.auth_routed += other.auth_routed;
+        self.bounced += other.bounced;
+    }
+}

@@ -1,0 +1,401 @@
+//! The sharded multi-threaded hub runtime.
+//!
+//! [`ShardedHub`] scales the single-threaded [`ServerHub`] across cores:
+//! N worker threads, each owning a **private** shard (poller + timer
+//! wheel + sessions), fed by a sharding front end that assigns sessions
+//! to shards at accept time. Nothing is locked on the datagram path —
+//! sessions are independent worlds behind tokens, endpoints are `Send`,
+//! and a shard's poller sources are touched by exactly one thread at a
+//! time — so per-session behavior is **byte-identical to the
+//! single-threaded hub for every shard count** (pinned by
+//! `tests/sharded_hub.rs` and the sharded decrypt-once suite).
+//!
+//! Datagram routing is layered exactly as in one hub:
+//!
+//! * **Private sources** (a simulated world per session, or a socket per
+//!   shard): the owning shard routes by receive address, source hint,
+//!   and cryptographic authentication — the [`ServerHub`] demux,
+//!   unchanged. Sessions sharing one source (many users behind one
+//!   socket or one emulated NAT world) are co-located on that source's
+//!   shard at accept time, so their ambiguous-address datagrams are
+//!   still OCB-opened exactly once by the winning session's probe.
+//! * **A source shared by all shards** (one UDP port for the whole
+//!   server): a `mosh_net::UdpDistributor` owns the socket and feeds
+//!   per-shard SPSC queues, routing by authenticated source hints; a
+//!   datagram its first shard cannot authenticate is *bounced* back
+//!   (via the shard's unclaimed-datagram hook, never counted dropped)
+//!   and fanned out to the next shard. The winning shard's `try_open`
+//!   probe keeps the verified plaintext — the `Opened` token is `Send`
+//!   and crosses the shard boundary as the delivery itself, so the
+//!   fan-out never decrypts a datagram twice.
+//!
+//! Worker threads are scoped per pump: the caller keeps ownership of
+//! every endpoint and injects keystrokes between pumps, exactly as with
+//! one hub. One shard runs inline (a `ShardedHub` of 1 *is* a
+//! `ServerHub`, thread overhead included).
+
+use super::shard::ServerHub;
+use super::{HubSession, HubStats, SessionId};
+use crate::session::SessionEvent;
+use crate::Millis;
+use mosh_net::{ChannelPoller, FeedChannel, Poller, Token, UdpDistributor};
+use std::collections::HashMap;
+use std::io;
+use std::net::UdpSocket;
+
+/// The sharding front end: N worker threads, each a private [`ServerHub`].
+pub struct ShardedHub<P: Poller> {
+    shards: Vec<ServerHub<P>>,
+    /// Global session id → (owning shard, its local id there).
+    sessions: Vec<(usize, SessionId)>,
+    /// Accept-time assignment cursor (round-robin).
+    next_shard: usize,
+    /// Per-shard token of the distributor-shared source, when one exists.
+    shared: Vec<Token>,
+}
+
+impl<P: Poller> ShardedHub<P> {
+    /// A sharded hub over one poller per worker thread.
+    pub fn new(pollers: Vec<P>) -> Self {
+        assert!(!pollers.is_empty(), "a hub needs at least one shard");
+        ShardedHub {
+            shards: pollers.into_iter().map(ServerHub::new).collect(),
+            sessions: Vec::new(),
+            next_shard: 0,
+            shared: Vec::new(),
+        }
+    }
+
+    /// A sharded hub of `n` shards built by `make` (e.g.
+    /// `ShardedHub::with_shards(4, SimPoller::new)`).
+    pub fn with_shards(n: usize, mut make: impl FnMut() -> P) -> Self {
+        Self::new((0..n).map(|_| make()).collect())
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard (its poller carries network stats, socket addresses, …).
+    pub fn shard(&self, i: usize) -> &ServerHub<P> {
+        &self.shards[i]
+    }
+
+    /// Mutable shard access (register sources, rebind sockets, inject
+    /// emulator traffic in tests, …).
+    pub fn shard_mut(&mut self, i: usize) -> &mut ServerHub<P> {
+        &mut self.shards[i]
+    }
+
+    /// Accepts a session living on its own private source: the session
+    /// is assigned to a shard **at accept time** (round-robin) and the
+    /// source is registered on that shard's poller. Returns the global
+    /// session id.
+    pub fn add_session(&mut self, channel: P::Chan) -> SessionId {
+        let shard = self.next_shard;
+        self.next_shard = (self.next_shard + 1) % self.shards.len();
+        let tok = self.shards[shard].poller_mut().add(channel);
+        self.add_session_on(shard, tok)
+    }
+
+    /// Accepts a session sharing the source (and therefore the shard) of
+    /// an existing session — many sessions behind one socket or one
+    /// emulated world. Co-location is what keeps a shared source owned
+    /// by exactly one thread; the shard's demux handles the ambiguity
+    /// exactly as a single-threaded hub would.
+    pub fn add_session_sharing(&mut self, with: SessionId) -> SessionId {
+        let (shard, local) = self.sessions[with.0];
+        let tok = self.shards[shard].token_of(local);
+        self.add_session_on(shard, tok)
+    }
+
+    /// Accepts a session on an explicit shard and source token (the
+    /// low-level accept path the other accessors build on).
+    pub fn add_session_on(&mut self, shard: usize, tok: Token) -> SessionId {
+        let local = self.shards[shard].add_session(tok);
+        let sid = SessionId(self.sessions.len());
+        self.sessions.push((shard, local));
+        sid
+    }
+
+    /// The shard a session lives on and its local id there.
+    pub fn location(&self, sid: SessionId) -> (usize, SessionId) {
+        self.sessions[sid.0]
+    }
+
+    /// Retires a session (see [`ServerHub::remove_session`]).
+    pub fn remove_session(&mut self, sid: SessionId) {
+        let (shard, local) = self.sessions[sid.0];
+        self.shards[shard].remove_session(local);
+    }
+
+    /// Configures a session's peer-silence timeout.
+    pub fn set_peer_timeout(&mut self, sid: SessionId, timeout: Option<Millis>) {
+        let (shard, local) = self.sessions[sid.0];
+        self.shards[shard].set_peer_timeout(local, timeout);
+    }
+
+    /// Number of sessions registered and not yet removed, over all shards.
+    pub fn session_count(&self) -> usize {
+        self.shards.iter().map(|s| s.session_count()).sum()
+    }
+
+    /// Current time on a session's source clock.
+    pub fn now(&self, sid: SessionId) -> Millis {
+        let (shard, local) = self.sessions[sid.0];
+        self.shards[shard].now(local)
+    }
+
+    /// Aggregated counters over all shards.
+    pub fn stats(&self) -> HubStats {
+        let mut total = HubStats::default();
+        for s in &self.shards {
+            total.add(s.stats());
+        }
+        total
+    }
+}
+
+impl<P: Poller + Send> ShardedHub<P> {
+    /// Drives every leased session until its own target — each shard's
+    /// sessions on that shard's worker thread — returning all events
+    /// tagged by **global** session id, grouped by shard in shard order
+    /// (cross-shard ordering carries no meaning: shards are independent
+    /// worlds, exactly as a poller's sources already are).
+    ///
+    /// Per-session semantics are exactly [`ServerHub::pump`]'s; a hub of
+    /// one shard pumps inline with no thread at all.
+    pub fn pump(&mut self, sessions: &mut [HubSession<'_, '_>]) -> Vec<(SessionId, SessionEvent)> {
+        self.pump_inner(sessions, None::<fn()>)
+    }
+
+    /// Like [`ShardedHub::pump`], running `side` on the calling thread
+    /// *while* the shards pump — the seat of a `UdpDistributor` draining
+    /// a shared socket for the duration of the pump. Because `side` must
+    /// genuinely run concurrently (a blocked shard may be waiting on a
+    /// datagram only `side` can feed it), every shard gets a worker
+    /// thread here, even a lone one — the inline fast path belongs to
+    /// [`ShardedHub::pump`] alone.
+    pub fn pump_with(
+        &mut self,
+        sessions: &mut [HubSession<'_, '_>],
+        side: impl FnOnce(),
+    ) -> Vec<(SessionId, SessionEvent)> {
+        self.pump_inner(sessions, Some(side))
+    }
+
+    fn pump_inner(
+        &mut self,
+        sessions: &mut [HubSession<'_, '_>],
+        side: Option<impl FnOnce()>,
+    ) -> Vec<(SessionId, SessionEvent)> {
+        // Partition leases by owning shard, remembering each lease's
+        // local id and the local→global mapping for the event tags.
+        let n = self.shards.len();
+        let mut buckets: Vec<Vec<(SessionId, &mut HubSession<'_, '_>)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        let mut to_global: Vec<HashMap<SessionId, SessionId>> =
+            (0..n).map(|_| HashMap::new()).collect();
+        for s in sessions.iter_mut() {
+            let (shard, local) = self.sessions[s.id.0];
+            to_global[shard].insert(local, s.id);
+            buckets[shard].push((local, s));
+        }
+
+        let pump_shard = |shard: &mut ServerHub<P>,
+                          bucket: Vec<(SessionId, &mut HubSession<'_, '_>)>|
+         -> Vec<(SessionId, SessionEvent)> {
+            let mut leases: Vec<HubSession<'_, '_>> = bucket
+                .into_iter()
+                .map(|(local, s)| HubSession::new(local, &mut *s.parties, s.target))
+                .collect();
+            shard.pump(&mut leases)
+        };
+
+        if n == 1 && side.is_none() {
+            let events = pump_shard(&mut self.shards[0], buckets.pop().expect("one bucket"));
+            return events
+                .into_iter()
+                .map(|(local, ev)| (to_global[0][&local], ev))
+                .collect();
+        }
+
+        // Worker threads are scoped per pump: endpoints stay owned by
+        // the caller, borrowed for exactly this pump. Shards with no
+        // leases this pump are parked, like unleased sessions.
+        let mut per_shard: Vec<Vec<(SessionId, SessionEvent)>> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(buckets)
+                .map(|(shard, bucket)| {
+                    if bucket.is_empty() {
+                        None
+                    } else {
+                        Some(scope.spawn(move || pump_shard(shard, bucket)))
+                    }
+                })
+                .collect();
+            if let Some(side) = side {
+                side();
+            }
+            for h in handles {
+                per_shard.push(match h {
+                    Some(h) => h.join().expect("shard worker panicked"),
+                    None => Vec::new(),
+                });
+            }
+        });
+        per_shard
+            .into_iter()
+            .enumerate()
+            .flat_map(|(i, events)| {
+                let map = &to_global[i];
+                events.into_iter().map(move |(local, ev)| (map[&local], ev))
+            })
+            .collect()
+    }
+}
+
+impl ShardedHub<ChannelPoller<FeedChannel>> {
+    /// A sharded hub whose shards all answer on **one** UDP socket: the
+    /// socket is split into a [`UdpDistributor`] (drain it with
+    /// [`UdpDistributor::pump`], typically inside
+    /// [`ShardedHub::pump_with`]'s `side`) plus one queue-fed source per
+    /// shard. Each shard's unclaimed-datagram hook is wired to bounce
+    /// foreign wires back to the distributor, completing the cross-shard
+    /// authentication fan-out.
+    pub fn over_distributor(
+        socket: UdpSocket,
+        shards: usize,
+    ) -> io::Result<(Self, UdpDistributor)> {
+        let (dist, feeds) = UdpDistributor::new(socket, shards)?;
+        let mut hub = ShardedHub {
+            shards: Vec::with_capacity(feeds.len()),
+            sessions: Vec::new(),
+            next_shard: 0,
+            shared: Vec::with_capacity(feeds.len()),
+        };
+        for feed in feeds {
+            let bouncer = feed.bouncer();
+            let mut poller = ChannelPoller::new();
+            let tok = poller.add(feed);
+            let mut shard = ServerHub::new(poller);
+            // Only the shared source bounces; a private source's
+            // unclaimed traffic is line noise, dropped as always.
+            shard.set_unclaimed(Box::new(move |t, dg| t == tok && bouncer.bounce(dg)));
+            hub.shards.push(shard);
+            hub.shared.push(tok);
+        }
+        Ok((hub, dist))
+    }
+
+    /// Accepts a session behind the shared socket, assigned to a shard
+    /// round-robin at accept time.
+    pub fn add_distributed_session(&mut self) -> SessionId {
+        assert!(
+            !self.shared.is_empty(),
+            "no distributor: build with over_distributor"
+        );
+        let shard = self.next_shard;
+        self.next_shard = (self.next_shard + 1) % self.shards.len();
+        self.add_session_on(shard, self.shared[shard])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::LineShell;
+    use crate::client::MoshClient;
+    use crate::server::MoshServer;
+    use crate::session::Party;
+    use mosh_crypto::Base64Key;
+    use mosh_net::{LinkConfig, Network, Side, SimChannel, SimPoller};
+    use mosh_prediction::DisplayPreference;
+
+    const C: Addr = Addr::new(1, 1000);
+    const S: Addr = Addr::new(2, 60001);
+    use mosh_net::Addr;
+
+    fn sim_world(seed: u64) -> SimChannel {
+        let mut net = Network::new(LinkConfig::lan(), LinkConfig::lan(), seed);
+        net.register(C, Side::Client);
+        net.register(S, Side::Server);
+        SimChannel::new(net)
+    }
+
+    fn pair(key_byte: u8) -> (MoshClient, MoshServer) {
+        let key = Base64Key::from_bytes([key_byte; 16]);
+        (
+            MoshClient::new(key.clone(), S, 80, 24, DisplayPreference::Never),
+            MoshServer::new(key, Box::new(LineShell::new())),
+        )
+    }
+
+    /// The whole sharded runtime is Send: shards (with their pollers,
+    /// drivers, and boxed hooks) can move to worker threads.
+    #[test]
+    fn sharded_runtime_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ServerHub<SimPoller>>();
+        assert_send::<ShardedHub<SimPoller>>();
+        assert_send::<MoshClient>();
+        assert_send::<MoshServer>();
+        assert_send::<mosh_ssp::datagram::Opened>();
+    }
+
+    #[test]
+    fn shards_drive_sessions_to_their_prompts_in_parallel() {
+        for shards in [1usize, 2, 3] {
+            let mut hub = ShardedHub::with_shards(shards, SimPoller::new);
+            let mut users = Vec::new();
+            let mut sids = Vec::new();
+            for u in 0..5u8 {
+                sids.push(hub.add_session(sim_world(u as u64)));
+                users.push(pair(u + 1));
+            }
+            // Round-robin accept spreads sessions over every shard.
+            assert_eq!(hub.session_count(), 5);
+            assert!((0..5).all(|i| hub.location(sids[i]).0 == (i % shards)));
+
+            let mut leases: Vec<Vec<Party<'_>>> = Vec::new();
+            for (client, server) in users.iter_mut() {
+                leases.push(vec![Party::new(C, client), Party::new(S, server)]);
+            }
+            let mut sessions: Vec<HubSession<'_, '_>> = leases
+                .iter_mut()
+                .zip(sids.iter())
+                .map(|(parties, sid)| HubSession::new(*sid, parties, 400))
+                .collect();
+            let events = hub.pump(&mut sessions);
+            drop(sessions);
+            drop(leases);
+
+            for (sid, (client, _)) in sids.iter().zip(users.iter()) {
+                assert_eq!(client.server_frame().row_text(0), "$");
+                assert_eq!(hub.now(*sid), 400);
+            }
+            assert!(events
+                .iter()
+                .any(|(_, e)| matches!(e, SessionEvent::FrameAdvanced { .. })));
+            assert!(hub.stats().delivered > 0);
+            assert_eq!(hub.stats().dropped, 0);
+        }
+    }
+
+    #[test]
+    fn sessions_sharing_a_world_are_co_located() {
+        let mut hub = ShardedHub::with_shards(4, SimPoller::new);
+        let first = hub.add_session(sim_world(7));
+        let second = hub.add_session_sharing(first);
+        let (shard_a, _) = hub.location(first);
+        let (shard_b, _) = hub.location(second);
+        assert_eq!(shard_a, shard_b, "one source, one owning thread");
+        // And independent sessions still spread out.
+        let third = hub.add_session(sim_world(8));
+        assert_ne!(hub.location(third).0, shard_a);
+    }
+}

@@ -1,8 +1,9 @@
-//! The multi-session server runtime.
+//! The single-threaded multi-session runtime — one shard of the server.
 //!
 //! Mosh ships as one server process per session; the production-scale
 //! question is what a front end hosting *many* SSP sessions behind one
-//! event loop looks like. [`ServerHub`] is that front end:
+//! event loop looks like. [`ServerHub`] is that front end (and, under a
+//! [`super::ShardedHub`], one worker thread's private shard of it):
 //!
 //! * it owns one [`Poller`] (the readiness seam over any number of
 //!   datagram sources — per-session emulated worlds, or one shared UDP
@@ -28,61 +29,18 @@
 //! **byte-identical per-session wire transcripts** to N dedicated loops
 //! (pinned by `tests/event_stepping.rs` and the replay identity suite).
 
-use crate::session::{Party, SessionDriver, SessionEvent};
+use super::{HubSession, HubStats, SessionId};
+use crate::session::{SessionDriver, SessionEvent};
 use crate::Millis;
 use mosh_net::{Addr, Datagram, Poller, Token};
 use mosh_ssp::datagram::Opened;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-/// Identifies one session within a hub, in registration order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct SessionId(pub usize);
-
-/// One session's per-pump lease: which registered session it is, the
-/// endpoints it currently lends to the hub, and how far to drive it.
-///
-/// Like [`crate::session::SessionLoop`], the hub borrows endpoints per
-/// pump — the caller keeps ownership, injects keystrokes between pumps,
-/// and models roaming by changing a party's address (simulator) or
-/// rebinding a socket (live).
-pub struct HubSession<'p, 'e> {
-    /// The registered session this lease belongs to.
-    pub id: SessionId,
-    /// The endpoints, bound to their current receive addresses.
-    pub parties: &'p mut [Party<'e>],
-    /// Drive this session's clock up to this instant (its own source's
-    /// clock — sources tick independently).
-    pub target: Millis,
-}
-
-impl<'p, 'e> HubSession<'p, 'e> {
-    /// A lease for `id` driving `parties` until `target`.
-    pub fn new(id: SessionId, parties: &'p mut [Party<'e>], target: Millis) -> Self {
-        HubSession {
-            id,
-            parties,
-            target,
-        }
-    }
-}
-
-/// Hub-level counters (wakeups are the scaling quantity: each costs
-/// `O(log sessions)`, so totals grow linearly with live sessions and not
-/// at all with idle ones).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct HubStats {
-    /// Timer-wheel pops serviced.
-    pub wakeups: u64,
-    /// Datagrams delivered to a session.
-    pub delivered: u64,
-    /// Datagrams no session claimed (unknown address, or authentication
-    /// failed against every candidate).
-    pub dropped: u64,
-    /// Deliveries that needed the cryptographic-authentication fallback
-    /// (ambiguous receive address).
-    pub auth_routed: u64,
-}
+/// The unclaimed-datagram hook: called with datagrams no session claims,
+/// returning true to take ownership of the wire (the sharded bounce
+/// path) instead of letting the hub count it dropped.
+pub type UnclaimedHook = Box<dyn FnMut(Token, &Datagram) -> bool + Send>;
 
 /// Registered per-session state that outlives any single pump.
 struct Slot {
@@ -124,6 +82,9 @@ pub struct ServerHub<P: Poller> {
     /// and evicted when a session is removed.
     routes: HashMap<(Token, Addr), Vec<SessionId>>,
     stats: HubStats,
+    /// Where unclaimed datagrams go instead of the dropped-counter, when
+    /// a front end wants them back (see [`ServerHub::set_unclaimed`]).
+    unclaimed: Option<UnclaimedHook>,
 }
 
 impl<P: Poller> ServerHub<P> {
@@ -137,7 +98,17 @@ impl<P: Poller> ServerHub<P> {
             wheel: TimerWheel::default(),
             routes: HashMap::new(),
             stats: HubStats::default(),
+            unclaimed: None,
         }
+    }
+
+    /// Installs the unclaimed-datagram hook: wires no session claims are
+    /// offered to `hook` before being counted dropped; returning true
+    /// takes the wire (counted bounced instead). A sharded front end
+    /// uses this to return another shard's traffic to the distributor —
+    /// the fan-out leg of the cross-shard authentication fallback.
+    pub fn set_unclaimed(&mut self, hook: UnclaimedHook) {
+        self.unclaimed = Some(hook);
     }
 
     /// Registers a session living on source `token`. Many sessions may
@@ -299,7 +270,14 @@ impl<P: Poller> ServerHub<P> {
                             woken.push(j);
                         }
                     }
-                    None => self.stats.dropped += 1,
+                    None => {
+                        let bounced = self.unclaimed.as_mut().is_some_and(|hook| hook(t2, &dg));
+                        if bounced {
+                            self.stats.bounced += 1;
+                        } else {
+                            self.stats.dropped += 1;
+                        }
+                    }
                 }
             }
 
@@ -443,6 +421,7 @@ mod tests {
     use crate::apps::LineShell;
     use crate::client::MoshClient;
     use crate::server::MoshServer;
+    use crate::session::Party;
     use mosh_crypto::Base64Key;
     use mosh_net::{LinkConfig, Network, Side, SimChannel, SimPoller};
     use mosh_prediction::DisplayPreference;

@@ -17,11 +17,14 @@
 //!   `mosh_net::Channel` substrate (simulator or live UDP) by
 //!   `min(next_wakeup, next_event_time)` and yielding typed
 //!   [`session::SessionEvent`]s.
-//! * [`hub`] — the multi-session server runtime: [`hub::ServerHub`]
-//!   drives any number of sessions behind one `mosh_net::Poller` with a
-//!   timer wheel of per-session wakeups, demultiplexing datagrams by
-//!   address and falling back to cryptographic authentication when
-//!   roaming makes addresses collide (§2.2).
+//! * [`hub`] — the multi-session server runtime, in two layers:
+//!   [`hub::ServerHub`] drives any number of sessions behind one
+//!   `mosh_net::Poller` with a timer wheel of per-session wakeups,
+//!   demultiplexing datagrams by address and falling back to
+//!   cryptographic authentication when roaming makes addresses collide
+//!   (§2.2); [`hub::ShardedHub`] spreads those hubs across worker
+//!   threads — one private shard per core, sessions assigned at accept
+//!   time, byte-identical per-session behavior at every shard count.
 //!
 //! Endpoints are I/O-free: `tick(now)` returns addressed datagrams and
 //! `receive(now, ...)` consumes them, under any transport — the
@@ -35,7 +38,7 @@ pub mod session;
 
 pub use apps::{Application, Editor, LineShell, MailReader, Pager, TimedWrite};
 pub use client::MoshClient;
-pub use hub::{HubSession, HubStats, ServerHub, SessionId};
+pub use hub::{HubSession, HubStats, ServerHub, SessionId, ShardedHub};
 pub use server::MoshServer;
 pub use session::{Endpoint, Party, SessionDriver, SessionEvent, SessionLoop};
 

@@ -31,11 +31,17 @@ use std::collections::VecDeque;
 pub const ECHO_TIMEOUT: Millis = 50;
 
 /// The server half of a Mosh session.
+///
+/// The authoritative terminal lives *inside* the transport's sender (its
+/// current state), mutated in place as writes apply — there is no second
+/// terminal copy cloned into the sender per frame; the only snapshots
+/// taken are the sender's retained diff sources, one per state actually
+/// shipped.
 pub struct MoshServer {
     transport: Transport<CompleteTerminal, UserStream>,
     app: Box<dyn Application>,
-    /// The authoritative terminal (pushed into the transport when dirty).
-    terminal: CompleteTerminal,
+    /// True when the terminal changed since the last commit to the
+    /// sender's collection clock.
     dirty: bool,
     /// Next user-stream event index to apply.
     applied_through: u64,
@@ -55,16 +61,14 @@ pub struct MoshServer {
 impl MoshServer {
     /// Creates a server hosting `app`, keyed for one client.
     pub fn new(key: Base64Key, app: Box<dyn Application>) -> Self {
-        let terminal = CompleteTerminal::initial();
         MoshServer {
             transport: Transport::new(
                 key,
                 Direction::ToClient,
-                terminal.clone(),
+                CompleteTerminal::initial(),
                 UserStream::new(),
             ),
             app,
-            terminal,
             dirty: false,
             applied_through: 0,
             echo_queue: VecDeque::new(),
@@ -83,7 +87,7 @@ impl MoshServer {
 
     /// The authoritative screen (for tests and the Control-C experiment).
     pub fn frame(&self) -> &mosh_terminal::Framebuffer {
-        self.terminal.frame()
+        self.transport.current_state().frame()
     }
 
     /// Smoothed RTT as the server sees it.
@@ -177,20 +181,21 @@ impl MoshServer {
             return;
         }
         // Apply newly arrived user events to the application/terminal.
-        // Split borrows: the remote user stream is iterated in place (it
-        // holds every event of the session, so cloning it per datagram
-        // would cost ever more as the session ages).
+        // Split borrows twice over: the remote user stream is iterated in
+        // place (it holds every event of the session, so cloning it per
+        // datagram would cost ever more as the session ages), and the
+        // terminal is the transport's own current state, mutated in place
+        // alongside it.
         let Self {
             transport,
             app,
-            terminal,
             dirty,
             applied_through,
             echo_queue,
             pending_writes,
             ..
         } = self;
-        let remote = transport.remote_state();
+        let (terminal, remote) = transport.split_states();
         for (idx, ev) in remote.events_from(*applied_through) {
             match ev {
                 UserEvent::Keystroke(bytes) => {
@@ -220,19 +225,20 @@ impl MoshServer {
         let polled = self.app.poll(now);
         self.schedule_writes(polled);
 
-        // Apply due writes to the authoritative terminal.
+        // Apply due writes to the authoritative terminal (the sender's
+        // current state, mutated in place).
         while let Some(w) = self.pending_writes.front() {
             if w.at > now {
                 break;
             }
             let w = self.pending_writes.pop_front().expect("peeked");
-            self.terminal.act(&w.bytes);
+            self.transport.current_state_mut().act(&w.bytes);
             self.unshipped_writes.push(w.at.max(now));
             self.dirty = true;
         }
 
         // Terminal replies (DA/DSR) feed back into the application.
-        let answerback = self.terminal.take_answerback();
+        let answerback = self.transport.current_state_mut().take_answerback();
         if !answerback.is_empty() {
             let writes = self.app.on_input(now, &answerback);
             self.schedule_writes(writes);
@@ -250,14 +256,14 @@ impl MoshServer {
             }
         }
         if let Some(ack) = new_ack {
-            if ack > self.terminal.echo_ack() {
-                self.terminal.set_echo_ack(ack);
+            if ack > self.transport.current_state().echo_ack() {
+                self.transport.current_state_mut().set_echo_ack(ack);
                 self.dirty = true;
             }
         }
 
         if self.dirty {
-            self.transport.set_current_state(self.terminal.clone(), now);
+            self.transport.commit_current(now);
             self.dirty = false;
         }
 
@@ -375,9 +381,9 @@ mod tests {
         server.tick(21);
         // Before the timeout the ack is still 0 in the authoritative state.
         server.tick(69);
-        assert_eq!(server.terminal.echo_ack(), 0);
+        assert_eq!(server.transport.current_state().echo_ack(), 0);
         server.tick(70); // 20 + 50
-        assert_eq!(server.terminal.echo_ack(), 1);
+        assert_eq!(server.transport.current_state().echo_ack(), 1);
     }
 
     #[test]

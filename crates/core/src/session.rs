@@ -75,7 +75,13 @@ pub enum SessionEvent {
 /// One timed state machine a [`SessionLoop`] drives: Mosh client or
 /// server, an SSH endpoint, a bulk TCP flow, or any test instrument
 /// wrapped around one of those.
-pub trait Endpoint {
+///
+/// `Send` is a supertrait: endpoints are self-contained state machines
+/// (no shared interior mutability — the crypto session's counters are
+/// `Cell`s, shard-local by construction), which is what lets a sharded
+/// hub lease whole sessions to worker threads. `Sync` is deliberately
+/// *not* required: a session is only ever driven by one thread at a time.
+pub trait Endpoint: Send {
     /// Consumes one wire datagram received at `now` from `from`.
     fn receive(&mut self, now: Millis, from: Addr, wire: &[u8], events: &mut Vec<SessionEvent>);
 

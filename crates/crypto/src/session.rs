@@ -64,6 +64,13 @@ pub const MAX_SEQ: u64 = (1 << 63) - 1;
 /// One end of an encrypted session: encrypts outgoing datagrams with its own
 /// direction bit and accepts only datagrams from the opposite direction.
 ///
+/// A `Session` is `Send` but deliberately **not** `Sync`: the decrypt
+/// counter is a `Cell` and the scratch buffer is unguarded, which is
+/// exactly right for the sharded-hub threading model — a session is
+/// owned by one shard (worker thread) at a time, its interior state
+/// shard-local by construction, and the compiler rejects any attempt to
+/// share one across threads.
+///
 /// # Examples
 ///
 /// ```
@@ -223,6 +230,14 @@ mod tests {
             Session::new(key.clone(), Direction::ToServer),
             Session::new(key, Direction::ToClient),
         )
+    }
+
+    #[test]
+    fn session_is_send_for_shard_handoff() {
+        // Sessions migrate to shard worker threads whole; `Cell` keeps
+        // them !Sync, so concurrent sharing cannot compile.
+        fn is_send<T: Send>() {}
+        is_send::<Session>();
     }
 
     #[test]

@@ -131,7 +131,7 @@ impl Channel for SimChannel {
 // ---------------------------------------------------------------------
 
 /// Maximum UDP datagram we accept (fragments are far smaller).
-const MAX_DATAGRAM: usize = 64 * 1024;
+pub(crate) const MAX_DATAGRAM: usize = 64 * 1024;
 
 /// Upper bound on datagrams consumed by one non-blocking [`UdpChannel::drain`].
 const MAX_DRAIN: usize = 1024;
@@ -139,13 +139,15 @@ const MAX_DRAIN: usize = 1024;
 /// The [`Addr`] for a socket address of either family. IPv4-mapped IPv6
 /// sources (`::ffff:a.b.c.d`, what a dual-stack socket reports for IPv4
 /// senders) are normalized to [`Host::V4`], so a peer has one identity no
-/// matter which family the kernel reported it under.
+/// matter which family the kernel reported it under. The IPv6 scope id is
+/// carried through, so a link-local peer (`fe80::…%iface`) keeps the
+/// interface that makes its address routable.
 pub fn addr_from_socket(sa: SocketAddr) -> Addr {
     match sa {
         SocketAddr::V4(v4) => Addr::new(u32::from(*v4.ip()), v4.port()),
         SocketAddr::V6(v6) => match v6.ip().to_ipv4_mapped() {
             Some(v4) => Addr::new(u32::from(v4), v6.port()),
-            None => Addr::v6(u128::from(*v6.ip()), v6.port()),
+            None => Addr::v6_scoped(u128::from(*v6.ip()), v6.scope_id(), v6.port()),
         },
     }
 }
@@ -154,17 +156,38 @@ pub fn addr_from_socket(sa: SocketAddr) -> Addr {
 /// [`addr_from_socket`]). IPv4-mapped IPv6 hosts come back out as plain
 /// V4 socket addresses — the kernel routes those from sockets of either
 /// family, which is what makes a mid-session IPv4→IPv6 rebind work.
+/// Scoped (link-local) hosts come back with their scope id, so replies to
+/// `fe80::…%iface` leave on the right interface instead of failing with
+/// scope 0.
 pub fn socket_from_addr(a: Addr) -> SocketAddr {
     match a.host {
         Host::V4(h) => SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::from(h), a.port)),
-        Host::V6(h) => {
+        Host::V6(h, scope) => {
             let ip = Ipv6Addr::from(h);
             match ip.to_ipv4_mapped() {
                 Some(v4) => SocketAddr::V4(SocketAddrV4::new(v4, a.port)),
-                None => SocketAddr::V6(SocketAddrV6::new(ip, a.port, 0, 0)),
+                None => SocketAddr::V6(SocketAddrV6::new(ip, a.port, 0, scope)),
             }
         }
     }
+}
+
+/// Sends one datagram on a socket, in the family the socket can route.
+/// An AF_INET6 socket cannot portably send to an AF_INET sockaddr (Linux
+/// tolerates it; BSD kernels return EAFNOSUPPORT), so a V6-bound sender
+/// addresses IPv4 peers in v4-mapped form. Datagram semantics: a failed
+/// send is a lost packet, and SSP's retransmission timers already handle
+/// loss. Shared by [`UdpChannel`] and the distributor's
+/// [`crate::feed::FeedChannel`] (which sends on a socket owned by
+/// another thread — `UdpSocket::send_to` is `&self`).
+pub(crate) fn send_raw(socket: &UdpSocket, local_is_v6: bool, to: Addr, payload: &[u8]) {
+    let target = match (local_is_v6, socket_from_addr(to)) {
+        (true, SocketAddr::V4(v4)) => {
+            SocketAddr::V6(SocketAddrV6::new(v4.ip().to_ipv6_mapped(), v4.port(), 0, 0))
+        }
+        (_, sa) => sa,
+    };
+    let _ = socket.send_to(payload, target);
 }
 
 /// A live UDP socket behind the [`Channel`] seam (IPv4 or IPv6).
@@ -286,18 +309,7 @@ impl Channel for UdpChannel {
     }
 
     fn send(&mut self, _from: Addr, to: Addr, payload: Vec<u8>) {
-        // An AF_INET6 socket cannot portably send to an AF_INET sockaddr
-        // (Linux tolerates it; BSD kernels return EAFNOSUPPORT), so a
-        // V6-bound channel addresses IPv4 peers in v4-mapped form.
-        let target = match (self.local.is_v6(), socket_from_addr(to)) {
-            (true, SocketAddr::V4(v4)) => {
-                SocketAddr::V6(SocketAddrV6::new(v4.ip().to_ipv6_mapped(), v4.port(), 0, 0))
-            }
-            (_, sa) => sa,
-        };
-        // Datagram semantics: a failed send is a lost packet, and SSP's
-        // retransmission timers already handle loss.
-        let _ = self.socket.send_to(&payload, target);
+        send_raw(&self.socket, self.local.is_v6(), to, &payload);
     }
 
     fn recv(&mut self, addr: Addr) -> Option<Datagram> {
@@ -388,6 +400,30 @@ mod tests {
         let a6 = addr_from_socket(sa6);
         assert!(a6.is_v6());
         assert_eq!(socket_from_addr(a6), sa6);
+
+        // A scoped link-local source keeps its interface: the reply
+        // reconstructs the same scope id, not scope 0.
+        let scoped = SocketAddr::V6(SocketAddrV6::new(
+            "fe80::dead:beef".parse().unwrap(),
+            60004,
+            0,
+            7,
+        ));
+        let as6 = addr_from_socket(scoped);
+        assert_eq!(
+            as6,
+            Addr::v6_scoped(0xfe80_u128 << 112 | 0xdead_beef, 7, 60004)
+        );
+        assert_eq!(socket_from_addr(as6), scoped);
+        assert_eq!(as6.to_string(), "[fe80::dead:beef%7]:60004");
+        // Same sixteen octets on a different link = a different peer.
+        let other_link = addr_from_socket(SocketAddr::V6(SocketAddrV6::new(
+            "fe80::dead:beef".parse().unwrap(),
+            60004,
+            0,
+            8,
+        )));
+        assert_ne!(as6, other_link);
 
         // A v4-mapped source (dual-stack socket reporting an IPv4 peer)
         // normalizes to the plain V4 identity and socket address.

@@ -1,0 +1,405 @@
+//! The shared-socket distributor: one UDP socket feeding many shards.
+//!
+//! A sharded hub (see `mosh_core::hub::ShardedHub`) runs one `ServerHub`
+//! per worker thread, but a production front end still answers on **one**
+//! UDP port. Two threads cannot both block on one socket without stealing
+//! each other's datagrams, so the socket is owned by a single
+//! **distributor** ([`UdpDistributor`]) that drains it and hands each
+//! datagram to the shard that owns the sending session, over an SPSC
+//! queue per shard. Each shard sees its queue as an ordinary [`Channel`]
+//! — a [`FeedChannel`] — so the per-shard `ServerHub` machinery is
+//! unchanged: replies go straight out the shared socket
+//! (`UdpSocket::send_to` is `&self`, so senders never serialize behind
+//! the distributor).
+//!
+//! Routing follows the hub's demux discipline — the address is a hint,
+//! the key is the identity:
+//!
+//! * **Source hints** are learned from *outbound* traffic: a Mosh server
+//!   only ever targets the source of an authentic datagram (§2.2), so
+//!   when shard `i` sends to address `X`, datagrams *from* `X` are
+//!   authenticated traffic of a session on shard `i`. The common case
+//!   routes on one hash-map lookup and is opened once, by its owner.
+//! * **Unhinted or mis-hinted datagrams fan out**: the receiving shard
+//!   probes its own sessions cryptographically (`Endpoint::try_open` —
+//!   one OCB open per probed key, and the winner's probe *is* its
+//!   delivery decrypt); if no local session claims the wire, the shard
+//!   **bounces** it back and the distributor forwards it to the next
+//!   shard. A wire no shard claims after a full cycle is dropped. The
+//!   plaintext is never decrypted twice by its owner, and never
+//!   misrouted: exactly the single-hub auth fallback, spread over
+//!   threads.
+//!
+//! Hint updates can race a bounce cycle (the hint map shifts while a
+//! datagram is mid-fan-out), which can cost one extra probe or drop that
+//! one datagram. Both are datagram semantics — SSP retransmits, and by
+//! then the hint is warm — and only ever affect a session's *first*
+//! packets.
+
+use crate::channel::{addr_from_socket, send_raw, Channel, MAX_DATAGRAM};
+use crate::{Addr, Datagram, Millis};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A datagram in flight between the distributor and a shard, with the
+/// number of shards that have already declined it.
+type Fed = (Datagram, u32);
+
+/// Distributor counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistributorStats {
+    /// Datagrams routed to a shard from the socket.
+    pub routed: u64,
+    /// Forwards of bounced (unclaimed-by-one-shard) datagrams.
+    pub bounced: u64,
+    /// Datagrams no shard claimed after a full fan-out cycle.
+    pub dropped: u64,
+}
+
+/// One shard's view of the shared socket: a [`Channel`] whose receive
+/// side is the distributor's queue and whose send side is the shared
+/// socket itself.
+///
+/// The clock is wall milliseconds since the distributor was created, so
+/// every shard behind one socket speaks the same `Millis` epoch.
+#[derive(Debug)]
+pub struct FeedChannel {
+    shard: usize,
+    socket: Arc<UdpSocket>,
+    local: Addr,
+    start: Instant,
+    rx: Receiver<Fed>,
+    inbox: VecDeque<Fed>,
+    /// Hop count of the most recently consumed datagram, witnessed by
+    /// this shard's [`FeedBouncer`] so a bounce carries its history.
+    last_hops: Arc<AtomicU32>,
+    bounce_tx: Sender<Fed>,
+    /// Source hints shared with the distributor: sending to `X` proves a
+    /// session for `X` lives on this shard (servers only target
+    /// authenticated sources).
+    hints: Arc<Mutex<HashMap<Addr, usize>>>,
+    /// Targets this shard has already hinted, so the steady-state send
+    /// path never touches the shared lock (only the first datagram to a
+    /// new target does). Purely shard-local: if another shard later
+    /// claims the same address (two NAT-collided sessions on different
+    /// shards), its hint wins in the shared map and any resulting
+    /// mis-route simply bounces — hints are ordering, never identity.
+    hinted: HashSet<Addr>,
+}
+
+impl FeedChannel {
+    /// The shared socket's address (every session behind the distributor
+    /// receives on it).
+    pub fn local_addr(&self) -> Addr {
+        self.local
+    }
+
+    /// The bounce half for this shard: wire it into the shard hub's
+    /// unclaimed-datagram hook so wires no local session authenticates
+    /// return to the distributor instead of being dropped.
+    ///
+    /// Invariant the hop accounting rests on: the consumer must decide
+    /// bounce-or-deliver for each datagram **before consuming the
+    /// next** from this channel — the bouncer reads the hop count of
+    /// the most recently consumed datagram. `ServerHub::pump` routes
+    /// exactly that way (one `poll_any`, one routing decision); a
+    /// batching consumer would need the hop count carried alongside
+    /// each datagram instead.
+    pub fn bouncer(&self) -> FeedBouncer {
+        FeedBouncer {
+            tx: self.bounce_tx.clone(),
+            last_hops: Arc::clone(&self.last_hops),
+        }
+    }
+
+    fn drain_rx(&mut self) {
+        while let Ok(fed) = self.rx.try_recv() {
+            self.inbox.push_back(fed);
+        }
+    }
+
+    /// Consumes one queued datagram, publishing its hop count for the
+    /// [`FeedBouncer`] (see [`FeedChannel::bouncer`] for the
+    /// decide-before-next-consume invariant this implies).
+    fn take(&mut self, idx: usize) -> Datagram {
+        let (dg, hops) = self.inbox.remove(idx).expect("index in bounds");
+        self.last_hops.store(hops, Ordering::Relaxed);
+        dg
+    }
+}
+
+impl Channel for FeedChannel {
+    fn now(&self) -> Millis {
+        self.start.elapsed().as_millis() as Millis
+    }
+
+    fn send(&mut self, _from: Addr, to: Addr, payload: Vec<u8>) {
+        // The authenticated-source hint: this shard owns `to`'s session.
+        // Inserted once per new target — the hot send path stays off the
+        // shared lock.
+        if self.hinted.insert(to) {
+            self.hints
+                .lock()
+                .expect("hint map never poisoned")
+                .insert(to, self.shard);
+        }
+        send_raw(&self.socket, self.local.is_v6(), to, &payload);
+    }
+
+    fn recv(&mut self, addr: Addr) -> Option<Datagram> {
+        self.drain_rx();
+        let idx = self.inbox.iter().position(|(dg, _)| dg.to == addr)?;
+        Some(self.take(idx))
+    }
+
+    fn poll_any(&mut self) -> Option<Datagram> {
+        self.drain_rx();
+        if self.inbox.is_empty() {
+            None
+        } else {
+            Some(self.take(0))
+        }
+    }
+
+    fn next_event_time(&self) -> Option<Millis> {
+        None // Real traffic cannot announce its arrivals.
+    }
+
+    fn wait_until(&mut self, deadline: Millis) -> Millis {
+        let now = self.now();
+        if now >= deadline || !self.inbox.is_empty() {
+            return now;
+        }
+        match self.rx.recv_timeout(Duration::from_millis(deadline - now)) {
+            Ok(fed) => {
+                self.inbox.push_back(fed);
+                self.now()
+            }
+            Err(RecvTimeoutError::Timeout) => self.now(),
+            // The distributor is gone; nothing will ever arrive.
+            Err(RecvTimeoutError::Disconnected) => deadline.max(self.now()),
+        }
+    }
+}
+
+/// Returns unclaimed datagrams to the distributor, remembering how many
+/// shards have already declined them (see [`FeedChannel::bouncer`]).
+#[derive(Debug, Clone)]
+pub struct FeedBouncer {
+    tx: Sender<Fed>,
+    last_hops: Arc<AtomicU32>,
+}
+
+impl FeedBouncer {
+    /// Bounces one unclaimed datagram back to the distributor. Returns
+    /// false when the distributor is gone (the caller should then count
+    /// the datagram dropped).
+    pub fn bounce(&self, dg: &Datagram) -> bool {
+        let hops = self.last_hops.load(Ordering::Relaxed);
+        self.tx.send((dg.clone(), hops + 1)).is_ok()
+    }
+}
+
+/// Owns the shared socket and routes its datagrams to shard queues.
+///
+/// Run [`UdpDistributor::pump`] on its own thread (or interleaved with
+/// other work on the accept thread) while the shards pump their hubs.
+#[derive(Debug)]
+pub struct UdpDistributor {
+    socket: Arc<UdpSocket>,
+    local: Addr,
+    buf: Box<[u8; MAX_DATAGRAM]>,
+    feeds: Vec<Sender<Fed>>,
+    bounce_rx: Receiver<Fed>,
+    hints: Arc<Mutex<HashMap<Addr, usize>>>,
+    stats: DistributorStats,
+}
+
+impl UdpDistributor {
+    /// Splits `socket` into a distributor plus one [`FeedChannel`] per
+    /// shard. The socket must already be bound; every shard sends
+    /// through it and receives from its own queue.
+    pub fn new(socket: UdpSocket, shards: usize) -> io::Result<(Self, Vec<FeedChannel>)> {
+        assert!(shards > 0, "a distributor needs at least one shard");
+        let local = addr_from_socket(socket.local_addr()?);
+        let socket = Arc::new(socket);
+        let start = Instant::now();
+        let hints = Arc::new(Mutex::new(HashMap::new()));
+        let (bounce_tx, bounce_rx) = channel();
+        let mut feeds = Vec::with_capacity(shards);
+        let mut channels = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = channel();
+            feeds.push(tx);
+            channels.push(FeedChannel {
+                shard,
+                socket: Arc::clone(&socket),
+                local,
+                start,
+                rx,
+                inbox: VecDeque::new(),
+                last_hops: Arc::new(AtomicU32::new(0)),
+                bounce_tx: bounce_tx.clone(),
+                hints: Arc::clone(&hints),
+                hinted: HashSet::new(),
+            });
+        }
+        Ok((
+            UdpDistributor {
+                socket,
+                local,
+                buf: Box::new([0u8; MAX_DATAGRAM]),
+                feeds,
+                bounce_rx,
+                hints,
+                stats: DistributorStats::default(),
+            },
+            channels,
+        ))
+    }
+
+    /// The shared socket's address.
+    pub fn local_addr(&self) -> Addr {
+        self.local
+    }
+
+    /// Distributor counters.
+    pub fn stats(&self) -> DistributorStats {
+        self.stats
+    }
+
+    /// The shard a datagram from `from` starts its routing at: the
+    /// learned hint when one exists, a stable hash of the source
+    /// otherwise (so retries of an unknown source probe shards in a
+    /// consistent order).
+    fn base_shard(&self, from: Addr) -> usize {
+        if let Some(&shard) = self
+            .hints
+            .lock()
+            .expect("hint map never poisoned")
+            .get(&from)
+        {
+            return shard;
+        }
+        (from.port as usize) % self.feeds.len()
+    }
+
+    /// Drains the socket and the bounce queue for `wall_ms` wall-clock
+    /// milliseconds, routing every datagram to a shard queue.
+    pub fn pump(&mut self, wall_ms: u64) {
+        let deadline = Instant::now() + Duration::from_millis(wall_ms);
+        // Short read timeouts keep bounce handling responsive while the
+        // socket is quiet.
+        let _ = self.socket.set_read_timeout(Some(Duration::from_millis(1)));
+        loop {
+            // Forward bounced datagrams to the next shard in their cycle.
+            while let Ok((dg, hops)) = self.bounce_rx.try_recv() {
+                if hops as usize >= self.feeds.len() {
+                    self.stats.dropped += 1;
+                } else {
+                    let next = (self.base_shard(dg.from) + hops as usize) % self.feeds.len();
+                    self.stats.bounced += 1;
+                    let _ = self.feeds[next].send((dg, hops));
+                }
+            }
+            if Instant::now() >= deadline {
+                return;
+            }
+            match self.socket.recv_from(&mut self.buf[..]) {
+                Ok((n, src)) => {
+                    let dg = Datagram {
+                        from: addr_from_socket(src),
+                        to: self.local,
+                        payload: self.buf[..n].to_vec(),
+                    };
+                    let shard = self.base_shard(dg.from);
+                    self.stats.routed += 1;
+                    let _ = self.feeds[shard].send((dg, 0));
+                }
+                // Timeout or a transient error (ICMP-propagated
+                // ECONNREFUSED): loop; the deadline check exits.
+                Err(_) => continue,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributor_routes_by_hint_and_feeds_shards() {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let (mut dist, mut feeds) = UdpDistributor::new(socket, 2).unwrap();
+        let server_addr = dist.local_addr();
+
+        // A remote peer sends one datagram to the shared socket.
+        let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let peer_addr = addr_from_socket(peer.local_addr().unwrap());
+        // Teach the hint map first, as an outbound send from shard 1
+        // would: datagrams from this peer belong to shard 1.
+        feeds[1].send(server_addr, peer_addr, b"hello peer".to_vec());
+        assert_eq!(peer.recv_from(&mut [0u8; 64]).unwrap().0, 10);
+
+        peer.send_to(b"to shard 1", crate::channel::socket_from_addr(server_addr))
+            .unwrap();
+        let start = Instant::now();
+        let dg = loop {
+            assert!(start.elapsed().as_secs() < 10, "datagram never routed");
+            dist.pump(5);
+            let t = feeds[1].now() + 5;
+            feeds[1].wait_until(t);
+            if let Some(dg) = feeds[1].poll_any() {
+                break dg;
+            }
+        };
+        assert_eq!(dg.payload, b"to shard 1");
+        assert_eq!(dg.from, peer_addr);
+        assert_eq!(dg.to, server_addr);
+        assert!(feeds[0].poll_any().is_none(), "shard 0 saw nothing");
+        assert_eq!(dist.stats().routed, 1);
+    }
+
+    #[test]
+    fn bounced_datagrams_cycle_to_the_next_shard_then_drop() {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let (mut dist, mut feeds) = UdpDistributor::new(socket, 2).unwrap();
+        let server_addr = dist.local_addr();
+        let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let peer_addr = addr_from_socket(peer.local_addr().unwrap());
+        peer.send_to(b"orphan", crate::channel::socket_from_addr(server_addr))
+            .unwrap();
+
+        // Route to its base shard.
+        let base = (peer_addr.port as usize) % 2;
+        let start = Instant::now();
+        let dg = loop {
+            assert!(start.elapsed().as_secs() < 10, "never arrived");
+            dist.pump(5);
+            if let Some(dg) = feeds[base].poll_any() {
+                break dg;
+            }
+        };
+
+        // That shard declines it; the other shard must receive it next.
+        assert!(feeds[base].bouncer().bounce(&dg));
+        dist.pump(5);
+        let other = 1 - base;
+        let again = feeds[other].poll_any().expect("forwarded to next shard");
+        assert_eq!(again.payload, b"orphan");
+
+        // The second decline completes the cycle: dropped, not re-fed.
+        assert!(feeds[other].bouncer().bounce(&again));
+        dist.pump(5);
+        assert!(feeds[base].poll_any().is_none());
+        assert!(feeds[other].poll_any().is_none());
+        assert_eq!(dist.stats().dropped, 1);
+        assert_eq!(dist.stats().bounced, 1);
+    }
+}

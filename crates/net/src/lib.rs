@@ -39,13 +39,15 @@
 //! ```
 
 pub mod channel;
+pub mod feed;
 pub mod link;
 pub mod poller;
 pub mod sim;
 
 pub use channel::{Channel, SimChannel, UdpChannel};
+pub use feed::{DistributorStats, FeedBouncer, FeedChannel, UdpDistributor};
 pub use link::LinkConfig;
-pub use poller::{Poller, SimPoller, Token, UdpPoller};
+pub use poller::{ChannelPoller, Poller, SimPoller, Token, UdpPoller};
 pub use sim::{Network, NetworkStats, Side};
 
 /// Virtual time in milliseconds since the start of the simulation.
@@ -55,22 +57,21 @@ pub type Millis = u64;
 ///
 /// Emulated hosts and real IPv4 addresses share the [`Host::V4`] variant
 /// (the four octets packed big-endian); real IPv6 addresses pack their
-/// sixteen octets into [`Host::V6`]. IPv4-mapped IPv6 addresses
+/// sixteen octets into [`Host::V6`] together with the **scope id** that
+/// disambiguates link-local addresses (`fe80::…%iface` — the same
+/// sixteen octets name a different host on every link, so the scope is
+/// part of the peer's identity and of the reply route). Global and
+/// loopback IPv6 carry scope 0. IPv4-mapped IPv6 addresses
 /// (`::ffff:a.b.c.d`) are normalized to `V4` at the socket boundary, so
 /// a dual-stack peer has exactly one `Host` no matter which family the
 /// kernel reported it under.
-///
-/// Known limitation: the IPv6 scope id is not carried, so link-local
-/// peers (`fe80::…%iface`) cannot be replied to — their datagrams are
-/// received and authenticated, but replies reconstruct scope 0 and fail
-/// as loss. Global and loopback IPv6 (the deployment cases) are
-/// unaffected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Host {
     /// Abstract emulator host, or an IPv4 address packed big-endian.
     V4(u32),
-    /// An IPv6 address packed big-endian.
-    V6(u128),
+    /// An IPv6 address packed big-endian, plus its scope id (0 unless
+    /// link-local).
+    V6(u128, u32),
 }
 
 impl From<u32> for Host {
@@ -102,10 +103,21 @@ impl Addr {
         }
     }
 
-    /// Creates an IPv6 address from its big-endian packed octets.
+    /// Creates an IPv6 address from its big-endian packed octets (scope
+    /// id 0: a global or loopback address).
     pub const fn v6(host: u128, port: u16) -> Self {
         Addr {
-            host: Host::V6(host),
+            host: Host::V6(host, 0),
+            port,
+        }
+    }
+
+    /// Creates a scoped IPv6 address — a link-local peer
+    /// (`fe80::…%iface`), whose identity and reply route include the
+    /// interface's scope id.
+    pub const fn v6_scoped(host: u128, scope: u32, port: u16) -> Self {
+        Addr {
+            host: Host::V6(host, scope),
             port,
         }
     }
@@ -113,7 +125,7 @@ impl Addr {
     /// True for IPv6 hosts (IPv4-mapped addresses are normalized to
     /// [`Host::V4`] before they ever become an `Addr`).
     pub const fn is_v6(&self) -> bool {
-        matches!(self.host, Host::V6(_))
+        matches!(self.host, Host::V6(..))
     }
 }
 
@@ -138,8 +150,18 @@ impl std::fmt::Display for Addr {
                     self.port
                 )
             }
-            Host::V6(raw) => {
+            Host::V6(raw, 0) => {
                 write!(f, "[{}]:{}", std::net::Ipv6Addr::from(raw), self.port)
+            }
+            Host::V6(raw, scope) => {
+                // Link-local: the scope id is part of the address.
+                write!(
+                    f,
+                    "[{}%{}]:{}",
+                    std::net::Ipv6Addr::from(raw),
+                    scope,
+                    self.port
+                )
             }
         }
     }

@@ -163,6 +163,23 @@ impl<S: SyncState> Sender<S> {
     /// the first moment the state diverges from what was last sent.
     pub fn set_current(&mut self, state: S, now: Millis) {
         self.current = state;
+        self.commit(now);
+    }
+
+    /// Mutable access to the current state, for callers that own no
+    /// separate copy — the authoritative object *is* the sender's current
+    /// state, mutated in place instead of cloned in whole per change (the
+    /// Mosh server's terminal, the client's input stream). After mutating,
+    /// call [`Sender::commit`] before the next [`Sender::tick`] so the
+    /// collection-interval clock sees the divergence.
+    pub fn current_mut(&mut self) -> &mut S {
+        &mut self.current
+    }
+
+    /// Re-evaluates the current state against the last sent snapshot (the
+    /// tail of [`Sender::set_current`]): starts the collection-interval
+    /// clock at the first divergence, cancels it when the state reverted.
+    pub fn commit(&mut self, now: Millis) {
         let back = &self.sent_states.last().expect("never empty").state;
         if self.current.equivalent(back) {
             self.mindelay_clock = None;
@@ -190,13 +207,18 @@ impl<S: SyncState> Sender<S> {
             return; // Stale ack for an already-discarded state.
         };
         self.sent_states.drain(..pos);
-        // Rationalize: everything shares the acked prefix now; reclaim it.
-        let prefix = self.sent_states[0].state.clone();
-        self.current.subtract(&prefix);
-        for s in self.sent_states.iter_mut().skip(1) {
-            s.state.subtract(&prefix);
+        // Rationalize: everything shares the acked prefix now; reclaim
+        // it. Skipped entirely for states whose `subtract` is a no-op
+        // (terminal screens) — the pass exists only to reclaim memory,
+        // and the snapshot clone it needs would be pure cost per ack.
+        if !S::SUBTRACTS {
+            return;
         }
-        let first = &mut self.sent_states[0];
+        let (first, rest) = self.sent_states.split_first_mut().expect("never empty");
+        self.current.subtract(&first.state);
+        for s in rest {
+            s.state.subtract(&first.state);
+        }
         let p = first.state.clone();
         first.state.subtract(&p);
     }

@@ -40,6 +40,13 @@ impl std::error::Error for StateError {}
 /// intermediate states: a diff is always a fast-forward from *any* known
 /// state, not a log of everything that happened.
 pub trait SyncState: Clone {
+    /// True when [`SyncState::subtract`] actually reclaims memory for
+    /// this type. The sender consults it to skip the snapshot clones the
+    /// subtraction pass needs: for states whose `subtract` is the default
+    /// no-op (terminal screens), pruning acknowledged history would clone
+    /// whole snapshots for nothing on every ack.
+    const SUBTRACTS: bool = false;
+
     /// Computes the logical diff that transforms `source` into `self`.
     ///
     /// The semantics are object-defined (paper §2.3): user-input streams

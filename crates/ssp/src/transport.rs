@@ -90,9 +90,33 @@ impl<L: SyncState, R: SyncState> Transport<L, R> {
         self.sender.set_current(state, now);
     }
 
+    /// Mutable access to the outbound object's current state, for
+    /// callers whose authoritative object lives *inside* the sender
+    /// (mutated in place, never cloned per change). Pair every mutation
+    /// with a [`Transport::commit_current`] before the next
+    /// [`Transport::tick`].
+    pub fn current_state_mut(&mut self) -> &mut L {
+        self.sender.current_mut()
+    }
+
+    /// Re-evaluates the current state against the last sent snapshot
+    /// after in-place mutation (see [`Transport::current_state_mut`]).
+    pub fn commit_current(&mut self, now: Millis) {
+        self.sender.commit(now);
+    }
+
     /// The outbound object's current state.
     pub fn current_state(&self) -> &L {
         self.sender.current()
+    }
+
+    /// Split borrow of both state objects: the outbound current state
+    /// (mutable, for in-place updates) and the newest state received
+    /// from the peer. Lets an endpoint apply remote events to its local
+    /// object without cloning either — the Mosh server iterates the
+    /// remote user stream while mutating its terminal in place.
+    pub fn split_states(&mut self) -> (&mut L, &R) {
+        (self.sender.current_mut(), self.receiver.latest())
     }
 
     /// The newest state received from the peer.

@@ -119,6 +119,10 @@ impl UserStream {
 }
 
 impl SyncState for UserStream {
+    /// `subtract` genuinely prunes acknowledged history here (global
+    /// indices make it invisible to diffs), so the sender runs it.
+    const SUBTRACTS: bool = true;
+
     /// Every intervening event from `source`'s end to ours, with the
     /// starting global index so overlap and pruning are unambiguous.
     fn diff_from(&self, source: &Self) -> Vec<u8> {

@@ -36,9 +36,9 @@ use crate::stats::Latencies;
 use crate::synth::{KeyKind, TraceKey, UserTrace};
 use crate::workload::{WorkloadApp, SWITCH_BYTE};
 use mosh_core::session::{Endpoint, Party, SessionEvent};
-use mosh_core::{HubSession, Millis, MoshClient, MoshServer, ServerHub, SessionId};
+use mosh_core::{HubSession, Millis, MoshClient, MoshServer, SessionId, ShardedHub};
 use mosh_crypto::Base64Key;
-use mosh_net::{Addr, LinkConfig, Network, Poller, Side, SimChannel, SimPoller};
+use mosh_net::{Addr, LinkConfig, Network, Side, SimChannel, SimPoller};
 use mosh_prediction::DisplayPreference;
 use mosh_ssh::{SshClient, SshServer};
 use mosh_tcp::TcpEndpoint;
@@ -60,6 +60,13 @@ pub struct ReplayConfig {
     /// Run a concurrent bulk TCP download through the same downlink
     /// bottleneck (the LTE experiment).
     pub bulk_download: bool,
+    /// Worker threads for batch replays: users are spread over this many
+    /// hub shards, each replaying its share in parallel. Per-user results
+    /// are **identical at every thread count** (each user is a private
+    /// world; the sharded hub is byte-identical to the single-threaded
+    /// one), so this is purely a wall-clock knob. 0 and 1 both mean
+    /// single-threaded.
+    pub threads: usize,
 }
 
 impl ReplayConfig {
@@ -72,7 +79,14 @@ impl ReplayConfig {
             preference: DisplayPreference::Adaptive,
             mindelay: None,
             bulk_download: false,
+            threads: 1,
         }
+    }
+
+    /// The shard count a config asks for (clamped to at least one, and
+    /// never more than one shard per user).
+    fn shards_for(&self, users: usize) -> usize {
+        self.threads.max(1).min(users.max(1))
     }
 }
 
@@ -209,7 +223,7 @@ pub fn replay_mosh_many(traces: &[UserTrace], cfg: &ReplayConfig) -> Vec<ReplayO
     let c_addr = Addr::new(1, 1000);
     let s_addr = Addr::new(2, 60001);
 
-    let mut hub = ServerHub::new(SimPoller::new());
+    let mut hub = ShardedHub::with_shards(cfg.shards_for(traces.len()), SimPoller::new);
     let mut users: Vec<UserRun> = Vec::new();
     let mut endpoints: Vec<(MoshClient, MoshServer, Option<BulkFlow>)> = Vec::new();
     // Outstanding unresolved keystrokes per user: (index, typed at, counted).
@@ -227,8 +241,7 @@ pub fn replay_mosh_many(traces: &[UserTrace], cfg: &ReplayConfig) -> Vec<ReplayO
             server.set_mindelay(md);
         }
         let bulk = cfg.bulk_download.then(|| BulkFlow::new(&mut net));
-        let tok = hub.poller_mut().add(SimChannel::new(net));
-        let sid = hub.add_session(tok);
+        let sid = hub.add_session(SimChannel::new(net));
         users.push(UserRun::new(sid, flat, targets, 20_000));
         endpoints.push((client, server, bulk));
         pendings.push(VecDeque::new());
@@ -306,7 +319,7 @@ pub fn replay_ssh_many(traces: &[UserTrace], cfg: &ReplayConfig) -> Vec<ReplayOu
     let c_addr = Addr::new(1, 5001);
     let s_addr = Addr::new(2, 22);
 
-    let mut hub = ServerHub::new(SimPoller::new());
+    let mut hub = ShardedHub::with_shards(cfg.shards_for(traces.len()), SimPoller::new);
     let mut users: Vec<UserRun> = Vec::new();
     let mut endpoints: Vec<(SshClient, SshServer, Option<BulkFlow>)> = Vec::new();
     // Outstanding keystrokes per user: (response byte target, typed at).
@@ -324,8 +337,7 @@ pub fn replay_ssh_many(traces: &[UserTrace], cfg: &ReplayConfig) -> Vec<ReplayOu
             Box::new(WorkloadApp::new(flat.apps.clone())),
         );
         let bulk = cfg.bulk_download.then(|| BulkFlow::new(&mut net));
-        let tok = hub.poller_mut().add(SimChannel::new(net));
-        let sid = hub.add_session(tok);
+        let sid = hub.add_session(SimChannel::new(net));
         users.push(UserRun::new(sid, flat, targets, 130_000));
         endpoints.push((client, server, bulk));
         pendings.push(VecDeque::new());
@@ -391,10 +403,11 @@ pub fn replay_ssh_many(traces: &[UserTrace], cfg: &ReplayConfig) -> Vec<ReplayOu
 
 /// One hub round: every not-yet-finished user is leased to the hub and
 /// driven to its own next target (its next keystroke instant, or its
-/// settle deadline). Returns `None` once every user has finished —
-/// otherwise the tagged events of the round.
+/// settle deadline) — each user on its owning shard's worker thread.
+/// Returns `None` once every user has finished — otherwise the tagged
+/// events of the round.
 fn pump_live_users<E>(
-    hub: &mut ServerHub<SimPoller>,
+    hub: &mut ShardedHub<SimPoller>,
     users: &mut [UserRun],
     endpoints: &mut [E],
     mut parties_of: impl FnMut(&mut E) -> Vec<Party<'_>>,

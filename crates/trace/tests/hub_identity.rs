@@ -68,6 +68,26 @@ fn ssh_batch_replay_equals_dedicated_replays() {
 }
 
 #[test]
+fn threaded_replay_equals_single_threaded_sample_for_sample() {
+    // The parallel-replay knob: the same batch over 1, 2, and 3 hub
+    // shards must produce identical per-user outcomes — each user is a
+    // private world, and the sharded hub is byte-identical to the
+    // single-threaded one, so threads buy wall clock and nothing else.
+    let traces = traces();
+    let mut cfg = ReplayConfig::over(LinkConfig::evdo_uplink(), LinkConfig::evdo_downlink());
+    let solo_threaded = replay_mosh_many(&traces, &cfg);
+    for threads in [2usize, 3] {
+        cfg.threads = threads;
+        let sharded = replay_mosh_many(&traces, &cfg);
+        assert_outcomes_equal(&format!("mosh x{threads}"), &sharded, &solo_threaded);
+        let sharded_ssh = replay_ssh_many(&traces, &cfg);
+        cfg.threads = 1;
+        let solo_ssh = replay_ssh_many(&traces, &cfg);
+        assert_outcomes_equal(&format!("ssh x{threads}"), &sharded_ssh, &solo_ssh);
+    }
+}
+
+#[test]
 fn bulk_download_batch_still_matches() {
     let traces = vec![small_trace(25), small_trace(30)];
     let mut cfg = ReplayConfig::over(LinkConfig::lte_uplink(), LinkConfig::lte_downlink());

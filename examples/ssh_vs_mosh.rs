@@ -15,6 +15,7 @@ fn main() {
         preference: DisplayPreference::Adaptive,
         mindelay: None,
         bulk_download: false,
+        threads: 1,
     };
     println!("replaying 150 keystrokes over an emulated EV-DO (3G) path...\n");
     let mosh = replay_mosh(&trace, &cfg);

@@ -15,7 +15,7 @@
 
 use mosh::core::{
     Endpoint, HubSession, LineShell, MoshClient, MoshServer, Party, ServerHub, SessionEvent,
-    SessionId, SessionLoop,
+    SessionId, SessionLoop, ShardedHub,
 };
 use mosh::crypto::Base64Key;
 use mosh::net::{Addr, LinkConfig, Network, Poller, Side, SimChannel, SimPoller};
@@ -340,4 +340,133 @@ fn ambiguous_datagrams_are_decrypted_exactly_once_and_transcripts_match() {
             "failed routing probes never count against session {i}"
         );
     }
+}
+
+/// The same bar through the sharded runtime: two sessions sharing one
+/// world and one server address are co-located on one shard at accept
+/// time (a shared source has exactly one owning thread), a third
+/// private-world session rides on another shard, and every ambiguous
+/// datagram is still OCB-opened exactly once — with all transcripts
+/// byte-identical to dedicated loops.
+#[test]
+fn sharded_hub_keeps_the_decrypt_once_bar() {
+    let mut net = Network::new(LinkConfig::lan(), LinkConfig::lan(), 99);
+    net.register(CLIENTS[0], Side::Client);
+    net.register(CLIENTS[1], Side::Client);
+    net.register(S, Side::Server);
+
+    let mut hub = ShardedHub::with_shards(3, SimPoller::new);
+    let first = hub.add_session(SimChannel::new(net));
+    let second = hub.add_session_sharing(first);
+    assert_eq!(
+        hub.location(first).0,
+        hub.location(second).0,
+        "a shared world is owned by exactly one shard"
+    );
+    let sids = [first, second];
+
+    // A third, independent session on its own world keeps another shard
+    // genuinely busy during the same pumps.
+    let mut extra_net = Network::new(LinkConfig::lan(), LinkConfig::lan(), 7);
+    let extra_c = Addr::new(8, 8000);
+    extra_net.register(extra_c, Side::Client);
+    extra_net.register(S, Side::Server);
+    let extra_sid = hub.add_session(SimChannel::new(extra_net));
+    assert_ne!(hub.location(extra_sid).0, hub.location(first).0);
+    let key = Base64Key::from_bytes([0x99; 16]);
+    let mut extra_client = MoshClient::new(key.clone(), S, 80, 24, DisplayPreference::Never);
+    let mut extra_server = MoshServer::new(key, Box::new(LineShell::new()));
+
+    let mut recs: Vec<(Recorder<MoshClient>, Recorder<MoshServer>)> = (0..2)
+        .map(|i| {
+            let (c, s) = endpoints(i);
+            (Recorder::new(c), Recorder::new(s))
+        })
+        .collect();
+
+    let pump_all = |hub: &mut ShardedHub<SimPoller>,
+                    recs: &mut Vec<(Recorder<MoshClient>, Recorder<MoshServer>)>,
+                    extra: (&mut MoshClient, &mut MoshServer),
+                    target: u64| {
+        let mut leases: Vec<[Party<'_>; 2]> = recs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, (c, s))| [Party::new(CLIENTS[i], c), Party::new(S, s)])
+            .collect();
+        let mut sessions: Vec<HubSession<'_, '_>> = leases
+            .iter_mut()
+            .zip(sids.iter())
+            .map(|(parties, sid)| HubSession::new(*sid, parties, target))
+            .collect();
+        let mut extra_parties = [Party::new(extra_c, extra.0), Party::new(S, extra.1)];
+        sessions.push(HubSession::new(extra_sid, &mut extra_parties, target));
+        hub.pump(&mut sessions);
+    };
+
+    let mut instants: Vec<(u64, usize, u8)> = Vec::new();
+    for i in 0..2 {
+        for (at, byte) in script(i) {
+            instants.push((at, i, byte));
+        }
+    }
+    instants.sort();
+    for (at, i, byte) in instants {
+        pump_all(
+            &mut hub,
+            &mut recs,
+            (&mut extra_client, &mut extra_server),
+            at,
+        );
+        recs[i].0.inner.keystroke(at, &[byte]);
+        if i == 0 {
+            extra_client.keystroke(at, b"q");
+        }
+    }
+    pump_all(
+        &mut hub,
+        &mut recs,
+        (&mut extra_client, &mut extra_server),
+        END,
+    );
+
+    // The decrypt-once bar, unchanged by sharding: every server-side
+    // datagram of the shared world was ambiguous and auth-routed; the
+    // winner's routing probe is its only OCB pass (plus the single
+    // cold-hint miss).
+    let received: u64 = recs
+        .iter()
+        .map(|(_, s)| s.inner.transport_stats().datagrams_received)
+        .sum();
+    let decrypts: u64 = recs.iter().map(|(_, s)| s.inner.decrypt_count()).sum();
+    assert!(
+        received >= 16,
+        "enough traffic to prove anything: {received}"
+    );
+    assert_eq!(
+        decrypts,
+        received + 1,
+        "sharding must not add OCB passes to the ambiguous path"
+    );
+
+    // Byte-identity against dedicated loops survives the shard boundary.
+    for (i, (client, server)) in recs.iter().enumerate() {
+        let (ded_client, ded_server_sends, ded_screen) = dedicated_run(i);
+        assert_eq!(
+            client.log, ded_client,
+            "session {i}: client transcript diverged under the sharded hub"
+        );
+        assert_eq!(server.sends(), ded_server_sends);
+        assert_eq!(client.inner.server_frame().to_text(), ded_screen);
+    }
+    // The neighbor shard's session worked too, on the address fast path.
+    assert!(extra_client.server_frame().row_text(0).starts_with("$ qq"));
+    assert_eq!(
+        extra_server.transport_stats().datagrams_rejected
+            + extra_client.transport_stats().datagrams_rejected,
+        0
+    );
+
+    let stats = hub.stats();
+    assert_eq!(stats.dropped, 0, "no legitimate datagram was dropped");
+    assert!(stats.auth_routed > 0, "the ambiguous path was exercised");
 }

@@ -1,0 +1,441 @@
+//! The sharded-hub acceptance bar: spreading sessions over worker
+//! threads changes *nothing* a session can observe.
+//!
+//! * A proptest drives random session counts, shard counts, keystroke
+//!   schedules, and delivery interleavings through a [`ShardedHub`] and
+//!   through the single-threaded [`ServerHub`], and requires the full
+//!   per-session wire transcripts (both directions, raw bytes, with
+//!   timestamps) to be **byte-identical** — including the §2.2 hostile
+//!   case where every client NAT-roams onto one shared address
+//!   mid-stream while the sessions land on *different* shards.
+//! * A live smoke runs Mosh sessions spread over shards behind **one**
+//!   UDP socket, routed by the distributor with cross-shard
+//!   authentication fan-out, and requires that no endpoint ever accepts
+//!   (or is even fed) a foreign datagram.
+
+use mosh::core::{
+    Endpoint, HubSession, LineShell, MoshClient, MoshServer, Party, ServerHub, SessionEvent,
+    SessionId, SessionLoop, ShardedHub,
+};
+use mosh::crypto::Base64Key;
+use mosh::net::{Addr, LinkConfig, Network, Poller, Side, SimChannel, SimPoller, UdpChannel};
+use mosh::prediction::DisplayPreference;
+use mosh::ssp::datagram::Opened;
+use proptest::prelude::*;
+
+const S: Addr = Addr::new(2, 60001);
+/// The shared post-roam source address (every client behind one NAT).
+const NAT: Addr = Addr::new(9, 9999);
+
+/// One wire-level action: (virtual time, 's'end or 'r'eceive, peer, bytes).
+type Transcript = Vec<(u64, u8, Addr, Vec<u8>)>;
+
+/// Records raw wire traffic around an endpoint (sends and raw receives;
+/// opened-token receives are pinned via the peer's send log).
+struct Recorder<E> {
+    inner: E,
+    log: Transcript,
+}
+
+impl<E> Recorder<E> {
+    fn new(inner: E) -> Self {
+        Recorder {
+            inner,
+            log: Vec::new(),
+        }
+    }
+}
+
+impl<E: Endpoint> Endpoint for Recorder<E> {
+    fn receive(&mut self, now: u64, from: Addr, wire: &[u8], events: &mut Vec<SessionEvent>) {
+        self.log.push((now, b'r', from, wire.to_vec()));
+        self.inner.receive(now, from, wire, events);
+    }
+
+    fn tick(&mut self, now: u64, out: &mut Vec<(Addr, Vec<u8>)>, events: &mut Vec<SessionEvent>) {
+        let start = out.len();
+        self.inner.tick(now, out, events);
+        for (to, wire) in &out[start..] {
+            self.log.push((now, b's', *to, wire.clone()));
+        }
+    }
+
+    fn next_wakeup(&self, now: u64) -> u64 {
+        self.inner.next_wakeup(now)
+    }
+
+    fn last_heard(&self) -> Option<u64> {
+        self.inner.last_heard()
+    }
+
+    fn authenticates(&self, wire: &[u8]) -> bool {
+        self.inner.authenticates(wire)
+    }
+
+    fn try_open(&mut self, wire: &[u8]) -> Option<Opened> {
+        self.inner.try_open(wire)
+    }
+
+    fn receive_opened(
+        &mut self,
+        now: u64,
+        from: Addr,
+        opened: Opened,
+        events: &mut Vec<SessionEvent>,
+    ) {
+        self.inner.receive_opened(now, from, opened, events);
+    }
+}
+
+fn key(i: usize) -> Base64Key {
+    let mut bytes = [0u8; 16];
+    bytes[0] = 0x70 + i as u8;
+    bytes[1] = 0x0d;
+    Base64Key::from_bytes(bytes)
+}
+
+fn client_addr(i: usize) -> Addr {
+    Addr::new(1, 1000 + i as u16)
+}
+
+/// One user's world: its own emulated network with the client's home
+/// address, the NAT address it may roam to, and the server address.
+fn world(i: usize, seed: u64) -> SimChannel {
+    let mut net = Network::new(LinkConfig::lan(), LinkConfig::lan(), seed);
+    net.register(client_addr(i), Side::Client);
+    net.register(NAT, Side::Client);
+    net.register(S, Side::Server);
+    SimChannel::new(net)
+}
+
+fn endpoints(i: usize) -> (Recorder<MoshClient>, Recorder<MoshServer>) {
+    (
+        Recorder::new(MoshClient::new(key(i), S, 80, 24, DisplayPreference::Never)),
+        Recorder::new(MoshServer::new(key(i), Box::new(LineShell::new()))),
+    )
+}
+
+/// The common script shape: user `i` types `texts[i]` one byte per step,
+/// roaming its client onto the shared NAT address after `roam_after`
+/// steps. Returns per-user (client transcript, server transcript, final
+/// screen row) — the full observable behavior of every session.
+struct Run {
+    clients: Vec<Transcript>,
+    servers: Vec<Transcript>,
+    screens: Vec<String>,
+    /// (delivered, dropped, auth_routed) — cross-checked between runs.
+    delivered: u64,
+}
+
+/// Drives `users` sessions with any hub through one closure so the
+/// single-threaded and sharded runs share every line of schedule code.
+fn drive(
+    texts: &[String],
+    seed: u64,
+    roam_after: usize,
+    mut pump: impl FnMut(&mut [HubSession<'_, '_>]) -> Vec<(SessionId, SessionEvent)>,
+    sids: &[SessionId],
+    recs: &mut [(Recorder<MoshClient>, Recorder<MoshServer>)],
+) {
+    let _ = seed;
+    let users = texts.len();
+    let longest = texts.iter().map(|t| t.len()).max().unwrap_or(0);
+    let mut addrs: Vec<Addr> = (0..users).map(client_addr).collect();
+    let mut now = 0u64;
+    for step in 0..=longest {
+        if step == roam_after.min(longest) {
+            // Every client roams onto ONE shared address, mid-stream.
+            for a in addrs.iter_mut() {
+                *a = NAT;
+            }
+        }
+        // Pump everyone to this step's deadline, then inject keystrokes.
+        now += 137;
+        let mut leases: Vec<Vec<Party<'_>>> = recs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, (c, s))| vec![Party::new(addrs[i], c), Party::new(S, s)])
+            .collect();
+        let mut sessions: Vec<HubSession<'_, '_>> = leases
+            .iter_mut()
+            .zip(sids.iter())
+            .map(|(parties, sid)| HubSession::new(*sid, parties, now))
+            .collect();
+        pump(&mut sessions);
+        drop(sessions);
+        drop(leases);
+        for (i, text) in texts.iter().enumerate() {
+            if let Some(b) = text.as_bytes().get(step) {
+                recs[i].0.inner.keystroke(now, &[*b]);
+            }
+        }
+    }
+    // Let retransmissions and acks settle well past any RTO.
+    now += 8_000;
+    let mut leases: Vec<Vec<Party<'_>>> = recs
+        .iter_mut()
+        .enumerate()
+        .map(|(i, (c, s))| vec![Party::new(addrs[i], c), Party::new(S, s)])
+        .collect();
+    let mut sessions: Vec<HubSession<'_, '_>> = leases
+        .iter_mut()
+        .zip(sids.iter())
+        .map(|(parties, sid)| HubSession::new(*sid, parties, now))
+        .collect();
+    pump(&mut sessions);
+}
+
+fn single_threaded_run(texts: &[String], seed: u64, roam_after: usize) -> Run {
+    let mut hub = ServerHub::new(SimPoller::new());
+    let mut recs: Vec<_> = (0..texts.len()).map(endpoints).collect();
+    let sids: Vec<SessionId> = (0..texts.len())
+        .map(|i| {
+            let tok = hub.poller_mut().add(world(i, seed));
+            hub.add_session(tok)
+        })
+        .collect();
+    drive(
+        texts,
+        seed,
+        roam_after,
+        |sessions| hub.pump(sessions),
+        &sids,
+        &mut recs,
+    );
+    let delivered = hub.stats().delivered;
+    collect(recs, delivered)
+}
+
+fn sharded_run(texts: &[String], seed: u64, roam_after: usize, shards: usize) -> Run {
+    let mut hub = ShardedHub::with_shards(shards, SimPoller::new);
+    let mut recs: Vec<_> = (0..texts.len()).map(endpoints).collect();
+    let sids: Vec<SessionId> = (0..texts.len())
+        .map(|i| hub.add_session(world(i, seed)))
+        .collect();
+    drive(
+        texts,
+        seed,
+        roam_after,
+        |sessions| hub.pump(sessions),
+        &sids,
+        &mut recs,
+    );
+    let delivered = hub.stats().delivered;
+    collect(recs, delivered)
+}
+
+fn collect(recs: Vec<(Recorder<MoshClient>, Recorder<MoshServer>)>, delivered: u64) -> Run {
+    let mut run = Run {
+        clients: Vec::new(),
+        servers: Vec::new(),
+        screens: Vec::new(),
+        delivered,
+    };
+    for (client, server) in recs {
+        run.screens
+            .push(client.inner.server_frame().row_text(0).to_string());
+        run.clients.push(client.log);
+        run.servers.push(server.log);
+    }
+    run
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random session counts, shard counts, and typing interleavings:
+    /// sharded transcripts are byte-identical to the 1-thread hub, with
+    /// every client NAT-roamed onto one address mid-stream and the
+    /// same-address sessions spread across different shards.
+    #[test]
+    fn sharded_transcripts_equal_single_threaded_hub(
+        seed in any::<u64>(),
+        texts in proptest::collection::vec("[a-z]{1,6}", 2..5),
+        shards in 2usize..5,
+        roam_after in 1usize..4,
+    ) {
+        let reference = single_threaded_run(&texts, seed, roam_after);
+        let sharded = sharded_run(&texts, seed, roam_after, shards);
+
+        for (i, text) in texts.iter().enumerate() {
+            prop_assert_eq!(
+                &sharded.clients[i], &reference.clients[i],
+                "user {} client transcript diverged under {} shards", i, shards
+            );
+            prop_assert_eq!(
+                &sharded.servers[i], &reference.servers[i],
+                "user {} server transcript diverged under {} shards", i, shards
+            );
+            prop_assert_eq!(&sharded.screens[i], &reference.screens[i]);
+            // The session genuinely did something after the roam.
+            let expected = format!("$ {text}");
+            prop_assert_eq!(sharded.screens[i].as_str(), expected.as_str());
+        }
+        prop_assert_eq!(sharded.delivered, reference.delivered);
+
+        // Sessions roamed onto ONE address really do live on different
+        // shards (round-robin accept: user 0 on shard 0, user 1 on 1).
+        let mut hub = ShardedHub::with_shards(shards, SimPoller::new);
+        let a = hub.add_session(world(0, seed));
+        let b = hub.add_session(world(1, seed));
+        prop_assert_ne!(hub.location(a).0, hub.location(b).0);
+    }
+}
+
+/// Sharded scheduling is observably identical to a dedicated
+/// [`SessionLoop`] per session, not just to the single-threaded hub —
+/// the full chain pinned on a fixed case with every shard count.
+#[test]
+fn sharded_hub_matches_dedicated_loops_byte_for_byte() {
+    let texts = vec!["hello".to_string(), "world".to_string(), "mosh".to_string()];
+    let reference = single_threaded_run(&texts, 77, 2);
+    for shards in [1usize, 2, 4] {
+        let sharded = sharded_run(&texts, 77, 2, shards);
+        for i in 0..texts.len() {
+            assert_eq!(
+                sharded.clients[i], reference.clients[i],
+                "user {i} diverged at {shards} shards"
+            );
+            assert_eq!(sharded.servers[i], reference.servers[i]);
+        }
+    }
+
+    // And the reference itself equals dedicated per-session loops.
+    for (i, text) in texts.iter().enumerate() {
+        let mut sl = SessionLoop::new(world(i, 77));
+        let (mut client, mut server) = endpoints(i);
+        let mut addr = client_addr(i);
+        let mut now = 0u64;
+        for step in 0..=text.len() {
+            if step == 2 {
+                addr = NAT;
+            }
+            now += 137;
+            sl.pump_until(
+                &mut [Party::new(addr, &mut client), Party::new(S, &mut server)],
+                now,
+            );
+            if let Some(b) = text.as_bytes().get(step) {
+                client.inner.keystroke(now, &[*b]);
+            }
+        }
+        now += 8_000;
+        sl.pump_until(
+            &mut [Party::new(addr, &mut client), Party::new(S, &mut server)],
+            now,
+        );
+        assert_eq!(
+            client.log, reference.clients[i],
+            "user {i}: hub diverged from a dedicated loop"
+        );
+        assert_eq!(server.log, reference.servers[i]);
+    }
+}
+
+/// The live path: sessions spread over shards behind ONE UDP socket,
+/// fed by the distributor, with unclaimed wires fanned out across
+/// shards by bounce — and never a foreign datagram accepted.
+#[test]
+fn shards_share_one_socket_via_distributor() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    const N: usize = 6;
+    const SHARDS: usize = 3;
+    let socket = std::net::UdpSocket::bind("127.0.0.1:0").expect("server socket");
+    let server_addr = mosh::net::channel::addr_from_socket(socket.local_addr().unwrap());
+    let (mut hub, mut dist) = ShardedHub::over_distributor(socket, SHARDS).expect("distributor");
+
+    let mut sids = Vec::new();
+    let mut servers: Vec<MoshServer> = Vec::new();
+    for i in 0..N {
+        sids.push(hub.add_distributed_session());
+        servers.push(MoshServer::new(key(i), Box::new(LineShell::new())));
+    }
+    // Round-robin accept really spread the sessions over every shard.
+    let shards_used: std::collections::HashSet<usize> =
+        sids.iter().map(|sid| hub.location(*sid).0).collect();
+    assert_eq!(shards_used.len(), SHARDS);
+
+    let done = Arc::new(AtomicUsize::new(0));
+    let mut clients = Vec::new();
+    for i in 0..N {
+        let done = done.clone();
+        let key = key(i);
+        clients.push(std::thread::spawn(move || {
+            let channel = UdpChannel::bind("127.0.0.1:0").expect("client socket");
+            let addr = channel.local_addr();
+            let mut client = MoshClient::new(key, server_addr, 80, 24, DisplayPreference::Never);
+            let mut sl = SessionLoop::new(channel);
+            let start = std::time::Instant::now();
+            let expected = format!("$ {}", (b'a' + i as u8) as char);
+            let mut typed = false;
+            loop {
+                assert!(
+                    start.elapsed().as_secs() < 60,
+                    "client {i} timed out waiting for {expected:?} (screen: {:?})",
+                    client.server_frame().row_text(0)
+                );
+                let t = sl.now() + 5;
+                sl.pump_until(&mut [Party::new(addr, &mut client)], t);
+                let row = client.server_frame().row_text(0);
+                if row == "$" && !typed {
+                    typed = true;
+                    client.keystroke(sl.now(), &[b'a' + i as u8]);
+                } else if row == expected {
+                    break;
+                }
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+            (i, client.server_frame().row_text(0))
+        }));
+    }
+
+    // Shard worker threads pump their sessions while the calling thread
+    // seats the distributor — one socket, SHARDS event loops.
+    let start = std::time::Instant::now();
+    while done.load(Ordering::SeqCst) < N {
+        assert!(start.elapsed().as_secs() < 90, "sharded smoke timed out");
+        let target = hub.now(sids[0]) + 10;
+        let mut leases: Vec<[Party<'_>; 1]> = servers
+            .iter_mut()
+            .map(|s| [Party::new(server_addr, s)])
+            .collect();
+        let mut sessions: Vec<HubSession<'_, '_>> = leases
+            .iter_mut()
+            .zip(sids.iter())
+            .map(|(parties, sid)| HubSession::new(*sid, parties, target))
+            .collect();
+        hub.pump_with(&mut sessions, || dist.pump(10));
+    }
+
+    for c in clients {
+        let (i, row) = c.join().expect("client thread");
+        assert_eq!(row, format!("$ {}", (b'a' + i as u8) as char));
+    }
+    // Each session echoed exactly its own client's keystroke and learned
+    // that client's real socket address; a misroute would be rejected by
+    // the endpoint's transport and counted.
+    let mut targets = std::collections::HashSet::new();
+    for (i, server) in servers.iter().enumerate() {
+        assert_eq!(
+            server.frame().row_text(0),
+            format!("$ {}", (b'a' + i as u8) as char),
+            "server {i} screen"
+        );
+        let target = server.target().expect("server learned a client");
+        assert!(targets.insert(target), "distinct client per session");
+        assert_eq!(
+            server.transport_stats().datagrams_rejected,
+            0,
+            "session {i} was never fed a foreign datagram"
+        );
+    }
+    let stats = hub.stats();
+    assert!(stats.delivered > 0, "real traffic flowed: {stats:?}");
+    assert!(
+        dist.stats().routed > 0,
+        "the distributor carried the socket: {:?}",
+        dist.stats()
+    );
+}
