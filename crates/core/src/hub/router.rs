@@ -38,7 +38,7 @@ use super::shard::ServerHub;
 use super::{HubSession, HubStats, SessionId};
 use crate::session::SessionEvent;
 use crate::Millis;
-use mosh_net::{ChannelPoller, FeedChannel, Poller, Token, UdpDistributor};
+use mosh_net::{Channel, ChannelPoller, FeedChannel, Poller, Token, UdpDistributor};
 use std::collections::HashMap;
 use std::io;
 use std::net::UdpSocket;
@@ -124,10 +124,21 @@ impl<P: Poller> ShardedHub<P> {
         self.sessions[sid.0]
     }
 
-    /// Retires a session (see [`ServerHub::remove_session`]).
+    /// Retires a session (see [`ServerHub::remove_session`]), and evicts
+    /// any substrate routing state learned for it — for a session behind
+    /// the shared socket, the distributor's source hints
+    /// ([`mosh_net::Channel::evict_hint`]), which would otherwise grow
+    /// with every client address ever served and cost later traffic from
+    /// a reused address an extra bounce hop.
     pub fn remove_session(&mut self, sid: SessionId) {
         let (shard, local) = self.sessions[sid.0];
-        self.shards[shard].remove_session(local);
+        let evicted = self.shards[shard].remove_session(local);
+        for (tok, addr) in evicted {
+            self.shards[shard]
+                .poller_mut()
+                .channel_mut(tok)
+                .evict_hint(addr);
+        }
     }
 
     /// Configures a session's peer-silence timeout.
@@ -284,8 +295,12 @@ impl ShardedHub<ChannelPoller<FeedChannel>> {
             let tok = poller.add(feed);
             let mut shard = ServerHub::new(poller);
             // Only the shared source bounces; a private source's
-            // unclaimed traffic is line noise, dropped as always.
-            shard.set_unclaimed(Box::new(move |t, dg| t == tok && bouncer.bounce(dg)));
+            // unclaimed traffic is line noise, dropped as always. The
+            // hook also marks the source shared, so the shard always
+            // routes it by authentication — even with a single local
+            // session, a foreign client's datagram must bounce onward
+            // rather than be swallowed by the wrong endpoint.
+            shard.set_unclaimed(tok, Box::new(move |dg| bouncer.bounce(dg)));
             hub.shards.push(shard);
             hub.shared.push(tok);
         }

@@ -37,10 +37,11 @@ use mosh_ssp::datagram::Opened;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-/// The unclaimed-datagram hook: called with datagrams no session claims,
-/// returning true to take ownership of the wire (the sharded bounce
-/// path) instead of letting the hub count it dropped.
-pub type UnclaimedHook = Box<dyn FnMut(Token, &Datagram) -> bool + Send>;
+/// The unclaimed-datagram hook: called with datagrams no session claims
+/// on its registered source, returning true to take ownership of the
+/// wire (the sharded bounce path) instead of letting the hub count it
+/// dropped.
+pub type UnclaimedHook = Box<dyn FnMut(&Datagram) -> bool + Send>;
 
 /// Registered per-session state that outlives any single pump.
 struct Slot {
@@ -82,9 +83,14 @@ pub struct ServerHub<P: Poller> {
     /// and evicted when a session is removed.
     routes: HashMap<(Token, Addr), Vec<SessionId>>,
     stats: HubStats,
-    /// Where unclaimed datagrams go instead of the dropped-counter, when
-    /// a front end wants them back (see [`ServerHub::set_unclaimed`]).
-    unclaimed: Option<UnclaimedHook>,
+    /// Per-source unclaimed-datagram hooks (see
+    /// [`ServerHub::set_unclaimed`]). A hooked token is a
+    /// **distributor-shared** source: sessions owned by *other* shards
+    /// also live behind it, so routing on it must always authenticate —
+    /// a lone local candidate proves nothing, and a wire it cannot open
+    /// belongs elsewhere and is handed to the hook (bounced), never
+    /// silently fed to the wrong endpoint.
+    unclaimed: Vec<(Token, UnclaimedHook)>,
 }
 
 impl<P: Poller> ServerHub<P> {
@@ -98,17 +104,31 @@ impl<P: Poller> ServerHub<P> {
             wheel: TimerWheel::default(),
             routes: HashMap::new(),
             stats: HubStats::default(),
-            unclaimed: None,
+            unclaimed: Vec::new(),
         }
     }
 
-    /// Installs the unclaimed-datagram hook: wires no session claims are
-    /// offered to `hook` before being counted dropped; returning true
-    /// takes the wire (counted bounced instead). A sharded front end
-    /// uses this to return another shard's traffic to the distributor —
-    /// the fan-out leg of the cross-shard authentication fallback.
-    pub fn set_unclaimed(&mut self, hook: UnclaimedHook) {
-        self.unclaimed = Some(hook);
+    /// Installs the unclaimed-datagram hook for source `tok`: wires no
+    /// session claims there are offered to `hook` before being counted
+    /// dropped; returning true takes the wire (counted bounced instead).
+    /// A sharded front end uses this to return another shard's traffic
+    /// to the distributor — the fan-out leg of the cross-shard
+    /// authentication fallback.
+    ///
+    /// Installing a hook also marks `tok` as a **shared** source:
+    /// datagrams on it are always routed by cryptographic
+    /// authentication, never by the single-candidate fast path — a shard
+    /// holding one session behind a distributor-shared socket must still
+    /// bounce foreign clients' datagrams rather than swallow them.
+    pub fn set_unclaimed(&mut self, tok: Token, hook: UnclaimedHook) {
+        self.unclaimed.retain(|(t, _)| *t != tok);
+        self.unclaimed.push((tok, hook));
+    }
+
+    /// True when `tok` is a distributor-shared source (it has an
+    /// unclaimed-datagram hook), so routing on it must authenticate.
+    fn is_shared(&self, tok: Token) -> bool {
+        self.unclaimed.iter().any(|(t, _)| *t == tok)
     }
 
     /// Registers a session living on source `token`. Many sessions may
@@ -131,19 +151,31 @@ impl<P: Poller> ServerHub<P> {
     /// every source-address route pointing at it is evicted, so a
     /// long-running hub's memory tracks *live* sessions, not historical
     /// ones. The id is never reused; leasing a retired id panics.
-    pub fn remove_session(&mut self, sid: SessionId) {
+    ///
+    /// Returns the `(token, source address)` route keys that no longer
+    /// point at any session, so a front end can evict matching state of
+    /// its own (a distributor's source hints — see
+    /// `ShardedHub::remove_session`).
+    pub fn remove_session(&mut self, sid: SessionId) -> Vec<(Token, Addr)> {
         let slot = &mut self.slots[sid.0];
         if !slot.live {
-            return;
+            return Vec::new();
         }
         slot.live = false;
         slot.gen += 1; // invalidate any queued wheel entry
         slot.driver = SessionDriver::new(); // drop silence bookkeeping
         self.live_sessions -= 1;
-        self.routes.retain(|_, sids| {
+        let mut evicted = Vec::new();
+        self.routes.retain(|key, sids| {
             sids.retain(|s| *s != sid);
-            !sids.is_empty()
+            if sids.is_empty() {
+                evicted.push(*key);
+                false
+            } else {
+                true
+            }
         });
+        evicted
     }
 
     /// Configures a session's peer-silence timeout (see
@@ -271,7 +303,11 @@ impl<P: Poller> ServerHub<P> {
                         }
                     }
                     None => {
-                        let bounced = self.unclaimed.as_mut().is_some_and(|hook| hook(t2, &dg));
+                        let bounced = self
+                            .unclaimed
+                            .iter_mut()
+                            .find(|(t, _)| *t == t2)
+                            .is_some_and(|(_, hook)| hook(&dg));
                         if bounced {
                             self.stats.bounced += 1;
                         } else {
@@ -356,19 +392,23 @@ impl<P: Poller> ServerHub<P> {
     /// lease index and — when authentication had to decide — the
     /// already-opened datagram token.
     ///
-    /// 1. By receive address: if exactly one lease claims `(token, to)`,
-    ///    it gets the raw datagram — the single-session fast path,
-    ///    identical to `SessionLoop` (inauthentic line noise included:
-    ///    the endpoint rejects it itself, keeping its counters
-    ///    byte-identical).
-    /// 2. Ambiguous receive address (many sessions behind one socket):
+    /// 1. By receive address, on a **private** source only: if exactly
+    ///    one lease claims `(token, to)`, it gets the raw datagram — the
+    ///    single-session fast path, identical to `SessionLoop`
+    ///    (inauthentic line noise included: the endpoint rejects it
+    ///    itself, keeping its counters byte-identical).
+    /// 2. Ambiguous receive address (many sessions behind one socket), or
+    ///    any datagram on a **distributor-shared** source (see
+    ///    [`ServerHub::set_unclaimed`] — other shards' sessions live
+    ///    behind it too, so even a lone local candidate proves nothing):
     ///    **authentication decides**, and the deciding decrypt is the only
     ///    one the datagram ever gets — `Endpoint::try_open` keeps the
     ///    verified plaintext, which `pump` then delivers to the winner as
     ///    an opened token. Source-address routes learned from earlier
     ///    authentic traffic order the candidates so the common case opens
     ///    against one key; roaming collisions degrade to trying every
-    ///    candidate. No candidate authenticates → dropped.
+    ///    candidate. No candidate authenticates → unclaimed: bounced to
+    ///    the distributor when the source has a hook, dropped otherwise.
     fn route(
         &mut self,
         tok: Token,
@@ -377,7 +417,7 @@ impl<P: Poller> ServerHub<P> {
         to_index: &HashMap<(Token, Addr), Vec<usize>>,
     ) -> Option<(usize, Option<Opened>)> {
         let cands = to_index.get(&(tok, dg.to))?;
-        if cands.len() == 1 {
+        if cands.len() == 1 && !self.is_shared(tok) {
             return Some((cands[0], None));
         }
 

@@ -55,6 +55,15 @@ pub trait Channel {
     /// new `now`. May return early — but never before `now` — when
     /// traffic arrives first; callers must re-check their own timers.
     fn wait_until(&mut self, deadline: Millis) -> Millis;
+
+    /// Forgets any routing state this substrate learned for `addr` — the
+    /// session behind that address is gone. A no-op for substrates that
+    /// learn nothing; a distributor-fed channel drops its shared source
+    /// hint (see `feed::FeedChannel`), so long-running hint maps track
+    /// live sessions, not every address ever replied to.
+    fn evict_hint(&mut self, addr: Addr) {
+        let _ = addr;
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -35,20 +35,35 @@
 //! one datagram. Both are datagram semantics — SSP retransmits, and by
 //! then the hint is warm — and only ever affect a session's *first*
 //! packets.
+//!
+//! Every queue is **bounded** ([`FEED_CAPACITY`] by default): a stalled
+//! or unleased shard sheds its overflow (counted in
+//! [`DistributorStats::overflow`]) instead of growing without bound or
+//! stalling the distributor, and hints are evicted when their session is
+//! removed (`ShardedHub::remove_session` →
+//! [`Channel::evict_hint`]), so a long-running server's maps track
+//! live sessions, not history.
 
 use crate::channel::{addr_from_socket, send_raw, Channel, MAX_DATAGRAM};
 use crate::{Addr, Datagram, Millis};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::UdpSocket;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A datagram in flight between the distributor and a shard, with the
 /// number of shards that have already declined it.
 type Fed = (Datagram, u32);
+
+/// Default bound on each distributor→shard queue and on the bounce
+/// queue. A stalled (or this-pump-unleased) shard can hold at most this
+/// many datagrams before the distributor starts shedding new ones for it
+/// — drop-on-overflow is ordinary datagram semantics (SSP retransmits),
+/// unbounded memory under a wedged consumer is not.
+pub const FEED_CAPACITY: usize = 1024;
 
 /// Distributor counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,6 +74,9 @@ pub struct DistributorStats {
     pub bounced: u64,
     /// Datagrams no shard claimed after a full fan-out cycle.
     pub dropped: u64,
+    /// Datagrams shed because the target shard's queue was full
+    /// (backpressure: the shard is stalled or not being pumped).
+    pub overflow: u64,
 }
 
 /// One shard's view of the shared socket: a [`Channel`] whose receive
@@ -78,7 +96,7 @@ pub struct FeedChannel {
     /// Hop count of the most recently consumed datagram, witnessed by
     /// this shard's [`FeedBouncer`] so a bounce carries its history.
     last_hops: Arc<AtomicU32>,
-    bounce_tx: Sender<Fed>,
+    bounce_tx: SyncSender<Fed>,
     /// Source hints shared with the distributor: sending to `X` proves a
     /// session for `X` lives on this shard (servers only target
     /// authenticated sources).
@@ -89,7 +107,15 @@ pub struct FeedChannel {
     /// claims the same address (two NAT-collided sessions on different
     /// shards), its hint wins in the shared map and any resulting
     /// mis-route simply bounces — hints are ordering, never identity.
+    /// Valid only while `seen_epoch` matches the shared [`Self::epoch`]:
+    /// an eviction anywhere clears it lazily, so a stale entry can never
+    /// block a live session's reply from re-teaching the shared map.
     hinted: HashSet<Addr>,
+    /// Shared hint-eviction epoch (bumped by [`Channel::evict_hint`] on
+    /// any shard).
+    epoch: Arc<AtomicU64>,
+    /// The epoch `hinted` was built under.
+    seen_epoch: u64,
 }
 
 impl FeedChannel {
@@ -141,7 +167,15 @@ impl Channel for FeedChannel {
     fn send(&mut self, _from: Addr, to: Addr, payload: Vec<u8>) {
         // The authenticated-source hint: this shard owns `to`'s session.
         // Inserted once per new target — the hot send path stays off the
-        // shared lock.
+        // shared lock (one relaxed load). A hint eviction anywhere
+        // invalidates every shard's memo: without this, a shard whose
+        // memo predates the eviction could never re-teach the shared map
+        // for an address it still serves.
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        if epoch != self.seen_epoch {
+            self.hinted.clear();
+            self.seen_epoch = epoch;
+        }
         if self.hinted.insert(to) {
             self.hints
                 .lock()
@@ -185,23 +219,44 @@ impl Channel for FeedChannel {
             Err(RecvTimeoutError::Disconnected) => deadline.max(self.now()),
         }
     }
+
+    /// Forgets the authenticated-source hint for `addr` (its session was
+    /// removed): the shared map entry is dropped when it still points at
+    /// this shard — another shard's later claim is left alone — and the
+    /// shard-local memo always is, so a future send re-hints. Keeps a
+    /// long-running distributor's maps tracking *live* sessions, not
+    /// every client address ever replied to.
+    fn evict_hint(&mut self, addr: Addr) {
+        self.hinted.remove(&addr);
+        {
+            let mut map = self.hints.lock().expect("hint map never poisoned");
+            if map.get(&addr) == Some(&self.shard) {
+                map.remove(&addr);
+            }
+        }
+        // Other shards may hold memo entries for `addr` from before the
+        // eviction; bump the epoch so their next send revalidates
+        // against the shared map instead of trusting a stale memo.
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Returns unclaimed datagrams to the distributor, remembering how many
 /// shards have already declined them (see [`FeedChannel::bouncer`]).
 #[derive(Debug, Clone)]
 pub struct FeedBouncer {
-    tx: Sender<Fed>,
+    tx: SyncSender<Fed>,
     last_hops: Arc<AtomicU32>,
 }
 
 impl FeedBouncer {
     /// Bounces one unclaimed datagram back to the distributor. Returns
-    /// false when the distributor is gone (the caller should then count
-    /// the datagram dropped).
+    /// false when the distributor is gone or the bounce queue is full
+    /// (the caller should then count the datagram dropped — never block
+    /// a shard's event loop behind a stalled distributor).
     pub fn bounce(&self, dg: &Datagram) -> bool {
         let hops = self.last_hops.load(Ordering::Relaxed);
-        self.tx.send((dg.clone(), hops + 1)).is_ok()
+        self.tx.try_send((dg.clone(), hops + 1)).is_ok()
     }
 }
 
@@ -214,7 +269,7 @@ pub struct UdpDistributor {
     socket: Arc<UdpSocket>,
     local: Addr,
     buf: Box<[u8; MAX_DATAGRAM]>,
-    feeds: Vec<Sender<Fed>>,
+    feeds: Vec<SyncSender<Fed>>,
     bounce_rx: Receiver<Fed>,
     hints: Arc<Mutex<HashMap<Addr, usize>>>,
     stats: DistributorStats,
@@ -222,19 +277,42 @@ pub struct UdpDistributor {
 
 impl UdpDistributor {
     /// Splits `socket` into a distributor plus one [`FeedChannel`] per
-    /// shard. The socket must already be bound; every shard sends
-    /// through it and receives from its own queue.
+    /// shard, with the default per-shard queue bound
+    /// ([`FEED_CAPACITY`]). The socket must already be bound; every
+    /// shard sends through it and receives from its own queue.
     pub fn new(socket: UdpSocket, shards: usize) -> io::Result<(Self, Vec<FeedChannel>)> {
+        Self::with_capacity(socket, shards, FEED_CAPACITY)
+    }
+
+    /// [`UdpDistributor::new`] with an explicit per-shard queue bound:
+    /// a shard more than `capacity` datagrams behind sheds new arrivals
+    /// (counted in [`DistributorStats::overflow`]) instead of growing
+    /// without bound.
+    pub fn with_capacity(
+        socket: UdpSocket,
+        shards: usize,
+        capacity: usize,
+    ) -> io::Result<(Self, Vec<FeedChannel>)> {
         assert!(shards > 0, "a distributor needs at least one shard");
+        assert!(capacity > 0, "a shard queue needs room for one datagram");
         let local = addr_from_socket(socket.local_addr()?);
+        // Short read timeouts keep bounce handling responsive while the
+        // socket is quiet; set once — the distributor owns the receive
+        // side for its lifetime.
+        socket.set_read_timeout(Some(Duration::from_millis(1)))?;
         let socket = Arc::new(socket);
         let start = Instant::now();
         let hints = Arc::new(Mutex::new(HashMap::new()));
-        let (bounce_tx, bounce_rx) = channel();
+        let epoch = Arc::new(AtomicU64::new(0));
+        // Every shard produces into the one bounce queue, so size it for
+        // the worst-case wave — all shards declining full queues at once
+        // (hintless restart) — or declined datagrams would be dropped
+        // instead of continuing the fan-out cycle.
+        let (bounce_tx, bounce_rx) = sync_channel(capacity.saturating_mul(shards));
         let mut feeds = Vec::with_capacity(shards);
         let mut channels = Vec::with_capacity(shards);
         for shard in 0..shards {
-            let (tx, rx) = channel();
+            let (tx, rx) = sync_channel(capacity);
             feeds.push(tx);
             channels.push(FeedChannel {
                 shard,
@@ -247,6 +325,8 @@ impl UdpDistributor {
                 bounce_tx: bounce_tx.clone(),
                 hints: Arc::clone(&hints),
                 hinted: HashSet::new(),
+                epoch: Arc::clone(&epoch),
+                seen_epoch: 0,
             });
         }
         Ok((
@@ -273,6 +353,13 @@ impl UdpDistributor {
         self.stats
     }
 
+    /// Number of live source hints (one per client address currently
+    /// claimed by a shard) — eviction observability for long-running
+    /// servers.
+    pub fn hint_count(&self) -> usize {
+        self.hints.lock().expect("hint map never poisoned").len()
+    }
+
     /// The shard a datagram from `from` starts its routing at: the
     /// learned hint when one exists, a stable hash of the source
     /// otherwise (so retries of an unknown source probe shards in a
@@ -293,9 +380,6 @@ impl UdpDistributor {
     /// milliseconds, routing every datagram to a shard queue.
     pub fn pump(&mut self, wall_ms: u64) {
         let deadline = Instant::now() + Duration::from_millis(wall_ms);
-        // Short read timeouts keep bounce handling responsive while the
-        // socket is quiet.
-        let _ = self.socket.set_read_timeout(Some(Duration::from_millis(1)));
         loop {
             // Forward bounced datagrams to the next shard in their cycle.
             while let Ok((dg, hops)) = self.bounce_rx.try_recv() {
@@ -303,8 +387,14 @@ impl UdpDistributor {
                     self.stats.dropped += 1;
                 } else {
                     let next = (self.base_shard(dg.from) + hops as usize) % self.feeds.len();
-                    self.stats.bounced += 1;
-                    let _ = self.feeds[next].send((dg, hops));
+                    match self.feeds[next].try_send((dg, hops)) {
+                        Ok(()) => self.stats.bounced += 1,
+                        // The next shard is saturated: shed the datagram
+                        // (SSP retransmits) rather than stall the whole
+                        // bounce cycle behind one parked shard.
+                        Err(TrySendError::Full(_)) => self.stats.overflow += 1,
+                        Err(TrySendError::Disconnected(_)) => self.stats.dropped += 1,
+                    }
                 }
             }
             if Instant::now() >= deadline {
@@ -318,8 +408,15 @@ impl UdpDistributor {
                         payload: self.buf[..n].to_vec(),
                     };
                     let shard = self.base_shard(dg.from);
-                    self.stats.routed += 1;
-                    let _ = self.feeds[shard].send((dg, 0));
+                    match self.feeds[shard].try_send((dg, 0)) {
+                        Ok(()) => self.stats.routed += 1,
+                        // Keep draining the socket at full rate even when
+                        // one shard is behind: shedding that shard's
+                        // overflow must not back-pressure everyone else's
+                        // traffic into the kernel buffer.
+                        Err(TrySendError::Full(_)) => self.stats.overflow += 1,
+                        Err(TrySendError::Disconnected(_)) => self.stats.dropped += 1,
+                    }
                 }
                 // Timeout or a transient error (ICMP-propagated
                 // ECONNREFUSED): loop; the deadline check exits.
@@ -401,5 +498,86 @@ mod tests {
         assert!(feeds[other].poll_any().is_none());
         assert_eq!(dist.stats().dropped, 1);
         assert_eq!(dist.stats().bounced, 1);
+    }
+
+    #[test]
+    fn full_shard_queue_sheds_overflow_instead_of_growing() {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let (mut dist, feeds) = UdpDistributor::with_capacity(socket, 1, 2).unwrap();
+        let server_addr = dist.local_addr();
+        let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for _ in 0..4 {
+            peer.send_to(b"flood", crate::channel::socket_from_addr(server_addr))
+                .unwrap();
+        }
+
+        // Nobody drains the lone shard: its queue holds two datagrams,
+        // the rest are shed and counted, and the distributor never
+        // blocks.
+        let start = Instant::now();
+        while dist.stats().routed + dist.stats().overflow < 4 {
+            assert!(
+                start.elapsed().as_secs() < 10,
+                "datagrams never drained: {:?}",
+                dist.stats()
+            );
+            dist.pump(5);
+        }
+        assert_eq!(dist.stats().routed, 2);
+        assert_eq!(dist.stats().overflow, 2);
+        drop(feeds);
+    }
+
+    #[test]
+    fn evicted_hints_are_forgotten_but_other_shards_claims_survive() {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let (dist, mut feeds) = UdpDistributor::new(socket, 2).unwrap();
+        let server_addr = dist.local_addr();
+        let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let peer_addr = addr_from_socket(peer.local_addr().unwrap());
+
+        // Shard 0 replies to the peer: one hint.
+        feeds[0].send(server_addr, peer_addr, b"hi".to_vec());
+        assert_eq!(dist.hint_count(), 1);
+
+        // The peer's session later lands on shard 1 (roam/reconnect):
+        // shard 1's send takes over the hint, and shard 0's eviction
+        // must not destroy shard 1's claim.
+        feeds[1].send(server_addr, peer_addr, b"again".to_vec());
+        feeds[0].evict_hint(peer_addr);
+        assert_eq!(dist.hint_count(), 1, "shard 1's hint survives");
+
+        feeds[1].evict_hint(peer_addr);
+        assert_eq!(dist.hint_count(), 0, "owning shard's eviction lands");
+
+        // After eviction the shard-local memo is cold too: a new send
+        // re-teaches the shared map rather than skipping it.
+        feeds[1].send(server_addr, peer_addr, b"back".to_vec());
+        assert_eq!(dist.hint_count(), 1);
+    }
+
+    #[test]
+    fn eviction_invalidates_other_shards_stale_memos() {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let (dist, mut feeds) = UdpDistributor::new(socket, 2).unwrap();
+        let server_addr = dist.local_addr();
+        let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let peer_addr = addr_from_socket(peer.local_addr().unwrap());
+
+        // Both shards served the address at some point (a session that
+        // reconnected onto a different shard): both memos hold it, the
+        // shared map points at shard 1.
+        feeds[0].send(server_addr, peer_addr, b"old".to_vec());
+        feeds[1].send(server_addr, peer_addr, b"new".to_vec());
+
+        // The shard-1 session is removed. Shard 0 still serves a live
+        // session for this address, and its memo predates the eviction —
+        // its next reply must re-teach the shared map, not be blocked by
+        // the stale memo (which would leave the address permanently
+        // unhinted: every inbound datagram paying the bounce fan-out).
+        feeds[1].evict_hint(peer_addr);
+        assert_eq!(dist.hint_count(), 0);
+        feeds[0].send(server_addr, peer_addr, b"mine".to_vec());
+        assert_eq!(dist.hint_count(), 1, "live shard re-taught its hint");
     }
 }

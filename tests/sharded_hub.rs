@@ -439,3 +439,126 @@ fn shards_share_one_socket_via_distributor() {
         dist.stats()
     );
 }
+
+/// The one-session-per-shard regression bar: a shard holding exactly one
+/// session behind the shared socket must still *bounce* a foreign
+/// client's datagrams onward (cross-shard authentication fan-out), never
+/// swallow them into its lone endpoint. Every client here binds a source
+/// port that hashes to the *other* shard, so its hello deterministically
+/// lands wrong first — without the bounce, these clients are permanently
+/// blackholed (the owning shard never hears them, so never replies, so
+/// no hint is ever learned).
+#[test]
+fn one_session_per_shard_bounces_wrong_hash_clients() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    const SHARDS: usize = 2;
+    let socket = std::net::UdpSocket::bind("127.0.0.1:0").expect("server socket");
+    let server_addr = mosh::net::channel::addr_from_socket(socket.local_addr().unwrap());
+    let (mut hub, mut dist) = ShardedHub::over_distributor(socket, SHARDS).expect("distributor");
+
+    let mut sids = Vec::new();
+    let mut servers: Vec<MoshServer> = Vec::new();
+    for i in 0..SHARDS {
+        sids.push(hub.add_distributed_session());
+        servers.push(MoshServer::new(key(i), Box::new(LineShell::new())));
+        // Round-robin accept: session i owns shard i, alone.
+        assert_eq!(hub.location(sids[i]).0, i);
+    }
+
+    let done = Arc::new(AtomicUsize::new(0));
+    let mut clients = Vec::new();
+    for i in 0..SHARDS {
+        let done = done.clone();
+        let key = key(i);
+        clients.push(std::thread::spawn(move || {
+            // Rebind until the source port hashes to the wrong shard —
+            // the distributor's stable fallback is port % shards.
+            let channel = loop {
+                let ch = UdpChannel::bind("127.0.0.1:0").expect("client socket");
+                if (ch.local_addr().port as usize) % SHARDS == (i + 1) % SHARDS {
+                    break ch;
+                }
+            };
+            let addr = channel.local_addr();
+            let mut client = MoshClient::new(key, server_addr, 80, 24, DisplayPreference::Never);
+            let mut sl = SessionLoop::new(channel);
+            let start = std::time::Instant::now();
+            let expected = format!("$ {}", (b'a' + i as u8) as char);
+            let mut typed = false;
+            loop {
+                assert!(
+                    start.elapsed().as_secs() < 60,
+                    "client {i} blackholed by the wrong shard (screen: {:?})",
+                    client.server_frame().row_text(0)
+                );
+                let t = sl.now() + 5;
+                sl.pump_until(&mut [Party::new(addr, &mut client)], t);
+                let row = client.server_frame().row_text(0);
+                if row == "$" && !typed {
+                    typed = true;
+                    client.keystroke(sl.now(), &[b'a' + i as u8]);
+                } else if row == expected {
+                    break;
+                }
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+            i
+        }));
+    }
+
+    let start = std::time::Instant::now();
+    while done.load(Ordering::SeqCst) < SHARDS {
+        assert!(start.elapsed().as_secs() < 90, "bounce smoke timed out");
+        let target = hub.now(sids[0]) + 10;
+        let mut leases: Vec<[Party<'_>; 1]> = servers
+            .iter_mut()
+            .map(|s| [Party::new(server_addr, s)])
+            .collect();
+        let mut sessions: Vec<HubSession<'_, '_>> = leases
+            .iter_mut()
+            .zip(sids.iter())
+            .map(|(parties, sid)| HubSession::new(*sid, parties, target))
+            .collect();
+        hub.pump_with(&mut sessions, || dist.pump(10));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // Every session served exactly its own client, and the wires that
+    // landed on the wrong lone-session shard were bounced, not eaten.
+    for (i, server) in servers.iter().enumerate() {
+        assert_eq!(
+            server.frame().row_text(0),
+            format!("$ {}", (b'a' + i as u8) as char),
+            "server {i} screen"
+        );
+        assert_eq!(
+            server.transport_stats().datagrams_rejected,
+            0,
+            "session {i} was never fed a foreign datagram"
+        );
+    }
+    let stats = hub.stats();
+    assert!(
+        stats.bounced >= SHARDS as u64,
+        "each client's first hello was bounced off the wrong shard: {stats:?}"
+    );
+    assert!(
+        dist.stats().bounced >= SHARDS as u64,
+        "the distributor forwarded the bounces: {:?}",
+        dist.stats()
+    );
+    assert_eq!(stats.dropped, 0, "no datagram was swallowed: {stats:?}");
+
+    // Retiring the sessions evicts their distributor hints, so a
+    // long-running front end's hint map tracks live sessions only.
+    assert!(dist.hint_count() > 0, "replies taught source hints");
+    for sid in sids {
+        hub.remove_session(sid);
+    }
+    assert_eq!(hub.session_count(), 0);
+    assert_eq!(dist.hint_count(), 0, "removed sessions' hints evicted");
+}
