@@ -164,20 +164,28 @@ fn main() {
         threaded.push(r);
     }
 
-    // The perf-trajectory artifact.
-    let mut json = String::from("{\n  \"bench\": \"hub_scaling\",\n");
-    json.push_str(&format!(
-        "  \"horizon_ms\": {horizon},\n  \"cores\": {cores},\n  \"results\": [\n"
-    ));
+    // The perf-trajectory artifact — merged by top-level key, so the
+    // `hub_c100k` section written by its sibling binary survives.
+    let mut rows = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
-        json.push_str(&json_row(r, i + 1 == results.len()));
+        rows.push_str(&json_row(r, i + 1 == results.len()));
     }
-    json.push_str("  ],\n  \"threads_64_sessions\": [\n");
+    rows.push_str("  ]");
+    let mut threaded_rows = String::from("[\n");
     for (i, r) in threaded.iter().enumerate() {
-        json.push_str(&json_row(r, i + 1 == threaded.len()));
+        threaded_rows.push_str(&json_row(r, i + 1 == threaded.len()));
     }
-    json.push_str("  ]\n}\n");
-    match std::fs::write("BENCH_hub_scaling.json", &json) {
+    threaded_rows.push_str("  ]");
+    match mosh_bench::merge_bench_json(
+        std::path::Path::new("BENCH_hub_scaling.json"),
+        &[
+            ("bench", "\"hub_scaling\"".to_string()),
+            ("horizon_ms", horizon.to_string()),
+            ("cores", cores.to_string()),
+            ("results", rows),
+            ("threads_64_sessions", threaded_rows),
+        ],
+    ) {
         Ok(()) => println!("\nwrote BENCH_hub_scaling.json"),
         Err(e) => println!("\ncould not write BENCH_hub_scaling.json: {e}"),
     }

@@ -5,11 +5,27 @@
 //! Cargo builds each `[[bin]]` target before running these tests and
 //! exposes its path through `CARGO_BIN_EXE_<name>`.
 
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn run_quick(exe: &str, expect: &[&str]) {
-    let out = Command::new(exe)
-        .arg("--quick")
+    run_quick_in(exe, None, &[], expect);
+}
+
+/// Runs `exe --quick`, optionally in `dir` (so binaries that write
+/// `BENCH_*.json` into their cwd don't race each other across parallel
+/// tests) with extra environment variables, asserting success and the
+/// expected stdout needles.
+fn run_quick_in(exe: &str, dir: Option<&Path>, envs: &[(&str, &str)], expect: &[&str]) {
+    let mut cmd = Command::new(exe);
+    cmd.arg("--quick");
+    if let Some(dir) = dir {
+        cmd.current_dir(dir);
+    }
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd
         .output()
         .unwrap_or_else(|e| panic!("failed to launch {exe}: {e}"));
     assert!(
@@ -26,6 +42,22 @@ fn run_quick(exe: &str, expect: &[&str]) {
             "{exe} --quick output missing {needle:?}:\n{stdout}"
         );
     }
+}
+
+/// A fresh scratch directory for one test's bench artifacts.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mosh_bench_smoke_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Pulls the raw value of `"field": value` out of a JSON bench artifact.
+fn json_field(text: &str, field: &str) -> Option<f64> {
+    let at = text.find(&format!("\"{field}\":"))?;
+    let rest = text[at..].split_once(':')?.1;
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
 }
 
 #[test]
@@ -80,8 +112,11 @@ fn ablation_ctrlc_quick() {
 
 #[test]
 fn hub_scaling_quick() {
-    run_quick(
+    let dir = scratch("hub_scaling");
+    run_quick_in(
         env!("CARGO_BIN_EXE_hub_scaling"),
+        Some(&dir),
+        &[],
         &[
             "hub_scaling",
             "sessions",
@@ -91,6 +126,39 @@ fn hub_scaling_quick() {
             "speedup at 4 shards",
         ],
     );
+    // The trajectory artifact records the runner's core count, so
+    // cross-runner speedups stay interpretable.
+    let json = std::fs::read_to_string(dir.join("BENCH_hub_scaling.json")).expect("artifact");
+    assert!(json_field(&json, "cores").expect("cores recorded") >= 1.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hub_c100k_quick() {
+    let dir = scratch("hub_c100k");
+    // A scaled-down fleet keeps the smoke fast on the debug profile;
+    // the CI perf step runs the real --quick sizes in release.
+    run_quick_in(
+        env!("CARGO_BIN_EXE_hub_c100k"),
+        Some(&dir),
+        &[("MOSH_C100K_SESSIONS", "300")],
+        &["hub_c100k", "sessions", "p50 send (us)", "p99 send (us)"],
+    );
+    // Then hub_scaling writes into the same artifact: both sections must
+    // survive the merge, with live p50/p99 latency numbers.
+    run_quick_in(env!("CARGO_BIN_EXE_hub_scaling"), Some(&dir), &[], &[]);
+    let json = std::fs::read_to_string(dir.join("BENCH_hub_scaling.json")).expect("artifact");
+    assert!(json.contains("\"c100k\""), "c100k section present:\n{json}");
+    assert!(
+        json.contains("\"bench\": \"hub_scaling\""),
+        "merge kept both:\n{json}"
+    );
+    let p50 = json_field(&json, "p50_wakeup_to_send_us").expect("p50 recorded");
+    let p99 = json_field(&json, "p99_wakeup_to_send_us").expect("p99 recorded");
+    assert!(p50 > 0.0, "p50 non-zero: {p50}");
+    assert!(p99 > 0.0 && p99 >= p50, "p99 non-zero and ordered: {p99}");
+    assert!(json_field(&json, "cores").expect("cores recorded") >= 1.0);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

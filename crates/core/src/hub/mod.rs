@@ -76,6 +76,24 @@ pub struct HubStats {
     /// of being dropped (a sharded front end's bounce path — the wire
     /// goes back to the distributor to try the next shard).
     pub bounced: u64,
+    /// Shard workers quarantined after an endpoint panic ([`ShardedHub`]
+    /// only): the shard's sessions stop, the others keep pumping. See
+    /// `ShardedHub::shard_error` for the panic messages.
+    pub shard_panics: u64,
+    /// Datagrams the shared-socket distributor shed because the target
+    /// shard's feed queue was at capacity — the operator-visible signal
+    /// that a shard is falling behind its inbound traffic.
+    pub feed_overflow: u64,
+    /// Distributor forwards of bounced (unclaimed-by-one-shard)
+    /// datagrams: sustained growth means inbound traffic keeps missing
+    /// its hinted shard.
+    pub feed_bounced: u64,
+    /// Datagrams no shard claimed after a full distributor fan-out
+    /// cycle (line noise, or traffic for sessions already removed).
+    pub feed_dropped: u64,
+    /// Live source hints in the distributor's map (a gauge, not a
+    /// counter: one per client address currently claimed by a shard).
+    pub feed_hints: u64,
 }
 
 impl HubStats {
@@ -86,5 +104,10 @@ impl HubStats {
         self.dropped += other.dropped;
         self.auth_routed += other.auth_routed;
         self.bounced += other.bounced;
+        self.shard_panics += other.shard_panics;
+        self.feed_overflow += other.feed_overflow;
+        self.feed_bounced += other.feed_bounced;
+        self.feed_dropped += other.feed_dropped;
+        self.feed_hints += other.feed_hints;
     }
 }

@@ -29,19 +29,169 @@
 //!   and crosses the shard boundary as the delivery itself, so the
 //!   fan-out never decrypts a datagram twice.
 //!
-//! Worker threads are scoped per pump: the caller keeps ownership of
-//! every endpoint and injects keystrokes between pumps, exactly as with
-//! one hub. One shard runs inline (a `ShardedHub` of 1 *is* a
-//! `ServerHub`, thread overhead included).
+//! Worker threads are **persistent**: spawned once on the first
+//! threaded pump and parked on their command channels between pumps
+//! (spawn/join per pump would tax exactly the mostly-idle fleets SSP is
+//! built for). Each pump sends every involved shard a job — a borrow of
+//! that shard and its leases for the duration of the pump — and blocks
+//! until every shard has replied, so the caller still owns every
+//! endpoint and injects keystrokes between pumps, exactly as with one
+//! hub. One shard runs inline (a `ShardedHub` of 1 *is* a `ServerHub`,
+//! thread overhead included); dropping the hub shuts the workers down.
+//!
+//! A panicking endpoint costs its **shard**, not the hub: the worker
+//! catches the panic, the shard is quarantined (its sessions stop; see
+//! [`ShardedHub::shard_error`] and `HubStats::shard_panics`), and every
+//! other shard keeps pumping.
 
 use super::shard::ServerHub;
 use super::{HubSession, HubStats, SessionId};
 use crate::session::SessionEvent;
 use crate::Millis;
-use mosh_net::{Channel, ChannelPoller, FeedChannel, Poller, Token, UdpDistributor};
+use mosh_net::{
+    Channel, ChannelPoller, DistributorStatsHandle, FeedChannel, Poller, Token, UdpDistributor,
+};
 use std::collections::HashMap;
 use std::io;
 use std::net::UdpSocket;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// What one pump round hands a shard worker: type-erased borrows of the
+/// shard and its lease vector, plus the monomorphized entry point that
+/// knows their real types. Erasure is what lets the persistent workers
+/// stay non-generic (one runtime type for every poller) and outlive any
+/// single pump's lease lifetimes.
+///
+/// # Safety
+///
+/// The pointers borrow data owned by the pumping thread's stack frame.
+/// Sending them is sound because [`ShardedHub::pump_inner`] blocks on
+/// every dispatched shard's reply before returning — the borrows cannot
+/// be outlived — and is `Send`-correct because jobs are only built in
+/// the `P: Poller + Send` impl (checked by `assert_send` at the build
+/// site, since erasure hides the payload types from the compiler).
+struct PumpJob {
+    run: unsafe fn(*mut (), *mut ()) -> Vec<(SessionId, SessionEvent)>,
+    shard: *mut (),
+    leases: *mut (),
+}
+
+unsafe impl Send for PumpJob {}
+
+/// The monomorphized shim a [`PumpJob`] carries: recover the real types
+/// and pump.
+///
+/// # Safety
+///
+/// `shard` must point at a live `ServerHub<P>` and `leases` at a live
+/// `Vec<HubSession>`, each borrowed exclusively for this call (upheld by
+/// the dispatch/reply protocol described on [`PumpJob`]).
+unsafe fn pump_erased<P: Poller>(
+    shard: *mut (),
+    leases: *mut (),
+) -> Vec<(SessionId, SessionEvent)> {
+    let shard = &mut *(shard as *mut ServerHub<P>);
+    let leases = &mut *(leases as *mut Vec<HubSession<'static, 'static>>);
+    shard.pump(leases)
+}
+
+enum Command {
+    Pump(PumpJob),
+    Shutdown,
+}
+
+/// One pump's outcome from one worker: the shard's events, or the
+/// message of the panic that killed it.
+type PumpReply = Result<Vec<(SessionId, SessionEvent)>, String>;
+
+/// One persistent shard worker: a parked thread plus its command and
+/// reply channels.
+struct ShardWorker {
+    tx: Sender<Command>,
+    reply: Receiver<PumpReply>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The persistent worker pool, spawned lazily on the first threaded
+/// pump (a hub that only ever pumps one shard inline never starts a
+/// thread). Dropping it is the clean shutdown: every worker is sent
+/// [`Command::Shutdown`] and joined.
+struct ShardRuntime {
+    workers: Vec<ShardWorker>,
+}
+
+impl ShardRuntime {
+    fn spawn(shards: usize) -> Self {
+        let workers = (0..shards)
+            .map(|i| {
+                let (tx, rx) = channel::<Command>();
+                let (reply_tx, reply) = channel::<PumpReply>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("mosh-shard-{i}"))
+                    .spawn(move || worker_loop(rx, reply_tx))
+                    .expect("spawn shard worker");
+                ShardWorker {
+                    tx,
+                    reply,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ShardRuntime { workers }
+    }
+}
+
+impl Drop for ShardRuntime {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            // A worker already gone (channel closed) is fine: the join
+            // below reaps it either way.
+            let _ = w.tx.send(Command::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// The worker body: park on the command channel, pump on demand, and
+/// **always** reply — a caught panic becomes an `Err` reply, never a
+/// missing one, because the pumping thread blocks on every reply before
+/// releasing the borrows the job carries.
+fn worker_loop(rx: Receiver<Command>, reply: Sender<PumpReply>) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Pump(job) => {
+                let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+                    (job.run)(job.shard, job.leases)
+                }))
+                .map_err(panic_message);
+                if reply.send(result).is_err() {
+                    // The hub is gone mid-pump (its thread is unwinding);
+                    // nothing left to serve.
+                    return;
+                }
+            }
+            Command::Shutdown => return,
+        }
+    }
+}
+
+/// Renders a caught panic payload (`panic!` carries `&str` or `String`;
+/// anything else is opaque).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// The sharding front end: N worker threads, each a private [`ServerHub`].
 pub struct ShardedHub<P: Poller> {
@@ -52,17 +202,33 @@ pub struct ShardedHub<P: Poller> {
     next_shard: usize,
     /// Per-shard token of the distributor-shared source, when one exists.
     shared: Vec<Token>,
+    /// The persistent worker pool, spawned on the first threaded pump
+    /// and shut down (signal + join) when the hub drops.
+    runtime: Option<ShardRuntime>,
+    /// Per-shard quarantine: the panic message once an endpoint panic
+    /// killed that shard's pump. A quarantined shard is skipped by later
+    /// pumps — its state is suspect — while every other shard keeps
+    /// serving its sessions.
+    failed: Vec<Option<String>>,
+    /// Live distributor counters when built over a shared socket
+    /// ([`ShardedHub::over_distributor`]); folded into
+    /// [`ShardedHub::stats`] so feed-queue shedding is operator-visible.
+    dist_stats: Option<DistributorStatsHandle>,
 }
 
 impl<P: Poller> ShardedHub<P> {
     /// A sharded hub over one poller per worker thread.
     pub fn new(pollers: Vec<P>) -> Self {
         assert!(!pollers.is_empty(), "a hub needs at least one shard");
+        let n = pollers.len();
         ShardedHub {
             shards: pollers.into_iter().map(ServerHub::new).collect(),
             sessions: Vec::new(),
             next_shard: 0,
             shared: Vec::new(),
+            runtime: None,
+            failed: vec![None; n],
+            dist_stats: None,
         }
     }
 
@@ -158,13 +324,30 @@ impl<P: Poller> ShardedHub<P> {
         self.shards[shard].now(local)
     }
 
-    /// Aggregated counters over all shards.
+    /// Aggregated counters over all shards, the quarantine count, and —
+    /// when the hub answers on a shared socket — the distributor's
+    /// routing/shedding counters and hint gauge.
     pub fn stats(&self) -> HubStats {
         let mut total = HubStats::default();
         for s in &self.shards {
             total.add(s.stats());
         }
+        total.shard_panics = self.failed.iter().filter(|f| f.is_some()).count() as u64;
+        if let Some(h) = &self.dist_stats {
+            let d = h.snapshot();
+            total.feed_overflow = d.overflow;
+            total.feed_bounced = d.bounced;
+            total.feed_dropped = d.dropped;
+            total.feed_hints = h.hint_count() as u64;
+        }
         total
+    }
+
+    /// The panic message that quarantined shard `i`, if any. A
+    /// quarantined shard's sessions are no longer pumped (its state is
+    /// suspect after the unwind); every other shard is unaffected.
+    pub fn shard_error(&self, i: usize) -> Option<&str> {
+        self.failed[i].as_deref()
     }
 }
 
@@ -201,64 +384,106 @@ impl<P: Poller + Send> ShardedHub<P> {
         sessions: &mut [HubSession<'_, '_>],
         side: Option<impl FnOnce()>,
     ) -> Vec<(SessionId, SessionEvent)> {
-        // Partition leases by owning shard, remembering each lease's
-        // local id and the local→global mapping for the event tags.
+        // Partition leases by owning shard — quarantined shards are
+        // skipped (their state is suspect after a caught panic; every
+        // healthy shard keeps serving) — remembering the local→global
+        // mapping for the event tags.
         let n = self.shards.len();
-        let mut buckets: Vec<Vec<(SessionId, &mut HubSession<'_, '_>)>> =
-            (0..n).map(|_| Vec::new()).collect();
+        let mut shard_leases: Vec<Vec<HubSession<'_, '_>>> = (0..n).map(|_| Vec::new()).collect();
         let mut to_global: Vec<HashMap<SessionId, SessionId>> =
             (0..n).map(|_| HashMap::new()).collect();
         for s in sessions.iter_mut() {
             let (shard, local) = self.sessions[s.id.0];
+            if self.failed[shard].is_some() {
+                continue;
+            }
             to_global[shard].insert(local, s.id);
-            buckets[shard].push((local, s));
+            shard_leases[shard].push(HubSession::new(local, &mut *s.parties, s.target));
         }
 
-        let pump_shard = |shard: &mut ServerHub<P>,
-                          bucket: Vec<(SessionId, &mut HubSession<'_, '_>)>|
-         -> Vec<(SessionId, SessionEvent)> {
-            let mut leases: Vec<HubSession<'_, '_>> = bucket
-                .into_iter()
-                .map(|(local, s)| HubSession::new(local, &mut *s.parties, s.target))
-                .collect();
-            shard.pump(&mut leases)
-        };
-
         if n == 1 && side.is_none() {
-            let events = pump_shard(&mut self.shards[0], buckets.pop().expect("one bucket"));
+            // The inline fast path: no runtime, no thread — but the same
+            // panic contract as the workers (an endpoint panic
+            // quarantines the shard, it does not unwind the caller).
+            let shard = &mut self.shards[0];
+            let leases = &mut shard_leases[0];
+            let events = match catch_unwind(AssertUnwindSafe(|| shard.pump(leases))) {
+                Ok(events) => events,
+                Err(payload) => {
+                    self.failed[0] = Some(panic_message(payload));
+                    Vec::new()
+                }
+            };
             return events
                 .into_iter()
                 .map(|(local, ev)| (to_global[0][&local], ev))
                 .collect();
         }
 
-        // Worker threads are scoped per pump: endpoints stay owned by
-        // the caller, borrowed for exactly this pump. Shards with no
-        // leases this pump are parked, like unleased sessions.
+        // The jobs carry type-erased borrows, so restate here what the
+        // compiler can no longer see at the channel boundary: everything
+        // a worker touches is Send.
+        fn assert_send<T: Send>(_: &T) {}
+        assert_send(&self.shards);
+        assert_send(&shard_leases);
+
+        // Dispatch one job per involved shard to the persistent workers
+        // (spawned on first use), run `side` on this thread while they
+        // pump, then block for every reply — the borrows the jobs carry
+        // must not outlive this frame. Shards with no leases this pump
+        // stay parked on their command channels, like unleased sessions.
+        let runtime = self.runtime.get_or_insert_with(|| ShardRuntime::spawn(n)) as &ShardRuntime;
+        let mut dispatched = vec![false; n];
+        for (i, leases) in shard_leases.iter_mut().enumerate() {
+            if leases.is_empty() {
+                continue;
+            }
+            let job = PumpJob {
+                run: pump_erased::<P>,
+                shard: &mut self.shards[i] as *mut ServerHub<P> as *mut (),
+                leases: leases as *mut Vec<HubSession<'_, '_>> as *mut (),
+            };
+            runtime.workers[i]
+                .tx
+                .send(Command::Pump(job))
+                .expect("shard worker parked on its channel");
+            dispatched[i] = true;
+        }
+
+        // `side` may itself panic (it is arbitrary caller code): the
+        // replies must still be collected first, or the workers could
+        // touch freed lease memory while this frame unwinds.
+        let side_outcome = side.map(|f| catch_unwind(AssertUnwindSafe(f)));
+
         let mut per_shard: Vec<Vec<(SessionId, SessionEvent)>> = Vec::with_capacity(n);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .zip(buckets)
-                .map(|(shard, bucket)| {
-                    if bucket.is_empty() {
-                        None
-                    } else {
-                        Some(scope.spawn(move || pump_shard(shard, bucket)))
-                    }
-                })
-                .collect();
-            if let Some(side) = side {
-                side();
+        let mut new_failures: Vec<(usize, String)> = Vec::new();
+        for (i, worker) in runtime.workers.iter().enumerate() {
+            if !dispatched[i] {
+                per_shard.push(Vec::new());
+                continue;
             }
-            for h in handles {
-                per_shard.push(match h {
-                    Some(h) => h.join().expect("shard worker panicked"),
-                    None => Vec::new(),
-                });
-            }
-        });
+            per_shard.push(match worker.reply.recv() {
+                Ok(Ok(events)) => events,
+                Ok(Err(msg)) => {
+                    new_failures.push((i, msg));
+                    Vec::new()
+                }
+                // The worker died without replying — only possible if
+                // its thread was torn down externally. Quarantine, same
+                // as a panic.
+                Err(_) => {
+                    new_failures.push((i, "shard worker disconnected".to_string()));
+                    Vec::new()
+                }
+            });
+        }
+        for (i, msg) in new_failures {
+            self.failed[i] = Some(msg);
+        }
+        if let Some(Err(payload)) = side_outcome {
+            resume_unwind(payload);
+        }
+
         per_shard
             .into_iter()
             .enumerate()
@@ -282,12 +507,27 @@ impl ShardedHub<ChannelPoller<FeedChannel>> {
         socket: UdpSocket,
         shards: usize,
     ) -> io::Result<(Self, UdpDistributor)> {
-        let (dist, feeds) = UdpDistributor::new(socket, shards)?;
+        Self::over_distributor_with_capacity(socket, shards, mosh_net::FEED_CAPACITY)
+    }
+
+    /// [`ShardedHub::over_distributor`] with an explicit per-shard feed
+    /// queue bound (see `UdpDistributor::with_capacity`): a shard more
+    /// than `capacity` datagrams behind sheds new arrivals, counted in
+    /// `HubStats::feed_overflow`.
+    pub fn over_distributor_with_capacity(
+        socket: UdpSocket,
+        shards: usize,
+        capacity: usize,
+    ) -> io::Result<(Self, UdpDistributor)> {
+        let (dist, feeds) = UdpDistributor::with_capacity(socket, shards, capacity)?;
         let mut hub = ShardedHub {
             shards: Vec::with_capacity(feeds.len()),
             sessions: Vec::new(),
             next_shard: 0,
             shared: Vec::with_capacity(feeds.len()),
+            runtime: None,
+            failed: vec![None; feeds.len()],
+            dist_stats: Some(dist.stats_handle()),
         };
         for feed in feeds {
             let bouncer = feed.bouncer();
@@ -399,6 +639,128 @@ mod tests {
             assert!(hub.stats().delivered > 0);
             assert_eq!(hub.stats().dropped, 0);
         }
+    }
+
+    /// An endpoint whose first timer tick panics — the injected fault
+    /// for the quarantine tests.
+    struct PanicEndpoint;
+
+    impl crate::session::Endpoint for PanicEndpoint {
+        fn receive(&mut self, _: Millis, _: Addr, _: &[u8], _: &mut Vec<SessionEvent>) {}
+
+        fn tick(&mut self, _: Millis, _: &mut Vec<(Addr, Vec<u8>)>, _: &mut Vec<SessionEvent>) {
+            panic!("injected endpoint panic");
+        }
+
+        fn next_wakeup(&self, now: Millis) -> Millis {
+            now
+        }
+    }
+
+    #[test]
+    fn panicking_endpoint_quarantines_its_shard_not_the_hub() {
+        let mut hub = ShardedHub::with_shards(2, SimPoller::new);
+        // Round-robin: sessions 0 and 2 land on shard 0 (healthy pairs),
+        // session 1 on shard 1 (the bomb).
+        let healthy_a = hub.add_session(sim_world(1));
+        let doomed = hub.add_session(sim_world(2));
+        let healthy_b = hub.add_session(sim_world(3));
+        assert_eq!(hub.location(doomed).0, 1);
+
+        let (mut client_a, mut server_a) = pair(1);
+        let (mut client_b, mut server_b) = pair(2);
+        let mut bomb = PanicEndpoint;
+        let mut parties_a = vec![Party::new(C, &mut client_a), Party::new(S, &mut server_a)];
+        let mut parties_b = vec![Party::new(C, &mut client_b), Party::new(S, &mut server_b)];
+        let mut parties_doomed = vec![Party::new(C, &mut bomb)];
+        let mut sessions = vec![
+            HubSession::new(healthy_a, &mut parties_a, 400),
+            HubSession::new(doomed, &mut parties_doomed, 400),
+            HubSession::new(healthy_b, &mut parties_b, 400),
+        ];
+
+        // The pump must return, not unwind: the panic costs shard 1 only.
+        let events = hub.pump(&mut sessions);
+        drop(sessions);
+        assert!(events
+            .iter()
+            .all(|(sid, _)| *sid == healthy_a || *sid == healthy_b));
+        assert_eq!(hub.stats().shard_panics, 1);
+        assert_eq!(hub.shard_error(0), None);
+        assert!(hub
+            .shard_error(1)
+            .expect("shard 1 quarantined")
+            .contains("injected endpoint panic"));
+        assert_eq!(client_a.server_frame().row_text(0), "$");
+        assert_eq!(client_b.server_frame().row_text(0), "$");
+        assert_eq!(hub.now(healthy_a), 400);
+
+        // Later pumps skip the quarantined shard and keep serving the
+        // healthy one.
+        let mut parties_a = vec![Party::new(C, &mut client_a), Party::new(S, &mut server_a)];
+        let mut parties_doomed = vec![Party::new(C, &mut bomb)];
+        let mut sessions = vec![
+            HubSession::new(healthy_a, &mut parties_a, 800),
+            HubSession::new(doomed, &mut parties_doomed, 800),
+        ];
+        hub.pump(&mut sessions);
+        drop(sessions);
+        assert_eq!(hub.now(healthy_a), 800);
+        assert_eq!(hub.stats().shard_panics, 1, "no second panic: skipped");
+    }
+
+    #[test]
+    fn inline_single_shard_pump_also_contains_the_panic() {
+        let mut hub = ShardedHub::with_shards(1, SimPoller::new);
+        let doomed = hub.add_session(sim_world(4));
+        let mut bomb = PanicEndpoint;
+        let mut parties = vec![Party::new(C, &mut bomb)];
+        let mut sessions = vec![HubSession::new(doomed, &mut parties, 100)];
+        let events = hub.pump(&mut sessions);
+        drop(sessions);
+        assert!(events.is_empty());
+        assert_eq!(hub.stats().shard_panics, 1);
+        assert!(hub.shard_error(0).is_some());
+    }
+
+    #[test]
+    fn feed_shedding_and_hints_surface_in_hub_stats() {
+        use mosh_net::channel::{addr_from_socket, socket_from_addr};
+        use std::net::UdpSocket;
+        use std::time::Instant;
+
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let (mut hub, mut dist) = ShardedHub::over_distributor_with_capacity(socket, 1, 2).unwrap();
+        let server_addr = dist.local_addr();
+        let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let peer_addr = addr_from_socket(peer.local_addr().unwrap());
+        for _ in 0..4 {
+            peer.send_to(b"flood", socket_from_addr(server_addr))
+                .unwrap();
+        }
+
+        // Nobody pumps the lone shard, so its bounded queue (capacity 2)
+        // sheds the rest — and the shedding must be visible through the
+        // hub's stats, not just the distributor's.
+        let start = Instant::now();
+        while hub.stats().feed_overflow < 2 {
+            assert!(
+                start.elapsed().as_secs() < 10,
+                "overflow never surfaced: {:?}",
+                hub.stats()
+            );
+            dist.pump(5);
+        }
+        assert_eq!(hub.stats().feed_overflow, 2);
+        assert_eq!(hub.stats().feed_hints, 0);
+
+        // A shard reply teaches the distributor a source hint; the hub's
+        // gauge tracks it.
+        hub.shard_mut(0)
+            .poller_mut()
+            .send(Token(0), server_addr, peer_addr, b"reply".to_vec());
+        assert_eq!(hub.stats().feed_hints, 1);
+        assert_eq!(peer.recv_from(&mut [0u8; 64]).unwrap().0, 5);
     }
 
     #[test]

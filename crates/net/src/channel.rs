@@ -64,6 +64,42 @@ pub trait Channel {
     fn evict_hint(&mut self, addr: Addr) {
         let _ = addr;
     }
+
+    /// Takes up to `max` delivered datagrams for any endpoint into `out`,
+    /// in delivery order, returning how many arrived — the
+    /// `recvmmsg`-shaped receive path: one call moves a *batch*, so a
+    /// front end draining a busy source pays the per-call overhead once
+    /// per batch instead of once per datagram. The default is the
+    /// portable fallback (a [`Channel::poll_any`] loop); substrates with
+    /// a cheaper bulk path override it ([`UdpChannel`] drains the socket
+    /// straight into `out`).
+    fn drain_many(&mut self, out: &mut Vec<Datagram>, max: usize) -> usize {
+        let mut got = 0;
+        while got < max {
+            match self.poll_any() {
+                Some(dg) => {
+                    out.push(dg);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
+    }
+
+    /// Sends a batch of datagrams from one source address — the
+    /// `sendmmsg`-shaped transmit path, the send-side mirror of
+    /// [`Channel::drain_many`]. Datagram semantics per element, exactly
+    /// like [`Channel::send`]. The default is the portable fallback (a
+    /// `send` loop); substrates that can amortize per-send bookkeeping
+    /// across the batch override it (see `feed::FeedChannel`, which
+    /// checks its hint-eviction epoch once per batch instead of once per
+    /// datagram).
+    fn send_many(&mut self, from: Addr, batch: Vec<(Addr, Vec<u8>)>) {
+        for (to, payload) in batch {
+            self.send(from, to, payload);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -330,6 +366,49 @@ impl Channel for UdpChannel {
         self.inbox.pop_front()
     }
 
+    /// The vectored drain: already-delivered inbox datagrams first, then
+    /// whatever is queued on the socket, moved straight into `out`
+    /// without the inbox detour — one nonblocking sweep per *batch*
+    /// instead of one `poll_any` round trip per datagram. (The kernel
+    /// copies are still per-datagram `recvfrom`s — the portable shape of
+    /// `recvmmsg`, pending a raw-syscall backend.)
+    fn drain_many(&mut self, out: &mut Vec<Datagram>, max: usize) -> usize {
+        let mut got = 0;
+        while got < max {
+            match self.inbox.pop_front() {
+                Some(dg) => {
+                    out.push(dg);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        if got < max && self.set_mode(true).is_ok() {
+            // Bounded in *calls*, not successes, so a persistently
+            // erroring socket cannot spin forever.
+            for _ in 0..MAX_DRAIN {
+                if got >= max {
+                    break;
+                }
+                match self.socket.recv_from(&mut self.buf[..]) {
+                    Ok((n, src)) => {
+                        out.push(Datagram {
+                            from: addr_from_socket(src),
+                            to: self.local,
+                            payload: self.buf[..n].to_vec(),
+                        });
+                        got += 1;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    // Transient errors (ICMP-propagated ECONNREFUSED)
+                    // occupy one queue slot each; drain past them.
+                    Err(_) => continue,
+                }
+            }
+        }
+        got
+    }
+
     fn next_event_time(&self) -> Option<Millis> {
         None // A real network cannot announce its arrivals.
     }
@@ -341,11 +420,15 @@ impl Channel for UdpChannel {
                 return now;
             }
             // A drain sweep may have left the socket nonblocking; this
-            // path genuinely blocks (with a read timeout).
+            // path genuinely blocks (with a read timeout). The remaining
+            // wait is saturating on principle: the guard above makes
+            // `now < deadline` here, but this arithmetic must never be
+            // one refactor away from a debug panic (or a ~585-million-
+            // year release timeout) on a stale deadline.
             if self.set_mode(false).is_err() {
                 return deadline.max(self.now());
             }
-            let timeout = Duration::from_millis(deadline - now);
+            let timeout = Duration::from_millis(deadline.saturating_sub(now));
             if self.socket.set_read_timeout(Some(timeout)).is_err() {
                 return deadline.max(self.now());
             }

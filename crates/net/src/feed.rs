@@ -49,7 +49,7 @@ use crate::{Addr, Datagram, Millis};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::UdpSocket;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -58,14 +58,28 @@ use std::time::{Duration, Instant};
 /// number of shards that have already declined it.
 type Fed = (Datagram, u32);
 
+/// What actually crosses a distributor→shard queue: a *batch* of fed
+/// datagrams, so one channel send moves a socket drain's worth of
+/// traffic instead of paying the queue synchronization per datagram
+/// (the `recvmmsg`/`sendmmsg` shape, carried through to the shard).
+type Batch = Vec<Fed>;
+
+/// Most datagrams the distributor packs into one queue batch (and pulls
+/// off the socket per drain round). Keeps a single batch's latency
+/// bounded while still amortizing the queue handoff ~64× under load.
+pub(crate) const FEED_BATCH: usize = 64;
+
 /// Default bound on each distributor→shard queue and on the bounce
-/// queue. A stalled (or this-pump-unleased) shard can hold at most this
-/// many datagrams before the distributor starts shedding new ones for it
-/// — drop-on-overflow is ordinary datagram semantics (SSP retransmits),
-/// unbounded memory under a wedged consumer is not.
+/// queue, counted in **datagrams** (batches are bounded by their
+/// contents). A stalled (or this-pump-unleased) shard can hold at most
+/// this many datagrams before the distributor starts shedding new ones
+/// for it — drop-on-overflow is ordinary datagram semantics (SSP
+/// retransmits), unbounded memory under a wedged consumer is not.
 pub const FEED_CAPACITY: usize = 1024;
 
-/// Distributor counters.
+/// Distributor counters (a point-in-time snapshot; see
+/// [`DistributorStatsHandle`] for reading them while the distributor is
+/// busy on another thread).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DistributorStats {
     /// Datagrams routed to a shard from the socket.
@@ -77,6 +91,45 @@ pub struct DistributorStats {
     /// Datagrams shed because the target shard's queue was full
     /// (backpressure: the shard is stalled or not being pumped).
     pub overflow: u64,
+}
+
+/// The distributor's live counters, shared so a hub (or an operator
+/// thread) can observe routing, shedding, and hint population *while*
+/// the distributor pumps on another thread — `ShardedHub::stats()`
+/// folds these into `HubStats`, which is what makes feed-queue overflow
+/// visible to operators at all.
+#[derive(Debug, Clone)]
+pub struct DistributorStatsHandle {
+    cells: Arc<StatsCells>,
+    hints: Arc<Mutex<HashMap<Addr, usize>>>,
+}
+
+impl DistributorStatsHandle {
+    /// A consistent-enough snapshot of the counters (each counter is
+    /// individually exact; the set is read without a global lock).
+    pub fn snapshot(&self) -> DistributorStats {
+        DistributorStats {
+            routed: self.cells.routed.load(Ordering::Relaxed),
+            bounced: self.cells.bounced.load(Ordering::Relaxed),
+            dropped: self.cells.dropped.load(Ordering::Relaxed),
+            overflow: self.cells.overflow.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live source hints (a gauge, not a counter: one entry
+    /// per client address currently claimed by a shard).
+    pub fn hint_count(&self) -> usize {
+        self.hints.lock().expect("hint map never poisoned").len()
+    }
+}
+
+/// The shared counter cells behind [`DistributorStatsHandle`].
+#[derive(Debug, Default)]
+struct StatsCells {
+    routed: AtomicU64,
+    bounced: AtomicU64,
+    dropped: AtomicU64,
+    overflow: AtomicU64,
 }
 
 /// One shard's view of the shared socket: a [`Channel`] whose receive
@@ -91,7 +144,11 @@ pub struct FeedChannel {
     socket: Arc<UdpSocket>,
     local: Addr,
     start: Instant,
-    rx: Receiver<Fed>,
+    rx: Receiver<Batch>,
+    /// Datagrams currently queued (sent by the distributor, not yet
+    /// consumed here): the distributor's per-shard capacity check reads
+    /// it, this side decrements it as batches are taken off the queue.
+    depth: Arc<AtomicUsize>,
     inbox: VecDeque<Fed>,
     /// Hop count of the most recently consumed datagram, witnessed by
     /// this shard's [`FeedBouncer`] so a bounce carries its history.
@@ -143,9 +200,17 @@ impl FeedChannel {
         }
     }
 
+    /// Moves one received batch into the inbox, keeping the shared depth
+    /// gauge honest (the distributor stops feeding a shard whose depth
+    /// hits capacity).
+    fn absorb(&mut self, batch: Batch) {
+        self.depth.fetch_sub(batch.len(), Ordering::Relaxed);
+        self.inbox.extend(batch);
+    }
+
     fn drain_rx(&mut self) {
-        while let Ok(fed) = self.rx.try_recv() {
-            self.inbox.push_back(fed);
+        while let Ok(batch) = self.rx.try_recv() {
+            self.absorb(batch);
         }
     }
 
@@ -185,6 +250,31 @@ impl Channel for FeedChannel {
         send_raw(&self.socket, self.local.is_v6(), to, &payload);
     }
 
+    /// The batched transmit path: one epoch check and at most one hint-
+    /// map lock for the whole batch (new targets are hinted together),
+    /// then every datagram straight out the shared socket.
+    fn send_many(&mut self, _from: Addr, batch: Vec<(Addr, Vec<u8>)>) {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        if epoch != self.seen_epoch {
+            self.hinted.clear();
+            self.seen_epoch = epoch;
+        }
+        let fresh: Vec<Addr> = batch
+            .iter()
+            .map(|(to, _)| *to)
+            .filter(|to| self.hinted.insert(*to))
+            .collect();
+        if !fresh.is_empty() {
+            let mut map = self.hints.lock().expect("hint map never poisoned");
+            for to in fresh {
+                map.insert(to, self.shard);
+            }
+        }
+        for (to, payload) in batch {
+            send_raw(&self.socket, self.local.is_v6(), to, &payload);
+        }
+    }
+
     fn recv(&mut self, addr: Addr) -> Option<Datagram> {
         self.drain_rx();
         let idx = self.inbox.iter().position(|(dg, _)| dg.to == addr)?;
@@ -209,9 +299,16 @@ impl Channel for FeedChannel {
         if now >= deadline || !self.inbox.is_empty() {
             return now;
         }
-        match self.rx.recv_timeout(Duration::from_millis(deadline - now)) {
-            Ok(fed) => {
-                self.inbox.push_back(fed);
+        // Saturating: the guard above makes `now < deadline` today, but
+        // this subtraction must never be one refactor away from a debug
+        // panic — or a ~585-million-year release timeout — when handed a
+        // deadline the clock has already passed.
+        match self
+            .rx
+            .recv_timeout(Duration::from_millis(deadline.saturating_sub(now)))
+        {
+            Ok(batch) => {
+                self.absorb(batch);
                 self.now()
             }
             Err(RecvTimeoutError::Timeout) => self.now(),
@@ -260,7 +357,13 @@ impl FeedBouncer {
     }
 }
 
-/// Owns the shared socket and routes its datagrams to shard queues.
+/// Owns the shared socket and routes its datagrams to shard queues, a
+/// drained **batch** at a time: each pump round pulls up to
+/// [`FEED_BATCH`] datagrams off the socket (plus any bounces), groups
+/// them by target shard, and moves each group into its shard's queue
+/// with **one** channel send — the `recvmmsg`/`sendmmsg` shape, so the
+/// per-datagram cost under load is one `recvfrom` plus a vector push,
+/// not a full queue synchronization.
 ///
 /// Run [`UdpDistributor::pump`] on its own thread (or interleaved with
 /// other work on the accept thread) while the shards pump their hubs.
@@ -269,10 +372,32 @@ pub struct UdpDistributor {
     socket: Arc<UdpSocket>,
     local: Addr,
     buf: Box<[u8; MAX_DATAGRAM]>,
-    feeds: Vec<SyncSender<Fed>>,
+    feeds: Vec<SyncSender<Batch>>,
+    /// Per-shard queued-datagram depth, shared with the [`FeedChannel`]s
+    /// (they decrement as they consume): the capacity bound is enforced
+    /// in datagrams even though the queues carry batches.
+    depths: Vec<Arc<AtomicUsize>>,
+    /// Per-shard datagram bound (see [`FEED_CAPACITY`]).
+    capacity: usize,
+    /// This round's not-yet-flushed batch per shard.
+    pending: Vec<PendingBatch>,
+    /// Reused drain scratch (payloads still allocate; the batch spine
+    /// does not).
+    scratch: Vec<Datagram>,
     bounce_rx: Receiver<Fed>,
     hints: Arc<Mutex<HashMap<Addr, usize>>>,
-    stats: DistributorStats,
+    cells: Arc<StatsCells>,
+}
+
+/// One shard's accumulating batch for the current pump round, tagged
+/// with how many of its datagrams came off the socket vs. the bounce
+/// cycle (the counters are attributed only when the batch actually
+/// lands on the queue).
+#[derive(Debug, Default)]
+struct PendingBatch {
+    items: Vec<Fed>,
+    from_socket: u64,
+    from_bounce: u64,
 }
 
 impl UdpDistributor {
@@ -310,16 +435,23 @@ impl UdpDistributor {
         // instead of continuing the fan-out cycle.
         let (bounce_tx, bounce_rx) = sync_channel(capacity.saturating_mul(shards));
         let mut feeds = Vec::with_capacity(shards);
+        let mut depths = Vec::with_capacity(shards);
         let mut channels = Vec::with_capacity(shards);
         for shard in 0..shards {
-            let (tx, rx) = sync_channel(capacity);
+            // Batch queues: the depth gauge bounds queued *datagrams* at
+            // `capacity`, and every batch holds at least one, so the
+            // channel itself can never see more than `capacity` batches.
+            let (tx, rx) = sync_channel::<Batch>(capacity);
+            let depth = Arc::new(AtomicUsize::new(0));
             feeds.push(tx);
+            depths.push(Arc::clone(&depth));
             channels.push(FeedChannel {
                 shard,
                 socket: Arc::clone(&socket),
                 local,
                 start,
                 rx,
+                depth,
                 inbox: VecDeque::new(),
                 last_hops: Arc::new(AtomicU32::new(0)),
                 bounce_tx: bounce_tx.clone(),
@@ -335,9 +467,13 @@ impl UdpDistributor {
                 local,
                 buf: Box::new([0u8; MAX_DATAGRAM]),
                 feeds,
+                depths,
+                capacity,
+                pending: (0..shards).map(|_| PendingBatch::default()).collect(),
+                scratch: Vec::new(),
                 bounce_rx,
                 hints,
-                stats: DistributorStats::default(),
+                cells: Arc::new(StatsCells::default()),
             },
             channels,
         ))
@@ -348,9 +484,20 @@ impl UdpDistributor {
         self.local
     }
 
-    /// Distributor counters.
+    /// Distributor counters (a snapshot; see
+    /// [`UdpDistributor::stats_handle`] for observing them live from
+    /// another thread).
     pub fn stats(&self) -> DistributorStats {
-        self.stats
+        self.stats_handle().snapshot()
+    }
+
+    /// A cloneable live view of the counters and hint population, for a
+    /// hub or operator thread to read while the distributor pumps.
+    pub fn stats_handle(&self) -> DistributorStatsHandle {
+        DistributorStatsHandle {
+            cells: Arc::clone(&self.cells),
+            hints: Arc::clone(&self.hints),
+        }
     }
 
     /// Number of live source hints (one per client address currently
@@ -377,50 +524,137 @@ impl UdpDistributor {
     }
 
     /// Drains the socket and the bounce queue for `wall_ms` wall-clock
-    /// milliseconds, routing every datagram to a shard queue.
+    /// milliseconds, routing every datagram to a shard queue — a batch
+    /// per shard per round, not a queue send per datagram. Each round:
+    /// gather bounces, pull a socket burst (up to [`FEED_BATCH`]; the
+    /// burst-ending receive waits out the socket's 1 ms read timeout,
+    /// which is what paces an idle distributor), flush every shard's
+    /// accumulated batch with one channel send.
     pub fn pump(&mut self, wall_ms: u64) {
         let deadline = Instant::now() + Duration::from_millis(wall_ms);
         loop {
-            // Forward bounced datagrams to the next shard in their cycle.
-            while let Ok((dg, hops)) = self.bounce_rx.try_recv() {
-                if hops as usize >= self.feeds.len() {
-                    self.stats.dropped += 1;
-                } else {
-                    let next = (self.base_shard(dg.from) + hops as usize) % self.feeds.len();
-                    match self.feeds[next].try_send((dg, hops)) {
-                        Ok(()) => self.stats.bounced += 1,
-                        // The next shard is saturated: shed the datagram
-                        // (SSP retransmits) rather than stall the whole
-                        // bounce cycle behind one parked shard.
-                        Err(TrySendError::Full(_)) => self.stats.overflow += 1,
-                        Err(TrySendError::Disconnected(_)) => self.stats.dropped += 1,
-                    }
-                }
-            }
+            self.gather_bounces();
+            self.drain_socket(FEED_BATCH);
+            self.flush();
             if Instant::now() >= deadline {
                 return;
             }
+        }
+    }
+
+    /// Takes up to `max` datagrams straight off the shared socket into
+    /// `out`, returning how many arrived — the `recvmmsg`-shaped drain
+    /// primitive `pump` routes through (public for harnesses that want
+    /// the raw burst without shard routing). The first receive may wait
+    /// out the socket's short read timeout; the rest only as long as the
+    /// kernel queue stays non-empty.
+    pub fn drain_many(&mut self, out: &mut Vec<Datagram>, max: usize) -> usize {
+        let mut got = 0;
+        while got < max {
             match self.socket.recv_from(&mut self.buf[..]) {
                 Ok((n, src)) => {
-                    let dg = Datagram {
+                    out.push(Datagram {
                         from: addr_from_socket(src),
                         to: self.local,
                         payload: self.buf[..n].to_vec(),
-                    };
-                    let shard = self.base_shard(dg.from);
-                    match self.feeds[shard].try_send((dg, 0)) {
-                        Ok(()) => self.stats.routed += 1,
-                        // Keep draining the socket at full rate even when
-                        // one shard is behind: shedding that shard's
-                        // overflow must not back-pressure everyone else's
-                        // traffic into the kernel buffer.
-                        Err(TrySendError::Full(_)) => self.stats.overflow += 1,
-                        Err(TrySendError::Disconnected(_)) => self.stats.dropped += 1,
-                    }
+                    });
+                    got += 1;
                 }
-                // Timeout or a transient error (ICMP-propagated
-                // ECONNREFUSED): loop; the deadline check exits.
-                Err(_) => continue,
+                // Read timeout or a transient error (ICMP-propagated
+                // ECONNREFUSED): the burst is over.
+                Err(_) => break,
+            }
+        }
+        got
+    }
+
+    /// Sends a batch of datagrams out the shared socket — the
+    /// `sendmmsg`-shaped mirror of [`UdpDistributor::drain_many`]
+    /// (`UdpSocket::send_to` is `&self`, so this never contends with the
+    /// shards' own replies). Datagram semantics per element: a failed
+    /// send is a lost packet.
+    pub fn send_many(&self, batch: Vec<(Addr, Vec<u8>)>) {
+        let v6 = self.local.is_v6();
+        for (to, payload) in batch {
+            send_raw(&self.socket, v6, to, &payload);
+        }
+    }
+
+    /// Forwards bounced datagrams to the next shard in their cycle, into
+    /// this round's pending batches.
+    fn gather_bounces(&mut self) {
+        while let Ok((dg, hops)) = self.bounce_rx.try_recv() {
+            if hops as usize >= self.feeds.len() {
+                // No shard claimed it after a full fan-out cycle.
+                self.cells.dropped.fetch_add(1, Ordering::Relaxed);
+            } else {
+                let next = (self.base_shard(dg.from) + hops as usize) % self.feeds.len();
+                self.stage(next, (dg, hops), true);
+            }
+        }
+    }
+
+    /// Pulls one socket burst into this round's pending batches.
+    fn drain_socket(&mut self, max: usize) {
+        let mut burst = std::mem::take(&mut self.scratch);
+        self.drain_many(&mut burst, max);
+        for dg in burst.drain(..) {
+            let shard = self.base_shard(dg.from);
+            self.stage(shard, (dg, 0), false);
+        }
+        self.scratch = burst;
+    }
+
+    /// Stages one datagram into `shard`'s pending batch, enforcing the
+    /// per-shard datagram bound against queue depth + already-staged
+    /// items: a shard at capacity sheds (counted) instead of growing —
+    /// drop-on-overflow is ordinary datagram semantics (SSP
+    /// retransmits), and a stalled shard must never back-pressure the
+    /// socket drain for everyone else.
+    fn stage(&mut self, shard: usize, fed: Fed, bounce: bool) {
+        let staged = &mut self.pending[shard];
+        let queued = self.depths[shard].load(Ordering::Relaxed) + staged.items.len();
+        if queued >= self.capacity {
+            self.cells.overflow.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        staged.items.push(fed);
+        if bounce {
+            staged.from_bounce += 1;
+        } else {
+            staged.from_socket += 1;
+        }
+    }
+
+    /// Moves every shard's staged batch onto its queue — one channel
+    /// send per shard per round, however many datagrams the round
+    /// carried.
+    fn flush(&mut self) {
+        for shard in 0..self.feeds.len() {
+            let staged = &mut self.pending[shard];
+            if staged.items.is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(&mut staged.items);
+            let (from_socket, from_bounce) = (staged.from_socket, staged.from_bounce);
+            staged.from_socket = 0;
+            staged.from_bounce = 0;
+            let len = batch.len() as u64;
+            match self.feeds[shard].try_send(batch) {
+                Ok(()) => {
+                    self.depths[shard].fetch_add(len as usize, Ordering::Relaxed);
+                    self.cells.routed.fetch_add(from_socket, Ordering::Relaxed);
+                    self.cells.bounced.fetch_add(from_bounce, Ordering::Relaxed);
+                }
+                // Unreachable while the depth gauge holds (≤ capacity
+                // datagrams queued ⇒ ≤ capacity batches), kept as shed-
+                // not-stall defense in depth.
+                Err(TrySendError::Full(_)) => {
+                    self.cells.overflow.fetch_add(len, Ordering::Relaxed);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.cells.dropped.fetch_add(len, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -554,6 +788,55 @@ mod tests {
         // re-teaches the shared map rather than skipping it.
         feeds[1].send(server_addr, peer_addr, b"back".to_vec());
         assert_eq!(dist.hint_count(), 1);
+    }
+
+    #[test]
+    fn stale_deadline_returns_promptly_without_underflow() {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let (_dist, mut feeds) = UdpDistributor::new(socket, 1).unwrap();
+        // Let the shared clock tick past zero so `deadline < now` is a
+        // real gap, not a same-millisecond tie.
+        std::thread::sleep(Duration::from_millis(5));
+        let now = feeds[0].now();
+        assert!(now > 0, "clock advanced");
+        // A deadline the clock has already passed must return promptly
+        // (saturating to a zero timeout), not panic in debug or wrap to
+        // a ~585-million-year wait in release.
+        let start = Instant::now();
+        let woke = feeds[0].wait_until(0);
+        assert!(woke >= now);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "stale deadline must not block"
+        );
+    }
+
+    #[test]
+    fn batched_feed_preserves_order_and_depth_accounting() {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let (mut dist, mut feeds) = UdpDistributor::new(socket, 1).unwrap();
+        let server_addr = dist.local_addr();
+        let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for i in 0..10u8 {
+            peer.send_to(&[i], crate::channel::socket_from_addr(server_addr))
+                .unwrap();
+        }
+        let start = Instant::now();
+        let mut got = Vec::new();
+        while got.len() < 10 {
+            assert!(start.elapsed().as_secs() < 10, "datagrams never arrived");
+            dist.pump(5);
+            while let Some(dg) = feeds[0].poll_any() {
+                got.push(dg.payload[0]);
+            }
+        }
+        // One sender over loopback: arrival order is send order, and
+        // batching must not reorder within or across batches.
+        assert_eq!(got, (0..10u8).collect::<Vec<_>>());
+        assert_eq!(dist.stats().routed, 10);
+        // Everything consumed: the shared depth gauge is back to zero,
+        // so the capacity check sees an empty queue.
+        assert_eq!(dist.depths[0].load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub mod poller;
 pub mod sim;
 
 pub use channel::{Channel, SimChannel, UdpChannel};
-pub use feed::{DistributorStats, FeedBouncer, FeedChannel, UdpDistributor, FEED_CAPACITY};
+pub use feed::{
+    DistributorStats, DistributorStatsHandle, FeedBouncer, FeedChannel, UdpDistributor,
+    FEED_CAPACITY,
+};
 pub use link::LinkConfig;
 pub use poller::{ChannelPoller, Poller, SimPoller, Token, UdpPoller};
 pub use sim::{Network, NetworkStats, Side};

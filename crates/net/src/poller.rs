@@ -279,7 +279,10 @@ impl Poller for UdpPoller {
             if got || now >= deadline {
                 return now;
             }
-            std::thread::sleep(SWEEP.min(Duration::from_millis(deadline - now)));
+            // Saturating: `now` is re-read after the drain sweep, so it
+            // can land past `deadline` — a bare subtraction here would
+            // underflow.
+            std::thread::sleep(SWEEP.min(Duration::from_millis(deadline.saturating_sub(now))));
         }
     }
 }
