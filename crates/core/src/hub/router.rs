@@ -55,7 +55,7 @@ use std::collections::HashMap;
 use std::io;
 use std::net::UdpSocket;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
 /// What one pump round hands a shard worker: type-erased borrows of the
@@ -78,6 +78,9 @@ struct PumpJob {
     leases: *mut (),
 }
 
+// SAFETY: see the `# Safety` section above — the raw borrows a job
+// carries live until the dispatching frame has collected the worker's
+// reply, and the build site proves the erased payloads are `Send`.
 unsafe impl Send for PumpJob {}
 
 /// The monomorphized shim a [`PumpJob`] carries: recover the real types
@@ -109,7 +112,7 @@ type PumpReply = Result<Vec<(SessionId, SessionEvent)>, String>;
 /// One persistent shard worker: a parked thread plus its command and
 /// reply channels.
 struct ShardWorker {
-    tx: Sender<Command>,
+    tx: SyncSender<Command>,
     reply: Receiver<PumpReply>,
     handle: Option<JoinHandle<()>>,
 }
@@ -126,11 +129,15 @@ impl ShardRuntime {
     fn spawn(shards: usize) -> Self {
         let workers = (0..shards)
             .map(|i| {
-                let (tx, rx) = channel::<Command>();
-                let (reply_tx, reply) = channel::<PumpReply>();
+                // Depth 1 is exact, not just bounded: the dispatch/reply
+                // protocol keeps at most one command (and one reply) in
+                // flight per worker, so neither send can ever block.
+                let (tx, rx) = sync_channel::<Command>(1);
+                let (reply_tx, reply) = sync_channel::<PumpReply>(1);
                 let handle = std::thread::Builder::new()
                     .name(format!("mosh-shard-{i}"))
                     .spawn(move || worker_loop(rx, reply_tx))
+                    // mosh-lint: allow(no-unwrap-hot-path): OS thread-spawn failure at the first threaded pump, before any session state exists to preserve
                     .expect("spawn shard worker");
                 ShardWorker {
                     tx,
@@ -162,10 +169,14 @@ impl Drop for ShardRuntime {
 /// **always** reply — a caught panic becomes an `Err` reply, never a
 /// missing one, because the pumping thread blocks on every reply before
 /// releasing the borrows the job carries.
-fn worker_loop(rx: Receiver<Command>, reply: Sender<PumpReply>) {
+fn worker_loop(rx: Receiver<Command>, reply: SyncSender<PumpReply>) {
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Command::Pump(job) => {
+                // SAFETY: the job was built this pump round from live
+                // exclusive borrows (see `PumpJob`'s Safety section);
+                // the dispatcher blocks on our reply before releasing
+                // them, so the pointers are valid for this whole call.
                 let result = catch_unwind(AssertUnwindSafe(|| unsafe {
                     (job.run)(job.shard, job.leases)
                 }))
@@ -434,6 +445,7 @@ impl<P: Poller + Send> ShardedHub<P> {
         // stay parked on their command channels, like unleased sessions.
         let runtime = self.runtime.get_or_insert_with(|| ShardRuntime::spawn(n)) as &ShardRuntime;
         let mut dispatched = vec![false; n];
+        let mut new_failures: Vec<(usize, String)> = Vec::new();
         for (i, leases) in shard_leases.iter_mut().enumerate() {
             if leases.is_empty() {
                 continue;
@@ -443,11 +455,14 @@ impl<P: Poller + Send> ShardedHub<P> {
                 shard: &mut self.shards[i] as *mut ServerHub<P> as *mut (),
                 leases: leases as *mut Vec<HubSession<'_, '_>> as *mut (),
             };
-            runtime.workers[i]
-                .tx
-                .send(Command::Pump(job))
-                .expect("shard worker parked on its channel");
-            dispatched[i] = true;
+            if runtime.workers[i].tx.send(Command::Pump(job)).is_ok() {
+                dispatched[i] = true;
+            } else {
+                // The worker's thread is gone (torn down externally):
+                // quarantine the shard like a panic and keep pumping
+                // the others rather than taking down the whole hub.
+                new_failures.push((i, "shard worker disconnected".to_string()));
+            }
         }
 
         // `side` may itself panic (it is arbitrary caller code): the
@@ -456,7 +471,6 @@ impl<P: Poller + Send> ShardedHub<P> {
         let side_outcome = side.map(|f| catch_unwind(AssertUnwindSafe(f)));
 
         let mut per_shard: Vec<Vec<(SessionId, SessionEvent)>> = Vec::with_capacity(n);
-        let mut new_failures: Vec<(usize, String)> = Vec::new();
         for (i, worker) in runtime.workers.iter().enumerate() {
             if !dispatched[i] {
                 per_shard.push(Vec::new());

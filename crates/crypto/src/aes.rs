@@ -459,7 +459,10 @@ mod ni {
     };
 
     #[inline]
-    unsafe fn load(bytes: &[u8; 16]) -> __m128i {
+    fn load(bytes: &[u8; 16]) -> __m128i {
+        // SAFETY: an unaligned 16-byte load from a live `&[u8; 16]` —
+        // in bounds by construction, and `_mm_loadu_si128` imposes no
+        // alignment requirement (SSE2 is baseline on x86_64).
         unsafe { _mm_loadu_si128(bytes.as_ptr().cast()) }
     }
 
@@ -468,6 +471,10 @@ mod ni {
     /// The caller must have verified the CPU supports the `aes` feature.
     #[target_feature(enable = "aes")]
     pub unsafe fn encrypt_block(rk: &[[u8; 16]; ROUND_KEYS], block: &Block) -> Block {
+        // SAFETY: the AES intrinsics require the `aes` CPU feature,
+        // which this fn's caller contract guarantees (the dispatch site
+        // only sets `use_ni` after runtime detection); the store writes
+        // exactly 16 bytes into a local `[u8; 16]`.
         unsafe {
             let mut s = _mm_xor_si128(load(block), load(&rk[0]));
             for k in &rk[1..10] {
@@ -485,6 +492,9 @@ mod ni {
     /// The caller must have verified the CPU supports the `aes` feature.
     #[target_feature(enable = "aes")]
     pub unsafe fn decrypt_block(rk: &[[u8; 16]; ROUND_KEYS], block: &Block) -> Block {
+        // SAFETY: as in `encrypt_block` — `aes` is guaranteed by the
+        // caller contract (runtime-detected before `use_ni` is set),
+        // and the store writes exactly 16 bytes into a local array.
         unsafe {
             let mut s = _mm_xor_si128(load(block), load(&rk[0]));
             for k in &rk[1..10] {

@@ -1,0 +1,344 @@
+//! A minimal Rust lexer — just enough token structure for invariant
+//! linting. The workspace is vendored-only, so there is no `syn` or
+//! `proc-macro2` to lean on; this hand-rolled pass handles the lexical
+//! constructs that would otherwise produce false matches (nested block
+//! comments, raw strings, byte strings, char literals vs. lifetimes)
+//! and tracks line numbers for reporting.
+//!
+//! The output is a flat token stream. Comments are kept as tokens —
+//! the rule engine needs them for `SAFETY:` proximity checks and
+//! allow-directive suppressions — and are split out from code
+//! tokens by [`crate::Analysis`].
+
+/// Token classes. The linter only needs enough resolution to tell
+/// identifiers, punctuation, literals, and comments apart; keywords are
+/// just identifiers with well-known text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `Instant`, ...).
+    Ident,
+    /// Numeric literal (the exact value is irrelevant to every rule).
+    Number,
+    /// String literal of any flavor: `"..."`, `r#"..."#`, `b"..."`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// Lifetime: `'a`, `'static`.
+    Lifetime,
+    /// Operator or delimiter; compound operators that matter to the
+    /// rules (`->`, `::`, `-=`) are single tokens.
+    Punct,
+    /// `// ...` to end of line (including doc comments).
+    LineComment,
+    /// `/* ... */`, possibly nested and spanning lines; the token's
+    /// line is where the comment opens.
+    BlockComment,
+}
+
+/// One token with its 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True when this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+}
+
+/// Two-character operators lexed as single tokens. Only `->` strictly
+/// matters (it must not read as a binary minus) but keeping the common
+/// set makes adjacency checks honest. Longer operators (`<<=`) split
+/// into a two-char token plus a one-char token, which no rule cares
+/// about.
+const PUNCT2: &[&str] = &[
+    "->", "=>", "::", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "^=", "|=",
+    "&=", "..", "<<", ">>",
+];
+
+/// Lex `src` into a token stream. Unterminated constructs (a string or
+/// block comment running to end of file) terminate the stream quietly —
+/// the linter runs on code that already compiles, so this only happens
+/// on fixture fragments.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment (covers `///` and `//!` doc comments).
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            toks.push(tok(TokKind::LineComment, &b[start..i], line));
+            continue;
+        }
+
+        // Block comment, nested per Rust rules.
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            toks.push(tok(TokKind::BlockComment, &b[start..i], start_line));
+            continue;
+        }
+
+        // Raw strings: r"..." / r#"..."# / br"..." / br#"..."#. The
+        // prefix chars only open a string when `#`* then `"` follows —
+        // otherwise they lex as an ordinary identifier below.
+        if c == 'r' || (c == 'b' && b.get(i + 1) == Some(&'r')) {
+            let prefix = if c == 'b' { 2 } else { 1 };
+            let mut j = i + prefix;
+            let mut hashes = 0usize;
+            while b.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&'"') {
+                let start = i;
+                let start_line = line;
+                i = j + 1;
+                'raw: while i < b.len() {
+                    if b[i] == '\n' {
+                        line += 1;
+                    } else if b[i] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && b.get(i + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    i += 1;
+                }
+                toks.push(tok(TokKind::Str, &b[start..i], start_line));
+                continue;
+            }
+        }
+
+        // Byte string b"..." and byte char b'...': normal escape rules.
+        if c == 'b' && matches!(b.get(i + 1), Some(&'"') | Some(&'\'')) {
+            let quote = b[i + 1];
+            let start = i;
+            let start_line = line;
+            i += 2;
+            consume_quoted(&b, &mut i, &mut line, quote);
+            let kind = if quote == '"' {
+                TokKind::Str
+            } else {
+                TokKind::Char
+            };
+            toks.push(tok(kind, &b[start..i], start_line));
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            consume_quoted(&b, &mut i, &mut line, '"');
+            toks.push(tok(TokKind::Str, &b[start..i], start_line));
+            continue;
+        }
+
+        // Char literal vs. lifetime. `'\...'` and `'x'` are chars;
+        // `'ident` (no closing quote right after) is a lifetime.
+        if c == '\'' {
+            let start = i;
+            if b.get(i + 1) == Some(&'\\') || b.get(i + 2) == Some(&'\'') {
+                i += 1;
+                consume_quoted(&b, &mut i, &mut line, '\'');
+                toks.push(tok(TokKind::Char, &b[start..i], line));
+            } else {
+                i += 1;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(tok(TokKind::Lifetime, &b[start..i], line));
+            }
+            continue;
+        }
+
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(tok(TokKind::Ident, &b[start..i], line));
+            continue;
+        }
+
+        // Number. Consumes alphanumerics (hex, suffixes, exponents) and
+        // a fractional part when a digit follows the dot, so `1.0` is
+        // one token but `0.to_string()` leaves the dot for the method
+        // call.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            if b.get(i) == Some(&'.') && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            }
+            toks.push(tok(TokKind::Number, &b[start..i], line));
+            continue;
+        }
+
+        // Punctuation: greedy two-char match, else one char.
+        if i + 1 < b.len() {
+            let pair: String = b[i..i + 2].iter().collect();
+            if PUNCT2.contains(&pair.as_str()) {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: pair,
+                    line,
+                });
+                i += 2;
+                continue;
+            }
+        }
+        toks.push(tok(TokKind::Punct, &b[i..i + 1], line));
+        i += 1;
+    }
+
+    toks
+}
+
+/// Advance `*i` past a `quote`-terminated literal body, honoring `\`
+/// escapes and counting newlines (strings may span lines).
+fn consume_quoted(b: &[char], i: &mut usize, line: &mut u32, quote: char) {
+    while *i < b.len() {
+        match b[*i] {
+            '\\' => *i += 2,
+            '\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            c if c == quote => {
+                *i += 1;
+                return;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+fn tok(kind: TokKind, chars: &[char], line: u32) -> Tok {
+    Tok {
+        kind,
+        text: chars.iter().collect(),
+        line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.unwrap();");
+        assert!(toks.contains(&(TokKind::Ident, "unwrap".into())));
+        assert!(toks.contains(&(TokKind::Punct, ".".into())));
+    }
+
+    #[test]
+    fn arrow_is_not_minus() {
+        let toks = lex("fn f() -> u32 { a - b }");
+        let minuses: Vec<_> = toks.iter().filter(|t| t.is_punct("-")).collect();
+        assert_eq!(minuses.len(), 1, "only the binary minus should remain");
+        assert!(toks.iter().any(|t| t.is_punct("->")));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = lex(r#"let s = "Instant::now() - panic!"; let r = r"unwrap()";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            2,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r###"let s = r#"quote " inside"#; done"###);
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex(r"fn f<'a>(x: &'a str) -> char { '\n' }");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let toks = lex("/* outer /* inner */ still */ after\nnext");
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+        let next = toks.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 2);
+    }
+
+    #[test]
+    fn line_numbers_across_multiline_strings() {
+        let toks = lex("let a = \"one\ntwo\";\nlet b = 1;");
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

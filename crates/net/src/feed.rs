@@ -119,7 +119,7 @@ impl DistributorStatsHandle {
     /// Number of live source hints (a gauge, not a counter: one entry
     /// per client address currently claimed by a shard).
     pub fn hint_count(&self) -> usize {
-        self.hints.lock().expect("hint map never poisoned").len()
+        lock_hints(&self.hints).len()
     }
 }
 
@@ -130,6 +130,19 @@ struct StatsCells {
     bounced: AtomicU64,
     dropped: AtomicU64,
     overflow: AtomicU64,
+}
+
+/// Locks the shared hint map, shrugging off poisoning: every access is
+/// a single `HashMap` call, so a holder that panicked (a shard worker
+/// dying mid-send) cannot have left the map mid-update — recovering the
+/// guard is strictly better than cascading the panic through every
+/// other shard's send path.
+fn lock_hints(
+    hints: &Mutex<HashMap<Addr, usize>>,
+) -> std::sync::MutexGuard<'_, HashMap<Addr, usize>> {
+    hints
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// One shard's view of the shared socket: a [`Channel`] whose receive
@@ -217,10 +230,10 @@ impl FeedChannel {
     /// Consumes one queued datagram, publishing its hop count for the
     /// [`FeedBouncer`] (see [`FeedChannel::bouncer`] for the
     /// decide-before-next-consume invariant this implies).
-    fn take(&mut self, idx: usize) -> Datagram {
-        let (dg, hops) = self.inbox.remove(idx).expect("index in bounds");
+    fn take(&mut self, idx: usize) -> Option<Datagram> {
+        let (dg, hops) = self.inbox.remove(idx)?;
         self.last_hops.store(hops, Ordering::Relaxed);
-        dg
+        Some(dg)
     }
 }
 
@@ -242,10 +255,7 @@ impl Channel for FeedChannel {
             self.seen_epoch = epoch;
         }
         if self.hinted.insert(to) {
-            self.hints
-                .lock()
-                .expect("hint map never poisoned")
-                .insert(to, self.shard);
+            lock_hints(&self.hints).insert(to, self.shard);
         }
         send_raw(&self.socket, self.local.is_v6(), to, &payload);
     }
@@ -265,7 +275,7 @@ impl Channel for FeedChannel {
             .filter(|to| self.hinted.insert(*to))
             .collect();
         if !fresh.is_empty() {
-            let mut map = self.hints.lock().expect("hint map never poisoned");
+            let mut map = lock_hints(&self.hints);
             for to in fresh {
                 map.insert(to, self.shard);
             }
@@ -278,16 +288,12 @@ impl Channel for FeedChannel {
     fn recv(&mut self, addr: Addr) -> Option<Datagram> {
         self.drain_rx();
         let idx = self.inbox.iter().position(|(dg, _)| dg.to == addr)?;
-        Some(self.take(idx))
+        self.take(idx)
     }
 
     fn poll_any(&mut self) -> Option<Datagram> {
         self.drain_rx();
-        if self.inbox.is_empty() {
-            None
-        } else {
-            Some(self.take(0))
-        }
+        self.take(0)
     }
 
     fn next_event_time(&self) -> Option<Millis> {
@@ -326,7 +332,7 @@ impl Channel for FeedChannel {
     fn evict_hint(&mut self, addr: Addr) {
         self.hinted.remove(&addr);
         {
-            let mut map = self.hints.lock().expect("hint map never poisoned");
+            let mut map = lock_hints(&self.hints);
             if map.get(&addr) == Some(&self.shard) {
                 map.remove(&addr);
             }
@@ -426,6 +432,7 @@ impl UdpDistributor {
         // side for its lifetime.
         socket.set_read_timeout(Some(Duration::from_millis(1)))?;
         let socket = Arc::new(socket);
+        // mosh-lint: allow(no-wallclock-in-sim): the distributor is a real-UDP substrate like UdpChannel; this anchors the Millis epoch every shard behind the socket shares
         let start = Instant::now();
         let hints = Arc::new(Mutex::new(HashMap::new()));
         let epoch = Arc::new(AtomicU64::new(0));
@@ -504,7 +511,7 @@ impl UdpDistributor {
     /// claimed by a shard) — eviction observability for long-running
     /// servers.
     pub fn hint_count(&self) -> usize {
-        self.hints.lock().expect("hint map never poisoned").len()
+        lock_hints(&self.hints).len()
     }
 
     /// The shard a datagram from `from` starts its routing at: the
@@ -512,12 +519,7 @@ impl UdpDistributor {
     /// otherwise (so retries of an unknown source probe shards in a
     /// consistent order).
     fn base_shard(&self, from: Addr) -> usize {
-        if let Some(&shard) = self
-            .hints
-            .lock()
-            .expect("hint map never poisoned")
-            .get(&from)
-        {
+        if let Some(&shard) = lock_hints(&self.hints).get(&from) {
             return shard;
         }
         (from.port as usize) % self.feeds.len()
@@ -531,11 +533,13 @@ impl UdpDistributor {
     /// which is what paces an idle distributor), flush every shard's
     /// accumulated batch with one channel send.
     pub fn pump(&mut self, wall_ms: u64) {
+        // mosh-lint: allow(no-wallclock-in-sim): pump's budget is wall time spent on the real socket thread, outside any simulated schedule
         let deadline = Instant::now() + Duration::from_millis(wall_ms);
         loop {
             self.gather_bounces();
             self.drain_socket(FEED_BATCH);
             self.flush();
+            // mosh-lint: allow(no-wallclock-in-sim): same wall-time pump budget as above
             if Instant::now() >= deadline {
                 return;
             }

@@ -280,7 +280,10 @@ impl Network {
                     };
                     dir_stats.delivered += 1;
                     dir_stats.bytes_delivered += dg.payload.len() as u64;
-                    dir_stats.total_latency_ms += at - sent_at;
+                    // Saturating for the linter's benefit: arrivals are
+                    // scheduled at send time + latency, so `at >=
+                    // sent_at` always holds.
+                    dir_stats.total_latency_ms += at.saturating_sub(sent_at);
                     self.delivery_seq += 1;
                     self.mailboxes
                         .entry(dg.to)
