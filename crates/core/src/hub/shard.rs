@@ -35,7 +35,13 @@ use crate::Millis;
 use mosh_net::{Addr, Datagram, Poller, Token};
 use mosh_ssp::datagram::Opened;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+
+/// Most datagrams the pump drains from the poller before routing them as
+/// one batch — the unit of cross-packet AES/OCB batching on the receive
+/// path (matches the distributor's feed batch, so a distributor-fed
+/// shard typically opens a whole queue handoff in one cipher pass).
+const RECV_BATCH: usize = 64;
 
 /// The unclaimed-datagram hook: called with datagrams no session claims
 /// on its registered source, returning true to take ownership of the
@@ -232,6 +238,7 @@ impl<P: Poller> ServerHub<P> {
     pub fn pump(&mut self, sessions: &mut [HubSession<'_, '_>]) -> Vec<(SessionId, SessionEvent)> {
         let mut events: Vec<(SessionId, SessionEvent)> = Vec::new();
         let mut scratch: Vec<SessionEvent> = Vec::new();
+        let mut drained: Vec<(Token, Millis, Datagram)> = Vec::with_capacity(RECV_BATCH);
 
         // Where each leased session sits in `sessions`, and which leases
         // claim each (token, receive address): rebuilt per pump because
@@ -273,47 +280,72 @@ impl<P: Poller> ServerHub<P> {
             let tok = self.slots[sid.0].token;
             self.poller.wait_until(tok, due);
 
-            // Route and deliver everything that arrived, on any source.
+            // Route and deliver everything that arrived, on any source —
+            // drained up to RECV_BATCH at a time so hinted datagrams bound
+            // for the same endpoint cross AES-OCB as one batched cipher
+            // call (`speculate`), then consumed strictly in arrival order.
+            // Arrival timestamps are captured at drain time, so batching
+            // is observably identical to the sequential loop it replaced.
             let mut woken: Vec<usize> = Vec::new();
-            while let Some((t2, dg)) = self.poller.poll_any() {
-                let at = self.poller.now(t2);
-                match self.route(t2, &dg, sessions, &to_index) {
-                    Some((j, opened)) => {
-                        let sj = sessions[j].id;
-                        scratch.clear();
-                        let driver = &mut self.slots[sj.0].driver;
-                        match opened {
-                            // Ambiguous address: the routing probe already
-                            // opened the datagram — deliver the plaintext
-                            // token, never a second decrypt.
-                            Some(op) => driver.deliver_opened(
-                                sessions[j].parties,
-                                at,
-                                dg.from,
-                                dg.to,
-                                op,
-                                &mut scratch,
-                            ),
-                            None => driver.deliver(sessions[j].parties, at, &dg, &mut scratch),
-                        };
-                        self.stats.delivered += 1;
-                        events.extend(scratch.drain(..).map(|e| (sj, e)));
-                        if !woken.contains(&j) {
-                            woken.push(j);
+            loop {
+                drained.clear();
+                while drained.len() < RECV_BATCH {
+                    let Some((t2, dg)) = self.poller.poll_any() else {
+                        break;
+                    };
+                    let at = self.poller.now(t2);
+                    drained.push((t2, at, dg));
+                }
+                if drained.is_empty() {
+                    break;
+                }
+                let mut spec = self.speculate(&drained, sessions, &to_index);
+                for (idx, (t2, at, dg)) in drained.iter().enumerate() {
+                    let verdict = match spec[idx].take() {
+                        Some(s) => self.route(*t2, dg, sessions, &to_index, Some(s)),
+                        None => self.route(*t2, dg, sessions, &to_index, None),
+                    };
+                    match verdict {
+                        Some((j, opened)) => {
+                            let sj = sessions[j].id;
+                            scratch.clear();
+                            let driver = &mut self.slots[sj.0].driver;
+                            match opened {
+                                // Ambiguous address: the routing probe
+                                // already opened the datagram — deliver the
+                                // plaintext token, never a second decrypt.
+                                Some(op) => driver.deliver_opened(
+                                    sessions[j].parties,
+                                    *at,
+                                    dg.from,
+                                    dg.to,
+                                    op,
+                                    &mut scratch,
+                                ),
+                                None => driver.deliver(sessions[j].parties, *at, dg, &mut scratch),
+                            };
+                            self.stats.delivered += 1;
+                            events.extend(scratch.drain(..).map(|e| (sj, e)));
+                            if !woken.contains(&j) {
+                                woken.push(j);
+                            }
+                        }
+                        None => {
+                            let bounced = self
+                                .unclaimed
+                                .iter_mut()
+                                .find(|(t, _)| *t == *t2)
+                                .is_some_and(|(_, hook)| hook(dg));
+                            if bounced {
+                                self.stats.bounced += 1;
+                            } else {
+                                self.stats.dropped += 1;
+                            }
                         }
                     }
-                    None => {
-                        let bounced = self
-                            .unclaimed
-                            .iter_mut()
-                            .find(|(t, _)| *t == t2)
-                            .is_some_and(|(_, hook)| hook(&dg));
-                        if bounced {
-                            self.stats.bounced += 1;
-                        } else {
-                            self.stats.dropped += 1;
-                        }
-                    }
+                }
+                if drained.len() < RECV_BATCH {
+                    break; // the poller ran dry mid-batch
                 }
             }
 
@@ -388,6 +420,72 @@ impl<P: Poller> ServerHub<P> {
         None
     }
 
+    /// Plans and executes the batched speculative probes for one drained
+    /// receive batch — the cross-packet AES/OCB seam on the hub's receive
+    /// path. Datagrams that must be routed by authentication *and* whose
+    /// source carries a usable hint are grouped by (lease, receiving
+    /// party) and opened with **one** [`crate::session::Endpoint::try_open_many`]
+    /// call per group, so their AES blocks interleave in the cipher
+    /// lanes. Each speculative verdict is exactly the probe [`ServerHub::route`]
+    /// would have run first for that datagram; `route` consumes it instead
+    /// of re-opening. Cold datagrams (no hint — including every
+    /// adversarial injection from an unknown source), raw fast-path
+    /// datagrams, and unclaimed addresses are deliberately left out: they
+    /// take the sequential path unchanged, preserving the hub's exact
+    /// decrypt accounting (one cold probe per new source, zero decrypts on
+    /// the private fast path). A failed speculative probe (`None` verdict,
+    /// e.g. one tampered wire inside the batch) fails *alone*: its verdict
+    /// slot is per-datagram, so siblings in the same cipher call still
+    /// deliver.
+    fn speculate(
+        &self,
+        drained: &[(Token, Millis, Datagram)],
+        sessions: &mut [HubSession<'_, '_>],
+        to_index: &HashMap<(Token, Addr), Vec<usize>>,
+    ) -> Vec<Option<(usize, Option<Opened>)>> {
+        let mut spec: Vec<Option<(usize, Option<Opened>)>> = Vec::new();
+        spec.resize_with(drained.len(), || None);
+        // Group the hinted auth-path datagrams by the endpoint their hint
+        // front names: (lease index, party position).
+        let mut groups: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        for (idx, (tok, _, dg)) in drained.iter().enumerate() {
+            let Some(cands) = to_index.get(&(*tok, dg.to)) else {
+                continue; // unclaimed: never decrypted here
+            };
+            if cands.len() == 1 && !self.is_shared(*tok) {
+                continue; // raw fast path: the hub never decrypts these
+            }
+            let Some(j) = self.routes.get(&(*tok, dg.from)).and_then(|sids| {
+                sids.iter()
+                    .find_map(|sid| cands.iter().copied().find(|&j| sessions[j].id == *sid))
+            }) else {
+                continue; // cold source: sequential probing (the +1 probe)
+            };
+            let Some(pp) = sessions[j].parties.iter().position(|p| p.addr == dg.to) else {
+                continue;
+            };
+            groups.entry((j, pp)).or_default().push(idx);
+        }
+        let mut opened: Vec<Option<Opened>> = Vec::new();
+        for ((j, pp), idxs) in groups {
+            let wires: Vec<&[u8]> = idxs
+                .iter()
+                .map(|&idx| drained[idx].2.payload.as_slice())
+                .collect();
+            opened.clear();
+            sessions[j].parties[pp]
+                .endpoint
+                .try_open_many(&wires, &mut opened);
+            // Zip stops at the shorter side: a misbehaving endpoint that
+            // returns fewer verdicts than wires only downgrades the tail
+            // to the sequential path, never mis-attributes a verdict.
+            for (&idx, op) in idxs.iter().zip(opened.drain(..)) {
+                spec[idx] = Some((j, op));
+            }
+        }
+        spec
+    }
+
     /// Decides which leased session a datagram belongs to, returning the
     /// lease index and — when authentication had to decide — the
     /// already-opened datagram token.
@@ -409,12 +507,23 @@ impl<P: Poller> ServerHub<P> {
     ///    against one key; roaming collisions degrade to trying every
     ///    candidate. No candidate authenticates → unclaimed: bounced to
     ///    the distributor when the source has a hook, dropped otherwise.
+    ///
+    /// `spec` carries the batched speculative probe for this datagram, if
+    /// [`ServerHub::speculate`] ran one: `(lease, verdict)` where the
+    /// verdict is what `try_open` against that lease would return. The
+    /// probe loop *consumes* it when it reaches that lease — at whatever
+    /// hint position the lease occupies by then — so a datagram never
+    /// crosses the cipher twice even when an earlier datagram in the same
+    /// batch reordered the hints. (The one cost of that rare mid-batch
+    /// roam: the moved hint's new front is probed live, one extra decrypt
+    /// for that datagram — bounded by one per batch per roam event.)
     fn route(
         &mut self,
         tok: Token,
         dg: &Datagram,
         sessions: &mut [HubSession<'_, '_>],
         to_index: &HashMap<(Token, Addr), Vec<usize>>,
+        spec: Option<(usize, Option<Opened>)>,
     ) -> Option<(usize, Option<Opened>)> {
         let cands = to_index.get(&(tok, dg.to))?;
         if cands.len() == 1 && !self.is_shared(tok) {
@@ -433,12 +542,21 @@ impl<P: Poller> ServerHub<P> {
             })
             .unwrap_or_default();
         let rest = cands.iter().copied().filter(|j| !hinted.contains(j));
+        let mut spec = spec;
         let mut winner = None;
         for j in hinted.iter().copied().chain(rest) {
-            let Some(p) = sessions[j].parties.iter_mut().find(|p| p.addr == dg.to) else {
-                continue;
+            let verdict = if spec.as_ref().is_some_and(|(sj, _)| *sj == j) {
+                match spec.take() {
+                    Some((_, v)) => v,
+                    None => None, // unreachable: guarded by is_some_and
+                }
+            } else {
+                let Some(p) = sessions[j].parties.iter_mut().find(|p| p.addr == dg.to) else {
+                    continue;
+                };
+                p.endpoint.try_open(&dg.payload)
             };
-            if let Some(opened) = p.endpoint.try_open(&dg.payload) {
+            if let Some(opened) = verdict {
                 winner = Some((j, opened));
                 break;
             }

@@ -125,6 +125,20 @@ pub trait Endpoint: Send {
         None
     }
 
+    /// The batched demux probe: [`Endpoint::try_open`] over a whole
+    /// drained receive batch, appending one verdict per wire to `out` —
+    /// strictly per wire, so one inauthentic packet never affects its
+    /// batch siblings. Crypto-capable endpoints override this to cross
+    /// the cipher once for the whole batch (interleaving AES blocks from
+    /// different packets); the default simply probes wire by wire, which
+    /// keeps wrappers' per-wire accounting exact.
+    fn try_open_many(&mut self, wires: &[&[u8]], out: &mut Vec<Option<Opened>>) {
+        for wire in wires {
+            let opened = self.try_open(wire);
+            out.push(opened);
+        }
+    }
+
     /// Consumes a token this endpoint produced from [`Endpoint::try_open`]
     /// — identical observable behavior to [`Endpoint::receive`] of the
     /// original wire, minus the duplicate OCB pass. Only ever called with
@@ -189,6 +203,10 @@ impl Endpoint for MoshClient {
         MoshClient::try_open(self, wire)
     }
 
+    fn try_open_many(&mut self, wires: &[&[u8]], out: &mut Vec<Option<Opened>>) {
+        MoshClient::try_open_many(self, wires, out);
+    }
+
     fn receive_opened(
         &mut self,
         now: Millis,
@@ -246,6 +264,10 @@ impl Endpoint for MoshServer {
 
     fn try_open(&mut self, wire: &[u8]) -> Option<Opened> {
         MoshServer::try_open(self, wire)
+    }
+
+    fn try_open_many(&mut self, wires: &[&[u8]], out: &mut Vec<Option<Opened>>) {
+        MoshServer::try_open_many(self, wires, out);
     }
 
     fn receive_opened(

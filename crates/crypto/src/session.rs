@@ -17,7 +17,7 @@
 //! ```
 
 use crate::base64::Base64Key;
-use crate::ocb::{Ocb, TAG_LEN};
+use crate::ocb::{Ocb, OpenJob, SealJob, TAG_LEN};
 use crate::CryptoError;
 use std::cell::Cell;
 
@@ -97,10 +97,12 @@ pub struct Session {
     /// address is ambiguous and the datagram was first opened to decide
     /// which session owns it.
     decrypt_ops: Cell<u64>,
-    /// Reusable plaintext buffer, lent out via [`Session::take_scratch`]
+    /// Reusable plaintext buffers, lent out via [`Session::take_scratch`]
     /// and returned via [`Session::recycle_scratch`], so the steady-state
-    /// per-datagram path does zero heap allocation.
-    scratch: Vec<u8>,
+    /// per-datagram path does zero heap allocation. A small pool (not a
+    /// single buffer) because the batched receive path holds one buffer
+    /// per packet of a drained batch simultaneously.
+    scratch: Vec<Vec<u8>>,
 }
 
 impl Session {
@@ -132,20 +134,22 @@ impl Session {
         self.decrypt_ops.get()
     }
 
-    /// Lends out the reusable plaintext buffer (empty, but with its
+    /// Lends out a reusable plaintext buffer (empty, but with its
     /// accumulated capacity). Pair with [`Session::recycle_scratch`] so
-    /// the steady-state receive path never allocates.
+    /// the steady-state receive path never allocates. Buffers come from
+    /// a small pool, so a batched receive can hold one per packet.
     pub fn take_scratch(&mut self) -> Vec<u8> {
-        std::mem::take(&mut self.scratch)
+        self.scratch.pop().unwrap_or_default()
     }
 
     /// Returns a buffer taken with [`Session::take_scratch`] (any buffer,
-    /// really) for reuse by later datagrams. Contents are discarded; the
-    /// larger capacity wins.
+    /// really) for reuse by later datagrams. Contents are discarded. The
+    /// pool is bounded; beyond that, buffers are simply dropped.
     pub fn recycle_scratch(&mut self, mut buf: Vec<u8>) {
-        buf.clear();
-        if buf.capacity() > self.scratch.capacity() {
-            self.scratch = buf;
+        const POOL: usize = 64;
+        if self.scratch.len() < POOL {
+            buf.clear();
+            self.scratch.push(buf);
         }
     }
 
@@ -217,6 +221,110 @@ impl Session {
             return Err(CryptoError::BadDirection);
         }
         Ok(dir_seq & MAX_SEQ)
+    }
+
+    /// Encrypts a batch of payloads into wire datagrams, consuming one
+    /// sequence number per payload in order — byte-identical to calling
+    /// [`Session::encrypt_into`] per payload, but all packets cross the
+    /// cipher through [`Ocb::seal_many_into`] so their blocks interleave
+    /// in the AES pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch would exhaust the 2^63 sequence numbers, or
+    /// if `payloads` and `wires` differ in length.
+    pub fn encrypt_many_into(&mut self, payloads: &[&[u8]], wires: &mut [Vec<u8>]) {
+        assert_eq!(payloads.len(), wires.len(), "one wire buffer per payload");
+        assert!(
+            self.next_seq <= MAX_SEQ - (payloads.len() as u64).saturating_sub(1),
+            "sequence number space exhausted"
+        );
+        let mut nonces: Vec<[u8; 12]> = Vec::with_capacity(payloads.len());
+        for (payload, wire) in payloads.iter().zip(wires.iter_mut()) {
+            let dir_seq = self.direction.bit() | self.next_seq;
+            self.next_seq += 1;
+            wire.clear();
+            wire.reserve(8 + payload.len() + TAG_LEN);
+            wire.extend_from_slice(&dir_seq.to_be_bytes());
+            nonces.push(Self::nonce(dir_seq));
+        }
+        let jobs: Vec<SealJob> = payloads
+            .iter()
+            .zip(nonces.iter())
+            .map(|(payload, nonce)| SealJob {
+                nonce,
+                ad: &[],
+                plaintext: payload,
+            })
+            .collect();
+        self.ocb.seal_many_into(&jobs, wires);
+    }
+
+    /// Authenticates and decrypts a batch of wire datagrams, each into
+    /// its own `payloads` buffer (cleared first) — the batched twin of
+    /// [`Session::decrypt_into`], with identical per-packet results and
+    /// decrypt accounting (truncated wires never reach OCB and are not
+    /// counted). Verdicts are strictly per packet: one bad tag never
+    /// affects its batch siblings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wires` and `payloads` differ in length.
+    pub fn decrypt_many_into(
+        &self,
+        wires: &[&[u8]],
+        payloads: &mut [Vec<u8>],
+    ) -> Vec<Result<u64, CryptoError>> {
+        assert_eq!(wires.len(), payloads.len(), "one payload buffer per wire");
+        let mut results: Vec<Result<u64, CryptoError>> =
+            vec![Err(CryptoError::Truncated); wires.len()];
+        let mut live: Vec<usize> = Vec::with_capacity(wires.len());
+        let mut nonces: Vec<[u8; 12]> = Vec::with_capacity(wires.len());
+        let mut dir_seqs: Vec<u64> = Vec::with_capacity(wires.len());
+        for (k, wire) in wires.iter().enumerate() {
+            payloads[k].clear();
+            if wire.len() < 8 + TAG_LEN {
+                continue; // stays Truncated, never reaches OCB, not counted
+            }
+            self.decrypt_ops.set(self.decrypt_ops.get() + 1);
+            let dir_seq = u64::from_be_bytes(wire[..8].try_into().expect("length checked"));
+            live.push(k);
+            nonces.push(Self::nonce(dir_seq));
+            dir_seqs.push(dir_seq);
+        }
+        // Lend the live packets' buffers to OCB (capacity moves with
+        // them), then hand them back with the per-packet verdicts.
+        let jobs: Vec<OpenJob> = live
+            .iter()
+            .zip(nonces.iter())
+            .map(|(&k, nonce)| OpenJob {
+                nonce,
+                ad: &[],
+                sealed: &wires[k][8..],
+            })
+            .collect();
+        let mut outs: Vec<Vec<u8>> = live
+            .iter()
+            .map(|&k| std::mem::take(&mut payloads[k]))
+            .collect();
+        let verdicts = self.ocb.open_many_into(&jobs, &mut outs);
+        for (((&k, out), verdict), &dir_seq) in
+            live.iter().zip(outs).zip(verdicts).zip(dir_seqs.iter())
+        {
+            payloads[k] = out;
+            results[k] = match verdict {
+                Ok(()) => {
+                    if dir_seq & (1 << 63) != self.direction.opposite().bit() {
+                        payloads[k].clear();
+                        Err(CryptoError::BadDirection)
+                    } else {
+                        Ok(dir_seq & MAX_SEQ)
+                    }
+                }
+                Err(e) => Err(e),
+            };
+        }
+        results
     }
 }
 
@@ -367,6 +475,88 @@ mod tests {
         bad[12] ^= 0xff;
         assert!(server.decrypt(&bad).is_err());
         assert_eq!(server.decrypt_count(), 2);
+    }
+
+    #[test]
+    fn encrypt_many_matches_per_packet_loop() {
+        // Two sessions on the same key walk the same seq stream, one via
+        // the batch API, one via the loop: wires must be byte-identical.
+        let (mut batched, _) = pair();
+        let (mut looped, server) = pair();
+        let payloads: Vec<Vec<u8>> = (0..9usize)
+            .map(|k| {
+                (0..[0, 1, 7, 16, 33, 120, 1400][k % 7])
+                    .map(|i| (i + k) as u8)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let mut wires = vec![Vec::new(); refs.len()];
+        batched.encrypt_many_into(&refs, &mut wires);
+        for (payload, wire) in refs.iter().zip(wires.iter()) {
+            assert_eq!(*wire, looped.encrypt(payload));
+            assert_eq!(server.decrypt(wire).unwrap().payload, *payload);
+        }
+        assert_eq!(batched.next_seq(), refs.len() as u64);
+        // An empty batch is a no-op.
+        batched.encrypt_many_into(&[], &mut []);
+        assert_eq!(batched.next_seq(), refs.len() as u64);
+    }
+
+    #[test]
+    fn decrypt_many_matches_single_path_verdicts_and_accounting() {
+        let (mut client, server) = pair();
+        let good0 = client.encrypt(b"first");
+        let mut tampered = client.encrypt(b"second");
+        tampered[10] ^= 0x40;
+        let good1 = client.encrypt(b"third");
+        let truncated = vec![0u8; 8 + TAG_LEN - 1];
+        let reflected = {
+            // Stamped with the server's own direction: authenticates on
+            // the server's key stream? No — build it from a ToClient
+            // session on the same key so the tag verifies but the
+            // direction check fails.
+            let key = Base64Key::from_bytes([3u8; 16]);
+            Session::new(key, Direction::ToClient).encrypt(b"mirror")
+        };
+        let wires: Vec<&[u8]> = vec![&good0, &tampered, &truncated, &reflected, &good1];
+        let mut payloads = vec![b"stale".to_vec(); wires.len()];
+        let results = server.decrypt_many_into(&wires, &mut payloads);
+        assert_eq!(results[0], Ok(0));
+        assert_eq!(results[1], Err(CryptoError::BadTag));
+        assert_eq!(results[2], Err(CryptoError::Truncated));
+        assert_eq!(results[3], Err(CryptoError::BadDirection));
+        assert_eq!(results[4], Ok(2));
+        assert_eq!(payloads[0], b"first");
+        assert_eq!(payloads[4], b"third");
+        for k in [1, 2, 3] {
+            assert!(
+                payloads[k].is_empty(),
+                "failed packet {k} must release nothing"
+            );
+        }
+        // Truncated wire skipped OCB; the other four were opened.
+        assert_eq!(server.decrypt_count(), 4);
+        // Single-path verdicts agree packet by packet.
+        let (_, single) = pair();
+        let mut buf = Vec::new();
+        for (wire, result) in wires.iter().zip(results.iter()) {
+            assert_eq!(single.decrypt_into(wire, &mut buf), *result);
+        }
+    }
+
+    #[test]
+    fn scratch_pool_hands_out_multiple_buffers() {
+        let (_, mut server) = pair();
+        let mut a = server.take_scratch();
+        let b = server.take_scratch();
+        a.extend_from_slice(&[0u8; 512]);
+        let cap = a.capacity();
+        server.recycle_scratch(a);
+        server.recycle_scratch(b);
+        // LIFO: `b` (capacity 0) comes back first, then `a`.
+        let _ = server.take_scratch();
+        assert_eq!(server.take_scratch().capacity(), cap);
     }
 
     #[test]

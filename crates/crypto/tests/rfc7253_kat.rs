@@ -3,15 +3,18 @@
 //! Round-trip properties (see `proptests.rs`) can pass with a wrong-but-
 //! self-consistent cipher; these golden vectors cannot:
 //!
-//! * AES-128 against the FIPS 197 Appendix C.1 example — both the
-//!   T-table hot path and the byte-oriented `baseline` reference.
+//! * AES-128 against the FIPS 197 Appendix C.1 example — the dispatched
+//!   cipher (hardware or constant-time bitsliced) and the byte-oriented
+//!   `baseline` reference.
 //! * AES-128-OCB-TAGLEN128 against every RFC 7253 Appendix A sample
 //!   vector, plus the RFC's iterative all-lengths self-test. The
 //!   allocating `seal`/`open` are thin wrappers over the buffer-reusing
-//!   `seal_into`/`open_into`, and the vectors pin both shapes.
+//!   `seal_into`/`open_into`, and the vectors pin both shapes — plus the
+//!   cross-packet batch path (`seal_many_into`/`open_many_into`), which
+//!   must produce the same wire bytes.
 
-use mosh_crypto::aes::{baseline, Aes128};
-use mosh_crypto::ocb::Ocb;
+use mosh_crypto::aes::{baseline, ct, Aes128, BlockCipher};
+use mosh_crypto::ocb::{Ocb, OpenJob, SealJob};
 
 fn unhex(s: &str) -> Vec<u8> {
     assert!(s.len().is_multiple_of(2), "odd hex length: {s:?}");
@@ -35,6 +38,9 @@ fn aes128_fips197_appendix_c1() {
     let aes = Aes128::new(&key);
     assert_eq!(aes.encrypt_block(&pt), ct);
     assert_eq!(aes.decrypt_block(&ct), pt);
+    let sliced = ct::Aes128::new(&key);
+    assert_eq!(sliced.encrypt_block(&pt), ct);
+    assert_eq!(sliced.decrypt_block(&ct), pt);
     let slow = baseline::Aes128::new(&key);
     assert_eq!(slow.encrypt_block(&pt), ct);
     assert_eq!(slow.decrypt_block(&ct), pt);
@@ -211,6 +217,51 @@ fn ocb_rfc7253_sample_vectors_into_variants_and_baseline_cipher() {
             "baseline open mismatch for nonce {nonce}"
         );
     }
+}
+
+/// All sixteen RFC 7253 Appendix A sample vectors as ONE batch through
+/// `seal_many_into`/`open_many_into`, for the dispatched cipher, the
+/// constant-time bitsliced tier, and the byte-oriented baseline — the
+/// golden vectors routed through the cross-packet batch path must yield
+/// the same wire bytes as the per-packet loop they replace.
+#[test]
+fn ocb_rfc7253_sample_vectors_through_batch_path() {
+    fn check<C: mosh_crypto::aes::BlockCipher>() {
+        let key: [u8; 16] = unhex("000102030405060708090A0B0C0D0E0F")
+            .try_into()
+            .unwrap();
+        let ocb: Ocb<C> = Ocb::with_cipher(&key);
+        let nonces: Vec<Vec<u8>> = RFC7253_VECTORS.iter().map(|v| unhex(v.0)).collect();
+        let ads: Vec<Vec<u8>> = RFC7253_VECTORS.iter().map(|v| unhex(v.1)).collect();
+        let pts: Vec<Vec<u8>> = RFC7253_VECTORS.iter().map(|v| unhex(v.2)).collect();
+        let expected: Vec<Vec<u8>> = RFC7253_VECTORS.iter().map(|v| unhex(v.3)).collect();
+
+        let jobs: Vec<SealJob> = (0..RFC7253_VECTORS.len())
+            .map(|k| SealJob {
+                nonce: &nonces[k],
+                ad: &ads[k],
+                plaintext: &pts[k],
+            })
+            .collect();
+        let mut outs: Vec<Vec<u8>> = vec![Vec::new(); jobs.len()];
+        ocb.seal_many_into(&jobs, &mut outs);
+        assert_eq!(outs, expected, "batch seal vectors");
+
+        let open_jobs: Vec<OpenJob> = (0..RFC7253_VECTORS.len())
+            .map(|k| OpenJob {
+                nonce: &nonces[k],
+                ad: &ads[k],
+                sealed: &expected[k],
+            })
+            .collect();
+        let mut opened: Vec<Vec<u8>> = vec![Vec::new(); open_jobs.len()];
+        let verdicts = ocb.open_many_into(&open_jobs, &mut opened);
+        assert!(verdicts.iter().all(|v| v.is_ok()), "batch open verdicts");
+        assert_eq!(opened, pts, "batch open plaintexts");
+    }
+    check::<Aes128>();
+    check::<ct::Aes128>();
+    check::<baseline::Aes128>();
 }
 
 /// RFC 7253 Appendix A iterative self-test: encrypts messages of every

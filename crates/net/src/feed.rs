@@ -58,6 +58,25 @@ use std::time::{Duration, Instant};
 /// number of shards that have already declined it.
 type Fed = (Datagram, u32);
 
+/// The fingerprint a consumed datagram's hop count is filed under:
+/// source address, payload length, and the wire's first 8 bytes (the
+/// clear sequence header, unique per datagram in practice — a collision
+/// requires a byte-identical duplicate, whose hop mix-up is at worst one
+/// extra or one fewer bounce hop, ordinary datagram semantics).
+type HopKey = (Addr, usize, [u8; 8]);
+
+/// How many consumed datagrams' hop counts are remembered for the
+/// bouncer: comfortably more than any one drain round, so every bounce
+/// decision made batch-wise still finds its own datagram's count.
+const HOP_MEMORY: usize = 4 * FEED_BATCH;
+
+fn hop_key(dg: &Datagram) -> HopKey {
+    let mut head = [0u8; 8];
+    let n = dg.payload.len().min(8);
+    head[..n].copy_from_slice(&dg.payload[..n]);
+    (dg.from, dg.payload.len(), head)
+}
+
 /// What actually crosses a distributor→shard queue: a *batch* of fed
 /// datagrams, so one channel send moves a socket drain's worth of
 /// traffic instead of paying the queue synchronization per datagram
@@ -163,9 +182,17 @@ pub struct FeedChannel {
     /// it, this side decrements it as batches are taken off the queue.
     depth: Arc<AtomicUsize>,
     inbox: VecDeque<Fed>,
-    /// Hop count of the most recently consumed datagram, witnessed by
-    /// this shard's [`FeedBouncer`] so a bounce carries its history.
+    /// Hop count of the most recently consumed datagram — the fallback
+    /// the [`FeedBouncer`] uses when a datagram has aged out of
+    /// `recent_hops`.
     last_hops: Arc<AtomicU32>,
+    /// Hop counts of recently consumed datagrams, keyed by a cheap wire
+    /// fingerprint, so a **batching** consumer — one that drains many
+    /// datagrams before making its bounce-or-deliver decisions — still
+    /// bounces each datagram with its own hop count rather than the hop
+    /// count of whatever was consumed last. Bounded ring: delivered
+    /// datagrams' entries simply age out.
+    recent_hops: Arc<Mutex<VecDeque<(HopKey, u32)>>>,
     bounce_tx: SyncSender<Fed>,
     /// Source hints shared with the distributor: sending to `X` proves a
     /// session for `X` lives on this shard (servers only target
@@ -199,17 +226,18 @@ impl FeedChannel {
     /// unclaimed-datagram hook so wires no local session authenticates
     /// return to the distributor instead of being dropped.
     ///
-    /// Invariant the hop accounting rests on: the consumer must decide
-    /// bounce-or-deliver for each datagram **before consuming the
-    /// next** from this channel — the bouncer reads the hop count of
-    /// the most recently consumed datagram. `ServerHub::pump` routes
-    /// exactly that way (one `poll_any`, one routing decision); a
-    /// batching consumer would need the hop count carried alongside
-    /// each datagram instead.
+    /// Hop counts are carried alongside each consumed datagram (a
+    /// bounded fingerprint ring), so a **batching** consumer — one that
+    /// drains a whole burst before making its bounce-or-deliver
+    /// decisions, as `ServerHub::pump` does — still bounces every
+    /// datagram with its own hop count. A datagram that ages out of the
+    /// ring (more than [`HOP_MEMORY`] consumes before its decision)
+    /// falls back to the most recent hop count.
     pub fn bouncer(&self) -> FeedBouncer {
         FeedBouncer {
             tx: self.bounce_tx.clone(),
             last_hops: Arc::clone(&self.last_hops),
+            recent_hops: Arc::clone(&self.recent_hops),
         }
     }
 
@@ -227,14 +255,29 @@ impl FeedChannel {
         }
     }
 
-    /// Consumes one queued datagram, publishing its hop count for the
-    /// [`FeedBouncer`] (see [`FeedChannel::bouncer`] for the
-    /// decide-before-next-consume invariant this implies).
+    /// Consumes one queued datagram, filing its hop count for the
+    /// [`FeedBouncer`] (per-datagram, so batch-draining consumers bounce
+    /// with the right history).
     fn take(&mut self, idx: usize) -> Option<Datagram> {
         let (dg, hops) = self.inbox.remove(idx)?;
         self.last_hops.store(hops, Ordering::Relaxed);
+        let mut ring = lock_ring(&self.recent_hops);
+        if ring.len() >= HOP_MEMORY {
+            ring.pop_front();
+        }
+        ring.push_back((hop_key(&dg), hops));
+        drop(ring);
         Some(dg)
     }
+}
+
+/// Locks the hop ring, shrugging off poisoning exactly like
+/// [`lock_hints`]: every access is a short push/scan, never a
+/// multi-step update a panicking holder could have torn.
+fn lock_ring(
+    ring: &Mutex<VecDeque<(HopKey, u32)>>,
+) -> std::sync::MutexGuard<'_, VecDeque<(HopKey, u32)>> {
+    ring.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl Channel for FeedChannel {
@@ -296,6 +339,20 @@ impl Channel for FeedChannel {
         self.take(0)
     }
 
+    /// The batched receive path: one queue drain for the whole burst,
+    /// then straight off the inbox — the receive-side mirror of
+    /// [`FeedChannel::send_many`], feeding a hub's batched open.
+    fn drain_many(&mut self, out: &mut Vec<Datagram>, max: usize) -> usize {
+        self.drain_rx();
+        let mut got = 0;
+        while got < max {
+            let Some(dg) = self.take(0) else { break };
+            out.push(dg);
+            got += 1;
+        }
+        got
+    }
+
     fn next_event_time(&self) -> Option<Millis> {
         None // Real traffic cannot announce its arrivals.
     }
@@ -350,15 +407,30 @@ impl Channel for FeedChannel {
 pub struct FeedBouncer {
     tx: SyncSender<Fed>,
     last_hops: Arc<AtomicU32>,
+    recent_hops: Arc<Mutex<VecDeque<(HopKey, u32)>>>,
 }
 
 impl FeedBouncer {
-    /// Bounces one unclaimed datagram back to the distributor. Returns
-    /// false when the distributor is gone or the bounce queue is full
-    /// (the caller should then count the datagram dropped — never block
-    /// a shard's event loop behind a stalled distributor).
+    /// Bounces one unclaimed datagram back to the distributor with its
+    /// own hop count (looked up per datagram, so batch-draining
+    /// consumers bounce correctly). Returns false when the distributor
+    /// is gone or the bounce queue is full (the caller should then count
+    /// the datagram dropped — never block a shard's event loop behind a
+    /// stalled distributor).
     pub fn bounce(&self, dg: &Datagram) -> bool {
-        let hops = self.last_hops.load(Ordering::Relaxed);
+        let key = hop_key(dg);
+        let hops = {
+            let mut ring = lock_ring(&self.recent_hops);
+            // Newest match wins: a re-fed duplicate's later consume is
+            // the one this decision belongs to.
+            match ring.iter().rposition(|(k, _)| *k == key) {
+                Some(i) => {
+                    let (_, hops) = ring.remove(i).unwrap_or((key, 0));
+                    hops
+                }
+                None => self.last_hops.load(Ordering::Relaxed),
+            }
+        };
         self.tx.try_send((dg.clone(), hops + 1)).is_ok()
     }
 }
@@ -461,6 +533,7 @@ impl UdpDistributor {
                 depth,
                 inbox: VecDeque::new(),
                 last_hops: Arc::new(AtomicU32::new(0)),
+                recent_hops: Arc::new(Mutex::new(VecDeque::new())),
                 bounce_tx: bounce_tx.clone(),
                 hints: Arc::clone(&hints),
                 hinted: HashSet::new(),
@@ -841,6 +914,61 @@ mod tests {
         // Everything consumed: the shared depth gauge is back to zero,
         // so the capacity check sees an empty queue.
         assert_eq!(dist.depths[0].load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn batch_draining_bounces_each_datagram_with_its_own_hops() {
+        // A once-bounced datagram and a fresh one land in the same shard
+        // queue; the shard drains BOTH before deciding, then declines
+        // both. Each must bounce with its own hop count: the old one
+        // completes its fan-out cycle and drops, the fresh one continues
+        // to the other shard (the single-cell accounting this replaces
+        // would have stamped both with the last-consumed count).
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let (mut dist, mut feeds) = UdpDistributor::new(socket, 2).unwrap();
+        let server_addr = dist.local_addr();
+        let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let peer_addr = addr_from_socket(peer.local_addr().unwrap());
+        let base = (peer_addr.port as usize) % 2;
+        let other = 1 - base;
+
+        peer.send_to(b"veteran", crate::channel::socket_from_addr(server_addr))
+            .unwrap();
+        let start = Instant::now();
+        let veteran = loop {
+            assert!(start.elapsed().as_secs() < 10, "never arrived");
+            dist.pump(5);
+            if let Some(dg) = feeds[base].poll_any() {
+                break dg;
+            }
+        };
+        // First decline: the veteran moves to the other shard at hops 1.
+        assert!(feeds[base].bouncer().bounce(&veteran));
+        peer.send_to(b"fresh one", crate::channel::socket_from_addr(server_addr))
+            .unwrap();
+        // The fresh datagram routes to `base`; pump until both queues
+        // hold their datagram, then batch-drain each shard fully before
+        // any decision.
+        let mut got_other: Vec<Datagram> = Vec::new();
+        let mut got_base: Vec<Datagram> = Vec::new();
+        let start = Instant::now();
+        while got_other.is_empty() || got_base.is_empty() {
+            assert!(start.elapsed().as_secs() < 10, "never routed");
+            dist.pump(5);
+            feeds[other].drain_many(&mut got_other, FEED_BATCH);
+            feeds[base].drain_many(&mut got_base, FEED_BATCH);
+        }
+        assert_eq!(got_other[0].payload, b"veteran");
+        assert_eq!(got_base[0].payload, b"fresh one");
+        // Decline everything, batch-wise, in arbitrary decision order.
+        assert!(feeds[base].bouncer().bounce(&got_base[0]));
+        assert!(feeds[other].bouncer().bounce(&got_other[0]));
+        dist.pump(5);
+        // The veteran finished its cycle (hops 2 of 2): dropped. The
+        // fresh one continues at hops 1: fed to the other shard.
+        assert_eq!(dist.stats().dropped, 1);
+        let cont = feeds[other].poll_any().expect("fresh datagram continues");
+        assert_eq!(cont.payload, b"fresh one");
     }
 
     #[test]

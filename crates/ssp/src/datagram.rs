@@ -153,6 +153,60 @@ impl DatagramLayer {
         }
     }
 
+    /// Opens a whole drained receive batch in one cipher pass: the
+    /// batched twin of [`DatagramLayer::open`], with per-wire verdicts —
+    /// one bad tag never affects its batch siblings. Like `open`, this
+    /// changes no sequence, RTT, or timestamp state.
+    pub fn open_many(&mut self, wires: &[&[u8]]) -> Vec<Result<Opened, SspError>> {
+        let mut bufs: Vec<Vec<u8>> = (0..wires.len())
+            .map(|_| self.session.take_scratch())
+            .collect();
+        let verdicts = self.session.decrypt_many_into(wires, &mut bufs);
+        verdicts
+            .into_iter()
+            .zip(bufs)
+            .map(|(verdict, buf)| match verdict {
+                Ok(seq) => Ok(Opened { seq, payload: buf }),
+                Err(e) => {
+                    self.session.recycle_scratch(buf);
+                    Err(SspError::Crypto(e))
+                }
+            })
+            .collect()
+    }
+
+    /// Encrypts a batch of transport payloads, all stamped `now`, in one
+    /// cipher pass. Byte-identical to calling [`DatagramLayer::encode`]
+    /// per payload: `encode` never mutates the saved timestamp, so every
+    /// packet of a same-instant burst carries the same echo.
+    pub fn encode_many(&mut self, now: Millis, payloads: &[&[u8]]) -> Vec<Vec<u8>> {
+        let ts = (now & 0xffff) as u16;
+        let ts_reply = match self.saved_timestamp {
+            None => TS_NONE,
+            Some((their_ts, arrived_at)) => {
+                let held = now.saturating_sub(arrived_at);
+                (their_ts as u64).wrapping_add(held) as u16
+            }
+        };
+        let mut plains: Vec<Vec<u8>> = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let mut plain = self.session.take_scratch();
+            plain.reserve(4 + payload.len());
+            plain.extend_from_slice(&ts.to_be_bytes());
+            plain.extend_from_slice(&ts_reply.to_be_bytes());
+            plain.extend_from_slice(payload);
+            plains.push(plain);
+        }
+        let refs: Vec<&[u8]> = plains.iter().map(Vec::as_slice).collect();
+        let mut wires = vec![Vec::new(); payloads.len()];
+        self.session.encrypt_many_into(&refs, &mut wires);
+        drop(refs);
+        for plain in plains {
+            self.session.recycle_scratch(plain);
+        }
+        wires
+    }
+
     /// Consumes an already-opened datagram at `now`: parses the
     /// timestamps, feeds the RTT estimator, and advances the new-high
     /// bookkeeping — everything [`DatagramLayer::decode`] does after its
@@ -358,6 +412,44 @@ mod tests {
         server.accept(1, opened).unwrap();
         // verify + open each cost one OCB pass; accept costs none.
         assert_eq!(server.decrypt_count(), 2);
+    }
+
+    #[test]
+    fn encode_many_matches_per_packet_encode() {
+        let (mut batched, mut server) = pair();
+        let (mut looped, _) = pair();
+        // Give both encoders a saved timestamp so the echo path is live.
+        let echo = server.encode(40, b"seed");
+        batched.decode(50, &echo).unwrap();
+        looped.decode(50, &echo).unwrap();
+        let payloads: Vec<&[u8]> = vec![b"a", b"", b"a longer fragment payload"];
+        let wires = batched.encode_many(75, &payloads);
+        for (payload, wire) in payloads.iter().zip(wires.iter()) {
+            assert_eq!(*wire, looped.encode(75, payload));
+            assert_eq!(server.decode(80, wire).unwrap().payload, *payload);
+        }
+    }
+
+    #[test]
+    fn open_many_matches_per_packet_open() {
+        let (mut client, mut batched) = pair();
+        let (_, mut looped) = pair();
+        let good0 = client.encode(0, b"first");
+        let mut tampered = client.encode(1, b"second");
+        tampered[9] ^= 1;
+        let good1 = client.encode(2, b"third");
+        let wires: Vec<&[u8]> = vec![&good0, &tampered, &[0u8; 5], &good1];
+        let opened = batched.open_many(&wires);
+        for (wire, batch_verdict) in wires.iter().zip(opened) {
+            match (batch_verdict, looped.open(wire)) {
+                (Ok(a), Ok(b)) => assert_eq!((a.seq, &a.payload), (b.seq, &b.payload)),
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("batch said {a:?}, single said {b:?}"),
+            }
+        }
+        assert_eq!(batched.decrypt_count(), looped.decrypt_count());
+        // Opening a batch, like opening one wire, consumes nothing.
+        assert_eq!(batched.max_seq_seen(), None);
     }
 
     #[test]

@@ -125,6 +125,51 @@ fn cross_session_key_confusion_is_rejected_everywhere() {
 }
 
 #[test]
+fn bad_packets_inside_a_batch_fail_alone() {
+    // A drained receive batch carrying every attack class at once: each
+    // bad wire must fail with its precise error while its siblings open
+    // cleanly — batching must never let one packet poison another.
+    let mut client = transport(6, Direction::ToServer);
+    let mut server = transport(6, Direction::ToClient);
+    client.set_current_state(BlobState(b"keystroke".to_vec()), 0);
+    let good: Vec<Vec<u8>> = client.tick(10);
+    assert!(!good.is_empty());
+    let mut flipped = good[0].clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x01;
+    let truncated = &good[0][..23];
+    let reflected = {
+        let mut s = transport(6, Direction::ToClient);
+        s.set_current_state(BlobState(b"frame".to_vec()), 0);
+        s.tick(10).into_iter().next().unwrap()
+    };
+
+    let batch: Vec<&[u8]> = vec![&good[0], &flipped, truncated, &reflected];
+    let verdicts = server.open_many(&batch);
+    assert!(verdicts[0].is_ok(), "sibling of bad packets must survive");
+    assert!(matches!(
+        verdicts[1],
+        Err(SspError::Crypto(CryptoError::BadTag))
+    ));
+    assert!(matches!(
+        verdicts[2],
+        Err(SspError::Crypto(CryptoError::Truncated))
+    ));
+    assert!(matches!(
+        verdicts[3],
+        Err(SspError::Crypto(CryptoError::BadDirection))
+    ));
+    // The truncated wire never reached OCB; the other three each cost
+    // exactly one pass. Failed probes are not rejected datagrams.
+    assert_eq!(server.decrypt_count(), 3);
+    assert_eq!(server.stats().datagrams_rejected, 0);
+    // The surviving token still consumes normally.
+    let opened = verdicts.into_iter().next().unwrap().unwrap();
+    server.recv_opened(11, opened).unwrap();
+    assert_eq!(server.stats().datagrams_received, 1);
+}
+
+#[test]
 fn open_then_recv_opened_consumes_exactly_like_receive() {
     let mut client_a = transport(5, Direction::ToServer);
     let mut client_b = transport(5, Direction::ToServer);
