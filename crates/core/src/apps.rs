@@ -19,6 +19,37 @@
 //! scheduled at absolute times, so the same session replays identically.
 
 use crate::Millis;
+use mosh_ssp::wire::{put_bytes, put_varint, Reader};
+
+/// Application-kind tags leading every [`Application::save_state`] body,
+/// so restoring onto the wrong kind of app is caught instead of silently
+/// mixing states.
+mod kind_tag {
+    pub const LINE_SHELL: u64 = 1;
+    pub const EDITOR: u64 = 2;
+    pub const PAGER: u64 = 3;
+    pub const MAIL_READER: u64 = 4;
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    put_varint(out, u64::from(v));
+}
+
+fn get_bool(r: &mut Reader<'_>) -> Option<bool> {
+    match r.varint().ok()? {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn get_string(r: &mut Reader<'_>) -> Option<String> {
+    String::from_utf8(r.bytes().ok()?.to_vec()).ok()
+}
 
 /// One chunk of application output, due at an absolute time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,6 +91,24 @@ pub trait Application: Send {
     /// The window changed size.
     fn on_resize(&mut self, _now: Millis, _width: usize, _height: usize) -> Vec<TimedWrite> {
         Vec::new()
+    }
+
+    /// Serializes the application's *dynamic* state for session
+    /// snapshots. Construction-time configuration (content size, echo
+    /// delay overrides) is the caller's to rebuild when resurrecting a
+    /// session; this covers only what user input has changed since. The
+    /// default empty body pairs with the default [`Application::restore_state`]
+    /// for stateless applications.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Applies state produced by [`Application::save_state`] onto a
+    /// freshly constructed twin. Returns `false` when the bytes are not
+    /// recognized (corrupt snapshot or mismatched application kind); the
+    /// application is left unchanged in that case — never half-applied.
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        bytes.is_empty()
     }
 }
 
@@ -268,6 +317,57 @@ impl Application for LineShell {
         // the 1 ms reference loop.
         self.flooding.then_some(self.next_flood_at)
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint(&mut out, kind_tag::LINE_SHELL);
+        put_string(&mut out, &self.line);
+        put_bool(&mut out, self.echo_on);
+        put_varint(&mut out, self.echo_delay);
+        put_bool(&mut out, self.flooding);
+        put_varint(&mut out, self.next_flood_at);
+        put_varint(&mut out, self.flood_line);
+        put_bool(&mut out, self.passwd_pending);
+        out
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        type Parsed = (String, bool, Millis, bool, Millis, u64, bool);
+        fn parse(bytes: &[u8]) -> Option<Parsed> {
+            let mut r = Reader::new(bytes);
+            (r.varint().ok()? == kind_tag::LINE_SHELL).then_some(())?;
+            let line = get_string(&mut r)?;
+            let echo_on = get_bool(&mut r)?;
+            let echo_delay = r.varint().ok()?;
+            let flooding = get_bool(&mut r)?;
+            let next_flood_at = r.varint().ok()?;
+            let flood_line = r.varint().ok()?;
+            let passwd_pending = get_bool(&mut r)?;
+            (r.remaining() == 0).then_some(())?;
+            Some((
+                line,
+                echo_on,
+                echo_delay,
+                flooding,
+                next_flood_at,
+                flood_line,
+                passwd_pending,
+            ))
+        }
+        let Some((line, echo_on, echo_delay, flooding, next_flood_at, flood_line, passwd_pending)) =
+            parse(bytes)
+        else {
+            return false;
+        };
+        self.line = line;
+        self.echo_on = echo_on;
+        self.echo_delay = echo_delay;
+        self.flooding = flooding;
+        self.next_flood_at = next_flood_at;
+        self.flood_line = flood_line;
+        self.passwd_pending = passwd_pending;
+        true
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -454,6 +554,70 @@ impl Application for Editor {
             _ => Vec::new(),
         }
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint(&mut out, kind_tag::EDITOR);
+        put_varint(&mut out, self.lines.len() as u64);
+        for line in &self.lines {
+            put_string(&mut out, line);
+        }
+        put_varint(&mut out, self.row as u64);
+        put_varint(&mut out, self.col as u64);
+        put_varint(&mut out, self.width as u64);
+        put_varint(&mut out, self.height as u64);
+        put_varint(&mut out, self.echo_delay);
+        put_bool(&mut out, self.insert_mode);
+        put_bool(&mut out, self.started);
+        out
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        type Parsed = (Vec<String>, usize, usize, usize, usize, Millis, bool, bool);
+        fn parse(bytes: &[u8]) -> Option<Parsed> {
+            let mut r = Reader::new(bytes);
+            (r.varint().ok()? == kind_tag::EDITOR).then_some(())?;
+            let n = r.varint().ok()? as usize;
+            let mut lines = Vec::new();
+            for _ in 0..n {
+                lines.push(get_string(&mut r)?);
+            }
+            let row = r.varint().ok()? as usize;
+            let col = r.varint().ok()? as usize;
+            let width = r.varint().ok()? as usize;
+            let height = r.varint().ok()? as usize;
+            let echo_delay = r.varint().ok()?;
+            let insert_mode = get_bool(&mut r)?;
+            let started = get_bool(&mut r)?;
+            (r.remaining() == 0).then_some(())?;
+            // Cursor invariants the editor relies on everywhere.
+            (!lines.is_empty() && row < lines.len() && col <= lines[row].len()).then_some(())?;
+            (width >= 1 && height >= 2).then_some(())?;
+            Some((
+                lines,
+                row,
+                col,
+                width,
+                height,
+                echo_delay,
+                insert_mode,
+                started,
+            ))
+        }
+        let Some((lines, row, col, width, height, echo_delay, insert_mode, started)) = parse(bytes)
+        else {
+            return false;
+        };
+        self.lines = lines;
+        self.row = row;
+        self.col = col;
+        self.width = width;
+        self.height = height;
+        self.echo_delay = echo_delay;
+        self.insert_mode = insert_mode;
+        self.started = started;
+        true
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -551,6 +715,30 @@ impl Application for Pager {
             }],
             _ => Vec::new(),
         }
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        // Content is derived from the construction-time line count; only
+        // the scroll position is dynamic.
+        let mut out = Vec::new();
+        put_varint(&mut out, kind_tag::PAGER);
+        put_varint(&mut out, self.top as u64);
+        out
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = Reader::new(bytes);
+        let Some(top) = (|| {
+            (r.varint().ok()? == kind_tag::PAGER).then_some(())?;
+            let top = r.varint().ok()? as usize;
+            (r.remaining() == 0).then_some(())?;
+            (top <= self.content.len()).then_some(())?;
+            Some(top)
+        })() else {
+            return false;
+        };
+        self.top = top;
+        true
     }
 }
 
@@ -691,6 +879,33 @@ impl Application for MailReader {
             }],
             _ => Vec::new(),
         }
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        // Subjects derive from the construction-time message count; the
+        // highlight position and read/index mode are the dynamic state.
+        let mut out = Vec::new();
+        put_varint(&mut out, kind_tag::MAIL_READER);
+        put_varint(&mut out, self.selected as u64);
+        put_bool(&mut out, self.reading);
+        out
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = Reader::new(bytes);
+        let Some((selected, reading)) = (|| {
+            (r.varint().ok()? == kind_tag::MAIL_READER).then_some(())?;
+            let selected = r.varint().ok()? as usize;
+            let reading = get_bool(&mut r)?;
+            (r.remaining() == 0).then_some(())?;
+            (selected < self.subjects.len().max(1)).then_some(())?;
+            Some((selected, reading))
+        })() else {
+            return false;
+        };
+        self.selected = selected;
+        self.reading = reading;
+        true
     }
 }
 
@@ -836,6 +1051,78 @@ mod tests {
         assert!(out.contains("Body paragraph"));
         m.on_input(20, b"i");
         assert!(!m.reading);
+    }
+
+    #[test]
+    fn app_state_round_trips_for_every_kind() {
+        // Drive each app into a non-default state, save it, restore onto a
+        // fresh twin, and check the twin behaves identically afterwards.
+        let mut sh = LineShell::new();
+        sh.on_input(0, b"passwd");
+        sh.on_input(5, b"\r");
+        sh.on_input(10, b"hunter2");
+        let mut sh2 = LineShell::new();
+        assert!(sh2.restore_state(&sh.save_state()));
+        assert_eq!(
+            sh.on_input(100, b"\r").len(),
+            sh2.on_input(100, b"\r").len()
+        );
+        assert!(sh2.echo_on);
+
+        let mut ed = Editor::new();
+        ed.start(0);
+        ed.on_input(10, b"z");
+        ed.on_input(20, b"\x1b");
+        let mut ed2 = Editor::new();
+        assert!(ed2.restore_state(&ed.save_state()));
+        assert_eq!(ed.lines, ed2.lines);
+        assert_eq!(
+            all_bytes(&ed.on_input(30, b"i")),
+            all_bytes(&ed2.on_input(30, b"i"))
+        );
+
+        let mut pg = Pager::new(100);
+        pg.start(0);
+        pg.on_input(10, b" ");
+        let mut pg2 = Pager::new(100);
+        assert!(pg2.restore_state(&pg.save_state()));
+        assert_eq!(pg2.top, 23);
+
+        let mut m = MailReader::new(20);
+        m.start(0);
+        m.on_input(10, b"n");
+        m.on_input(20, b"\r");
+        let mut m2 = MailReader::new(20);
+        assert!(m2.restore_state(&m.save_state()));
+        assert_eq!(m2.selected, 1);
+        assert!(m2.reading);
+    }
+
+    #[test]
+    fn app_state_rejects_mismatched_kind_and_garbage() {
+        let sh = LineShell::new();
+        let mut ed = Editor::new();
+        let before = format!("{ed:?}");
+        // A shell snapshot must not restore onto an editor.
+        assert!(!ed.restore_state(&sh.save_state()));
+        // Truncation at every cut point is rejected, never half-applied.
+        let full = ed.save_state();
+        for cut in 0..full.len() {
+            assert!(!ed.restore_state(&full[..cut]));
+        }
+        assert!(!ed.restore_state(b"\xff\xff\xff"));
+        assert_eq!(
+            format!("{ed:?}"),
+            before,
+            "failed restores leave app unchanged"
+        );
+
+        // Out-of-range scroll position is rejected.
+        let mut small = Pager::new(5);
+        let mut big = Pager::new(500);
+        big.on_input(0, b" ");
+        big.on_input(1, b" ");
+        assert!(!small.restore_state(&big.save_state()));
     }
 
     #[test]

@@ -15,9 +15,11 @@
 
 pub mod router;
 pub mod shard;
+pub mod snapshot;
 
 pub use router::ShardedHub;
 pub use shard::ServerHub;
+pub use snapshot::{CheckpointStore, SnapshotError};
 
 use crate::session::Party;
 use crate::Millis;
@@ -94,6 +96,16 @@ pub struct HubStats {
     /// Live source hints in the distributor's map (a gauge, not a
     /// counter: one per client address currently claimed by a shard).
     pub feed_hints: u64,
+    /// Sessions moved live between shards (`ShardedHub::migrate_session`
+    /// and `rebalance`) — the session keeps pumping on its new shard
+    /// with a byte-identical transcript.
+    pub sessions_migrated: u64,
+    /// Sessions rebuilt from their last checkpoint after their shard
+    /// was quarantined (`ShardedHub::resurrect_quarantined`).
+    pub sessions_resurrected: u64,
+    /// Total framed snapshot bytes written by the checkpoint cadence
+    /// (cumulative, across all sessions and checkpoints).
+    pub checkpoint_bytes: u64,
 }
 
 impl HubStats {
@@ -109,5 +121,8 @@ impl HubStats {
         self.feed_bounced += other.feed_bounced;
         self.feed_dropped += other.feed_dropped;
         self.feed_hints += other.feed_hints;
+        self.sessions_migrated += other.sessions_migrated;
+        self.sessions_resurrected += other.sessions_resurrected;
+        self.checkpoint_bytes += other.checkpoint_bytes;
     }
 }

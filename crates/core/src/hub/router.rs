@@ -45,6 +45,7 @@
 //! other shard keeps pumping.
 
 use super::shard::ServerHub;
+use super::snapshot::CheckpointStore;
 use super::{HubSession, HubStats, SessionId};
 use crate::session::SessionEvent;
 use crate::Millis;
@@ -207,8 +208,12 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// The sharding front end: N worker threads, each a private [`ServerHub`].
 pub struct ShardedHub<P: Poller> {
     shards: Vec<ServerHub<P>>,
-    /// Global session id → (owning shard, its local id there).
-    sessions: Vec<(usize, SessionId)>,
+    /// Global session id → (owning shard, its local id there). `None`
+    /// is a tombstone: the session was removed, or lost with its
+    /// quarantined shard. The *global* id is stable for a session's
+    /// whole life — migration and resurrection rewrite the mapping, not
+    /// the id.
+    sessions: Vec<Option<(usize, SessionId)>>,
     /// Accept-time assignment cursor (round-robin).
     next_shard: usize,
     /// Per-shard token of the distributor-shared source, when one exists.
@@ -225,6 +230,13 @@ pub struct ShardedHub<P: Poller> {
     /// ([`ShardedHub::over_distributor`]); folded into
     /// [`ShardedHub::stats`] so feed-queue shedding is operator-visible.
     dist_stats: Option<DistributorStatsHandle>,
+    /// Crash-recovery config mirrored from the shards (see
+    /// [`ShardedHub::enable_checkpointing`]): the shared store and the
+    /// per-session checkpoint cadence.
+    checkpoints: Option<(CheckpointStore, Millis)>,
+    /// Router-level recovery counters, folded into [`ShardedHub::stats`].
+    migrated: u64,
+    resurrected: u64,
 }
 
 impl<P: Poller> ShardedHub<P> {
@@ -240,6 +252,9 @@ impl<P: Poller> ShardedHub<P> {
             runtime: None,
             failed: vec![None; n],
             dist_stats: None,
+            checkpoints: None,
+            migrated: 0,
+            resurrected: 0,
         }
     }
 
@@ -282,7 +297,7 @@ impl<P: Poller> ShardedHub<P> {
     /// by exactly one thread; the shard's demux handles the ambiguity
     /// exactly as a single-threaded hub would.
     pub fn add_session_sharing(&mut self, with: SessionId) -> SessionId {
-        let (shard, local) = self.sessions[with.0];
+        let (shard, local) = self.location(with);
         let tok = self.shards[shard].token_of(local);
         self.add_session_on(shard, tok)
     }
@@ -292,13 +307,21 @@ impl<P: Poller> ShardedHub<P> {
     pub fn add_session_on(&mut self, shard: usize, tok: Token) -> SessionId {
         let local = self.shards[shard].add_session(tok);
         let sid = SessionId(self.sessions.len());
-        self.sessions.push((shard, local));
+        if self.checkpoints.is_some() {
+            self.shards[shard].set_checkpoint_key(local, sid.0);
+        }
+        self.sessions.push(Some((shard, local)));
         sid
     }
 
-    /// The shard a session lives on and its local id there.
+    /// The shard a session lives on and its local id there. Panics for
+    /// a removed (or lost-with-its-shard) session, like leasing one.
     pub fn location(&self, sid: SessionId) -> (usize, SessionId) {
-        self.sessions[sid.0]
+        match self.sessions[sid.0] {
+            Some(loc) => loc,
+            // mosh-lint: allow(no-unwrap-hot-path): caller bug — using a retired SessionId, like an out-of-range token
+            None => panic!("session {sid:?} was removed"),
+        }
     }
 
     /// Retires a session (see [`ServerHub::remove_session`]), and evicts
@@ -308,7 +331,20 @@ impl<P: Poller> ShardedHub<P> {
     /// with every client address ever served and cost later traffic from
     /// a reused address an extra bounce hop.
     pub fn remove_session(&mut self, sid: SessionId) {
-        let (shard, local) = self.sessions[sid.0];
+        let Some((shard, local)) = self.sessions[sid.0].take() else {
+            return; // already removed (idempotent, like the shard's own)
+        };
+        if self.failed[shard].is_some() {
+            // The owning shard is quarantined: never dispatch into its
+            // suspect state. Tombstoning the mapping is the removal —
+            // the shard's sessions are no longer pumped anyway — and
+            // dropping the checkpoint guarantees the session can't come
+            // back through `resurrect_quarantined`.
+            if let Some((store, _)) = &self.checkpoints {
+                store.remove(sid.0);
+            }
+            return;
+        }
         let evicted = self.shards[shard].remove_session(local);
         for (tok, addr) in evicted {
             self.shards[shard]
@@ -320,18 +356,25 @@ impl<P: Poller> ShardedHub<P> {
 
     /// Configures a session's peer-silence timeout.
     pub fn set_peer_timeout(&mut self, sid: SessionId, timeout: Option<Millis>) {
-        let (shard, local) = self.sessions[sid.0];
+        let (shard, local) = self.location(sid);
         self.shards[shard].set_peer_timeout(local, timeout);
     }
 
-    /// Number of sessions registered and not yet removed, over all shards.
+    /// Number of sessions registered and not yet removed, over all
+    /// **healthy** shards — a quarantined shard's sessions are not being
+    /// served (resurrect them to count again).
     pub fn session_count(&self) -> usize {
-        self.shards.iter().map(|s| s.session_count()).sum()
+        self.shards
+            .iter()
+            .zip(self.failed.iter())
+            .filter(|(_, f)| f.is_none())
+            .map(|(s, _)| s.session_count())
+            .sum()
     }
 
     /// Current time on a session's source clock.
     pub fn now(&self, sid: SessionId) -> Millis {
-        let (shard, local) = self.sessions[sid.0];
+        let (shard, local) = self.location(sid);
         self.shards[shard].now(local)
     }
 
@@ -344,6 +387,8 @@ impl<P: Poller> ShardedHub<P> {
             total.add(s.stats());
         }
         total.shard_panics = self.failed.iter().filter(|f| f.is_some()).count() as u64;
+        total.sessions_migrated = self.migrated;
+        total.sessions_resurrected = self.resurrected;
         if let Some(h) = &self.dist_stats {
             let d = h.snapshot();
             total.feed_overflow = d.overflow;
@@ -359,6 +404,217 @@ impl<P: Poller> ShardedHub<P> {
     /// suspect after the unwind); every other shard is unaffected.
     pub fn shard_error(&self, i: usize) -> Option<&str> {
         self.failed[i].as_deref()
+    }
+
+    /// Turns on crash recovery: every shard checkpoints its tracked
+    /// sessions into one shared [`CheckpointStore`] at most every
+    /// `cadence` ms of session time (idle sessions cost nothing — see
+    /// [`ServerHub::enable_checkpointing`]). Sessions are tracked under
+    /// their **global** ids, which survive migration and resurrection.
+    /// Returns a handle to the store (it is `Clone`; the hub keeps one).
+    pub fn enable_checkpointing(&mut self, cadence: Millis) -> CheckpointStore {
+        let store = CheckpointStore::new();
+        for shard in &mut self.shards {
+            shard.enable_checkpointing(store.clone(), cadence);
+        }
+        for (gid, entry) in self.sessions.iter().enumerate() {
+            if let Some((shard, local)) = *entry {
+                self.shards[shard].set_checkpoint_key(local, gid);
+            }
+        }
+        self.checkpoints = Some((store.clone(), cadence));
+        store
+    }
+
+    /// The shared checkpoint store, when crash recovery is on.
+    pub fn checkpoint_store(&self) -> Option<&CheckpointStore> {
+        self.checkpoints.as_ref().map(|(s, _)| s)
+    }
+
+    /// Moves a live session to `to_shard` between pumps: its scheduling
+    /// state and its channel move; its endpoints stay with the caller,
+    /// untouched, so the transcript is **byte-identical** to never
+    /// having moved. The global id is stable — the caller keeps leasing
+    /// the same [`SessionId`].
+    ///
+    /// Returns false (and moves nothing) when the move is impossible:
+    /// either shard quarantined, the session removed, the session
+    /// co-located with others on one private source (they move together
+    /// or not at all), or the poller unable to release the channel.
+    /// A session behind the shared distributor socket re-homes onto the
+    /// destination shard's own feed instead of moving a channel.
+    pub fn migrate_session(&mut self, sid: SessionId, to_shard: usize) -> bool {
+        let Some((shard, local)) = self.sessions[sid.0] else {
+            return false;
+        };
+        if self.failed[shard].is_some() || self.failed[to_shard].is_some() {
+            return false;
+        }
+        if shard == to_shard {
+            return true;
+        }
+        let tok = self.shards[shard].token_of(local);
+        let is_dist = self.shared.get(shard) == Some(&tok);
+        if !is_dist && self.shards[shard].sessions_on(tok) > 1 {
+            return false;
+        }
+        let Some(ex) = self.shards[shard].extract_session(local) else {
+            return false;
+        };
+        // Evict substrate hints the old shard learned for this session
+        // (same contract as removal): stale hints would keep steering
+        // the client's datagrams at a shard that no longer claims them.
+        for (t, addr) in &ex.evicted_routes {
+            self.shards[shard]
+                .poller_mut()
+                .channel_mut(*t)
+                .evict_hint(*addr);
+        }
+        let new_tok = if is_dist {
+            self.shared[to_shard]
+        } else {
+            match self.shards[shard].poller_mut().extract(tok) {
+                Some(chan) => self.shards[to_shard].poller_mut().add(chan),
+                None => {
+                    // The poller cannot release the channel: undo — the
+                    // session re-registers on its old shard, unharmed.
+                    let relocal = self.shards[shard].add_session_with_driver(tok, ex.driver);
+                    if let Some(k) = ex.ckpt_key {
+                        self.shards[shard].set_checkpoint_key(relocal, k);
+                    }
+                    self.sessions[sid.0] = Some((shard, relocal));
+                    return false;
+                }
+            }
+        };
+        let new_local = self.shards[to_shard].add_session_with_driver(new_tok, ex.driver);
+        if let Some(k) = ex.ckpt_key {
+            self.shards[to_shard].set_checkpoint_key(new_local, k);
+        }
+        self.sessions[sid.0] = Some((to_shard, new_local));
+        self.migrated += 1;
+        true
+    }
+
+    /// Load-aware rebalancing: migrates sessions from the most-loaded
+    /// healthy shard to the least-loaded until the spread is at most
+    /// one session (or no remaining session can move — co-location and
+    /// unextractable channels are respected, never forced). Returns how
+    /// many sessions moved.
+    pub fn rebalance(&mut self) -> usize {
+        let mut moved = 0;
+        loop {
+            let mut max_s = None;
+            let mut min_s = None;
+            for i in 0..self.shards.len() {
+                if self.failed[i].is_some() {
+                    continue;
+                }
+                let c = self.shards[i].session_count();
+                if max_s.is_none_or(|(_, mc)| c > mc) {
+                    max_s = Some((i, c));
+                }
+                if min_s.is_none_or(|(_, mc)| c < mc) {
+                    min_s = Some((i, c));
+                }
+            }
+            let (Some((from, fc)), Some((to, tc))) = (max_s, min_s) else {
+                break;
+            };
+            if fc <= tc + 1 {
+                break; // balanced: no move can reduce the spread
+            }
+            let candidate = (0..self.sessions.len()).find(|&gid| {
+                self.sessions[gid].is_some_and(|(s, _)| s == from)
+                    && self.migrate_session(SessionId(gid), to)
+            });
+            if candidate.is_none() {
+                break; // nothing on the loaded shard can move
+            }
+            moved += 1;
+        }
+        moved
+    }
+
+    /// Crash recovery: re-registers every quarantined shard's sessions
+    /// on healthy shards from their last checkpoints, returning each
+    /// recovered session's global id and framed snapshot. The *caller*
+    /// owns the endpoints, so rebuilding them is the caller's half:
+    /// decode each snapshot with [`super::snapshot::resurrect_server`]
+    /// (which burns the nonce gap a stale checkpoint demands) and lease
+    /// the new endpoint under the same [`SessionId`] from the next pump
+    /// on. Client endpoints never crashed and are kept as they are —
+    /// input the checkpoint missed is still unacked (the checkpoint
+    /// capped the acks), so the client retransmits it into the
+    /// resurrected server like any Mosh loss episode.
+    ///
+    /// Sessions with no checkpoint (never serviced while checkpointing
+    /// was on, or checkpointing off entirely) are **lost**: their
+    /// mapping is tombstoned. Sessions sharing one private channel stay
+    /// co-located on their new shard. The quarantined shards stay
+    /// quarantined — their remaining state is still suspect.
+    pub fn resurrect_quarantined(&mut self) -> Vec<(SessionId, Vec<u8>)> {
+        let store = match &self.checkpoints {
+            Some((store, _)) => store.clone(),
+            None => return Vec::new(),
+        };
+        let healthy: Vec<usize> = (0..self.shards.len())
+            .filter(|&i| self.failed[i].is_none())
+            .collect();
+        if healthy.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut rr = 0usize;
+        // Where each dead shard's channel went, so co-located sessions
+        // land together: (old shard, old token) → (new shard, new token).
+        let mut rehomed: HashMap<(usize, Token), (usize, Token)> = HashMap::new();
+        for gid in 0..self.sessions.len() {
+            let Some((shard, local)) = self.sessions[gid] else {
+                continue;
+            };
+            if self.failed[shard].is_none() {
+                continue;
+            }
+            let Some(framed) = store.get(gid) else {
+                self.sessions[gid] = None; // no checkpoint: lost
+                continue;
+            };
+            let old_tok = self.shards[shard].token_of(local);
+            let (target, new_tok) = if self.shared.get(shard) == Some(&old_tok) {
+                // Distributor-fed: adopt the target shard's own feed.
+                let target = healthy[rr % healthy.len()];
+                rr += 1;
+                (target, self.shared[target])
+            } else if let Some(&home) = rehomed.get(&(shard, old_tok)) {
+                home // co-located sibling: follow the channel
+            } else {
+                // The channel object itself survived the panic (the
+                // unwind was in endpoint code; the poller's sources were
+                // not mid-mutation) — pull it out of the dead shard.
+                match self.shards[shard].poller_mut().extract(old_tok) {
+                    Some(chan) => {
+                        let target = healthy[rr % healthy.len()];
+                        rr += 1;
+                        let t = self.shards[target].poller_mut().add(chan);
+                        rehomed.insert((shard, old_tok), (target, t));
+                        (target, t)
+                    }
+                    None => {
+                        self.sessions[gid] = None; // channel unrecoverable
+                        continue;
+                    }
+                }
+            };
+            let new_local = self.shards[target].add_session(new_tok);
+            if self.checkpoints.is_some() {
+                self.shards[target].set_checkpoint_key(new_local, gid);
+            }
+            self.sessions[gid] = Some((target, new_local));
+            self.resurrected += 1;
+            out.push((SessionId(gid), framed));
+        }
+        out
     }
 }
 
@@ -404,7 +660,10 @@ impl<P: Poller + Send> ShardedHub<P> {
         let mut to_global: Vec<HashMap<SessionId, SessionId>> =
             (0..n).map(|_| HashMap::new()).collect();
         for s in sessions.iter_mut() {
-            let (shard, local) = self.sessions[s.id.0];
+            let Some((shard, local)) = self.sessions[s.id.0] else {
+                // mosh-lint: allow(no-unwrap-hot-path): caller bug — leasing a retired SessionId, like an out-of-range token
+                panic!("session {:?} was removed", s.id);
+            };
             if self.failed[shard].is_some() {
                 continue;
             }
@@ -542,6 +801,9 @@ impl ShardedHub<ChannelPoller<FeedChannel>> {
             runtime: None,
             failed: vec![None; feeds.len()],
             dist_stats: Some(dist.stats_handle()),
+            checkpoints: None,
+            migrated: 0,
+            resurrected: 0,
         };
         for feed in feeds {
             let bouncer = feed.bouncer();
@@ -721,6 +983,16 @@ mod tests {
         drop(sessions);
         assert_eq!(hub.now(healthy_a), 800);
         assert_eq!(hub.stats().shard_panics, 1, "no second panic: skipped");
+
+        // Without checkpointing there is nothing to resurrect: recovery
+        // reports no sessions rather than half-restoring anything, and
+        // removing the doomed session must not dispatch into the
+        // quarantined shard's suspect state.
+        assert!(hub.resurrect_quarantined().is_empty());
+        assert_eq!(hub.stats().sessions_resurrected, 0);
+        hub.remove_session(doomed);
+        hub.remove_session(doomed); // idempotent on a tombstone
+        assert_eq!(hub.session_count(), 2, "healthy shard's sessions only");
     }
 
     #[test]
@@ -788,5 +1060,166 @@ mod tests {
         // And independent sessions still spread out.
         let third = hub.add_session(sim_world(8));
         assert_ne!(hub.location(third).0, shard_a);
+    }
+
+    /// One full conversation, with and without two mid-way migrations:
+    /// the client's view and the server's entire explicit state (its
+    /// snapshot bytes — keys, sequence numbers, shipped-state lists, RTT
+    /// estimate, everything) must be byte-identical.
+    #[test]
+    fn live_migration_is_invisible_to_the_session() {
+        let run = |migrate: bool| {
+            let mut hub = ShardedHub::with_shards(2, SimPoller::new);
+            let sid = hub.add_session(sim_world(42));
+            let (mut client, mut server) = pair(9);
+            for (target, key) in [(300u64, Some(b"h")), (600, Some(b"i")), (900, None)] {
+                let mut parties = vec![Party::new(C, &mut client), Party::new(S, &mut server)];
+                hub.pump(&mut [HubSession::new(sid, &mut parties, target)]);
+                drop(parties);
+                if let Some(k) = key {
+                    client.keystroke(target, k);
+                }
+                if migrate {
+                    let to = (hub.location(sid).0 + 1) % 2;
+                    assert!(hub.migrate_session(sid, to), "migration refused");
+                    assert_eq!(hub.location(sid).0, to);
+                }
+            }
+            if migrate {
+                assert_eq!(hub.stats().sessions_migrated, 3);
+            }
+            let row = client.server_frame().row_text(0);
+            (row, super::super::snapshot::snapshot_server(&server))
+        };
+        let (row_moved, snap_moved) = run(true);
+        let (row_still, snap_still) = run(false);
+        assert_eq!(row_moved, "$ hi");
+        assert_eq!(row_moved, row_still);
+        assert_eq!(snap_moved, snap_still, "server state bit-for-bit equal");
+    }
+
+    #[test]
+    fn rebalance_spreads_load_and_respects_colocation() {
+        let mut hub = ShardedHub::with_shards(3, SimPoller::new);
+        // Pile everything onto shard 0: three singles plus a co-located
+        // pair sharing one world.
+        let mut singles = Vec::new();
+        for i in 0..3u64 {
+            let tok = hub.shard_mut(0).poller_mut().add(sim_world(50 + i));
+            singles.push(hub.add_session_on(0, tok));
+        }
+        let anchor_tok = hub.shard_mut(0).poller_mut().add(sim_world(60));
+        let anchor = hub.add_session_on(0, anchor_tok);
+        let tenant = hub.add_session_sharing(anchor);
+        assert_eq!(hub.shard(0).session_count(), 5);
+
+        let moved = hub.rebalance();
+        let counts: Vec<usize> = (0..3).map(|i| hub.shard(i).session_count()).collect();
+        let spread = counts.iter().max().unwrap() - counts.iter().min().unwrap();
+        assert!(spread <= 1, "balanced: {counts:?}");
+        assert_eq!(moved, 3, "the three singles moved");
+        assert_eq!(hub.stats().sessions_migrated, moved as u64);
+        // The pair shares one channel, so it moved together or not at all.
+        assert_eq!(hub.location(anchor).0, hub.location(tenant).0);
+        // And a direct migrate of either pair member is refused.
+        assert!(!hub.migrate_session(anchor, 1));
+    }
+
+    /// The crash-recovery round trip (the tentpole's acceptance shape):
+    /// a real session checkpoints on cadence, its shard is killed by a
+    /// co-resident panicking endpoint, and resurrection brings it back
+    /// on a healthy shard — same global id, client endpoint untouched,
+    /// conversation continuing.
+    #[test]
+    fn quarantined_sessions_resurrect_from_checkpoints() {
+        use super::super::snapshot;
+
+        let mut hub = ShardedHub::with_shards(2, SimPoller::new);
+        hub.enable_checkpointing(50);
+        // Round-robin: bystander on shard 0, victim on shard 1.
+        let bystander = hub.add_session(sim_world(11));
+        let victim = hub.add_session(sim_world(12));
+        let (mut client_b, mut server_b) = pair(3);
+        let (mut client_v, mut server_v) = pair(4);
+
+        // Reach the prompt, type, and let the cadence checkpoint the
+        // typed-into state.
+        {
+            let mut pb = vec![Party::new(C, &mut client_b), Party::new(S, &mut server_b)];
+            let mut pv = vec![Party::new(C, &mut client_v), Party::new(S, &mut server_v)];
+            let mut sessions = vec![
+                HubSession::new(bystander, &mut pb, 300),
+                HubSession::new(victim, &mut pv, 300),
+            ];
+            hub.pump(&mut sessions);
+        }
+        client_v.keystroke(300, b"l");
+        {
+            let mut pb = vec![Party::new(C, &mut client_b), Party::new(S, &mut server_b)];
+            let mut pv = vec![Party::new(C, &mut client_v), Party::new(S, &mut server_v)];
+            let mut sessions = vec![
+                HubSession::new(bystander, &mut pb, 600),
+                HubSession::new(victim, &mut pv, 600),
+            ];
+            hub.pump(&mut sessions);
+        }
+        assert_eq!(client_v.server_frame().row_text(0), "$ l");
+        assert!(hub.stats().checkpoint_bytes > 0, "cadence ran");
+        let store = hub.checkpoint_store().expect("checkpointing on").clone();
+        assert!(store.get(victim.0).is_some(), "victim has a checkpoint");
+
+        // A bomb lands on the victim's shard and kills it mid-pump.
+        let bomb_tok = hub.shard_mut(1).poller_mut().add(sim_world(13));
+        let doomed = hub.add_session_on(1, bomb_tok);
+        let mut bomb = PanicEndpoint;
+        {
+            let mut pv = vec![Party::new(C, &mut client_v), Party::new(S, &mut server_v)];
+            let mut pd = vec![Party::new(C, &mut bomb)];
+            let mut sessions = vec![
+                HubSession::new(victim, &mut pv, 700),
+                HubSession::new(doomed, &mut pd, 700),
+            ];
+            hub.pump(&mut sessions);
+        }
+        assert_eq!(hub.stats().shard_panics, 1);
+        assert!(hub.shard_error(1).is_some());
+
+        // Recovery: the victim resurrects from its checkpoint onto the
+        // healthy shard; the bomb has no checkpoint and is lost.
+        let seq_dead = server_v.next_seq();
+        let recovered = hub.resurrect_quarantined();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].0, victim);
+        assert_eq!(hub.location(victim).0, 0);
+        assert_eq!(hub.stats().sessions_resurrected, 1);
+        assert_eq!(hub.session_count(), 2, "bystander + resurrected victim");
+
+        // The caller's half: rebuild the server endpoint from the
+        // snapshot. The client endpoint never crashed and is kept as-is;
+        // the resurrected server's nonces are strictly ahead of anything
+        // the dead incarnation could have sent.
+        let mut server_v2 = snapshot::resurrect_server(&recovered[0].1, Box::new(LineShell::new()))
+            .expect("checkpoint decodes");
+        assert!(server_v2.next_seq() > seq_dead, "nonce margin burned");
+        drop(server_v);
+
+        // The conversation continues: un-checkpointed tail retransmits,
+        // new input round-trips through the resurrected endpoint.
+        client_v.keystroke(700, b"s");
+        {
+            let mut pb = vec![Party::new(C, &mut client_b), Party::new(S, &mut server_b)];
+            let mut pv = vec![Party::new(C, &mut client_v), Party::new(S, &mut server_v2)];
+            let mut sessions = vec![
+                HubSession::new(bystander, &mut pb, 2000),
+                HubSession::new(victim, &mut pv, 2000),
+            ];
+            hub.pump(&mut sessions);
+        }
+        assert_eq!(client_v.server_frame().row_text(0), "$ ls");
+        assert_eq!(
+            client_b.server_frame().row_text(0),
+            "$",
+            "bystander untouched"
+        );
     }
 }

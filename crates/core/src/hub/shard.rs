@@ -29,6 +29,7 @@
 //! **byte-identical per-session wire transcripts** to N dedicated loops
 //! (pinned by `tests/event_stepping.rs` and the replay identity suite).
 
+use super::snapshot::{self, CheckpointStore};
 use super::{HubSession, HubStats, SessionId};
 use crate::session::{SessionDriver, SessionEvent};
 use crate::Millis;
@@ -49,6 +50,24 @@ const RECV_BATCH: usize = 64;
 /// dropped.
 pub type UnclaimedHook = Box<dyn FnMut(&Datagram) -> bool + Send>;
 
+/// Everything that moves with a session in a live shard-to-shard
+/// migration (see [`ServerHub::extract_session`]). The endpoints are
+/// caller-owned and never move; the channel moves separately, via
+/// [`Poller::extract`] for a private source.
+pub struct ExtractedSession {
+    /// The source the session lived on (still registered in the old
+    /// shard's poller when this is returned).
+    pub token: Token,
+    /// Scheduling and silence bookkeeping, moved verbatim.
+    pub driver: SessionDriver,
+    /// The global checkpoint-store key the session was tracked under,
+    /// if crash recovery is on (re-track it on the destination shard).
+    pub ckpt_key: Option<usize>,
+    /// Route keys that no longer point at any session — same contract
+    /// as [`ServerHub::remove_session`]'s return value.
+    pub evicted_routes: Vec<(Token, Addr)>,
+}
+
 /// Registered per-session state that outlives any single pump.
 struct Slot {
     token: Token,
@@ -59,6 +78,24 @@ struct Slot {
     /// False once removed; retired slots keep only this marker (ids are
     /// positional and never reused).
     live: bool,
+    /// Crash-recovery bookkeeping, when this session is tracked by a
+    /// [`CheckpointStore`] (see [`ServerHub::set_checkpoint_key`]).
+    ckpt: Option<CkptState>,
+}
+
+/// One tracked session's checkpoint bookkeeping.
+struct CkptState {
+    /// Key in the shared store — a [`super::ShardedHub`]'s *global*
+    /// session id, stable across migrations.
+    key: usize,
+    /// When the cadence last ran for this session (`None` = never: the
+    /// first service after tracking starts checkpoints immediately, so
+    /// a freshly added or migrated-in session always has a snapshot).
+    last_at: Option<Millis>,
+    /// Activity marker captured by the last stored checkpoint — an
+    /// unchanged marker means the session saw no new traffic and the
+    /// cadence skips the (comparatively expensive) re-encode.
+    last_marker: Option<(u64, u64)>,
 }
 
 /// The timer wheel: a min-heap of `(due, session, generation)` with lazy
@@ -97,6 +134,10 @@ pub struct ServerHub<P: Poller> {
     /// belongs elsewhere and is handed to the hook (bounced), never
     /// silently fed to the wrong endpoint.
     unclaimed: Vec<(Token, UnclaimedHook)>,
+    /// Crash-recovery configuration: the shared store checkpoints are
+    /// written to and the cadence between checkpoints of one session.
+    /// `None` (the default) disables the cadence entirely.
+    checkpoints: Option<(CheckpointStore, Millis)>,
 }
 
 impl<P: Poller> ServerHub<P> {
@@ -111,7 +152,40 @@ impl<P: Poller> ServerHub<P> {
             routes: HashMap::new(),
             stats: HubStats::default(),
             unclaimed: Vec::new(),
+            checkpoints: None,
         }
+    }
+
+    /// Turns on the crash-recovery checkpoint cadence: every tracked
+    /// session (see [`ServerHub::set_checkpoint_key`]) is snapshotted
+    /// into `store` at most every `cadence` ms of its own clock — and
+    /// only when its activity marker moved, so idle sessions cost
+    /// nothing. Each checkpoint caps the session's outgoing acks at the
+    /// input it contains ([`crate::server::MoshServer::checkpoint_body`]),
+    /// so anything the checkpoint misses, the client keeps retransmitting.
+    pub fn enable_checkpointing(&mut self, store: CheckpointStore, cadence: Millis) {
+        self.checkpoints = Some((store, cadence));
+    }
+
+    /// The store the checkpoint cadence writes to, when enabled.
+    pub fn checkpoint_store(&self) -> Option<&CheckpointStore> {
+        self.checkpoints.as_ref().map(|(s, _)| s)
+    }
+
+    /// Tracks `sid` in the checkpoint store under `key` (a sharded
+    /// hub's *global* session id — stable across migrations). The next
+    /// service of the session writes its first checkpoint immediately.
+    pub fn set_checkpoint_key(&mut self, sid: SessionId, key: usize) {
+        self.slots[sid.0].ckpt = Some(CkptState {
+            key,
+            last_at: None,
+            last_marker: None,
+        });
+    }
+
+    /// The store key `sid` is tracked under, if any.
+    pub fn checkpoint_key(&self, sid: SessionId) -> Option<usize> {
+        self.slots[sid.0].ckpt.as_ref().map(|c| c.key)
     }
 
     /// Installs the unclaimed-datagram hook for source `tok`: wires no
@@ -141,15 +215,62 @@ impl<P: Poller> ServerHub<P> {
     /// share one token (a UDP socket serving hundreds of clients); a
     /// simulated session typically gets its own.
     pub fn add_session(&mut self, token: Token) -> SessionId {
+        self.add_session_with_driver(token, SessionDriver::new())
+    }
+
+    /// Registers a session that arrives with scheduling state already —
+    /// the receiving half of a live migration: the driver (silence
+    /// bookkeeping, outbox scratch) moves verbatim from the old shard,
+    /// so the session's behavior is indistinguishable from never having
+    /// moved.
+    pub fn add_session_with_driver(&mut self, token: Token, driver: SessionDriver) -> SessionId {
         let sid = SessionId(self.slots.len());
         self.slots.push(Slot {
             token,
-            driver: SessionDriver::new(),
+            driver,
             gen: 0,
             live: true,
+            ckpt: None,
         });
         self.live_sessions += 1;
         sid
+    }
+
+    /// Detaches a live session for migration to another shard: the slot
+    /// is retired exactly as in [`ServerHub::remove_session`], but the
+    /// scheduling state and checkpoint bookkeeping are returned to the
+    /// caller instead of dropped. The channel itself is *not* touched —
+    /// the router extracts it from this shard's poller (private source)
+    /// or re-homes the session onto the destination's shared token.
+    ///
+    /// Returns `None` if the session was already removed.
+    pub fn extract_session(&mut self, sid: SessionId) -> Option<ExtractedSession> {
+        let slot = &mut self.slots[sid.0];
+        if !slot.live {
+            return None;
+        }
+        slot.live = false;
+        slot.gen += 1; // invalidate any queued wheel entry
+        let driver = std::mem::take(&mut slot.driver);
+        let ckpt_key = slot.ckpt.take().map(|c| c.key);
+        let token = slot.token;
+        self.live_sessions -= 1;
+        let mut evicted_routes = Vec::new();
+        self.routes.retain(|key, sids| {
+            sids.retain(|s| *s != sid);
+            if sids.is_empty() {
+                evicted_routes.push(*key);
+                false
+            } else {
+                true
+            }
+        });
+        Some(ExtractedSession {
+            token,
+            driver,
+            ckpt_key,
+            evicted_routes,
+        })
     }
 
     /// Retires a session (the user logged out, the session timed out):
@@ -170,6 +291,9 @@ impl<P: Poller> ServerHub<P> {
         slot.live = false;
         slot.gen += 1; // invalidate any queued wheel entry
         slot.driver = SessionDriver::new(); // drop silence bookkeeping
+        if let (Some(ck), Some((store, _))) = (slot.ckpt.take(), self.checkpoints.as_ref()) {
+            store.remove(ck.key); // a removed session never resurrects
+        }
         self.live_sessions -= 1;
         let mut evicted = Vec::new();
         self.routes.retain(|key, sids| {
@@ -198,6 +322,16 @@ impl<P: Poller> ServerHub<P> {
     /// The source a session lives on.
     pub fn token_of(&self, sid: SessionId) -> Token {
         self.slots[sid.0].token
+    }
+
+    /// Number of live sessions registered on source `tok` (migration
+    /// feasibility: a private source moves shards only with *all* its
+    /// co-located sessions, or not at all).
+    pub fn sessions_on(&self, tok: Token) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.live && s.token == tok)
+            .count()
     }
 
     /// Current time on a session's source clock.
@@ -387,18 +521,51 @@ impl<P: Poller> ServerHub<P> {
             poller,
             slots,
             wheel,
+            stats,
+            checkpoints,
             ..
         } = self;
         let slot = &mut slots[sid.0];
         let tok = slot.token;
         scratch.clear();
-        slot.driver.tick_parties(
+        // Each party's burst leaves as one batch — the sendmmsg-shaped
+        // seam: the poller's substrate ships it whole when it can.
+        slot.driver.tick_parties_batched(
             sessions[i].parties,
             now,
-            &mut |from, to, wire| poller.send(tok, from, to, wire),
+            &mut |from, batch| poller.send_many(tok, from, batch),
             scratch,
         );
         events.extend(scratch.drain(..).map(|e| (sid, e)));
+
+        // Crash-recovery cadence: when this session is tracked, due, and
+        // saw traffic since its last checkpoint, snapshot it into the
+        // shared store. Runs after the tick so the checkpoint contains
+        // everything this service step shipped.
+        if let (Some((store, cadence)), Some(ck)) = (checkpoints.as_ref(), slot.ckpt.as_mut()) {
+            let due = ck
+                .last_at
+                .is_none_or(|at| now.saturating_sub(at) >= *cadence);
+            if due {
+                let marker = sessions[i]
+                    .parties
+                    .iter()
+                    .find_map(|p| p.endpoint.activity_marker());
+                if let Some(marker) = marker.filter(|m| ck.last_marker != Some(*m)) {
+                    if let Some(body) = sessions[i]
+                        .parties
+                        .iter_mut()
+                        .find_map(|p| p.endpoint.checkpoint(now))
+                    {
+                        let framed = snapshot::frame(&body);
+                        stats.checkpoint_bytes += framed.len() as u64;
+                        store.put(ck.key, framed, marker);
+                        ck.last_marker = Some(marker);
+                    }
+                }
+                ck.last_at = Some(now);
+            }
+        }
 
         let next = slot.driver.next_step(
             sessions[i].parties,

@@ -38,7 +38,9 @@ pub mod session;
 
 pub use apps::{Application, Editor, LineShell, MailReader, Pager, TimedWrite};
 pub use client::MoshClient;
-pub use hub::{HubSession, HubStats, ServerHub, SessionId, ShardedHub};
+pub use hub::{
+    CheckpointStore, HubSession, HubStats, ServerHub, SessionId, ShardedHub, SnapshotError,
+};
 pub use server::MoshServer;
 pub use session::{Endpoint, Party, SessionDriver, SessionEvent, SessionLoop};
 

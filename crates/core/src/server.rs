@@ -19,9 +19,14 @@ use crate::apps::{Application, TimedWrite};
 use crate::Millis;
 use mosh_crypto::session::Direction;
 use mosh_crypto::Base64Key;
-use mosh_net::Addr;
-use mosh_ssp::datagram::Opened;
-use mosh_ssp::transport::{ReceiveEvent, Transport};
+use mosh_net::{Addr, Host};
+use mosh_ssp::datagram::{DatagramLayer, Opened};
+use mosh_ssp::fragment::FragmentAssembly;
+use mosh_ssp::receiver::{Receiver, ReceiverStats};
+use mosh_ssp::rtt::RttEstimator;
+use mosh_ssp::sender::{Sender, SenderParts, SenderStats, TimestampedState};
+use mosh_ssp::transport::{ReceiveEvent, Transport, TransportStats};
+use mosh_ssp::wire::{put_bytes, put_varint, Reader};
 use mosh_states::{CompleteTerminal, UserEvent, UserStream};
 use std::collections::VecDeque;
 
@@ -143,6 +148,12 @@ impl MoshServer {
     /// Wire counters (sent/accepted/rejected datagrams).
     pub fn transport_stats(&self) -> &mosh_ssp::transport::TransportStats {
         self.transport.stats()
+    }
+
+    /// Next outgoing datagram sequence number (nonce bookkeeping —
+    /// lets recovery tests verify the resurrection skip margin).
+    pub fn next_seq(&self) -> u64 {
+        self.transport.datagram().snapshot_parts().2
     }
 
     fn schedule_writes(&mut self, writes: Vec<TimedWrite>) {
@@ -320,6 +331,405 @@ impl MoshServer {
     pub fn last_heard(&self) -> Option<Millis> {
         self.transport.last_heard()
     }
+
+    // -----------------------------------------------------------------
+    // Session snapshots (migration / crash recovery / handoff)
+    // -----------------------------------------------------------------
+
+    /// A cheap activity fingerprint for checkpoint cadence decisions: it
+    /// changes whenever the synchronized conversation advances in either
+    /// direction. Terminal mutations not yet committed into a shipped
+    /// state are not reflected, so a cadence tick may skip a session once
+    /// and catch it on the next — an accepted approximation (the ack
+    /// ceiling keeps the tail recoverable regardless).
+    pub fn activity_marker(&self) -> (u64, u64) {
+        (
+            self.transport.latest_sent_num(),
+            self.transport.remote_state_num(),
+        )
+    }
+
+    /// Takes a checkpoint: raises the outgoing-ack ceiling to the highest
+    /// client state number this checkpoint makes durable, then serializes
+    /// the whole session. The order matters — the stored snapshot carries
+    /// the raised ceiling, and the live server never acknowledges input
+    /// beyond what its newest checkpoint contains, so a resurrected twin
+    /// needs nothing the client will not retransmit on its own (§2.2's
+    /// retransmit machinery doubles as the recovery log).
+    pub fn checkpoint_body(&mut self) -> Vec<u8> {
+        self.transport
+            .set_ack_ceiling(Some(self.transport.remote_state_num()));
+        let mut out = Vec::new();
+        self.encode_snapshot_body(&mut out);
+        out
+    }
+
+    /// Skips the outgoing nonce sequence forward by `margin`. Crash
+    /// recovery cannot know how many datagrams the dead shard sent after
+    /// its last checkpoint, so resurrection burns a generous gap instead
+    /// of risking nonce reuse under the same key. Clean handoff (quiesced
+    /// snapshot, nothing sent afterwards) must *not* skip — that keeps the
+    /// restored wire bytes identical.
+    pub fn skip_seq_ahead(&mut self, margin: u64) {
+        let next_seq = self.transport.datagram().snapshot_parts().2;
+        self.transport
+            .datagram_mut()
+            .skip_seq_to(next_seq.saturating_add(margin));
+    }
+
+    /// Serializes the complete explicit session state — crypto sequence
+    /// numbers, SSP shipped-state lists and ack bookkeeping, the
+    /// authoritative terminal, echo/write queues, roaming target, and the
+    /// hosted application's dynamic state. Body only: framing (magic,
+    /// version, checksum) is the hub snapshot module's job.
+    pub fn encode_snapshot_body(&self, out: &mut Vec<u8>) {
+        let (key, _dir, next_seq, decrypt_ops, (srtt, rttvar, has_sample), max_seq, saved_ts) =
+            self.transport.datagram().snapshot_parts();
+        out.extend_from_slice(key.as_bytes());
+        put_varint(out, next_seq);
+        put_varint(out, decrypt_ops);
+        put_varint(out, srtt.to_bits());
+        put_varint(out, rttvar.to_bits());
+        put_bool(out, has_sample);
+        put_opt(out, max_seq);
+        match saved_ts {
+            None => put_varint(out, 0),
+            Some((ts, at)) => {
+                put_varint(out, 1);
+                put_varint(out, u64::from(ts));
+                put_varint(out, at);
+            }
+        }
+
+        let parts = self.transport.sender_parts();
+        put_varint(out, parts.sent_states.len() as u64);
+        for s in &parts.sent_states {
+            put_varint(out, s.num);
+            put_varint(out, s.timestamp);
+            s.state.encode_into(out);
+        }
+        parts.current.encode_into(out);
+        put_opt(out, parts.mindelay_clock);
+        put_varint(out, parts.mindelay);
+        put_varint(out, parts.ack_num);
+        put_varint(out, parts.next_ack_time);
+        put_bool(out, parts.ack_pending);
+        put_bool(out, parts.sent_anything);
+        let ss = &parts.stats;
+        for v in [
+            ss.data,
+            ss.retransmits,
+            ss.pure_acks,
+            ss.heartbeats,
+            ss.piggybacked_acks,
+        ] {
+            put_varint(out, v);
+        }
+
+        let states = self.transport.receiver_states();
+        put_varint(out, states.len() as u64);
+        for s in states {
+            put_varint(out, s.num);
+            put_varint(out, s.timestamp);
+            s.state.encode_into(out);
+        }
+        let rs = self.transport.receiver_stats();
+        for v in [rs.applied, rs.duplicates, rs.missing_source] {
+            put_varint(out, v);
+        }
+
+        let (frag_id, pieces, frag_total) = self.transport.assembly().snapshot_parts();
+        put_opt(out, frag_id);
+        put_varint(out, pieces.len() as u64);
+        for p in pieces {
+            match p {
+                None => put_varint(out, 0),
+                Some(b) => {
+                    put_varint(out, 1);
+                    put_bytes(out, b);
+                }
+            }
+        }
+        put_opt(out, frag_total.map(|t| t as u64));
+
+        put_varint(out, self.transport.next_instruction_id());
+        let ts = self.transport.stats();
+        for v in [
+            ts.datagrams_sent,
+            ts.datagrams_received,
+            ts.datagrams_rejected,
+        ] {
+            put_varint(out, v);
+        }
+        put_opt(out, self.transport.last_heard());
+        put_opt(out, self.transport.ack_ceiling());
+
+        put_bool(out, self.dirty);
+        put_varint(out, self.applied_through);
+        put_varint(out, self.echo_queue.len() as u64);
+        for &(idx, at) in &self.echo_queue {
+            put_varint(out, idx);
+            put_varint(out, at);
+        }
+        put_varint(out, self.pending_writes.len() as u64);
+        for w in &self.pending_writes {
+            put_varint(out, w.at);
+            put_bytes(out, &w.bytes);
+        }
+        match self.target {
+            None => put_varint(out, 0),
+            Some(addr) => {
+                put_varint(out, 1);
+                put_addr(out, addr);
+            }
+        }
+        put_bool(out, self.started);
+        put_varint(out, self.write_delays.len() as u64);
+        for &(arrived, shipped) in &self.write_delays {
+            put_varint(out, arrived);
+            put_varint(out, shipped);
+        }
+        put_varint(out, self.unshipped_writes.len() as u64);
+        for &at in &self.unshipped_writes {
+            put_varint(out, at);
+        }
+        put_bytes(out, &self.app.save_state());
+    }
+
+    /// Rebuilds a server from a snapshot body plus a freshly constructed
+    /// application twin (construction parameters are the caller's to
+    /// remember; the snapshot carries only dynamic state). Returns `None`
+    /// on any inconsistency — a corrupt snapshot is rejected whole, never
+    /// half-applied. The restored sender accepts future acks (resync):
+    /// if the client has already acknowledged states newer than the
+    /// snapshot, the server adopts that ack and re-sends a self-contained
+    /// full diff.
+    pub fn decode_snapshot_body(bytes: &[u8], mut app: Box<dyn Application>) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let key = Base64Key::from_bytes(r.take(16).ok()?.try_into().ok()?);
+        let next_seq = r.varint().ok()?;
+        let decrypt_ops = r.varint().ok()?;
+        let srtt = f64::from_bits(r.varint().ok()?);
+        let rttvar = f64::from_bits(r.varint().ok()?);
+        let has_sample = get_bool(&mut r)?;
+        let max_seq = get_opt(&mut r)?;
+        let saved_ts = match r.varint().ok()? {
+            0 => None,
+            1 => {
+                let ts = u16::try_from(r.varint().ok()?).ok()?;
+                Some((ts, r.varint().ok()?))
+            }
+            _ => return None,
+        };
+        let datagram = DatagramLayer::restore(
+            key,
+            Direction::ToClient,
+            next_seq,
+            decrypt_ops,
+            RttEstimator::from_parts(srtt, rttvar, has_sample),
+            max_seq,
+            saved_ts,
+        );
+
+        let n = r.varint().ok()?;
+        let mut sent_states = Vec::new();
+        for _ in 0..n {
+            let num = r.varint().ok()?;
+            let timestamp = r.varint().ok()?;
+            let state = CompleteTerminal::decode(&mut r)?;
+            sent_states.push(TimestampedState {
+                num,
+                timestamp,
+                state,
+            });
+        }
+        let current = CompleteTerminal::decode(&mut r)?;
+        let mindelay_clock = get_opt(&mut r)?;
+        let mindelay = r.varint().ok()?;
+        let ack_num = r.varint().ok()?;
+        let next_ack_time = r.varint().ok()?;
+        let ack_pending = get_bool(&mut r)?;
+        let sent_anything = get_bool(&mut r)?;
+        let stats = SenderStats {
+            data: r.varint().ok()?,
+            retransmits: r.varint().ok()?,
+            pure_acks: r.varint().ok()?,
+            heartbeats: r.varint().ok()?,
+            piggybacked_acks: r.varint().ok()?,
+        };
+        let sender = Sender::restore(SenderParts {
+            sent_states,
+            current,
+            mindelay_clock,
+            mindelay,
+            ack_num,
+            next_ack_time,
+            ack_pending,
+            sent_anything,
+            stats,
+        })?;
+
+        let n = r.varint().ok()?;
+        let mut recv_states = Vec::new();
+        for _ in 0..n {
+            let num = r.varint().ok()?;
+            let timestamp = r.varint().ok()?;
+            let state = UserStream::decode(&mut r)?;
+            recv_states.push(TimestampedState {
+                num,
+                timestamp,
+                state,
+            });
+        }
+        let recv_stats = ReceiverStats {
+            applied: r.varint().ok()?,
+            duplicates: r.varint().ok()?,
+            missing_source: r.varint().ok()?,
+        };
+        let receiver = Receiver::restore(recv_states, recv_stats)?;
+
+        let frag_id = get_opt(&mut r)?;
+        let n = r.varint().ok()?;
+        let mut pieces = Vec::new();
+        for _ in 0..n {
+            pieces.push(match r.varint().ok()? {
+                0 => None,
+                1 => Some(r.bytes().ok()?.to_vec()),
+                _ => return None,
+            });
+        }
+        let frag_total = match get_opt(&mut r)? {
+            None => None,
+            Some(t) => Some(usize::try_from(t).ok()?),
+        };
+        let assembly = FragmentAssembly::restore(frag_id, pieces, frag_total)?;
+
+        let next_instruction_id = r.varint().ok()?;
+        let t_stats = TransportStats {
+            datagrams_sent: r.varint().ok()?,
+            datagrams_received: r.varint().ok()?,
+            datagrams_rejected: r.varint().ok()?,
+        };
+        let last_heard = get_opt(&mut r)?;
+        let ack_ceiling = get_opt(&mut r)?;
+        let transport = Transport::restore(
+            datagram,
+            sender,
+            receiver,
+            assembly,
+            next_instruction_id,
+            t_stats,
+            last_heard,
+            ack_ceiling,
+        );
+
+        let dirty = get_bool(&mut r)?;
+        let applied_through = r.varint().ok()?;
+        let n = r.varint().ok()?;
+        let mut echo_queue = VecDeque::new();
+        for _ in 0..n {
+            echo_queue.push_back((r.varint().ok()?, r.varint().ok()?));
+        }
+        let n = r.varint().ok()?;
+        let mut pending_writes = VecDeque::new();
+        for _ in 0..n {
+            let at = r.varint().ok()?;
+            let bytes = r.bytes().ok()?.to_vec();
+            pending_writes.push_back(TimedWrite { at, bytes });
+        }
+        let target = match r.varint().ok()? {
+            0 => None,
+            1 => Some(get_addr(&mut r)?),
+            _ => return None,
+        };
+        let started = get_bool(&mut r)?;
+        let n = r.varint().ok()?;
+        let mut write_delays = Vec::new();
+        for _ in 0..n {
+            write_delays.push((r.varint().ok()?, r.varint().ok()?));
+        }
+        let n = r.varint().ok()?;
+        let mut unshipped_writes = Vec::new();
+        for _ in 0..n {
+            unshipped_writes.push(r.varint().ok()?);
+        }
+        let app_state = r.bytes().ok()?;
+        if r.remaining() != 0 || !app.restore_state(app_state) {
+            return None;
+        }
+
+        Some(MoshServer {
+            transport,
+            app,
+            dirty,
+            applied_through,
+            echo_queue,
+            pending_writes,
+            target,
+            started,
+            write_delays,
+            unshipped_writes,
+        })
+    }
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    put_varint(out, u64::from(v));
+}
+
+fn get_bool(r: &mut Reader<'_>) -> Option<bool> {
+    match r.varint().ok()? {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
+fn put_opt(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => put_varint(out, 0),
+        Some(x) => {
+            put_varint(out, 1);
+            put_varint(out, x);
+        }
+    }
+}
+
+fn get_opt(r: &mut Reader<'_>) -> Option<Option<u64>> {
+    match r.varint().ok()? {
+        0 => Some(None),
+        1 => Some(Some(r.varint().ok()?)),
+        _ => None,
+    }
+}
+
+fn put_addr(out: &mut Vec<u8>, addr: Addr) {
+    match addr.host {
+        Host::V4(ip) => {
+            put_varint(out, 0);
+            put_varint(out, u64::from(ip));
+        }
+        Host::V6(ip, scope) => {
+            put_varint(out, 1);
+            out.extend_from_slice(&ip.to_be_bytes());
+            put_varint(out, u64::from(scope));
+        }
+    }
+    put_varint(out, u64::from(addr.port));
+}
+
+fn get_addr(r: &mut Reader<'_>) -> Option<Addr> {
+    let host = match r.varint().ok()? {
+        0 => Host::V4(u32::try_from(r.varint().ok()?).ok()?),
+        1 => {
+            let ip = u128::from_be_bytes(r.take(16).ok()?.try_into().ok()?);
+            let scope = u32::try_from(r.varint().ok()?).ok()?;
+            Host::V6(ip, scope)
+        }
+        _ => return None,
+    };
+    let port = u16::try_from(r.varint().ok()?).ok()?;
+    Some(Addr { host, port })
 }
 
 #[cfg(test)]
@@ -447,6 +857,98 @@ mod tests {
         }
         // The prompt reached the client's copy of the screen.
         assert_eq!(client.remote_state().frame().row_text(0), "$");
+    }
+
+    /// Builds a server mid-conversation: prompt on screen, one keystroke
+    /// applied, client address learned.
+    fn busy_server(client: &mut Transport<UserStream, CompleteTerminal>) -> MoshServer {
+        let mut server = MoshServer::new(key(), Box::new(LineShell::new()));
+        let mut input = UserStream::new();
+        input.push_keystroke(b"l");
+        client.set_current_state(input, 5);
+        for now in 0..200 {
+            for w in client.tick(now) {
+                server.receive(now, client_addr(), &w);
+            }
+            for (_, w) in server.tick(now) {
+                let _ = client.receive(now, &w);
+            }
+        }
+        server
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_byte_identical_going_forward() {
+        let mut client = client_transport();
+        let mut server = busy_server(&mut client);
+        let body = server.checkpoint_body();
+        let mut restored =
+            MoshServer::decode_snapshot_body(&body, Box::new(LineShell::new())).expect("decodes");
+
+        // Both servers see the same future (more typing plus quiet ticks);
+        // their wire output must match byte for byte.
+        let mut input = UserStream::new();
+        input.push_keystroke(b"l");
+        input.push_keystroke(b"s");
+        input.push_keystroke(b"\r");
+        client.set_current_state(input, 200);
+        let arrivals: Vec<Vec<u8>> = (200..210).flat_map(|now| client.tick(now)).collect();
+        let mut a_wires = Vec::new();
+        let mut b_wires = Vec::new();
+        for now in 200..1200 {
+            if now == 205 {
+                for w in &arrivals {
+                    server.receive(now, client_addr(), w);
+                    restored.receive(now, client_addr(), w);
+                }
+            }
+            a_wires.extend(server.tick(now).into_iter().map(|(_, w)| w));
+            b_wires.extend(restored.tick(now).into_iter().map(|(_, w)| w));
+        }
+        assert!(!a_wires.is_empty());
+        assert_eq!(a_wires, b_wires, "restored server diverged on the wire");
+        assert_eq!(server.frame().to_text(), restored.frame().to_text());
+        assert_eq!(server.target(), restored.target());
+    }
+
+    #[test]
+    fn checkpoint_caps_acks_at_checkpointed_input() {
+        let mut client = client_transport();
+        let mut server = busy_server(&mut client);
+        let ceiling = server.transport.ack_ceiling();
+        assert_eq!(ceiling, None, "no cap before the first checkpoint");
+        let _ = server.checkpoint_body();
+        assert_eq!(
+            server.transport.ack_ceiling(),
+            Some(server.transport.remote_state_num()),
+            "checkpoint caps acks at exactly what it made durable"
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_truncation_and_trailing_garbage() {
+        let mut client = client_transport();
+        let mut server = busy_server(&mut client);
+        let body = server.checkpoint_body();
+        // Every truncation point fails cleanly (sampled stride keeps the
+        // test fast; the boundaries near field edges are all hit).
+        for cut in (0..body.len()).step_by(7).chain([body.len() - 1]) {
+            assert!(
+                MoshServer::decode_snapshot_body(&body[..cut], Box::new(LineShell::new()))
+                    .is_none(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        let mut extended = body.clone();
+        extended.push(0);
+        assert!(
+            MoshServer::decode_snapshot_body(&extended, Box::new(LineShell::new())).is_none(),
+            "trailing garbage must be rejected"
+        );
+        // A wrong application twin is rejected too.
+        assert!(
+            MoshServer::decode_snapshot_body(&body, Box::new(crate::apps::Editor::new())).is_none()
+        );
     }
 
     #[test]

@@ -154,6 +154,24 @@ pub trait Endpoint: Send {
         let _ = (now, from, opened, events);
         debug_assert!(false, "receive_opened without a matching try_open");
     }
+
+    /// A cheap fingerprint that changes whenever the session's durable
+    /// state advances; checkpoint cadence skips sessions whose marker is
+    /// unchanged. The default `None` pairs with the default
+    /// [`Endpoint::checkpoint`] for endpoints that cannot snapshot.
+    fn activity_marker(&self) -> Option<(u64, u64)> {
+        None
+    }
+
+    /// Serializes this endpoint for migration or crash recovery,
+    /// returning the snapshot body and (as a side effect on the endpoint)
+    /// capping its outgoing acks at what the snapshot contains. `None`
+    /// (the default) marks an endpoint that does not support
+    /// checkpointing — such sessions are simply lost when their shard
+    /// dies, exactly as before this machinery existed.
+    fn checkpoint(&mut self, _now: Millis) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 impl MoshClient {
@@ -281,6 +299,14 @@ impl Endpoint for MoshServer {
         MoshServer::receive_opened(self, now, from, opened);
         self.report_roam(before, now, events);
     }
+
+    fn activity_marker(&self) -> Option<(u64, u64)> {
+        Some(MoshServer::activity_marker(self))
+    }
+
+    fn checkpoint(&mut self, _now: Millis) -> Option<Vec<u8>> {
+        Some(self.checkpoint_body())
+    }
 }
 
 /// An endpoint bound to the address it receives on. The caller keeps
@@ -346,6 +372,28 @@ impl SessionDriver {
             p.endpoint.tick(now, &mut self.outbox, events);
             for (to, wire) in self.outbox.drain(..) {
                 send(p.addr, to, wire);
+            }
+        }
+    }
+
+    /// [`SessionDriver::tick_parties`], flushing each party's whole
+    /// outbox as **one** batch: `flush` is called at most once per party,
+    /// with `from = party.addr` and that party's datagrams in emit order.
+    /// Ordering is identical to the per-wire variant — same-instant
+    /// datagrams still enter the substrate party by party — but the
+    /// substrate sees each party's burst whole, the sendmmsg-shaped seam
+    /// a live socket wants (see `mosh_net::Poller::send_many`).
+    pub fn tick_parties_batched(
+        &mut self,
+        parties: &mut [Party<'_>],
+        now: Millis,
+        flush: &mut dyn FnMut(Addr, Vec<(Addr, Vec<u8>)>),
+        events: &mut Vec<SessionEvent>,
+    ) {
+        for p in parties.iter_mut() {
+            p.endpoint.tick(now, &mut self.outbox, events);
+            if !self.outbox.is_empty() {
+                flush(p.addr, std::mem::take(&mut self.outbox));
             }
         }
     }

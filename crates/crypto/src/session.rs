@@ -89,6 +89,12 @@ pub const MAX_SEQ: u64 = (1 << 63) - 1;
 #[derive(Debug, Clone)]
 pub struct Session {
     ocb: Ocb,
+    /// The shared session key, retained so the session can be snapshotted
+    /// (the cipher schedule and the transport's chaff seed both re-derive
+    /// from it on restore). The struct already *is* key material — the OCB
+    /// schedule is a pure function of these bytes — so keeping them adds
+    /// no new secret surface.
+    key: Base64Key,
     direction: Direction,
     next_seq: u64,
     /// OCB open attempts (successful or not) performed by this endpoint —
@@ -110,11 +116,45 @@ impl Session {
     pub fn new(key: Base64Key, direction: Direction) -> Self {
         Session {
             ocb: Ocb::new(key.as_bytes()),
+            key,
             direction,
             next_seq: 0,
             decrypt_ops: Cell::new(0),
             scratch: Vec::new(),
         }
+    }
+
+    /// Rebuilds a session endpoint from snapshotted state: the shared key,
+    /// direction, the next outgoing sequence number, and the decrypt-ops
+    /// instrumentation counter. The cipher schedule is re-derived from the
+    /// key; the scratch pool starts empty (it is a pure optimization).
+    pub fn restore(key: Base64Key, direction: Direction, next_seq: u64, decrypt_ops: u64) -> Self {
+        Session {
+            ocb: Ocb::new(key.as_bytes()),
+            key,
+            direction,
+            next_seq,
+            decrypt_ops: Cell::new(decrypt_ops),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The shared session key (for snapshot serialization).
+    pub fn key(&self) -> &Base64Key {
+        &self.key
+    }
+
+    /// Skips the outgoing sequence number forward to at least `seq`.
+    ///
+    /// Crash recovery restores a session from a checkpoint taken *before*
+    /// some datagrams were sealed; re-using those sequence numbers would
+    /// repeat OCB nonces. Resurrection therefore burns a margin of numbers
+    /// past anything the checkpointed counter could have covered — sequence
+    /// numbers need only be fresh and monotonic, not dense, so the peer
+    /// just sees a (large) gap, exactly as after heavy packet loss.
+    pub fn skip_seq_to(&mut self, seq: u64) {
+        assert!(seq <= MAX_SEQ, "sequence number space exhausted");
+        self.next_seq = self.next_seq.max(seq);
     }
 
     /// The direction this endpoint stamps on outgoing packets.

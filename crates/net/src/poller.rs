@@ -97,6 +97,24 @@ pub trait Poller {
         self.channel_mut(tok).send(from, to, payload);
     }
 
+    /// Sends a batch of datagrams from one source address on a source —
+    /// the poller face of [`Channel::send_many`], so a hub flushing one
+    /// session tick's output pays per-send bookkeeping once per batch.
+    fn send_many(&mut self, tok: Token, from: Addr, batch: Vec<(Addr, Vec<u8>)>) {
+        self.channel_mut(tok).send_many(from, batch);
+    }
+
+    /// Removes a registered source and returns its channel, for moving a
+    /// session's source to another poller (shard-to-shard live
+    /// migration). The token is retired, never reused; touching it
+    /// afterwards panics like any out-of-range token. Pollers that cannot
+    /// release a source (e.g. a shared-socket substrate) return `None` —
+    /// the default.
+    fn extract(&mut self, tok: Token) -> Option<Self::Chan> {
+        let _ = tok;
+        None
+    }
+
     /// Time of the next already-scheduled delivery on a source, if the
     /// substrate can know it (the simulator can; real sockets cannot).
     fn next_event_time(&self, tok: Token) -> Option<Millis> {
@@ -121,7 +139,9 @@ pub trait Poller {
 /// world, advanced only when explicitly waited on. See [`SimPoller`].
 #[derive(Debug)]
 pub struct ChannelPoller<C: Channel> {
-    channels: Vec<C>,
+    /// `None` marks a source extracted for migration: its token is
+    /// retired (positions are tokens, so slots are never compacted).
+    channels: Vec<Option<C>>,
     ready: ReadySet,
 }
 
@@ -160,7 +180,10 @@ impl<C: Channel> ChannelPoller<C> {
     /// Panics unless exactly one source is registered.
     pub fn into_solo(mut self) -> C {
         assert_eq!(self.channels.len(), 1, "not a single-source poller");
-        self.channels.pop().expect("length checked")
+        self.channels
+            .pop()
+            .flatten()
+            .expect("single source present")
     }
 }
 
@@ -168,24 +191,24 @@ impl<C: Channel> Poller for ChannelPoller<C> {
     type Chan = C;
 
     fn add(&mut self, channel: C) -> Token {
-        self.channels.push(channel);
+        self.channels.push(Some(channel));
         self.ready.grow();
         Token(self.channels.len() - 1)
     }
 
     fn len(&self) -> usize {
-        self.channels.len()
+        self.channels.iter().filter(|c| c.is_some()).count()
     }
 
     fn channel(&self, tok: Token) -> &C {
-        &self.channels[tok.0]
+        self.channels[tok.0].as_ref().expect("source was extracted")
     }
 
     fn channel_mut(&mut self, tok: Token) -> &mut C {
         // Conservatively assume the caller made the source ready (swapped
         // a network, advanced it out-of-band): one wasted scan at most.
         self.ready.push(tok.0);
-        &mut self.channels[tok.0]
+        self.channels[tok.0].as_mut().expect("source was extracted")
     }
 
     fn poll_any(&mut self) -> Option<(Token, Datagram)> {
@@ -194,7 +217,7 @@ impl<C: Channel> Poller for ChannelPoller<C> {
         // deterministic: sources are independent worlds, so cross-source
         // order carries no meaning.
         while let Some(i) = self.ready.front() {
-            if let Some(dg) = self.channels[i].poll_any() {
+            if let Some(dg) = self.channels[i].as_mut().and_then(C::poll_any) {
                 return Some((Token(i), dg));
             }
             self.ready.pop();
@@ -203,9 +226,16 @@ impl<C: Channel> Poller for ChannelPoller<C> {
     }
 
     fn wait_until(&mut self, tok: Token, deadline: Millis) -> Millis {
-        let now = self.channels[tok.0].wait_until(deadline);
+        let now = self.channels[tok.0]
+            .as_mut()
+            .expect("source was extracted")
+            .wait_until(deadline);
         self.ready.push(tok.0);
         now
+    }
+
+    fn extract(&mut self, tok: Token) -> Option<C> {
+        self.channels[tok.0].take()
     }
 }
 
@@ -261,6 +291,10 @@ impl Poller for UdpPoller {
         self.inner.poll_any()
     }
 
+    fn extract(&mut self, tok: Token) -> Option<UdpChannel> {
+        self.inner.extract(tok)
+    }
+
     fn wait_until(&mut self, tok: Token, deadline: Millis) -> Millis {
         if self.inner.channels.len() == 1 {
             // One socket: the channel's own blocking wait is strictly
@@ -270,12 +304,13 @@ impl Poller for UdpPoller {
         loop {
             let mut got = false;
             for (i, ch) in self.inner.channels.iter_mut().enumerate() {
+                let Some(ch) = ch.as_mut() else { continue };
                 if ch.drain() > 0 || ch.inbox_len() > 0 {
                     self.inner.ready.push(i);
                     got = true;
                 }
             }
-            let now = self.inner.channels[tok.0].now();
+            let now = self.inner.channel(tok).now();
             if got || now >= deadline {
                 return now;
             }

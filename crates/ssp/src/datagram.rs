@@ -77,6 +77,61 @@ impl DatagramLayer {
         }
     }
 
+    /// Rebuilds a datagram layer from snapshotted parts. The cipher is
+    /// re-derived from the key; timing state (RTT estimate, new-high
+    /// bookkeeping, saved timestamp echo) is restored verbatim.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        key: Base64Key,
+        direction: Direction,
+        next_seq: u64,
+        decrypt_ops: u64,
+        rtt: RttEstimator,
+        max_seq_seen: Option<u64>,
+        saved_timestamp: Option<(u16, Millis)>,
+    ) -> Self {
+        DatagramLayer {
+            session: Session::restore(key, direction, next_seq, decrypt_ops),
+            rtt,
+            max_seq_seen,
+            saved_timestamp,
+        }
+    }
+
+    /// The parts of this layer a snapshot must carry (everything except
+    /// the key-derived cipher schedule and the scratch pool):
+    /// `(key, direction, next_seq, decrypt_ops, (srtt, rttvar,
+    /// has_sample), max_seq_seen, saved_timestamp)`.
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot_parts(
+        &self,
+    ) -> (
+        &Base64Key,
+        Direction,
+        u64,
+        u64,
+        (f64, f64, bool),
+        Option<u64>,
+        Option<(u16, Millis)>,
+    ) {
+        (
+            self.session.key(),
+            self.session.direction(),
+            self.session.next_seq(),
+            self.session.decrypt_count(),
+            (self.rtt.srtt(), self.rtt.rttvar(), self.rtt.has_sample()),
+            self.max_seq_seen,
+            self.saved_timestamp,
+        )
+    }
+
+    /// Skips the outgoing sequence number forward (see
+    /// [`Session::skip_seq_to`]): crash recovery must never re-use a
+    /// nonce a lost post-checkpoint datagram may already have consumed.
+    pub fn skip_seq_to(&mut self, seq: u64) {
+        self.session.skip_seq_to(seq);
+    }
+
     /// Current smoothed RTT estimate (milliseconds).
     pub fn srtt(&self) -> f64 {
         self.rtt.srtt()

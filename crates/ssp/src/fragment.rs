@@ -83,10 +83,45 @@ pub struct FragmentAssembly {
     total: Option<usize>,
 }
 
+/// A reassembly checkpoint: (newest instruction id, partial pieces,
+/// expected piece count once the final fragment has arrived).
+pub type AssemblyParts<'a> = (Option<u64>, &'a [Option<Vec<u8>>], Option<usize>);
+
 impl FragmentAssembly {
     /// Creates an empty assembler.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Snapshot view for session checkpoints: the newest instruction id,
+    /// the partial pieces, and the expected piece count if the final
+    /// fragment has arrived. A half-assembled instruction survives
+    /// migration so reassembly resumes where it left off.
+    pub fn snapshot_parts(&self) -> AssemblyParts<'_> {
+        (self.current_id, &self.pieces, self.total)
+    }
+
+    /// Rebuilds an assembler mid-instruction; `arrived` is recomputed.
+    /// Returns `None` for inconsistent parts (pieces without an id, or a
+    /// zero expected total) — corrupt snapshots are rejected whole.
+    pub fn restore(
+        current_id: Option<u64>,
+        pieces: Vec<Option<Vec<u8>>>,
+        total: Option<usize>,
+    ) -> Option<Self> {
+        if current_id.is_none() && (!pieces.is_empty() || total.is_some()) {
+            return None;
+        }
+        if total == Some(0) {
+            return None;
+        }
+        let arrived = pieces.iter().filter(|p| p.is_some()).count();
+        Some(FragmentAssembly {
+            current_id,
+            pieces,
+            arrived,
+            total,
+        })
     }
 
     /// Adds a fragment; returns the full instruction payload when complete.
@@ -233,6 +268,28 @@ mod tests {
         let old = fragment(3, b"old", 500);
         assert_eq!(asm.add(new[0].clone()).unwrap(), b"new".to_vec());
         assert!(asm.add(old[0].clone()).is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_mid_assembly() {
+        let payload: Vec<u8> = (0..1300u32).map(|i| (i * 7) as u8).collect();
+        let frags = fragment(4, &payload, 500);
+        let mut asm = FragmentAssembly::new();
+        assert!(asm.add(frags[0].clone()).is_none());
+        assert!(asm.add(frags[2].clone()).is_none());
+
+        let (id, pieces, total) = asm.snapshot_parts();
+        let mut restored =
+            FragmentAssembly::restore(id, pieces.to_vec(), total).expect("valid parts");
+        assert_eq!(restored.add(frags[1].clone()).unwrap(), payload);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_parts() {
+        assert!(FragmentAssembly::restore(None, vec![Some(vec![1])], None).is_none());
+        assert!(FragmentAssembly::restore(None, Vec::new(), Some(1)).is_none());
+        assert!(FragmentAssembly::restore(Some(3), Vec::new(), Some(0)).is_none());
+        assert!(FragmentAssembly::restore(None, Vec::new(), None).is_some());
     }
 
     #[test]

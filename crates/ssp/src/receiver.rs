@@ -59,6 +59,24 @@ impl<R: SyncState> Receiver<R> {
         }
     }
 
+    /// Rebuilds a receiver from snapshotted parts. Returns `None` when the
+    /// parts violate the receiver's invariants (empty state list, or state
+    /// numbers not strictly increasing).
+    pub fn restore(states: Vec<TimestampedState<R>>, stats: ReceiverStats) -> Option<Self> {
+        if states.is_empty() {
+            return None;
+        }
+        if states.windows(2).any(|w| w[0].num >= w[1].num) {
+            return None;
+        }
+        Some(Receiver { states, stats })
+    }
+
+    /// The stored state copies, oldest first (for session snapshots).
+    pub fn states(&self) -> &[TimestampedState<R>] {
+        &self.states
+    }
+
     /// Receiver counters.
     pub fn stats(&self) -> &ReceiverStats {
         &self.stats

@@ -43,6 +43,25 @@ impl RttEstimator {
         }
     }
 
+    /// Rebuilds an estimator from snapshotted parts (session snapshots
+    /// preserve the smoothed estimate so a restored sender keeps its tuned
+    /// retransmission behavior instead of regressing to the 1 s guess).
+    pub fn from_parts(srtt: f64, rttvar: f64, have_sample: bool) -> Self {
+        RttEstimator {
+            srtt: if srtt.is_finite() {
+                srtt.max(0.0)
+            } else {
+                1000.0
+            },
+            rttvar: if rttvar.is_finite() {
+                rttvar.max(0.0)
+            } else {
+                500.0
+            },
+            have_sample,
+        }
+    }
+
     /// Feeds one RTT sample in milliseconds.
     pub fn observe(&mut self, sample_ms: f64) {
         let r = sample_ms.max(0.0);

@@ -110,7 +110,40 @@ pub struct Sender<S: SyncState> {
     /// False until the first transmission: the frame-rate gate applies only
     /// "after a previous frame" (paper §2.3), never to the first one.
     sent_anything: bool,
+    /// True after a snapshot restore: an authenticated ack for a state
+    /// number *newer* than anything in `sent_states` is then trusted as
+    /// evidence of a pre-crash state this sender no longer knows, and the
+    /// sender adopts that number (see [`Sender::handle_ack`]).
+    accept_future_acks: bool,
+    /// `Some(b)`: states numbered `<= b` have unknown receiver-side
+    /// content (their bytes were lost with a crash); any diff sourced
+    /// from one must be a self-contained [`SyncState::full_diff`].
+    resync_base: Option<u64>,
     stats: SenderStats,
+}
+
+/// Everything a session snapshot must carry to rebuild a [`Sender`].
+#[derive(Debug, Clone)]
+pub struct SenderParts<S> {
+    /// The shipped-state list, acked front first (never empty, numbers
+    /// strictly increasing).
+    pub sent_states: Vec<TimestampedState<S>>,
+    /// The authoritative current state.
+    pub current: S,
+    /// Collection-interval clock, if the current state has diverged.
+    pub mindelay_clock: Option<Millis>,
+    /// Collection interval.
+    pub mindelay: Millis,
+    /// Remote state number to acknowledge next.
+    pub ack_num: u64,
+    /// Standalone ack / heartbeat deadline.
+    pub next_ack_time: Millis,
+    /// Whether the deadline is a delayed ack (vs. a heartbeat).
+    pub ack_pending: bool,
+    /// Whether anything has ever been transmitted.
+    pub sent_anything: bool,
+    /// Counters.
+    pub stats: SenderStats,
 }
 
 impl<S: SyncState> Sender<S> {
@@ -130,7 +163,52 @@ impl<S: SyncState> Sender<S> {
             next_ack_time: HEARTBEAT_DURATION,
             ack_pending: false,
             sent_anything: false,
+            accept_future_acks: false,
+            resync_base: None,
             stats: SenderStats::default(),
+        }
+    }
+
+    /// Rebuilds a sender from snapshotted parts. Returns `None` when the
+    /// parts violate the sender's invariants (empty shipped-state list, or
+    /// state numbers not strictly increasing) — a corrupt snapshot must be
+    /// rejected whole, never half-applied.
+    pub fn restore(parts: SenderParts<S>) -> Option<Self> {
+        if parts.sent_states.is_empty() {
+            return None;
+        }
+        if parts.sent_states.windows(2).any(|w| w[0].num >= w[1].num) {
+            return None;
+        }
+        Some(Sender {
+            sent_states: parts.sent_states,
+            current: parts.current,
+            mindelay_clock: parts.mindelay_clock,
+            mindelay: parts.mindelay,
+            ack_num: parts.ack_num,
+            next_ack_time: parts.next_ack_time,
+            ack_pending: parts.ack_pending,
+            sent_anything: parts.sent_anything,
+            // A restored sender may be resuming from a checkpoint older
+            // than the peer's view; future acks are then legitimate.
+            accept_future_acks: true,
+            resync_base: None,
+            stats: parts.stats,
+        })
+    }
+
+    /// Clones out everything a snapshot needs to rebuild this sender.
+    pub fn snapshot_parts(&self) -> SenderParts<S> {
+        SenderParts {
+            sent_states: self.sent_states.clone(),
+            current: self.current.clone(),
+            mindelay_clock: self.mindelay_clock,
+            mindelay: self.mindelay,
+            ack_num: self.ack_num,
+            next_ack_time: self.next_ack_time,
+            ack_pending: self.ack_pending,
+            sent_anything: self.sent_anything,
+            stats: self.stats,
         }
     }
 
@@ -203,10 +281,28 @@ impl<S: SyncState> Sender<S> {
 
     /// Processes a cumulative acknowledgment from the receiver.
     pub fn handle_ack(&mut self, ack_num: u64) {
+        if self.accept_future_acks && ack_num > self.latest_sent_num() {
+            // Crash-recovery resync: the peer (authenticated) acknowledges
+            // a state produced after our checkpoint and lost with the
+            // crash. Adopt its *number* with our current content marked
+            // unknown-to-peer; the next diff sourced from it will be a
+            // self-contained `full_diff` (see `send_data`).
+            self.sent_states = vec![TimestampedState {
+                num: ack_num,
+                timestamp: 0,
+                state: self.current.clone(),
+            }];
+            self.resync_base = Some(ack_num);
+            return;
+        }
         let Some(pos) = self.sent_states.iter().position(|s| s.num == ack_num) else {
             return; // Stale ack for an already-discarded state.
         };
         self.sent_states.drain(..pos);
+        if self.resync_base.is_some_and(|b| ack_num > b) {
+            // A post-resync state made it across; content is known again.
+            self.resync_base = None;
+        }
         // Rationalize: everything shares the acked prefix now; reclaim
         // it. Skipped entirely for states whose `subtract` is a no-op
         // (terminal screens) — the pass exists only to reclaim memory,
@@ -223,10 +319,16 @@ impl<S: SyncState> Sender<S> {
         first.state.subtract(&p);
     }
 
-    /// True if the current state has not been shipped yet.
+    /// True if the current state has not been shipped yet. While a resync
+    /// is pending, the latest "sent" state is the adopted one whose
+    /// receiver-side content is unknown — a full frame must still go out
+    /// even though its recorded content equals `current`.
     pub fn pending_data(&self) -> bool {
-        let back = &self.sent_states.last().expect("never empty").state;
-        !self.current.equivalent(back)
+        let back = self.sent_states.last().expect("never empty");
+        if self.resync_base.is_some_and(|b| back.num <= b) {
+            return true;
+        }
+        !self.current.equivalent(&back.state)
     }
 
     /// The next time this sender wants `tick` called, if any (for
@@ -321,10 +423,18 @@ impl<S: SyncState> Sender<S> {
         let assumed = self.assumed_receiver_index(now, rto);
         let source = &self.sent_states[assumed];
         let old_num = source.num;
-        let diff = self.current.diff_from(&source.state);
+        // A source at or below the resync base has unknown receiver-side
+        // content: the diff must be self-contained.
+        let source_unknown = self.resync_base.is_some_and(|b| source.num <= b);
+        let diff = if source_unknown {
+            self.current.full_diff()
+        } else {
+            self.current.diff_from(&source.state)
+        };
 
         let back = self.sent_states.last_mut().expect("never empty");
-        let (new_num, kind) = if self.current.equivalent(&back.state) {
+        let back_unknown = self.resync_base.is_some_and(|b| back.num <= b);
+        let (new_num, kind) = if !back_unknown && self.current.equivalent(&back.state) {
             // Retransmission: same target state, refreshed timestamp.
             back.timestamp = now;
             self.stats.retransmits += 1;
@@ -551,6 +661,80 @@ mod tests {
             s.tick(t, SRTT, RTO);
         }
         assert!(s.sent_states.len() <= MAX_SENT_STATES + 1);
+    }
+
+    #[test]
+    fn restore_round_trips_snapshot_parts() {
+        let mut s = Sender::new(blob(b"0"));
+        s.set_current(blob(b"1"), 1000);
+        s.tick(1008, SRTT, RTO).unwrap();
+        s.set_ack_num(5, true, 1010);
+        let parts = s.snapshot_parts();
+        let r = Sender::restore(parts).expect("valid parts");
+        assert_eq!(r.latest_sent_num(), s.latest_sent_num());
+        assert_eq!(r.acked_num(), s.acked_num());
+        assert_eq!(r.stats(), s.stats());
+        assert!(r.current().equivalent(s.current()));
+    }
+
+    #[test]
+    fn restore_rejects_invalid_parts() {
+        let s = Sender::new(blob(b"0"));
+        let mut empty = s.snapshot_parts();
+        empty.sent_states.clear();
+        assert!(Sender::restore(empty).is_none());
+
+        let mut s2 = Sender::new(blob(b"0"));
+        s2.set_current(blob(b"1"), 1000);
+        s2.tick(1008, SRTT, RTO).unwrap();
+        let mut unordered = s2.snapshot_parts();
+        unordered.sent_states.reverse();
+        assert!(Sender::restore(unordered).is_none());
+    }
+
+    #[test]
+    fn future_ack_is_ignored_without_restore() {
+        let mut s = Sender::new(blob(b"0"));
+        s.handle_ack(42);
+        assert_eq!(s.acked_num(), 0);
+        assert_eq!(s.latest_sent_num(), 0);
+    }
+
+    #[test]
+    fn restored_sender_resyncs_after_future_ack() {
+        // A sender restored from a checkpoint at state 2 learns the peer
+        // already has state 5 (produced post-checkpoint, lost in a crash).
+        let mut s = Sender::new(blob(b"ckpt"));
+        s.set_current(blob(b"v1"), 1000);
+        s.tick(1008, SRTT, RTO).unwrap(); // state 1 shipped
+        let mut r = Sender::restore(s.snapshot_parts()).expect("valid");
+
+        r.handle_ack(5);
+        assert_eq!(r.latest_sent_num(), 5);
+        // Even though the adopted entry's recorded content equals current,
+        // the peer's real state 5 is unknown: a frame must go out.
+        assert!(r.pending_data());
+        // First tick starts the collection clock; the frame follows 8 ms on.
+        assert_eq!(r.tick(2000, SRTT, RTO), None);
+        let out = r.tick(2008, SRTT, RTO).expect("resync frame");
+        assert_eq!(out.kind, SendKind::Data);
+        assert_eq!(out.old_num, 5);
+        assert_eq!(out.new_num, 6);
+        // BlobState's full_diff is the whole value: self-contained.
+        assert_eq!(out.diff, b"v1");
+
+        // Until state 6 is acked, retransmissions sourced from the adopted
+        // state keep using the self-contained diff.
+        let again = r.tick(2008 + RTO + ACK_DELAY, SRTT, RTO).expect("rtx");
+        assert_eq!(again.old_num, 5);
+        assert_eq!(again.new_num, 6);
+        assert_eq!(again.diff, b"v1");
+
+        // Ack of the post-resync state ends the resync.
+        r.handle_ack(6);
+        assert_eq!(r.acked_num(), 6);
+        assert!(!r.pending_data());
+        assert_eq!(r.tick(2600, SRTT, RTO), None);
     }
 
     #[test]

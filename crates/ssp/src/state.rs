@@ -57,6 +57,17 @@ pub trait SyncState: Clone {
     /// Applies a diff produced by [`SyncState::diff_from`].
     fn apply_diff(&mut self, diff: &[u8]) -> Result<(), StateError>;
 
+    /// A self-contained diff that transforms *any* state of this type into
+    /// `self`, regardless of what the receiver actually holds.
+    ///
+    /// Ordinary diffs assume the receiver has the named source state. After
+    /// crash recovery the sender may adopt a state *number* the peer
+    /// acknowledged without knowing the bytes behind it (they were produced
+    /// after the checkpoint and lost with the crash); the first diff sent
+    /// from such a state must therefore carry everything — a full repaint
+    /// for terminals, the whole retained event window for input streams.
+    fn full_diff(&self) -> Vec<u8>;
+
     /// True if two states are interchangeable for synchronization purposes
     /// (no diff needs to be sent between them).
     fn equivalent(&self, other: &Self) -> bool;
@@ -74,6 +85,11 @@ pub struct BlobState(pub Vec<u8>);
 
 impl SyncState for BlobState {
     fn diff_from(&self, _source: &Self) -> Vec<u8> {
+        self.0.clone()
+    }
+
+    fn full_diff(&self) -> Vec<u8> {
+        // Blob diffs are already full-state replacements.
         self.0.clone()
     }
 

@@ -54,20 +54,31 @@ pub struct Transport<L: SyncState, R: SyncState> {
     stats: TransportStats,
     /// Time we last heard an authentic datagram from the peer.
     last_heard: Option<Millis>,
+    /// Cap on the remote state number we acknowledge. A checkpointing
+    /// server never acks beyond its last durable checkpoint: the peer
+    /// then keeps (and keeps retransmitting) everything a crash could
+    /// lose, so recovery never strands un-checkpointed input.
+    ack_ceiling: Option<u64>,
     chaff_rng: StdRng,
+}
+
+/// Chaff is deterministic per session key and direction so simulations
+/// reproduce — and so a restored endpoint can fast-forward the stream.
+fn chaff_seed(key: &Base64Key, direction: Direction) -> [u8; 32] {
+    let mut seed = [0u8; 32];
+    seed[..16].copy_from_slice(key.as_bytes());
+    seed[16] = match direction {
+        Direction::ToServer => 0,
+        Direction::ToClient => 1,
+    };
+    seed
 }
 
 impl<L: SyncState, R: SyncState> Transport<L, R> {
     /// Creates an endpoint. Both sides must agree on the key, opposite
     /// `direction`s, and the two initial states.
     pub fn new(key: Base64Key, direction: Direction, initial_local: L, initial_remote: R) -> Self {
-        // Chaff is deterministic per session key so simulations reproduce.
-        let mut seed = [0u8; 32];
-        seed[..16].copy_from_slice(key.as_bytes());
-        seed[16] = match direction {
-            Direction::ToServer => 0,
-            Direction::ToClient => 1,
-        };
+        let seed = chaff_seed(&key, direction);
         Transport {
             datagram: DatagramLayer::new(key, direction),
             sender: Sender::new(initial_local),
@@ -76,7 +87,67 @@ impl<L: SyncState, R: SyncState> Transport<L, R> {
             next_instruction_id: 0,
             stats: TransportStats::default(),
             last_heard: None,
+            ack_ceiling: None,
             chaff_rng: StdRng::from_seed(seed),
+        }
+    }
+
+    /// Rebuilds an endpoint from snapshotted layers. The chaff RNG is
+    /// re-seeded and fast-forwarded by `next_instruction_id` instructions,
+    /// so the restored endpoint's wire bytes continue exactly where the
+    /// original's would have.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        datagram: DatagramLayer,
+        sender: Sender<L>,
+        receiver: Receiver<R>,
+        assembly: FragmentAssembly,
+        next_instruction_id: u64,
+        stats: TransportStats,
+        last_heard: Option<Millis>,
+        ack_ceiling: Option<u64>,
+    ) -> Self {
+        let (key, direction, ..) = datagram.snapshot_parts();
+        let mut chaff_rng = StdRng::from_seed(chaff_seed(key, direction));
+        for _ in 0..next_instruction_id {
+            // Replay the draws `tick` made per instruction (length, then
+            // that many bytes) to reach the same stream position.
+            let n = chaff_rng.gen_range(1..=16usize);
+            for _ in 0..n {
+                let _: u8 = chaff_rng.gen();
+            }
+        }
+        Transport {
+            datagram,
+            sender,
+            receiver,
+            assembly,
+            next_instruction_id,
+            stats,
+            last_heard,
+            ack_ceiling,
+            chaff_rng,
+        }
+    }
+
+    /// Caps outgoing acknowledgments at `ceiling` (`None` lifts the cap).
+    /// See the `ack_ceiling` field: a checkpointing server raises this to
+    /// its checkpoint's remote state number, never beyond.
+    pub fn set_ack_ceiling(&mut self, ceiling: Option<u64>) {
+        self.ack_ceiling = ceiling;
+    }
+
+    /// The current outgoing-ack cap, if any.
+    pub fn ack_ceiling(&self) -> Option<u64> {
+        self.ack_ceiling
+    }
+
+    /// The remote state number we are willing to acknowledge right now.
+    fn capped_ack(&self) -> u64 {
+        let latest = self.receiver.latest_num();
+        match self.ack_ceiling {
+            Some(c) => latest.min(c),
+            None => latest,
         }
     }
 
@@ -184,6 +255,37 @@ impl<L: SyncState, R: SyncState> Transport<L, R> {
         &self.stats
     }
 
+    /// The datagram layer, for session snapshots.
+    pub fn datagram(&self) -> &DatagramLayer {
+        &self.datagram
+    }
+
+    /// Mutable datagram layer, for nonce fast-forward on resurrection
+    /// (see [`DatagramLayer::skip_seq_to`]).
+    pub fn datagram_mut(&mut self) -> &mut DatagramLayer {
+        &mut self.datagram
+    }
+
+    /// Clones out the sender's snapshot parts.
+    pub fn sender_parts(&self) -> crate::sender::SenderParts<L> {
+        self.sender.snapshot_parts()
+    }
+
+    /// The receiver's stored states, oldest first.
+    pub fn receiver_states(&self) -> &[crate::sender::TimestampedState<R>] {
+        self.receiver.states()
+    }
+
+    /// The fragment assembler, for session snapshots.
+    pub fn assembly(&self) -> &FragmentAssembly {
+        &self.assembly
+    }
+
+    /// Id the next outgoing instruction will use.
+    pub fn next_instruction_id(&self) -> u64 {
+        self.next_instruction_id
+    }
+
     /// The next time `tick` could produce output (for event stepping).
     pub fn next_wakeup(&self) -> Option<Millis> {
         self.sender
@@ -204,7 +306,7 @@ impl<L: SyncState, R: SyncState> Transport<L, R> {
             protocol_version: PROTOCOL_VERSION,
             old_num: outgoing.old_num,
             new_num: outgoing.new_num,
-            ack_num: self.receiver.latest_num(),
+            ack_num: self.capped_ack(),
             throwaway_num: outgoing.throwaway_num,
             diff: outgoing.diff,
         };
@@ -311,8 +413,7 @@ impl<L: SyncState, R: SyncState> Transport<L, R> {
         // Schedule our (delayed) ack: for new states, and for data-bearing
         // duplicates, which mean the peer never got our previous ack.
         let must_ack = processed.new_state || processed.duplicate_data;
-        self.sender
-            .set_ack_num(self.receiver.latest_num(), must_ack, now);
+        self.sender.set_ack_num(self.capped_ack(), must_ack, now);
 
         Ok(event)
     }
@@ -517,6 +618,87 @@ mod tests {
         // open_many consumed nothing: the transport state is untouched.
         assert_eq!(server.stats().datagrams_received, 0);
         assert_eq!(server.stats().datagrams_rejected, 0);
+    }
+
+    /// Snapshots every layer of `t` and rebuilds an equivalent endpoint.
+    fn clone_via_snapshot(t: &T) -> T {
+        let (key, direction, next_seq, decrypt_ops, (srtt, rttvar, has_sample), max_seq, saved) =
+            t.datagram().snapshot_parts();
+        let datagram = DatagramLayer::restore(
+            key.clone(),
+            direction,
+            next_seq,
+            decrypt_ops,
+            crate::rtt::RttEstimator::from_parts(srtt, rttvar, has_sample),
+            max_seq,
+            saved,
+        );
+        let sender = Sender::restore(t.sender_parts()).expect("live sender parts are valid");
+        let receiver = Receiver::restore(t.receiver_states().to_vec(), *t.receiver_stats())
+            .expect("live receiver parts are valid");
+        let (id, pieces, total) = t.assembly().snapshot_parts();
+        let assembly = FragmentAssembly::restore(id, pieces.to_vec(), total)
+            .expect("live assembly parts are valid");
+        Transport::restore(
+            datagram,
+            sender,
+            receiver,
+            assembly,
+            t.next_instruction_id(),
+            *t.stats(),
+            t.last_heard(),
+            t.ack_ceiling(),
+        )
+    }
+
+    #[test]
+    fn restored_endpoint_is_byte_identical_going_forward() {
+        let (mut client, mut server) = pair();
+        client.set_current_state(BlobState(b"warm up".to_vec()), 0);
+        server.set_current_state(BlobState(b"reply".to_vec()), 0);
+        let now = converge(&mut client, &mut server, 0, 500);
+
+        let mut twin = clone_via_snapshot(&server);
+
+        // Drive both through identical futures: same state changes, same
+        // inbound wires, same tick times. Every output must match.
+        server.set_current_state(BlobState(b"post-snapshot".to_vec()), now);
+        twin.set_current_state(BlobState(b"post-snapshot".to_vec()), now);
+        for step in 0..400u64 {
+            let t = now + step;
+            let wires_a = server.tick(t);
+            let wires_b = twin.tick(t);
+            assert_eq!(wires_a, wires_b, "tick divergence at {t}");
+            if step == 50 {
+                for w in client.tick(t) {
+                    let ea = server.receive(t, &w);
+                    let eb = twin.receive(t, &w);
+                    assert_eq!(ea.is_ok(), eb.is_ok());
+                }
+            }
+        }
+        assert_eq!(server.stats().datagrams_sent, twin.stats().datagrams_sent);
+    }
+
+    #[test]
+    fn ack_ceiling_caps_outgoing_acks() {
+        let (mut client, mut server) = pair();
+        server.set_ack_ceiling(Some(0));
+        client.set_current_state(BlobState(b"typed".to_vec()), 0);
+        converge(&mut client, &mut server, 0, 2000);
+        // The server received and applied the state...
+        assert_eq!(server.remote_state().0, b"typed");
+        // ...but never acknowledged past the ceiling, so the client still
+        // holds (and re-offers) the un-checkpointed state.
+        assert_eq!(client.acked_state_num(), 0);
+        assert!(client.sender_stats().retransmits >= 1);
+
+        // Raising the ceiling (a checkpoint happened) releases the ack.
+        server.set_ack_ceiling(Some(u64::MAX));
+        let mut now = 2000;
+        now = converge(&mut client, &mut server, now, 2000);
+        let _ = now;
+        assert_eq!(client.acked_state_num(), client.latest_sent_num());
     }
 
     #[test]

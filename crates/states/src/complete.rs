@@ -89,6 +89,23 @@ impl CompleteTerminal {
         debug_assert!(ack >= self.echo_ack, "echo ack must be monotonic");
         self.echo_ack = ack;
     }
+
+    /// Serializes the full state (emulator internals included) for session
+    /// snapshots. This is *not* a diff: it captures parser mid-escape
+    /// state, pen, scroll regions — everything needed so that future
+    /// output behaves identically after a restore.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_bytes(out, &self.terminal.snapshot_bytes());
+        put_varint(out, self.echo_ack);
+    }
+
+    /// Decodes a snapshot produced by [`CompleteTerminal::encode_into`].
+    /// Returns `None` on any structural violation.
+    pub fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let terminal = Terminal::from_snapshot_bytes(r.bytes().ok()?)?;
+        let echo_ack = r.varint().ok()?;
+        Some(CompleteTerminal { terminal, echo_ack })
+    }
 }
 
 impl SyncState for CompleteTerminal {
@@ -110,6 +127,27 @@ impl SyncState for CompleteTerminal {
             put_varint(&mut out, REC_ECHO_ACK);
             put_varint(&mut out, self.echo_ack);
         }
+        out
+    }
+
+    fn full_diff(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let dst = self.frame();
+        // Unconditional resize: the receiver's dimensions are unknown.
+        put_varint(&mut out, REC_RESIZE);
+        put_varint(&mut out, dst.width() as u64);
+        put_varint(&mut out, dst.height() as u64);
+        // `initialized = false` forces a clear-and-repaint that lands on
+        // the same screen no matter what the receiver currently shows.
+        let bytes = display::new_frame(false, dst, dst);
+        if !bytes.is_empty() {
+            put_varint(&mut out, REC_BYTES);
+            put_bytes(&mut out, bytes.as_bytes());
+        }
+        // Unconditional echo ack; `apply_diff` takes the max, so a
+        // receiver that is already ahead keeps its value.
+        put_varint(&mut out, REC_ECHO_ACK);
+        put_varint(&mut out, self.echo_ack);
         out
     }
 
@@ -247,6 +285,68 @@ mod tests {
         let mut t = CompleteTerminal::initial();
         assert!(t.apply_diff(&[9]).is_err());
         assert!(t.apply_diff(&[REC_RESIZE as u8, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn full_diff_lands_from_any_receiver_state() {
+        let mut server = CompleteTerminal::initial();
+        server.act(b"$ tail -f log\r\nline one\x1b[7mline two\x1b[0m");
+        server.set_echo_ack(9);
+
+        // Receivers in wildly different states all converge on one
+        // self-contained diff — this is what crash recovery relies on.
+        let mut fresh = CompleteTerminal::initial();
+        let mut resized = CompleteTerminal::new(132, 50);
+        resized.act(b"unrelated content\r\nmore");
+        let mut ahead = CompleteTerminal::initial();
+        ahead.act(b"\x1b[2;10r\x1b[31mscrolled elsewhere");
+        ahead.set_echo_ack(4);
+
+        let full = server.full_diff();
+        for client in [&mut fresh, &mut resized, &mut ahead] {
+            client.apply_diff(&full).unwrap();
+            assert_eq!(client.frame(), server.frame());
+            assert_eq!(client.echo_ack(), 9);
+        }
+    }
+
+    #[test]
+    fn full_diff_keeps_higher_receiver_echo_ack() {
+        let server = CompleteTerminal::initial();
+        let mut client = CompleteTerminal::initial();
+        client.set_echo_ack(50);
+        client.apply_diff(&server.full_diff()).unwrap();
+        assert_eq!(client.echo_ack(), 50);
+    }
+
+    #[test]
+    fn snapshot_round_trips_emulator_internals() {
+        let mut t = CompleteTerminal::new(100, 30);
+        // Leave the parser mid-escape and the pen non-default.
+        t.act(b"\x1b[2;20r\x1b[1;33mstyled\x1b[");
+        t.set_echo_ack(7);
+        let mut buf = Vec::new();
+        t.encode_into(&mut buf);
+        let mut r = Reader::new(&buf);
+        let mut back = CompleteTerminal::decode(&mut r).expect("valid snapshot");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back.echo_ack(), 7);
+        // Finishing the escape behaves identically on both.
+        t.act(b"5;40H*");
+        back.act(b"5;40H*");
+        assert_eq!(t.frame(), back.frame());
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_garbage() {
+        let mut t = CompleteTerminal::initial();
+        t.act(b"content");
+        let mut buf = Vec::new();
+        t.encode_into(&mut buf);
+        let cut = buf.len() / 2;
+        assert!(CompleteTerminal::decode(&mut Reader::new(&buf[..cut])).is_none());
+        buf[4] ^= 0x80;
+        assert!(CompleteTerminal::decode(&mut Reader::new(&buf)).is_none());
     }
 
     #[test]

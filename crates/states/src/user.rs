@@ -103,6 +103,36 @@ impl UserStream {
         }
     }
 
+    /// Rebuilds a stream from snapshotted parts.
+    pub fn from_parts(base: u64, events: Vec<UserEvent>) -> Self {
+        UserStream {
+            base,
+            events: events.into(),
+        }
+    }
+
+    /// Serializes the stream (base index plus retained events) for
+    /// session snapshots. Same layout as a diff starting at the base, so
+    /// [`UserStream::decode`] shares the event codec with the wire.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.base);
+        put_varint(out, self.events.len() as u64);
+        for e in &self.events {
+            Self::encode_event(out, e);
+        }
+    }
+
+    /// Decodes a snapshot produced by [`UserStream::encode_into`].
+    pub fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let base = r.varint().ok()?;
+        let count = r.varint().ok()?;
+        let mut events = VecDeque::new();
+        for _ in 0..count {
+            events.push_back(Self::decode_event(r).ok()?);
+        }
+        Some(UserStream { base, events })
+    }
+
     fn decode_event(r: &mut Reader<'_>) -> Result<UserEvent, StateError> {
         match r.varint().map_err(|_| StateError::Malformed)? {
             1 => Ok(UserEvent::Keystroke(
@@ -134,6 +164,17 @@ impl SyncState for UserStream {
         for e in events {
             Self::encode_event(&mut out, e);
         }
+        out
+    }
+
+    /// Every retained event from the base: the most any diff can carry.
+    /// A receiver behind the base has lost pruned (acknowledged) events
+    /// for good and still rejects the gap — which cannot arise in
+    /// recovery, because a checkpointing endpoint never acknowledges
+    /// (and therefore never lets the peer prune) past its checkpoint.
+    fn full_diff(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
         out
     }
 
@@ -309,6 +350,56 @@ mod tests {
         let mut s = UserStream::new();
         assert_eq!(s.apply_diff(&[0xff]), Err(StateError::Malformed));
         assert_eq!(s.apply_diff(&[0, 1, 9, 9]), Err(StateError::Malformed));
+    }
+
+    #[test]
+    fn full_diff_carries_every_retained_event() {
+        let mut s = UserStream::new();
+        s.push_keystroke(b"a");
+        s.push_keystroke(b"b");
+        s.push_resize(90, 30);
+        // Any receiver at or past the base converges.
+        let mut fresh = UserStream::new();
+        fresh.apply_diff(&s.full_diff()).unwrap();
+        assert_eq!(fresh, s);
+        let mut partial = UserStream::new();
+        partial.push_keystroke(b"a");
+        partial.apply_diff(&s.full_diff()).unwrap();
+        assert_eq!(partial, s);
+    }
+
+    #[test]
+    fn snapshot_round_trips_pruned_stream() {
+        let mut s = UserStream::new();
+        for k in [b"1", b"2", b"3", b"4"] {
+            s.push_keystroke(k);
+        }
+        let mut acked = UserStream::new();
+        acked.push_keystroke(b"1");
+        acked.push_keystroke(b"2");
+        s.subtract(&acked); // base = 2
+        let mut buf = Vec::new();
+        s.encode_into(&mut buf);
+        let mut r = Reader::new(&buf);
+        let back = UserStream::decode(&mut r).expect("valid snapshot");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back, s);
+        assert_eq!(back.base_index(), 2);
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_truncation() {
+        let mut s = UserStream::new();
+        s.push_keystroke(b"abc");
+        s.push_resize(80, 24);
+        let mut buf = Vec::new();
+        s.encode_into(&mut buf);
+        for cut in 1..buf.len() {
+            assert!(
+                UserStream::decode(&mut Reader::new(&buf[..cut])).is_none(),
+                "truncation at {cut} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -68,6 +68,32 @@ impl Terminal {
         self.frame.take_answerback()
     }
 
+    /// Serializes the complete emulator state — screen, interpreter
+    /// internals, and the parser's mid-sequence position — so a restored
+    /// terminal behaves byte-for-byte like the original on all future
+    /// input. Used by session snapshots (migration / crash recovery).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.parser.encode_into(&mut out);
+        self.frame.encode_into(&mut out);
+        out
+    }
+
+    /// Rebuilds a terminal from [`Self::snapshot_bytes`] output.
+    ///
+    /// Returns `None` (never a half-applied terminal) if the bytes are
+    /// truncated, carry trailing garbage, or describe a state the live
+    /// emulator could not reach.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = crate::wirefmt::Reader::new(bytes);
+        let parser = Parser::decode(&mut r)?;
+        let frame = Framebuffer::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(Terminal { parser, frame })
+    }
+
     /// Applies one parsed action.
     pub fn perform(&mut self, action: &Action) {
         match action {
@@ -616,6 +642,52 @@ mod tests {
         t.write(&bytes[..2]);
         t.write(&bytes[2..]);
         assert_eq!(t.frame().row_text(0), "héllo");
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_future_behavior() {
+        let mut t = Terminal::new(20, 6);
+        // Leave rich interpreter state behind: pen, scroll region, saved
+        // cursor, a custom tab stop, line drawing, and a *split* escape
+        // sequence plus a split UTF-8 character still in flight.
+        t.write(b"\x1b[1;31mhello\x1b7\x1b[2;5r\x1b[2;3H\x1bH\x1b(0");
+        t.write(b"\x1b[3");
+        let first = "é".as_bytes()[0];
+        t.write(&[first]);
+        let bytes = t.snapshot_bytes();
+        let mut restored = Terminal::from_snapshot_bytes(&bytes).expect("decodes");
+        assert_eq!(restored.frame(), t.frame());
+        // Finish the split sequences on both: behavior must match exactly.
+        let tail = ["m".as_bytes(), &"é".as_bytes()[1..], b"\x1b8after"].concat();
+        t.write(&tail);
+        restored.write(&tail);
+        assert_eq!(restored.frame(), t.frame());
+        assert_eq!(restored.snapshot_bytes(), t.snapshot_bytes());
+    }
+
+    #[test]
+    fn snapshot_rejects_truncation_and_garbage() {
+        let mut t = Terminal::new(10, 4);
+        t.write(b"state\x1b[2;4H");
+        let bytes = t.snapshot_bytes();
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Terminal::from_snapshot_bytes(&bytes[..cut]).is_none());
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(Terminal::from_snapshot_bytes(&padded).is_none());
+    }
+
+    #[test]
+    fn snapshot_round_trips_alternate_screen() {
+        let mut t = Terminal::new(12, 4);
+        t.write(b"primary\x1b[?1049h\x1b[Halt content");
+        let mut r = Terminal::from_snapshot_bytes(&t.snapshot_bytes()).expect("decodes");
+        assert_eq!(r.frame(), t.frame());
+        t.write(b"\x1b[?1049l");
+        r.write(b"\x1b[?1049l");
+        assert_eq!(r.frame().row_text(0), "primary");
+        assert_eq!(r.frame(), t.frame());
     }
 
     #[test]

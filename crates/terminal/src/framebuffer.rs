@@ -771,6 +771,193 @@ impl Framebuffer {
     }
 
     // ------------------------------------------------------------------
+    // Snapshot serialization.
+    // ------------------------------------------------------------------
+
+    /// Serializes the complete screen *and* interpreter state for a session
+    /// snapshot. Unlike the display differ, nothing is normalized away: pen,
+    /// modes, scroll region, tabs, saved cursors, and the alternate-screen
+    /// stash all round-trip, so a restored framebuffer interprets future
+    /// bytes exactly like the original would have.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        use crate::wirefmt::{put_bool, put_bytes, put_char, put_varint};
+        put_varint(out, self.width as u64);
+        put_varint(out, self.height as u64);
+        for row in &self.rows {
+            encode_row(out, row);
+        }
+        put_varint(out, self.cursor.row as u64);
+        put_varint(out, self.cursor.col as u64);
+        encode_attrs(out, &self.pen);
+        out.push(
+            u8::from(self.modes.autowrap)
+                | u8::from(self.modes.origin) << 1
+                | u8::from(self.modes.insert) << 2
+                | u8::from(self.modes.cursor_visible) << 3
+                | u8::from(self.modes.application_cursor_keys) << 4
+                | u8::from(self.modes.bracketed_paste) << 5
+                | u8::from(self.modes.mouse_reporting) << 6,
+        );
+        put_varint(out, self.scroll_top as u64);
+        put_varint(out, self.scroll_bottom as u64);
+        let mut tab_bits = vec![0u8; self.width.div_ceil(8)];
+        for (c, &set) in self.tabs.iter().enumerate() {
+            if set {
+                tab_bits[c / 8] |= 1 << (c % 8);
+            }
+        }
+        out.extend_from_slice(&tab_bits);
+        put_bytes(out, self.title.as_bytes());
+        put_varint(out, self.bell_count);
+        put_bool(out, self.wrap_pending);
+        match &self.saved_cursor {
+            None => out.push(0),
+            Some(s) => {
+                out.push(1);
+                put_varint(out, s.cursor.row as u64);
+                put_varint(out, s.cursor.col as u64);
+                encode_attrs(out, &s.pen);
+                put_bool(out, s.origin_mode);
+                put_bool(out, s.wrap_pending);
+            }
+        }
+        match &self.alt_saved {
+            None => out.push(0),
+            Some((rows, cursor)) => {
+                out.push(1);
+                for row in rows {
+                    encode_row(out, row);
+                }
+                put_varint(out, cursor.row as u64);
+                put_varint(out, cursor.col as u64);
+            }
+        }
+        put_bytes(out, &self.answerback);
+        match self.last_printed {
+            None => out.push(0),
+            Some(c) => {
+                out.push(1);
+                put_char(out, c);
+            }
+        }
+        put_bool(out, self.line_drawing);
+    }
+
+    /// Rebuilds a framebuffer from [`Self::encode_into`] output. Every
+    /// structural invariant the editing primitives rely on (row/column
+    /// bounds, tab-vector length, scroll-region ordering) is re-validated,
+    /// so a decoded framebuffer can never panic later.
+    pub(crate) fn decode(r: &mut crate::wirefmt::Reader<'_>) -> Option<Self> {
+        let width = r.varint()? as usize;
+        let height = r.varint()? as usize;
+        if width == 0 || height == 0 || width > 5000 || height > 5000 {
+            return None;
+        }
+        let mut rows = Vec::with_capacity(height);
+        for _ in 0..height {
+            rows.push(decode_row(r, width)?);
+        }
+        let cursor = Cursor {
+            row: r.varint()? as usize,
+            col: r.varint()? as usize,
+        };
+        if cursor.row >= height || cursor.col >= width {
+            return None;
+        }
+        let pen = decode_attrs(r)?;
+        let m = r.byte()?;
+        if m & 0x80 != 0 {
+            return None;
+        }
+        let modes = Modes {
+            autowrap: m & 1 != 0,
+            origin: m & 2 != 0,
+            insert: m & 4 != 0,
+            cursor_visible: m & 8 != 0,
+            application_cursor_keys: m & 16 != 0,
+            bracketed_paste: m & 32 != 0,
+            mouse_reporting: m & 64 != 0,
+        };
+        let scroll_top = r.varint()? as usize;
+        let scroll_bottom = r.varint()? as usize;
+        if scroll_top > scroll_bottom || scroll_bottom >= height {
+            return None;
+        }
+        let tab_bits = r.take(width.div_ceil(8))?;
+        let tabs: Vec<bool> = (0..width)
+            .map(|c| tab_bits[c / 8] & (1 << (c % 8)) != 0)
+            .collect();
+        let title = String::from_utf8(r.bytes()?.to_vec()).ok()?;
+        let bell_count = r.varint()?;
+        let wrap_pending = r.boolean()?;
+        let saved_cursor = match r.byte()? {
+            0 => None,
+            1 => {
+                let cursor = Cursor {
+                    row: r.varint()? as usize,
+                    col: r.varint()? as usize,
+                };
+                let pen = decode_attrs(r)?;
+                let origin_mode = r.boolean()?;
+                let wrap_pending = r.boolean()?;
+                // restore_cursor clamps, so out-of-range saved positions
+                // are tolerated the way a live resize tolerates them.
+                Some(SavedCursor {
+                    cursor,
+                    pen,
+                    origin_mode,
+                    wrap_pending,
+                })
+            }
+            _ => return None,
+        };
+        let alt_saved = match r.byte()? {
+            0 => None,
+            1 => {
+                let mut alt_rows = Vec::with_capacity(height);
+                for _ in 0..height {
+                    alt_rows.push(decode_row(r, width)?);
+                }
+                let c = Cursor {
+                    row: r.varint()? as usize,
+                    col: r.varint()? as usize,
+                };
+                if c.row >= height || c.col >= width {
+                    return None;
+                }
+                Some((alt_rows, c))
+            }
+            _ => return None,
+        };
+        let answerback = r.bytes()?.to_vec();
+        let last_printed = match r.byte()? {
+            0 => None,
+            1 => Some(r.ch()?),
+            _ => return None,
+        };
+        let line_drawing = r.boolean()?;
+        Some(Framebuffer {
+            width,
+            height,
+            rows,
+            cursor,
+            pen,
+            modes,
+            scroll_top,
+            scroll_bottom,
+            tabs,
+            title,
+            bell_count,
+            wrap_pending,
+            saved_cursor,
+            alt_saved,
+            answerback,
+            last_printed,
+            line_drawing,
+        })
+    }
+
+    // ------------------------------------------------------------------
     // Test / debugging helpers.
     // ------------------------------------------------------------------
 
@@ -797,6 +984,113 @@ impl Framebuffer {
         }
         lines.join("\n")
     }
+}
+
+fn encode_color(out: &mut Vec<u8>, c: crate::cell::Color) {
+    use crate::cell::Color;
+    match c {
+        Color::Default => out.push(0),
+        Color::Indexed(n) => {
+            out.push(1);
+            out.push(n);
+        }
+        Color::Rgb(r, g, b) => {
+            out.push(2);
+            out.extend_from_slice(&[r, g, b]);
+        }
+    }
+}
+
+fn decode_color(r: &mut crate::wirefmt::Reader<'_>) -> Option<crate::cell::Color> {
+    use crate::cell::Color;
+    match r.byte()? {
+        0 => Some(Color::Default),
+        1 => Some(Color::Indexed(r.byte()?)),
+        2 => {
+            let rgb = r.take(3)?;
+            Some(Color::Rgb(rgb[0], rgb[1], rgb[2]))
+        }
+        _ => None,
+    }
+}
+
+fn encode_attrs(out: &mut Vec<u8>, a: &Attrs) {
+    out.push(
+        u8::from(a.bold)
+            | u8::from(a.faint) << 1
+            | u8::from(a.italic) << 2
+            | u8::from(a.underline) << 3
+            | u8::from(a.blink) << 4
+            | u8::from(a.inverse) << 5
+            | u8::from(a.invisible) << 6
+            | u8::from(a.strikethrough) << 7,
+    );
+    encode_color(out, a.fg);
+    encode_color(out, a.bg);
+}
+
+fn decode_attrs(r: &mut crate::wirefmt::Reader<'_>) -> Option<Attrs> {
+    let f = r.byte()?;
+    Some(Attrs {
+        bold: f & 1 != 0,
+        faint: f & 2 != 0,
+        italic: f & 4 != 0,
+        underline: f & 8 != 0,
+        blink: f & 16 != 0,
+        inverse: f & 32 != 0,
+        invisible: f & 64 != 0,
+        strikethrough: f & 128 != 0,
+        fg: decode_color(r)?,
+        bg: decode_color(r)?,
+    })
+}
+
+fn encode_cell(out: &mut Vec<u8>, c: &Cell) {
+    out.push(u8::from(c.wide) | u8::from(c.wide_continuation) << 1);
+    crate::wirefmt::put_char(out, c.ch);
+    encode_attrs(out, &c.attrs);
+}
+
+fn decode_cell(r: &mut crate::wirefmt::Reader<'_>) -> Option<Cell> {
+    let f = r.byte()?;
+    if f > 3 {
+        return None;
+    }
+    Some(Cell {
+        wide: f & 1 != 0,
+        wide_continuation: f & 2 != 0,
+        ch: r.ch()?,
+        attrs: decode_attrs(r)?,
+    })
+}
+
+/// Rows are run-length encoded (count, cell) so mostly-blank screens stay
+/// small in checkpoints.
+fn encode_row(out: &mut Vec<u8>, row: &Row) {
+    let mut i = 0;
+    while i < row.cells.len() {
+        let cell = row.cells[i];
+        let mut run = 1;
+        while i + run < row.cells.len() && row.cells[i + run] == cell {
+            run += 1;
+        }
+        crate::wirefmt::put_varint(out, run as u64);
+        encode_cell(out, &cell);
+        i += run;
+    }
+}
+
+fn decode_row(r: &mut crate::wirefmt::Reader<'_>, width: usize) -> Option<Row> {
+    let mut cells = Vec::with_capacity(width);
+    while cells.len() < width {
+        let run = r.varint()? as usize;
+        if run == 0 || run > width - cells.len() {
+            return None;
+        }
+        let cell = decode_cell(r)?;
+        cells.extend(std::iter::repeat_n(cell, run));
+    }
+    Some(Row { cells })
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@ pub mod framebuffer;
 pub mod parser;
 pub mod utf8;
 pub mod width;
+mod wirefmt;
 
 pub use cell::{Attrs, Cell, Color};
 pub use emulator::Terminal;

@@ -118,6 +118,90 @@ impl Parser {
         actions
     }
 
+    /// Serializes the full parser state (including any half-collected
+    /// sequence and pending UTF-8 bytes) for a session snapshot.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        use crate::wirefmt::{put_bool, put_bytes, put_varint};
+        out.push(match self.state {
+            State::Ground => 0,
+            State::Escape => 1,
+            State::EscapeIntermediate => 2,
+            State::CsiEntry => 3,
+            State::CsiParam => 4,
+            State::CsiIntermediate => 5,
+            State::CsiIgnore => 6,
+            State::OscString => 7,
+            State::StringIgnore => 8,
+        });
+        self.utf8.encode_into(out);
+        put_varint(out, self.params.len() as u64);
+        for &p in &self.params {
+            put_varint(out, u64::from(p));
+        }
+        put_bool(out, self.param_started);
+        match self.private {
+            None => out.push(0),
+            Some(b) => {
+                out.push(1);
+                out.push(b);
+            }
+        }
+        put_bytes(out, &self.intermediates);
+        put_bytes(out, &self.osc);
+        put_bool(out, self.string_esc);
+    }
+
+    /// Rebuilds a parser from [`Self::encode_into`] output, rejecting any
+    /// state the live parser could never reach (oversized collections).
+    pub(crate) fn decode(r: &mut crate::wirefmt::Reader<'_>) -> Option<Self> {
+        let state = match r.byte()? {
+            0 => State::Ground,
+            1 => State::Escape,
+            2 => State::EscapeIntermediate,
+            3 => State::CsiEntry,
+            4 => State::CsiParam,
+            5 => State::CsiIntermediate,
+            6 => State::CsiIgnore,
+            7 => State::OscString,
+            8 => State::StringIgnore,
+            _ => return None,
+        };
+        let utf8 = Utf8Decoder::decode(r)?;
+        let nparams = r.varint()? as usize;
+        if nparams > MAX_PARAMS {
+            return None;
+        }
+        let mut params = Vec::with_capacity(nparams);
+        for _ in 0..nparams {
+            params.push(u16::try_from(r.varint()?).ok()?);
+        }
+        let param_started = r.boolean()?;
+        let private = match r.byte()? {
+            0 => None,
+            1 => Some(r.byte()?),
+            _ => return None,
+        };
+        let intermediates = r.bytes()?.to_vec();
+        if intermediates.len() > MAX_INTERMEDIATES {
+            return None;
+        }
+        let osc = r.bytes()?.to_vec();
+        if osc.len() > MAX_OSC {
+            return None;
+        }
+        let string_esc = r.boolean()?;
+        Some(Parser {
+            state,
+            utf8,
+            params,
+            param_started,
+            private,
+            intermediates,
+            osc,
+            string_esc,
+        })
+    }
+
     fn clear_sequence(&mut self) {
         self.params.clear();
         self.param_started = false;

@@ -8,6 +8,7 @@
 
 use mosh_core::apps::{Application, Editor, LineShell, MailReader, Pager, TimedWrite};
 use mosh_core::Millis;
+use mosh_ssp::wire::{put_bytes, put_varint, Reader};
 
 /// The control byte that advances to the next application in the workload.
 pub const SWITCH_BYTE: u8 = 0x1d;
@@ -98,6 +99,34 @@ impl Application for WorkloadApp {
     fn on_resize(&mut self, now: Millis, width: usize, height: usize) -> Vec<TimedWrite> {
         self.current.on_resize(now, width, height)
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint(&mut out, self.active as u64);
+        put_bytes(&mut out, &self.current.save_state());
+        out
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        // Parse and validate everything before touching self: a rejected
+        // snapshot leaves the workload exactly as it was.
+        let mut r = Reader::new(bytes);
+        let Ok(active) = r.varint() else { return false };
+        let Ok(inner) = r.bytes() else { return false };
+        let active = active as usize;
+        if r.remaining() != 0 || active >= self.kinds.len() {
+            return false;
+        }
+        // The inner app's own kind tag rejects a snapshot whose segment
+        // index names a different app class in this workload.
+        let mut current = self.kinds[active].build();
+        if !current.restore_state(inner) {
+            return false;
+        }
+        self.active = active;
+        self.current = current;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +154,41 @@ mod tests {
         w.start(0);
         assert!(w.on_input(5, &[SWITCH_BYTE]).is_empty());
         assert!(!w.on_input(10, b"a").is_empty());
+    }
+
+    #[test]
+    fn workload_state_round_trips_mid_segment() {
+        let mut w = WorkloadApp::new(vec![AppKind::Shell, AppKind::Pager, AppKind::Mail]);
+        w.start(0);
+        w.on_input(10, b"ab");
+        w.on_input(20, &[SWITCH_BYTE]); // now in the pager
+        w.on_input(30, b"  "); // paged down twice
+        let saved = w.save_state();
+
+        let mut twin = WorkloadApp::new(vec![AppKind::Shell, AppKind::Pager, AppKind::Mail]);
+        twin.start(0);
+        assert!(twin.restore_state(&saved), "snapshot restores");
+        // Same segment, same inner state: identical next output.
+        let a: Vec<_> = w.on_input(40, b" ").into_iter().map(|t| t.bytes).collect();
+        let b: Vec<_> = twin
+            .on_input(40, b" ")
+            .into_iter()
+            .map(|t| t.bytes)
+            .collect();
+        assert_eq!(a, b);
+
+        // A workload with a different app plan rejects the snapshot
+        // whole (the inner kind tag catches the mismatch) and keeps
+        // serving its own state.
+        let mut other = WorkloadApp::new(vec![AppKind::Shell, AppKind::Editor]);
+        other.start(0);
+        other.on_input(5, b"z");
+        assert!(!other.restore_state(&saved));
+        assert!(!other.on_input(6, b"z").is_empty(), "still the shell");
+        // Truncations are rejected too, never half-applied.
+        for cut in 0..saved.len() {
+            assert!(!twin.restore_state(&saved[..cut]), "cut at {cut}");
+        }
     }
 
     #[test]
