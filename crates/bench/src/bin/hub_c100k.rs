@@ -115,6 +115,7 @@ struct FleetResult {
     p99_us: f64,
     samples: usize,
     wakeups: u64,
+    checkpoint_bytes: u64,
 }
 
 fn key(i: usize) -> Base64Key {
@@ -124,8 +125,17 @@ fn key(i: usize) -> Base64Key {
     Base64Key::from_bytes(bytes)
 }
 
-fn run_fleet(n: usize, shards: usize, active: usize, horizon: u64) -> FleetResult {
+fn run_fleet(
+    n: usize,
+    shards: usize,
+    active: usize,
+    horizon: u64,
+    cadence: Option<Millis>,
+) -> FleetResult {
     let mut hub = ShardedHub::with_shards(shards, SimPoller::new);
+    if let Some(cadence) = cadence {
+        hub.enable_checkpointing(cadence);
+    }
     let mut sids: Vec<SessionId> = Vec::with_capacity(n);
     // Active sessions spread evenly through the fleet, so a lease sweep
     // meets them where a real fleet would — not conveniently up front.
@@ -204,6 +214,7 @@ fn run_fleet(n: usize, shards: usize, active: usize, horizon: u64) -> FleetResul
         p99_us: percentile_us(&mut samples, 99.0),
         samples: samples.len(),
         wakeups: stats.wakeups,
+        checkpoint_bytes: stats.checkpoint_bytes,
     }
 }
 
@@ -242,7 +253,7 @@ fn main() {
     let mut results = Vec::new();
     for n in fleet_sizes(quick) {
         let active = 64.min(n);
-        let r = run_fleet(n, shards, active, horizon);
+        let r = run_fleet(n, shards, active, horizon, None);
         println!(
             "  {:>8}  {:>12.1}  {:>10}  {:>14.1}  {:>14.1}  {:>12.1}",
             r.sessions,
@@ -257,6 +268,39 @@ fn main() {
             "bursts must produce latency samples"
         );
         results.push(r);
+    }
+
+    // Checkpoint cadence/bytes trade-off: the same mostly-idle fleet at
+    // the smallest size, with crash recovery on at several cadences. A
+    // shorter cadence buys a fresher resurrection point; what it costs
+    // is cumulative framed snapshot bytes (`HubStats::checkpoint_bytes`).
+    // Only sessions that made progress re-checkpoint, so the mostly-idle
+    // fleet keeps the byte count proportional to the *active* subset.
+    let sweep_n = fleet_sizes(quick).into_iter().min().expect("fleet sizes");
+    let cadences: [Millis; 4] = [500, 1_000, 2_000, 4_000];
+    println!("\n  checkpoint cadence sweep ({sweep_n} sessions, {horizon} virtual ms):");
+    println!(
+        "  {:>12}  {:>18}  {:>12}",
+        "cadence ms", "checkpoint bytes", "wall ms"
+    );
+    let mut sweep = Vec::new();
+    for cadence in cadences {
+        let r = run_fleet(sweep_n, shards, 64.min(sweep_n), horizon, Some(cadence));
+        println!(
+            "  {:>12}  {:>18}  {:>12.1}",
+            cadence, r.checkpoint_bytes, r.wall_ms
+        );
+        assert!(
+            r.checkpoint_bytes > 0,
+            "checkpoint cadence must write snapshots"
+        );
+        sweep.push((cadence, r));
+    }
+    for pair in sweep.windows(2) {
+        assert!(
+            pair[0].1.checkpoint_bytes >= pair[1].1.checkpoint_bytes,
+            "a shorter cadence never writes fewer checkpoint bytes"
+        );
     }
 
     let mut rows = String::from("[\n");
@@ -279,9 +323,31 @@ fn main() {
         "{{\n    \"horizon_ms\": {horizon},\n    \"cores\": {cores},\n    \
          \"shards\": {shards},\n    \"active_sessions\": 64,\n    \"results\": {rows}\n  }}"
     );
+    let mut sweep_rows = String::from("[\n");
+    for (i, (cadence, r)) in sweep.iter().enumerate() {
+        sweep_rows.push_str(&format!(
+            "      {{\"cadence_ms\": {}, \"checkpoint_bytes\": {}, \"wall_ms\": {:.3}}}{}\n",
+            cadence,
+            r.checkpoint_bytes,
+            r.wall_ms,
+            if i + 1 == sweep.len() { "" } else { "," },
+        ));
+    }
+    sweep_rows.push_str("    ]");
+    let sweep_section = format!(
+        "{{\n    \"sessions\": {sweep_n},\n    \"horizon_ms\": {horizon},\n    \
+         \"active_sessions\": {},\n    \"results\": {sweep_rows}\n  }}",
+        64.min(sweep_n)
+    );
+
     let path = std::path::Path::new("BENCH_hub_scaling.json");
-    match merge_bench_json(path, &[("c100k", section)]) {
-        Ok(()) => println!("\nmerged section \"c100k\" into BENCH_hub_scaling.json"),
+    match merge_bench_json(
+        path,
+        &[("c100k", section), ("checkpoint_cadence", sweep_section)],
+    ) {
+        Ok(()) => println!(
+            "\nmerged sections \"c100k\" and \"checkpoint_cadence\" into BENCH_hub_scaling.json"
+        ),
         Err(e) => println!("\ncould not write BENCH_hub_scaling.json: {e}"),
     }
 

@@ -158,6 +158,19 @@ fn hub_c100k_quick() {
     assert!(p50 > 0.0, "p50 non-zero: {p50}");
     assert!(p99 > 0.0 && p99 >= p50, "p99 non-zero and ordered: {p99}");
     assert!(json_field(&json, "cores").expect("cores recorded") >= 1.0);
+
+    // The checkpoint cadence sweep merges its own section: cadence axis
+    // present, bytes recorded, and monotone (a shorter cadence never
+    // writes fewer snapshot bytes — that ordering is also asserted
+    // inside the bin; here we pin that it reached the artifact).
+    assert!(
+        json.contains("\"checkpoint_cadence\""),
+        "cadence section present:\n{json}"
+    );
+    assert!(
+        json_field(&json, "checkpoint_bytes").expect("cadence bytes recorded") > 0.0,
+        "checkpointing wrote snapshot bytes:\n{json}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -167,4 +180,32 @@ fn crypto_ops_quick() {
         env!("CARGO_BIN_EXE_crypto_ops"),
         &["crypto_ops", "seal MB/s", "open MB/s", "speedup", "demux"],
     );
+}
+
+#[test]
+fn term_ops_quick() {
+    let dir = scratch("term_ops");
+    // The bin itself asserts the damage-tracked diff is byte-identical
+    // to the full-scan oracle on every measured pair (and, in release,
+    // the >= 3x editor/mostly-idle speedup gates); a divergence exits
+    // non-zero and fails this smoke.
+    run_quick_in(
+        env!("CARGO_BIN_EXE_term_ops"),
+        Some(&dir),
+        &[],
+        &[
+            "term_ops",
+            "byte-identity-checked",
+            "damage ns/diff",
+            "oracle ns/diff",
+            "mostly_idle",
+        ],
+    );
+    let json = std::fs::read_to_string(dir.join("BENCH_term.json")).expect("artifact");
+    for section in ["\"flood\"", "\"editor\"", "\"mostly_idle\""] {
+        assert!(json.contains(section), "{section} section present:\n{json}");
+    }
+    assert!(json_field(&json, "damage_ns_per_diff").expect("damage ns recorded") > 0.0);
+    assert!(json_field(&json, "speedup").expect("speedup recorded") > 0.0);
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -62,7 +62,7 @@ impl<'p, 'e> HubSession<'p, 'e> {
 /// `O(log sessions)`, so totals grow linearly with live sessions and not
 /// at all with idle ones). A [`ShardedHub`] reports the sum over its
 /// shards.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HubStats {
     /// Timer-wheel pops serviced.
     pub wakeups: u64,
@@ -106,10 +106,26 @@ pub struct HubStats {
     /// Total framed snapshot bytes written by the checkpoint cadence
     /// (cumulative, across all sessions and checkpoints).
     pub checkpoint_bytes: u64,
+    /// Per-shard load signals ([`ShardedHub`] only; empty on a single
+    /// [`ServerHub`]): index `i` is shard `i`'s own wakeup/delivery
+    /// counters. This is the observability a rebalance policy needs —
+    /// compare entries to find hot shards before calling
+    /// `ShardedHub::migrate_session` / `rebalance`.
+    pub shard_loads: Vec<ShardLoad>,
+}
+
+/// One shard's share of the hub load (see [`HubStats::shard_loads`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Timer-wheel pops this shard serviced.
+    pub wakeups: u64,
+    /// Datagrams this shard delivered to a session.
+    pub deliveries: u64,
 }
 
 impl HubStats {
-    /// Member-wise sum (aggregating shard counters).
+    /// Member-wise sum (aggregating shard counters). `shard_loads` is
+    /// not summed — the aggregator fills it with one entry per shard.
     pub(crate) fn add(&mut self, other: HubStats) {
         self.wakeups += other.wakeups;
         self.delivered += other.delivered;

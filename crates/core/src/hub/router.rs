@@ -384,7 +384,12 @@ impl<P: Poller> ShardedHub<P> {
     pub fn stats(&self) -> HubStats {
         let mut total = HubStats::default();
         for s in &self.shards {
-            total.add(s.stats());
+            let st = s.stats();
+            total.shard_loads.push(super::ShardLoad {
+                wakeups: st.wakeups,
+                deliveries: st.delivered,
+            });
+            total.add(st);
         }
         total.shard_panics = self.failed.iter().filter(|f| f.is_some()).count() as u64;
         total.sessions_migrated = self.migrated;
@@ -914,6 +919,21 @@ mod tests {
                 .any(|(_, e)| matches!(e, SessionEvent::FrameAdvanced { .. })));
             assert!(hub.stats().delivered > 0);
             assert_eq!(hub.stats().dropped, 0);
+
+            // Per-shard load signals: one entry per shard, and the
+            // entries sum back to the aggregate counters.
+            let stats = hub.stats();
+            assert_eq!(stats.shard_loads.len(), shards);
+            assert_eq!(
+                stats.shard_loads.iter().map(|l| l.wakeups).sum::<u64>(),
+                stats.wakeups
+            );
+            assert_eq!(
+                stats.shard_loads.iter().map(|l| l.deliveries).sum::<u64>(),
+                stats.delivered
+            );
+            // Round-robin accept spread real work over every shard.
+            assert!(stats.shard_loads.iter().all(|l| l.wakeups > 0));
         }
     }
 

@@ -341,7 +341,7 @@ impl<P: Poller> ServerHub<P> {
 
     /// Hub counters.
     pub fn stats(&self) -> HubStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// The readiness seam (network stats, socket addresses, ...).

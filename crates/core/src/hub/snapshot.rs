@@ -44,7 +44,11 @@ pub const MAGIC: [u8; 4] = *b"MSHS";
 
 /// Current snapshot format version. Bump on any change to the body
 /// layout; old readers reject newer frames whole.
-pub const VERSION: u16 = 1;
+///
+/// History: v1 — initial container; v2 — [`mosh_terminal::Framebuffer`]
+/// encoding grew bounded scrollback and a `display_offset` (scrollback
+/// now survives migration, checkpoint/resurrect, and roaming).
+pub const VERSION: u16 = 2;
 
 /// Nonce gap burned when resurrecting from a possibly-stale checkpoint:
 /// the dead shard cannot have encrypted this many datagrams between the

@@ -39,7 +39,8 @@ pub mod session;
 pub use apps::{Application, Editor, LineShell, MailReader, Pager, TimedWrite};
 pub use client::MoshClient;
 pub use hub::{
-    CheckpointStore, HubSession, HubStats, ServerHub, SessionId, ShardedHub, SnapshotError,
+    CheckpointStore, HubSession, HubStats, ServerHub, SessionId, ShardLoad, ShardedHub,
+    SnapshotError,
 };
 pub use server::MoshServer;
 pub use session::{Endpoint, Party, SessionDriver, SessionEvent, SessionLoop};

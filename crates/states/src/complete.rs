@@ -38,10 +38,26 @@ const REC_ECHO_ACK: u64 = 3;
 /// assert!(client.equivalent(&server));
 /// assert_eq!(client.echo_ack(), 3);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CompleteTerminal {
     terminal: Terminal,
     echo_ack: u64,
+    /// Reusable buffer for the display differ, so the per-tick diff path
+    /// allocates nothing once warmed up. Interior mutability because
+    /// [`SyncState::diff_from`] takes `&self`; never part of the state.
+    scratch: std::cell::RefCell<String>,
+}
+
+impl Clone for CompleteTerminal {
+    fn clone(&self) -> Self {
+        CompleteTerminal {
+            terminal: self.terminal.clone(),
+            echo_ack: self.echo_ack,
+            // Scratch capacity stays with the original (the live sender);
+            // clones are snapshots that rarely diff.
+            scratch: std::cell::RefCell::new(String::new()),
+        }
+    }
 }
 
 impl CompleteTerminal {
@@ -55,6 +71,7 @@ impl CompleteTerminal {
         CompleteTerminal {
             terminal: Terminal::new(width, height),
             echo_ack: 0,
+            scratch: std::cell::RefCell::new(String::new()),
         }
     }
 
@@ -71,6 +88,14 @@ impl CompleteTerminal {
     /// The current screen.
     pub fn frame(&self) -> &Framebuffer {
         self.terminal.frame()
+    }
+
+    /// Scrolls the local viewport `delta` lines into scrollback (negative
+    /// values move back toward the live screen). Viewport state rides the
+    /// frame through snapshots but is *not* synchronized state: it never
+    /// appears in diffs or state equality, so no sender commit is needed.
+    pub fn scroll_view(&mut self, delta: isize) {
+        self.terminal.frame_mut().scroll_view(delta);
     }
 
     /// Drains any device reports the emulator owes the application.
@@ -104,7 +129,11 @@ impl CompleteTerminal {
     pub fn decode(r: &mut Reader<'_>) -> Option<Self> {
         let terminal = Terminal::from_snapshot_bytes(r.bytes().ok()?)?;
         let echo_ack = r.varint().ok()?;
-        Some(CompleteTerminal { terminal, echo_ack })
+        Some(CompleteTerminal {
+            terminal,
+            echo_ack,
+            scratch: std::cell::RefCell::new(String::new()),
+        })
     }
 }
 
@@ -118,11 +147,15 @@ impl SyncState for CompleteTerminal {
             put_varint(&mut out, dst.width() as u64);
             put_varint(&mut out, dst.height() as u64);
         }
-        let bytes = display::new_frame(true, src, dst);
-        if !bytes.is_empty() {
+        // Diff into the reusable scratch buffer: the damage-tracked differ
+        // plus a warmed buffer make the common per-tick diff allocation-free.
+        let mut buf = self.scratch.take();
+        display::new_frame_into(true, src, dst, &mut buf);
+        if !buf.is_empty() {
             put_varint(&mut out, REC_BYTES);
-            put_bytes(&mut out, bytes.as_bytes());
+            put_bytes(&mut out, buf.as_bytes());
         }
+        self.scratch.replace(buf);
         if self.echo_ack != source.echo_ack {
             put_varint(&mut out, REC_ECHO_ACK);
             put_varint(&mut out, self.echo_ack);

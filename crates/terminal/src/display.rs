@@ -13,7 +13,7 @@
 //! `tests/` check against randomized screens.
 
 use crate::cell::Attrs;
-use crate::framebuffer::Framebuffer;
+use crate::framebuffer::{Framebuffer, Row, RowDelta};
 
 /// The CUP sequence addressing a 0-based `(row, col)` position.
 fn goto_sequence(row: usize, col: usize) -> String {
@@ -32,6 +32,9 @@ const EL_THRESHOLD: usize = 4;
 /// full repaint is generated; size changes themselves travel outside the
 /// byte stream (as resize records in the SSP state object).
 ///
+/// This is the allocating convenience wrapper around [`new_frame_into`],
+/// which senders on the hot path call with a reusable scratch buffer.
+///
 /// # Examples
 ///
 /// ```
@@ -47,12 +50,74 @@ const EL_THRESHOLD: usize = 4;
 /// assert_eq!(client.frame(), server.frame());
 /// ```
 pub fn new_frame(initialized: bool, last: &Framebuffer, target: &Framebuffer) -> String {
+    let mut out = String::new();
+    new_frame_into(initialized, last, target, &mut out);
+    out
+}
+
+/// [`new_frame`] into a caller-provided buffer: `out` is cleared and then
+/// filled, so a per-tick sender can reuse one allocation across diffs.
+///
+/// Uses the framebuffer's damage stamps ([`Row::delta_from`]) to visit only
+/// rows that provably changed since `last`, and within a damaged row only
+/// the dirty column span. Every shortcut skips provably byte-identical
+/// content only, so the output is identical to [`new_frame_full_scan`] —
+/// an invariant the proptests and the `term_ops` bench both assert.
+pub fn new_frame_into(
+    initialized: bool,
+    last: &Framebuffer,
+    target: &Framebuffer,
+    out: &mut String,
+) {
+    frame_diff(initialized, last, target, out, true);
+}
+
+/// The correctness oracle: same contract as [`new_frame`], but every row is
+/// content-compared and every damaged row fully re-scanned, ignoring damage
+/// stamps — the shape the differ had before damage tracking existed.
+pub fn new_frame_full_scan(initialized: bool, last: &Framebuffer, target: &Framebuffer) -> String {
+    let mut out = String::new();
+    frame_diff(initialized, last, target, &mut out, false);
+    out
+}
+
+/// Row comparison for skip decisions: damage proof first (O(1)), content
+/// equality as the fallback — both sides of the `||` imply byte-identical
+/// rows, so enabling damage never changes the outcome, only the cost.
+fn rows_match(target: &Row, sim: &Row, use_damage: bool) -> bool {
+    (use_damage && matches!(target.delta_from(sim), RowDelta::Identical)) || target == sim
+}
+
+fn frame_diff(
+    initialized: bool,
+    last: &Framebuffer,
+    target: &Framebuffer,
+    out: &mut String,
+    use_damage: bool,
+) {
+    out.clear();
     let same_canvas =
         initialized && last.width() == target.width() && last.height() == target.height();
 
+    // Idle fast path: when every row is *provably* unchanged and the scalar
+    // state matches, the diff is empty — checked before the simulation is
+    // even built, because on a mostly-idle fleet this is the common case
+    // (echo-ack-only state changes diff equal frames every tick).
+    if use_damage
+        && same_canvas
+        && last.title() == target.title()
+        && last.bell_count() == target.bell_count()
+        && last.modes.cursor_visible == target.modes.cursor_visible
+        && last.cursor == target.cursor
+        && (0..target.height())
+            .all(|r| matches!(target.row(r).delta_from(last.row(r)), RowDelta::Identical))
+    {
+        return;
+    }
+
     let mut d = Differ {
         sim: if same_canvas {
-            last.clone()
+            last.clone_for_diff()
         } else {
             // Repaint baseline: a blank grid, but the receiver *keeps* its
             // title and bell count across a resize, so those carry over
@@ -63,7 +128,7 @@ pub fn new_frame(initialized: bool, last: &Framebuffer, target: &Framebuffer) ->
             fresh.modes.cursor_visible = last.modes.cursor_visible;
             fresh
         },
-        out: String::new(),
+        out: std::mem::take(out),
         attrs_known: false,
     };
     // The simulation models the *receiving* terminal, whose interpreter
@@ -97,20 +162,35 @@ pub fn new_frame(initialized: bool, last: &Framebuffer, target: &Framebuffer) ->
 
     // Scroll optimization: if the new frame is the old one shifted up by k
     // rows (tail-grew terminal output, pagers), scroll instead of repainting.
+    // Ring rotation moves row identity with the rows, so damage proofs keep
+    // matching the shifted positions afterwards.
     if same_canvas {
-        if let Some(k) = detect_scroll(&d.sim, target) {
+        if let Some(k) = detect_scroll(&d.sim, target, use_damage) {
             d.set_attrs(Attrs::default());
             d.out.push_str(&format!("\x1b[{k}S"));
             d.sim.scroll_up(k);
         }
     }
 
-    // Per-row repaint of whatever still differs.
+    // Per-row repaint of whatever still differs. A damage proof can either
+    // skip the row outright or confine the cell walk to the dirty span;
+    // rows without a proof get the full content comparison.
+    let width = target.width();
     for row in 0..target.height() {
-        if d.sim.rows()[row] == target.rows()[row] {
+        if use_damage {
+            match target.row(row).delta_from(d.sim.row(row)) {
+                RowDelta::Identical => continue,
+                RowDelta::Damaged(lo, hi) => {
+                    d.diff_row(row, target, lo, hi.min(width - 1));
+                    continue;
+                }
+                RowDelta::Unknown => {}
+            }
+        }
+        if d.sim.row(row) == target.row(row) {
             continue;
         }
-        d.diff_row(row, target);
+        d.diff_row(row, target, 0, width - 1);
     }
 
     // Cursor visibility.
@@ -130,21 +210,21 @@ pub fn new_frame(initialized: bool, last: &Framebuffer, target: &Framebuffer) ->
     }
 
     debug_assert_eq!(&d.sim, target, "differ simulation must converge");
-    d.out
+    *out = d.out;
 }
 
 /// Finds the largest upward shift `k` such that the top `height - k` rows of
 /// `target` are exactly the bottom rows of `sim`. Requires the preserved
 /// region to cover at least half the screen to be worthwhile.
-fn detect_scroll(sim: &Framebuffer, target: &Framebuffer) -> Option<usize> {
+fn detect_scroll(sim: &Framebuffer, target: &Framebuffer, use_damage: bool) -> Option<usize> {
     let h = target.height();
     for k in 1..h {
         let kept = h - k;
         if kept < h.div_ceil(2) {
             break;
         }
-        if (0..kept).all(|i| target.rows()[i] == sim.rows()[i + k])
-            && (0..kept).any(|i| sim.rows()[i] != target.rows()[i])
+        if (0..kept).all(|i| rows_match(target.row(i), sim.row(i + k), use_damage))
+            && (0..kept).any(|i| !rows_match(target.row(i), sim.row(i), use_damage))
         {
             return Some(k);
         }
@@ -182,7 +262,12 @@ impl Differ {
         self.sim.pen = target;
     }
 
-    fn diff_row(&mut self, row: usize, target: &Framebuffer) {
+    /// Repaints row cells that differ between the simulation and `target`,
+    /// consulting only columns whose span overlaps the inclusive `[lo, hi]`
+    /// range — callers pass the full width unless a damage proof guarantees
+    /// the outside columns are already identical (in which case skipping
+    /// them without comparing changes nothing but the cost).
+    fn diff_row(&mut self, row: usize, target: &Framebuffer, lo: usize, hi: usize) {
         let width = target.width();
         let mut col = 0;
         while col < width {
@@ -192,6 +277,10 @@ impl Differ {
                 continue;
             }
             let span = if tcell.wide { 2 } else { 1 };
+            if col + span <= lo || col > hi {
+                col += span;
+                continue;
+            }
             let matches = *self.sim.cell(row, col) == tcell
                 && (span == 1
                     || (col + 1 < width

@@ -7,14 +7,89 @@
 //! participates in equality, because SSP synchronizes what the user sees,
 //! not the interpreter internals (the client never feeds application bytes
 //! into its own framebuffer; it only applies self-contained diffs).
+//!
+//! # Damage tracking
+//!
+//! Every row is a copy-on-write handle ([`Row`]) around shared cell
+//! storage. Cloning a framebuffer — which the sender does for every
+//! shipped state — is O(height) pointer bumps, and each mutation stamps
+//! the touched row with a globally unique *damage generation* plus the
+//! column range it dirtied. The display differ uses those stamps
+//! ([`Row::delta_from`]) to skip rows that provably did not change and to
+//! confine its cell walk to the dirty span of rows that did; anything it
+//! cannot prove falls back to a content comparison, so the emitted bytes
+//! are identical to a full scan by construction.
+//!
+//! # Scrollback
+//!
+//! The grid itself is a ring buffer, so a full-screen scroll is O(1)
+//! pointer math rather than a row rotation. Rows evicted off the top of
+//! the primary screen land in a bounded scrollback deque; `display_offset`
+//! selects how far back the viewport is scrolled (0 = live screen).
+//! Scrollback and the offset ride session snapshots, so they survive
+//! migration and checkpoint/resurrect, but they are *not* part of
+//! framebuffer equality: SSP synchronizes the visible screen only.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::cell::{Attrs, Cell};
 
-/// One row of the grid.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Row {
+/// Rows of scrollback a fresh framebuffer retains (see
+/// [`Framebuffer::set_scrollback_limit`]).
+pub const DEFAULT_SCROLLBACK: usize = 200;
+
+/// Global damage clock. Every row creation or mutation takes a stamp, so a
+/// `(row id, generation)` pair identifies one exact cell-content state: no
+/// two distinct mutation events ever share a stamp, which is what makes the
+/// differ's "same id + same generation ⇒ byte-identical" shortcut sound
+/// across independently cloned framebuffers.
+static DAMAGE_CLOCK: AtomicU64 = AtomicU64::new(1);
+
+fn next_stamp() -> u64 {
+    DAMAGE_CLOCK.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Shared row storage plus its damage metadata.
+#[derive(Debug, Clone)]
+struct RowData {
     /// The row's cells, always exactly `width` long.
-    pub cells: Vec<Cell>,
+    cells: Vec<Cell>,
+    /// Creation-lineage identifier: preserved by copy-on-write, fresh for
+    /// newly created rows. Two rows with the same id descend from the same
+    /// creation event.
+    id: u64,
+    /// Stamp of the most recent mutation (or of creation).
+    gen: u64,
+    /// The dirty column range below covers every mutation with a stamp in
+    /// `(range_base, gen]`; cells outside it are untouched since then.
+    range_base: u64,
+    /// Dirty range, inclusive; `lo > hi` means empty.
+    dirty_lo: u32,
+    dirty_hi: u32,
+}
+
+/// One row of the grid: a copy-on-write handle to shared cell storage.
+///
+/// Cloning is O(1); the first mutation after a clone copies the cells
+/// (copy-on-write) and restarts the dirty-range accounting, so damage is
+/// always tracked relative to the most recent shared snapshot.
+#[derive(Debug, Clone)]
+pub struct Row {
+    data: Arc<RowData>,
+}
+
+/// What [`Row::delta_from`] could prove about a row relative to a source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowDelta {
+    /// The rows are byte-identical.
+    Identical,
+    /// Cells *outside* the inclusive column range are byte-identical;
+    /// cells inside it may differ.
+    Damaged(usize, usize),
+    /// Nothing could be proven; callers must compare content.
+    Unknown,
 }
 
 impl Row {
@@ -24,9 +99,182 @@ impl Row {
             bg,
             ..Attrs::default()
         };
+        Row::from_cells(vec![Cell::blank(attrs); width])
+    }
+
+    pub(crate) fn from_cells(cells: Vec<Cell>) -> Self {
+        let stamp = next_stamp();
         Row {
-            cells: vec![Cell::blank(attrs); width],
+            data: Arc::new(RowData {
+                cells,
+                id: stamp,
+                gen: stamp,
+                range_base: stamp,
+                dirty_lo: u32::MAX,
+                dirty_hi: 0,
+            }),
         }
+    }
+
+    /// The row's cells, always exactly the screen width.
+    pub fn cells(&self) -> &[Cell] {
+        &self.data.cells
+    }
+
+    /// True when both handles share the same storage (trivially identical).
+    pub fn same_data(a: &Row, b: &Row) -> bool {
+        Arc::ptr_eq(&a.data, &b.data)
+    }
+
+    /// Damage-stamped mutable access: copies shared storage (restarting the
+    /// dirty range, since the shared snapshot is the new comparison base),
+    /// takes a fresh generation stamp, and widens the dirty range to cover
+    /// the inclusive column span `[lo, hi]`.
+    fn touch(&mut self, lo: usize, hi: usize) -> &mut Vec<Cell> {
+        // `strong_count == 1` means no other handle exists that anyone could
+        // clone from, so the flag cannot go stale before `make_mut` below.
+        let shared = Arc::strong_count(&self.data) > 1;
+        let d = Arc::make_mut(&mut self.data);
+        if shared {
+            d.range_base = d.gen;
+            d.dirty_lo = u32::MAX;
+            d.dirty_hi = 0;
+        }
+        d.gen = next_stamp();
+        d.dirty_lo = d.dirty_lo.min(lo as u32);
+        d.dirty_hi = d.dirty_hi.max(hi as u32);
+        &mut d.cells
+    }
+
+    /// Pads or truncates to `width`, marking the whole row damaged.
+    /// `fix_wide` blanks a wide lead left dangling in the last column.
+    fn set_width(&mut self, width: usize, fix_wide: bool) {
+        let cells = self.touch(0, width.saturating_sub(1));
+        if width < cells.len() {
+            cells.truncate(width);
+            if fix_wide {
+                if let Some(last) = cells.last_mut() {
+                    if last.wide {
+                        *last = Cell::default();
+                    }
+                }
+            }
+        } else {
+            let pad = width - cells.len();
+            cells.extend(std::iter::repeat_n(Cell::default(), pad));
+        }
+    }
+
+    /// What the damage stamps prove about `self` (the target row) relative
+    /// to `source`, a row from an earlier clone of the same framebuffer.
+    ///
+    /// Soundness: stamps are globally unique per mutation event, so equal
+    /// `(id, gen)` means both handles carry copies of the same cell state;
+    /// and when the source's stamp falls inside the window the dirty range
+    /// accounts for, every column outside that range is untouched since the
+    /// source was taken.
+    pub fn delta_from(&self, source: &Row) -> RowDelta {
+        if Arc::ptr_eq(&self.data, &source.data) {
+            return RowDelta::Identical;
+        }
+        let (t, s) = (&*self.data, &*source.data);
+        if t.id == s.id && s.gen <= t.gen {
+            if s.gen == t.gen {
+                return RowDelta::Identical;
+            }
+            if s.gen >= t.range_base && t.dirty_lo <= t.dirty_hi {
+                return RowDelta::Damaged(t.dirty_lo as usize, t.dirty_hi as usize);
+            }
+        }
+        RowDelta::Unknown
+    }
+}
+
+/// Row equality is *content* equality (cells only, never damage metadata):
+/// frames from unrelated lineages — a client applying diffs versus the
+/// server that generated them — must still compare equal.
+impl PartialEq for Row {
+    fn eq(&self, other: &Self) -> bool {
+        self.data.cells == other.data.cells
+    }
+}
+
+impl Eq for Row {}
+
+impl std::hash::Hash for Row {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.cells.hash(state);
+    }
+}
+
+/// The visible grid as a ring buffer: visual row `i` lives at
+/// `buf[(head + i) % height]`, so a full-screen scroll is O(1) index math
+/// and rows keep their identity (and thus their damage lineage) as they
+/// move up the screen.
+#[derive(Debug, Clone)]
+struct Ring {
+    buf: Vec<Row>,
+    head: usize,
+}
+
+impl Ring {
+    fn new(rows: Vec<Row>) -> Self {
+        Ring { buf: rows, head: 0 }
+    }
+
+    fn idx(&self, i: usize) -> usize {
+        let j = self.head + i;
+        if j >= self.buf.len() {
+            j - self.buf.len()
+        } else {
+            j
+        }
+    }
+
+    fn get(&self, i: usize) -> &Row {
+        &self.buf[self.idx(i)]
+    }
+
+    fn get_mut(&mut self, i: usize) -> &mut Row {
+        let j = self.idx(i);
+        &mut self.buf[j]
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        let (a, b) = (self.idx(i), self.idx(j));
+        self.buf.swap(a, b);
+    }
+
+    /// O(1) full-screen scroll up: the top row is evicted (returned) and
+    /// `fresh` becomes the new bottom row.
+    fn rotate_up(&mut self, fresh: Row) -> Row {
+        let evicted = std::mem::replace(&mut self.buf[self.head], fresh);
+        self.head = if self.head + 1 == self.buf.len() {
+            0
+        } else {
+            self.head + 1
+        };
+        evicted
+    }
+
+    /// O(1) full-screen scroll down: the bottom row is evicted (returned)
+    /// and `fresh` becomes the new top row.
+    fn rotate_down(&mut self, fresh: Row) -> Row {
+        self.head = if self.head == 0 {
+            self.buf.len() - 1
+        } else {
+            self.head - 1
+        };
+        std::mem::replace(&mut self.buf[self.head], fresh)
+    }
+
+    /// Drains into a contiguous top-to-bottom vector (for rebuilds).
+    fn take_rows(&mut self) -> Vec<Row> {
+        let head = self.head;
+        self.head = 0;
+        let mut rows = std::mem::take(&mut self.buf);
+        rows.rotate_left(head);
+        rows
     }
 }
 
@@ -85,12 +333,14 @@ impl Default for Modes {
 ///
 /// Equality compares only what the user can observe: grid contents, cursor
 /// position and visibility, window title, and the bell count. That is the
-/// contract the display differ ([`crate::display`]) reproduces.
+/// contract the display differ ([`crate::display`]) reproduces. Scrollback
+/// and the display offset are deliberately excluded — they are server-side
+/// view state, not synchronized screen content.
 #[derive(Debug, Clone)]
 pub struct Framebuffer {
     width: usize,
     height: usize,
-    rows: Vec<Row>,
+    grid: Ring,
     /// Current cursor.
     pub cursor: Cursor,
     /// Current graphic renditions for new text.
@@ -108,6 +358,13 @@ pub struct Framebuffer {
     saved_cursor: Option<SavedCursor>,
     /// Primary-screen stash while the alternate screen is active.
     alt_saved: Option<(Vec<Row>, Cursor)>,
+    /// Rows scrolled off the top of the primary screen, oldest first,
+    /// bounded by `scrollback_limit`.
+    scrollback: VecDeque<Row>,
+    scrollback_limit: usize,
+    /// How far back the viewport is scrolled, `0..=scrollback.len()`;
+    /// 0 shows the live screen.
+    display_offset: usize,
     /// Replies the terminal owes the host (DSR/DA reports).
     answerback: Vec<u8>,
     /// Last printed character, for REP.
@@ -120,7 +377,7 @@ impl PartialEq for Framebuffer {
     fn eq(&self, other: &Self) -> bool {
         self.width == other.width
             && self.height == other.height
-            && self.rows == other.rows
+            && (0..self.height).all(|r| self.grid.get(r) == other.grid.get(r))
             && self.cursor == other.cursor
             && self.modes.cursor_visible == other.modes.cursor_visible
             && self.title == other.title
@@ -141,7 +398,15 @@ impl Framebuffer {
         Framebuffer {
             width,
             height,
-            rows: vec![Row::blank(width, crate::cell::Color::Default); height],
+            // Each position gets its own `Row::blank` call (distinct damage
+            // id): `delta_from`'s range claim is only sound when equal ids
+            // imply a single mutation lineage, and `vec![blank; h]` would
+            // let sibling rows diverge under one id.
+            grid: Ring::new(
+                (0..height)
+                    .map(|_| Row::blank(width, crate::cell::Color::Default))
+                    .collect(),
+            ),
             cursor: Cursor { row: 0, col: 0 },
             pen: Attrs::default(),
             modes: Modes::default(),
@@ -153,6 +418,9 @@ impl Framebuffer {
             wrap_pending: false,
             saved_cursor: None,
             alt_saved: None,
+            scrollback: VecDeque::new(),
+            scrollback_limit: DEFAULT_SCROLLBACK,
+            display_offset: 0,
             answerback: Vec::new(),
             last_printed: None,
             line_drawing: false,
@@ -169,9 +437,13 @@ impl Framebuffer {
         self.height
     }
 
-    /// All rows, top to bottom.
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+    /// The row at visual position `i` (0 = top of the live screen).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= height`.
+    pub fn row(&self, i: usize) -> &Row {
+        self.grid.get(i)
     }
 
     /// The cell at `(row, col)`.
@@ -180,12 +452,14 @@ impl Framebuffer {
     ///
     /// Panics if out of bounds.
     pub fn cell(&self, row: usize, col: usize) -> &Cell {
-        &self.rows[row].cells[col]
+        &self.grid.get(row).cells()[col]
     }
 
     /// Mutable cell access (used by tests and the prediction engine).
+    /// Records single-cell damage; the wide-pair invariant is the caller's
+    /// responsibility, exactly as before.
     pub fn cell_mut(&mut self, row: usize, col: usize) -> &mut Cell {
-        &mut self.rows[row].cells[col]
+        &mut self.grid.get_mut(row).touch(col, col)[col]
     }
 
     /// The window title (OSC 0/2).
@@ -238,6 +512,82 @@ impl Framebuffer {
             bg: self.pen.bg,
             ..Attrs::default()
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Scrollback and the display offset.
+    // ------------------------------------------------------------------
+
+    /// Maximum rows of scrollback retained.
+    pub fn scrollback_limit(&self) -> usize {
+        self.scrollback_limit
+    }
+
+    /// Sets the scrollback bound, discarding the oldest rows (and clamping
+    /// the display offset) if the new bound is smaller.
+    pub fn set_scrollback_limit(&mut self, limit: usize) {
+        self.scrollback_limit = limit;
+        while self.scrollback.len() > limit {
+            self.scrollback.pop_front();
+        }
+        self.display_offset = self.display_offset.min(self.scrollback.len());
+    }
+
+    /// Rows currently held in scrollback.
+    pub fn scrollback_len(&self) -> usize {
+        self.scrollback.len()
+    }
+
+    /// A scrollback row; `i = 0` is the line just above the live screen,
+    /// higher `i` reaches further into history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= scrollback_len()`.
+    pub fn history_row(&self, i: usize) -> &Row {
+        &self.scrollback[self.scrollback.len() - 1 - i]
+    }
+
+    /// How far back the viewport is scrolled (0 = live screen).
+    pub fn display_offset(&self) -> usize {
+        self.display_offset
+    }
+
+    /// Moves the viewport `delta` lines into history (negative values move
+    /// back toward the live screen), clamped to the available scrollback.
+    pub fn scroll_view(&mut self, delta: isize) {
+        let next = self.display_offset as isize + delta;
+        self.display_offset = next.clamp(0, self.scrollback.len() as isize) as usize;
+    }
+
+    /// The row shown at viewport position `i` under the current display
+    /// offset: history rows first, then the top of the live screen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= height`.
+    pub fn view_row(&self, i: usize) -> &Row {
+        if i < self.display_offset {
+            self.history_row(self.display_offset - 1 - i)
+        } else {
+            self.grid.get(i - self.display_offset)
+        }
+    }
+
+    /// Retires a row evicted off the top of the primary screen into
+    /// scrollback. A scrolled-back viewport stays anchored on the same
+    /// history lines by following the eviction.
+    fn push_history(&mut self, row: Row) {
+        if self.scrollback_limit == 0 {
+            return;
+        }
+        if self.scrollback.len() == self.scrollback_limit {
+            self.scrollback.pop_front();
+        }
+        self.scrollback.push_back(row);
+        if self.display_offset > 0 {
+            self.display_offset = (self.display_offset + 1).min(self.scrollback.len());
+        }
     }
 
     // ------------------------------------------------------------------
@@ -355,14 +705,49 @@ impl Framebuffer {
     /// have an intact continuation: overwriting either half blanks the other.
     fn put_cell(&mut self, row: usize, col: usize, cell: Cell) {
         let erase = self.erase_cell();
-        let old = self.rows[row].cells[col];
-        if old.wide && col + 1 < self.width {
-            self.rows[row].cells[col + 1] = erase;
+        let width = self.width;
+        let r = self.grid.get_mut(row);
+        let old = r.cells()[col];
+        let lo = if old.wide_continuation && col > 0 {
+            col - 1
+        } else {
+            col
+        };
+        let hi = if old.wide && col + 1 < width {
+            col + 1
+        } else {
+            col
+        };
+        let cells = r.touch(lo, hi);
+        if old.wide && col + 1 < width {
+            cells[col + 1] = erase;
         }
         if old.wide_continuation && col > 0 {
-            self.rows[row].cells[col - 1] = erase;
+            cells[col - 1] = erase;
         }
-        self.rows[row].cells[col] = cell;
+        cells[col] = cell;
+    }
+
+    /// Fills the inclusive column span with the erase cell, extending to a
+    /// neighbouring column when the span boundary would split a wide pair
+    /// (the same blanking `put_cell` performs cell by cell).
+    fn fill_erase(&mut self, row: usize, lo: usize, hi: usize) {
+        let erase = self.erase_cell();
+        let width = self.width;
+        let r = self.grid.get_mut(row);
+        let cells = r.cells();
+        let lo = if cells[lo].wide_continuation && lo > 0 {
+            lo - 1
+        } else {
+            lo
+        };
+        let hi = if cells[hi].wide && hi + 1 < width {
+            hi + 1
+        } else {
+            hi
+        };
+        let cells = r.touch(lo, hi);
+        cells[lo..=hi].fill(erase);
     }
 
     // ------------------------------------------------------------------
@@ -389,14 +774,28 @@ impl Framebuffer {
         self.wrap_pending = false;
     }
 
-    /// Scrolls the scroll region up by `n` lines (text moves up).
+    /// Scrolls the scroll region up by `n` lines (text moves up). With the
+    /// full screen as the region this is O(1) ring rotation per line, and
+    /// on the primary screen the evicted top row retires into scrollback.
     pub fn scroll_up(&mut self, n: usize) {
         let n = n.min(self.scroll_bottom - self.scroll_top + 1);
         let bg = self.pen.bg;
+        let full_screen = self.scroll_top == 0 && self.scroll_bottom == self.height - 1;
         for _ in 0..n {
-            self.rows.remove(self.scroll_top);
-            self.rows
-                .insert(self.scroll_bottom, Row::blank(self.width, bg));
+            let fresh = Row::blank(self.width, bg);
+            if full_screen {
+                let evicted = self.grid.rotate_up(fresh);
+                if self.alt_saved.is_none() {
+                    self.push_history(evicted);
+                }
+            } else {
+                // Region scroll: shift rows up within [top, bottom]; the
+                // evicted region-top row is discarded, never scrollback.
+                for r in self.scroll_top..self.scroll_bottom {
+                    self.grid.swap(r, r + 1);
+                }
+                *self.grid.get_mut(self.scroll_bottom) = fresh;
+            }
         }
     }
 
@@ -404,10 +803,19 @@ impl Framebuffer {
     pub fn scroll_down(&mut self, n: usize) {
         let n = n.min(self.scroll_bottom - self.scroll_top + 1);
         let bg = self.pen.bg;
+        let full_screen = self.scroll_top == 0 && self.scroll_bottom == self.height - 1;
         for _ in 0..n {
-            self.rows.remove(self.scroll_bottom);
-            self.rows
-                .insert(self.scroll_top, Row::blank(self.width, bg));
+            let fresh = Row::blank(self.width, bg);
+            if full_screen {
+                // The evicted bottom row is discarded; scroll-down never
+                // pulls history back onto the screen.
+                self.grid.rotate_down(fresh);
+            } else {
+                for r in (self.scroll_top..self.scroll_bottom).rev() {
+                    self.grid.swap(r + 1, r);
+                }
+                *self.grid.get_mut(self.scroll_top) = fresh;
+            }
         }
     }
 
@@ -435,8 +843,12 @@ impl Framebuffer {
         let row = self.cursor.row;
         let col = self.cursor.col;
         let n = n.min(self.width - col);
+        let width = self.width;
         let erase = self.erase_cell();
-        let cells = &mut self.rows[row].cells;
+        let cells = self
+            .grid
+            .get_mut(row)
+            .touch(col.saturating_sub(1), width - 1);
         // Splitting a wide pair at the insertion point orphans both halves.
         if cells[col].wide_continuation {
             cells[col] = erase;
@@ -445,7 +857,7 @@ impl Framebuffer {
             }
         }
         cells.splice(col..col, std::iter::repeat_n(erase, n));
-        cells.truncate(self.width);
+        cells.truncate(width);
         // A wide lead pushed against the right edge loses its continuation.
         if let Some(last) = cells.last_mut() {
             if last.wide {
@@ -459,14 +871,18 @@ impl Framebuffer {
         let row = self.cursor.row;
         let col = self.cursor.col;
         let n = n.min(self.width - col);
+        let width = self.width;
         let erase = self.erase_cell();
-        let cells = &mut self.rows[row].cells;
+        let cells = self
+            .grid
+            .get_mut(row)
+            .touch(col.saturating_sub(1), width - 1);
         // Deleting the continuation but not the lead orphans the lead.
         if cells[col].wide_continuation && col > 0 {
             cells[col - 1] = erase;
         }
         // Deleting the lead but not the continuation orphans the latter.
-        if col + n < self.width && cells[col + n].wide_continuation {
+        if col + n < width && cells[col + n].wide_continuation {
             cells[col + n] = erase;
         }
         cells.drain(col..col + n);
@@ -475,12 +891,10 @@ impl Framebuffer {
 
     /// Erases `n` characters at the cursor without shifting (ECH).
     pub fn erase_chars(&mut self, n: usize) {
-        let row = self.cursor.row;
         let col = self.cursor.col;
         let n = n.min(self.width - col);
-        let erase = self.erase_cell();
-        for c in col..col + n {
-            self.put_cell(row, c, erase);
+        if n > 0 {
+            self.fill_erase(self.cursor.row, col, col + n - 1);
         }
     }
 
@@ -493,9 +907,10 @@ impl Framebuffer {
         let n = n.min(self.scroll_bottom - self.cursor.row + 1);
         let bg = self.pen.bg;
         for _ in 0..n {
-            self.rows.remove(self.scroll_bottom);
-            self.rows
-                .insert(self.cursor.row, Row::blank(self.width, bg));
+            for r in (self.cursor.row..self.scroll_bottom).rev() {
+                self.grid.swap(r + 1, r);
+            }
+            *self.grid.get_mut(self.cursor.row) = Row::blank(self.width, bg);
         }
         self.cursor.col = 0;
         self.wrap_pending = false;
@@ -510,9 +925,10 @@ impl Framebuffer {
         let n = n.min(self.scroll_bottom - self.cursor.row + 1);
         let bg = self.pen.bg;
         for _ in 0..n {
-            self.rows.remove(self.cursor.row);
-            self.rows
-                .insert(self.scroll_bottom, Row::blank(self.width, bg));
+            for r in self.cursor.row..self.scroll_bottom {
+                self.grid.swap(r, r + 1);
+            }
+            *self.grid.get_mut(self.scroll_bottom) = Row::blank(self.width, bg);
         }
         self.cursor.col = 0;
         self.wrap_pending = false;
@@ -521,39 +937,37 @@ impl Framebuffer {
     /// Erase in line (EL): 0 = cursor to end, 1 = start to cursor, 2 = all.
     pub fn erase_line(&mut self, mode: u16) {
         let row = self.cursor.row;
-        let erase = self.erase_cell();
-        let range = match mode {
-            0 => self.cursor.col..self.width,
-            1 => 0..self.cursor.col + 1,
-            _ => 0..self.width,
+        let (lo, hi) = match mode {
+            0 => (self.cursor.col, self.width - 1),
+            1 => (0, self.cursor.col),
+            _ => (0, self.width - 1),
         };
-        for c in range {
-            self.put_cell(row, c, erase);
-        }
+        self.fill_erase(row, lo, hi);
     }
 
     /// Erase in display (ED): 0 = cursor to end, 1 = start to cursor,
-    /// 2 or 3 = whole screen.
+    /// 2 = whole screen, 3 = whole screen plus scrollback (xterm E3).
     pub fn erase_display(&mut self, mode: u16) {
         match mode {
             0 => {
                 self.erase_line(0);
-                let erase = self.erase_cell();
                 for r in self.cursor.row + 1..self.height {
-                    self.rows[r].cells.fill(erase);
+                    self.fill_erase(r, 0, self.width - 1);
                 }
             }
             1 => {
                 self.erase_line(1);
-                let erase = self.erase_cell();
                 for r in 0..self.cursor.row {
-                    self.rows[r].cells.fill(erase);
+                    self.fill_erase(r, 0, self.width - 1);
                 }
             }
             _ => {
-                let erase = self.erase_cell();
                 for r in 0..self.height {
-                    self.rows[r].cells.fill(erase);
+                    self.fill_erase(r, 0, self.width - 1);
+                }
+                if mode == 3 {
+                    self.scrollback.clear();
+                    self.display_offset = 0;
                 }
             }
         }
@@ -635,21 +1049,29 @@ impl Framebuffer {
     }
 
     /// Switches to the alternate screen (clearing it). No-op if already on.
+    /// Snaps the viewport back to the live screen; scrollback is retained
+    /// but never fed while the alternate screen is active.
     pub fn enter_alternate_screen(&mut self) {
         if self.alt_saved.is_some() {
             return;
         }
-        let blank = vec![Row::blank(self.width, crate::cell::Color::Default); self.height];
-        let saved_rows = std::mem::replace(&mut self.rows, blank);
-        self.alt_saved = Some((saved_rows, self.cursor));
+        // Distinct damage ids per position — see `Framebuffer::new`.
+        let blank = Ring::new(
+            (0..self.height)
+                .map(|_| Row::blank(self.width, crate::cell::Color::Default))
+                .collect(),
+        );
+        let mut saved = std::mem::replace(&mut self.grid, blank);
+        self.alt_saved = Some((saved.take_rows(), self.cursor));
         self.cursor = Cursor { row: 0, col: 0 };
         self.wrap_pending = false;
+        self.display_offset = 0;
     }
 
     /// Returns from the alternate screen, restoring the primary contents.
     pub fn exit_alternate_screen(&mut self) {
         if let Some((rows, cursor)) = self.alt_saved.take() {
-            self.rows = rows;
+            self.grid = Ring::new(rows);
             self.cursor = Cursor {
                 row: cursor.row.min(self.height - 1),
                 col: cursor.col.min(self.width - 1),
@@ -664,20 +1086,27 @@ impl Framebuffer {
     }
 
     /// RIS: reset to initial state (size and title are kept; everything
-    /// else returns to power-on defaults).
+    /// else returns to power-on defaults). Scrollback *content* and the
+    /// configured limit survive — only E3 discards history — but the
+    /// viewport snaps back to the live screen.
     pub fn reset(&mut self) {
         let title = std::mem::take(&mut self.title);
         let bells = self.bell_count;
+        let scrollback = std::mem::take(&mut self.scrollback);
+        let limit = self.scrollback_limit;
         *self = Framebuffer::new(self.width, self.height);
         self.title = title;
         self.bell_count = bells;
+        self.scrollback = scrollback;
+        self.scrollback_limit = limit;
     }
 
     /// DECALN: fill the screen with 'E' and reset margins (alignment test).
     pub fn screen_alignment_test(&mut self) {
         let cell = Cell::narrow('E', Attrs::default());
-        for row in &mut self.rows {
-            row.cells.fill(cell);
+        let width = self.width;
+        for r in 0..self.height {
+            self.grid.get_mut(r).touch(0, width - 1).fill(cell);
         }
         self.scroll_top = 0;
         self.scroll_bottom = self.height - 1;
@@ -691,53 +1120,43 @@ impl Framebuffer {
 
     /// Resizes the screen, preserving the top-left contents (Mosh keeps
     /// content anchored at the top on resize). Resets the scroll region and
-    /// clamps the cursor.
+    /// clamps the cursor. Scrollback rows are padded or truncated to the
+    /// new width; the display offset stays within bounds because the
+    /// scrollback length is unchanged.
     pub fn resize(&mut self, width: usize, height: usize) {
         assert!(width > 0 && height > 0, "resize to at least 1x1");
         if width == self.width && height == self.height {
             return;
         }
-        for row in &mut self.rows {
-            if width < row.cells.len() {
-                row.cells.truncate(width);
-                // Never leave a dangling wide-char lead in the last column.
-                if let Some(last) = row.cells.last_mut() {
-                    if last.wide {
-                        *last = Cell::default();
-                    }
-                }
-            } else {
-                let pad = width - row.cells.len();
-                row.cells.extend(std::iter::repeat_n(Cell::default(), pad));
+        if width != self.width {
+            for r in 0..self.height {
+                self.grid.get_mut(r).set_width(width, true);
+            }
+            for row in self.scrollback.iter_mut() {
+                row.set_width(width, true);
             }
         }
-        if height < self.rows.len() {
-            self.rows.truncate(height);
+        let mut rows = self.grid.take_rows();
+        if height < rows.len() {
+            rows.truncate(height);
         } else {
-            let pad = height - self.rows.len();
-            self.rows.extend(std::iter::repeat_n(
-                Row::blank(width, crate::cell::Color::Default),
-                pad,
-            ));
+            let pad = height - rows.len();
+            // Distinct damage ids per position — see `Framebuffer::new`.
+            rows.extend((0..pad).map(|_| Row::blank(width, crate::cell::Color::Default)));
         }
+        self.grid = Ring::new(rows);
         // The alternate-screen stash must track the new size too.
         if let Some((rows, cursor)) = &mut self.alt_saved {
-            for row in rows.iter_mut() {
-                if width < row.cells.len() {
-                    row.cells.truncate(width);
-                } else {
-                    let pad = width - row.cells.len();
-                    row.cells.extend(std::iter::repeat_n(Cell::default(), pad));
+            if width != self.width {
+                for row in rows.iter_mut() {
+                    row.set_width(width, false);
                 }
             }
             if height < rows.len() {
                 rows.truncate(height);
             } else {
                 let pad = height - rows.len();
-                rows.extend(std::iter::repeat_n(
-                    Row::blank(width, crate::cell::Color::Default),
-                    pad,
-                ));
+                rows.extend((0..pad).map(|_| Row::blank(width, crate::cell::Color::Default)));
             }
             cursor.row = cursor.row.min(height - 1);
             cursor.col = cursor.col.min(width - 1);
@@ -770,21 +1189,51 @@ impl Framebuffer {
         self.wrap_pending = true;
     }
 
+    /// A clone for use as the differ's receiver simulation: shares the grid
+    /// rows (so damage fast paths apply) but carries no scrollback — the
+    /// simulation's own scrolling must not pay history bookkeeping, and the
+    /// receiver's history is not what a diff synchronizes.
+    pub(crate) fn clone_for_diff(&self) -> Self {
+        Framebuffer {
+            width: self.width,
+            height: self.height,
+            grid: self.grid.clone(),
+            cursor: self.cursor,
+            pen: self.pen,
+            modes: self.modes.clone(),
+            scroll_top: self.scroll_top,
+            scroll_bottom: self.scroll_bottom,
+            tabs: self.tabs.clone(),
+            title: self.title.clone(),
+            bell_count: self.bell_count,
+            wrap_pending: self.wrap_pending,
+            saved_cursor: self.saved_cursor,
+            alt_saved: None,
+            scrollback: VecDeque::new(),
+            scrollback_limit: 0,
+            display_offset: 0,
+            answerback: Vec::new(),
+            last_printed: self.last_printed,
+            line_drawing: self.line_drawing,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Snapshot serialization.
     // ------------------------------------------------------------------
 
     /// Serializes the complete screen *and* interpreter state for a session
     /// snapshot. Unlike the display differ, nothing is normalized away: pen,
-    /// modes, scroll region, tabs, saved cursors, and the alternate-screen
-    /// stash all round-trip, so a restored framebuffer interprets future
-    /// bytes exactly like the original would have.
+    /// modes, scroll region, tabs, saved cursors, the alternate-screen
+    /// stash, scrollback, and the display offset all round-trip, so a
+    /// restored framebuffer interprets future bytes exactly like the
+    /// original would have — and the user's history survives migration.
     pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         use crate::wirefmt::{put_bool, put_bytes, put_char, put_varint};
         put_varint(out, self.width as u64);
         put_varint(out, self.height as u64);
-        for row in &self.rows {
-            encode_row(out, row);
+        for r in 0..self.height {
+            encode_row(out, self.grid.get(r));
         }
         put_varint(out, self.cursor.row as u64);
         put_varint(out, self.cursor.col as u64);
@@ -841,12 +1290,19 @@ impl Framebuffer {
             }
         }
         put_bool(out, self.line_drawing);
+        put_varint(out, self.scrollback_limit as u64);
+        put_varint(out, self.scrollback.len() as u64);
+        for row in &self.scrollback {
+            encode_row(out, row);
+        }
+        put_varint(out, self.display_offset as u64);
     }
 
     /// Rebuilds a framebuffer from [`Self::encode_into`] output. Every
     /// structural invariant the editing primitives rely on (row/column
-    /// bounds, tab-vector length, scroll-region ordering) is re-validated,
-    /// so a decoded framebuffer can never panic later.
+    /// bounds, tab-vector length, scroll-region ordering, scrollback and
+    /// offset bounds) is re-validated, so a decoded framebuffer can never
+    /// panic later.
     pub(crate) fn decode(r: &mut crate::wirefmt::Reader<'_>) -> Option<Self> {
         let width = r.varint()? as usize;
         let height = r.varint()? as usize;
@@ -936,10 +1392,26 @@ impl Framebuffer {
             _ => return None,
         };
         let line_drawing = r.boolean()?;
+        let scrollback_limit = r.varint()? as usize;
+        if scrollback_limit > 1_000_000 {
+            return None;
+        }
+        let scrollback_len = r.varint()? as usize;
+        if scrollback_len > scrollback_limit {
+            return None;
+        }
+        let mut scrollback = VecDeque::with_capacity(scrollback_len);
+        for _ in 0..scrollback_len {
+            scrollback.push_back(decode_row(r, width)?);
+        }
+        let display_offset = r.varint()? as usize;
+        if display_offset > scrollback_len {
+            return None;
+        }
         Some(Framebuffer {
             width,
             height,
-            rows,
+            grid: Ring::new(rows),
             cursor,
             pen,
             modes,
@@ -951,6 +1423,9 @@ impl Framebuffer {
             wrap_pending,
             saved_cursor,
             alt_saved,
+            scrollback,
+            scrollback_limit,
+            display_offset,
             answerback,
             last_printed,
             line_drawing,
@@ -963,8 +1438,10 @@ impl Framebuffer {
 
     /// The visible text of one row, with trailing blanks trimmed.
     pub fn row_text(&self, row: usize) -> String {
-        let mut s: String = self.rows[row]
-            .cells
+        let mut s: String = self
+            .grid
+            .get(row)
+            .cells()
             .iter()
             .filter(|c| !c.wide_continuation)
             .map(|c| c.ch)
@@ -1067,11 +1544,12 @@ fn decode_cell(r: &mut crate::wirefmt::Reader<'_>) -> Option<Cell> {
 /// Rows are run-length encoded (count, cell) so mostly-blank screens stay
 /// small in checkpoints.
 fn encode_row(out: &mut Vec<u8>, row: &Row) {
+    let cells = row.cells();
     let mut i = 0;
-    while i < row.cells.len() {
-        let cell = row.cells[i];
+    while i < cells.len() {
+        let cell = cells[i];
         let mut run = 1;
-        while i + run < row.cells.len() && row.cells[i + run] == cell {
+        while i + run < cells.len() && cells[i + run] == cell {
             run += 1;
         }
         crate::wirefmt::put_varint(out, run as u64);
@@ -1090,7 +1568,7 @@ fn decode_row(r: &mut crate::wirefmt::Reader<'_>, width: usize) -> Option<Row> {
         let cell = decode_cell(r)?;
         cells.extend(std::iter::repeat_n(cell, run));
     }
-    Some(Row { cells })
+    Some(Row::from_cells(cells))
 }
 
 #[cfg(test)]
@@ -1440,5 +1918,184 @@ mod tests {
         fb.print('z');
         fb.repeat_last(3);
         assert_eq!(fb.row_text(0), "zzzz");
+    }
+
+    // --------------------------------------------------------------
+    // Damage tracking and scrollback.
+    // --------------------------------------------------------------
+
+    #[test]
+    fn clone_shares_rows_and_cow_isolates_them() {
+        let mut fb = Framebuffer::new(10, 3);
+        fb.print('a');
+        let snap = fb.clone();
+        assert!(Row::same_data(fb.row(0), snap.row(0)));
+        fb.move_to(0, 5);
+        fb.print('b');
+        assert!(!Row::same_data(fb.row(0), snap.row(0)));
+        assert_eq!(snap.row_text(0), "a");
+        assert_eq!(fb.row_text(0), "a    b");
+    }
+
+    #[test]
+    fn delta_reports_dirty_range_since_snapshot() {
+        let mut fb = Framebuffer::new(10, 2);
+        fb.print('x');
+        let snap = fb.clone();
+        fb.move_to(0, 4);
+        fb.print('y');
+        fb.print('z');
+        match fb.row(0).delta_from(snap.row(0)) {
+            RowDelta::Damaged(lo, hi) => {
+                assert!(
+                    lo <= 4 && hi >= 5,
+                    "range [{lo}, {hi}] must cover cols 4..=5"
+                );
+                // Soundness: cells outside the range really are unchanged.
+                for c in (0..lo).chain(hi + 1..10) {
+                    assert_eq!(fb.cell(0, c), snap.cell(0, c));
+                }
+            }
+            d => panic!("expected Damaged, got {d:?}"),
+        }
+        assert_eq!(fb.row(1).delta_from(snap.row(1)), RowDelta::Identical);
+    }
+
+    #[test]
+    fn scroll_preserves_row_identity() {
+        let mut fb = Framebuffer::new(5, 3);
+        fb.print('a');
+        let snap = fb.clone();
+        fb.move_to(2, 0);
+        fb.line_feed(); // full-screen scroll by one
+        assert!(Row::same_data(fb.row(0), snap.row(1)));
+        assert_eq!(fb.row(0).delta_from(snap.row(1)), RowDelta::Identical);
+    }
+
+    #[test]
+    fn scrolled_rows_land_in_scrollback() {
+        let mut fb = Framebuffer::new(5, 2);
+        fb.print('a');
+        fb.move_to(1, 0);
+        fb.print('b');
+        fb.move_to(1, 0);
+        fb.line_feed();
+        assert_eq!(fb.scrollback_len(), 1);
+        let hist: String = fb.history_row(0).cells().iter().map(|c| c.ch).collect();
+        assert_eq!(hist.trim_end(), "a");
+    }
+
+    #[test]
+    fn scrollback_is_bounded() {
+        let mut fb = Framebuffer::new(3, 2);
+        fb.set_scrollback_limit(4);
+        for _ in 0..10 {
+            fb.move_to(1, 0);
+            fb.line_feed();
+        }
+        assert_eq!(fb.scrollback_len(), 4);
+    }
+
+    #[test]
+    fn display_offset_clamps_and_follows_scrolls() {
+        let mut fb = Framebuffer::new(3, 2);
+        for _ in 0..5 {
+            fb.move_to(1, 0);
+            fb.line_feed();
+        }
+        assert_eq!(fb.scrollback_len(), 5);
+        fb.scroll_view(100);
+        assert_eq!(fb.display_offset(), 5);
+        fb.scroll_view(-2);
+        assert_eq!(fb.display_offset(), 3);
+        // A new eviction keeps the viewport anchored on the same lines.
+        fb.move_to(1, 0);
+        fb.line_feed();
+        assert_eq!(fb.display_offset(), 4);
+        fb.scroll_view(-100);
+        assert_eq!(fb.display_offset(), 0);
+    }
+
+    #[test]
+    fn view_row_blends_history_and_live_screen() {
+        let mut fb = Framebuffer::new(3, 2);
+        fb.print('1');
+        fb.move_to(1, 0);
+        fb.print('2');
+        fb.move_to(1, 0);
+        fb.line_feed(); // "1" scrolls into history; screen is ["2", ""]
+        fb.scroll_view(1);
+        assert_eq!(fb.view_row(0).cells()[0].ch, '1');
+        assert_eq!(fb.view_row(1).cells()[0].ch, '2');
+    }
+
+    #[test]
+    fn region_scrolls_do_not_feed_scrollback() {
+        let mut fb = Framebuffer::new(5, 4);
+        fb.set_scroll_region(1, 3);
+        fb.move_to(2, 0);
+        fb.line_feed();
+        assert_eq!(fb.scrollback_len(), 0);
+    }
+
+    #[test]
+    fn alternate_screen_does_not_feed_scrollback() {
+        let mut fb = Framebuffer::new(5, 2);
+        fb.enter_alternate_screen();
+        fb.move_to(1, 0);
+        fb.line_feed();
+        assert_eq!(fb.scrollback_len(), 0);
+        fb.exit_alternate_screen();
+    }
+
+    #[test]
+    fn erase_display_3_clears_scrollback() {
+        let mut fb = Framebuffer::new(3, 2);
+        fb.move_to(1, 0);
+        fb.line_feed();
+        fb.scroll_view(1);
+        assert_eq!(fb.scrollback_len(), 1);
+        fb.erase_display(3);
+        assert_eq!(fb.scrollback_len(), 0);
+        assert_eq!(fb.display_offset(), 0);
+        // Plain ED 2 keeps history.
+        fb.move_to(1, 0);
+        fb.line_feed();
+        fb.erase_display(2);
+        assert_eq!(fb.scrollback_len(), 1);
+    }
+
+    #[test]
+    fn resize_pads_scrollback_rows_to_new_width() {
+        let mut fb = Framebuffer::new(4, 2);
+        fb.print('w');
+        fb.move_to(1, 0);
+        fb.line_feed();
+        fb.resize(8, 3);
+        assert_eq!(fb.history_row(0).cells().len(), 8);
+        fb.resize(2, 3);
+        assert_eq!(fb.history_row(0).cells().len(), 2);
+        assert!(fb.display_offset() <= fb.scrollback_len());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_scrollback_and_offset() {
+        let mut fb = Framebuffer::new(5, 2);
+        fb.print('q');
+        fb.move_to(1, 0);
+        fb.line_feed();
+        fb.line_feed();
+        fb.scroll_view(2);
+        let mut bytes = Vec::new();
+        fb.encode_into(&mut bytes);
+        let mut reader = crate::wirefmt::Reader::new(&bytes);
+        let back = Framebuffer::decode(&mut reader).expect("decode");
+        assert_eq!(back, fb);
+        assert_eq!(back.scrollback_len(), fb.scrollback_len());
+        assert_eq!(back.display_offset(), 2);
+        assert_eq!(back.scrollback_limit(), fb.scrollback_limit());
+        for i in 0..fb.scrollback_len() {
+            assert_eq!(back.history_row(i), fb.history_row(i));
+        }
     }
 }

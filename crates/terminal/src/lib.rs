@@ -43,4 +43,4 @@ mod wirefmt;
 
 pub use cell::{Attrs, Cell, Color};
 pub use emulator::Terminal;
-pub use framebuffer::{Cursor, Framebuffer, Row};
+pub use framebuffer::{Cursor, Framebuffer, Row, RowDelta};

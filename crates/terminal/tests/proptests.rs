@@ -231,4 +231,134 @@ proptest! {
         parts.write(&bytes[cut..]);
         prop_assert_eq!(whole.frame(), parts.frame());
     }
+
+    /// Damage soundness (`Grid.tla`'s `DamageSound`): whatever a row's
+    /// delta claims about a snapshot must be literally true — `Identical`
+    /// means byte-identical, `Damaged(lo, hi)` means every cell outside
+    /// `[lo, hi]` is byte-identical. The differ's fast path skips exactly
+    /// what these claims cover, so an unsound claim is a wrong frame.
+    #[test]
+    fn damage_claims_are_sound(a in terminal_bytes(), b in terminal_bytes()) {
+        let mut term = Terminal::new(60, 16);
+        term.write(&a);
+        let snap = term.frame().clone();
+        term.write(&b);
+        let cur = term.frame();
+
+        for r in 0..16 {
+            match cur.row(r).delta_from(snap.row(r)) {
+                mosh_terminal::RowDelta::Identical => {
+                    prop_assert_eq!(cur.row(r), snap.row(r), "row {} claimed Identical", r);
+                }
+                mosh_terminal::RowDelta::Damaged(lo, hi) => {
+                    for (col, (c, s)) in
+                        cur.row(r).cells().iter().zip(snap.row(r).cells()).enumerate()
+                    {
+                        if col < lo || col > hi {
+                            prop_assert_eq!(
+                                c, s,
+                                "row {} col {} outside damage [{}, {}] differs",
+                                r, col, lo, hi
+                            );
+                        }
+                    }
+                }
+                mosh_terminal::RowDelta::Unknown => {}
+            }
+        }
+    }
+
+    /// The damage-tracked differ is byte-identical to the full-scan
+    /// oracle — damage only changes what gets *visited*, never what gets
+    /// emitted.
+    #[test]
+    fn damage_diff_matches_full_scan_oracle(
+        a in terminal_bytes(),
+        b in terminal_bytes(),
+        initialized in any::<bool>(),
+    ) {
+        let mut term = Terminal::new(60, 16);
+        term.write(&a);
+        let before = term.frame().clone();
+        term.write(&b);
+        let after = term.frame().clone();
+
+        let mut fast = String::new();
+        display::new_frame_into(initialized, &before, &after, &mut fast);
+        prop_assert_eq!(fast, display::new_frame_full_scan(initialized, &before, &after));
+    }
+
+    /// Viewport bounds (`Grid.tla`'s `OffsetInBounds`): across writes,
+    /// scroll-view motions, and resizes, the display offset never exceeds
+    /// the scrollback depth, and the depth never exceeds the limit.
+    #[test]
+    fn display_offset_stays_in_bounds(
+        steps in proptest::collection::vec(
+            prop_oneof![
+                terminal_bytes().prop_map(Step::Write),
+                (-30isize..30).prop_map(Step::Scroll),
+                (2usize..90, 2usize..30).prop_map(|(w, h)| Step::Resize(w, h)),
+            ],
+            1..12,
+        ),
+    ) {
+        let mut term = Terminal::new(80, 24);
+        for step in steps {
+            match step {
+                Step::Write(bytes) => term.write(&bytes),
+                Step::Scroll(delta) => term.frame_mut().scroll_view(delta),
+                Step::Resize(w, h) => term.resize(w, h),
+            }
+            let f = term.frame();
+            prop_assert!(f.display_offset() <= f.scrollback_len());
+            prop_assert!(f.scrollback_len() <= f.scrollback_limit());
+            // Every viewport position resolves (would panic otherwise).
+            for i in 0..f.height() {
+                let _ = f.view_row(i);
+            }
+        }
+    }
+
+    /// A damaged / scrolled / scrolled-back / resized terminal survives
+    /// the snapshot (wirefmt) path byte-identically — scrollback rows and
+    /// the viewport offset included (the PR 9 container rides on this).
+    #[test]
+    fn snapshot_roundtrips_scrollback_and_viewport(
+        a in terminal_bytes(),
+        b in terminal_bytes(),
+        back in 0isize..40,
+        w in 2usize..90,
+        h in 2usize..30,
+    ) {
+        let mut term = Terminal::new(80, 24);
+        term.write(&a);
+        term.resize(w, h);
+        term.write(&b);
+        term.frame_mut().scroll_view(back);
+
+        let restored = Terminal::from_snapshot_bytes(&term.snapshot_bytes())
+            .expect("snapshot of a live terminal decodes");
+        // Frame equality covers grid/cursor/title/bell; viewport state is
+        // deliberately outside `Eq`, so pin it field by field.
+        prop_assert_eq!(restored.frame(), term.frame());
+        prop_assert_eq!(restored.frame().scrollback_len(), term.frame().scrollback_len());
+        prop_assert_eq!(restored.frame().display_offset(), term.frame().display_offset());
+        prop_assert_eq!(restored.frame().scrollback_limit(), term.frame().scrollback_limit());
+        for i in 0..term.frame().scrollback_len() {
+            prop_assert_eq!(
+                restored.frame().history_row(i),
+                term.frame().history_row(i),
+                "history row {} diverged",
+                i
+            );
+        }
+    }
+}
+
+/// One step of the viewport-bounds walk.
+#[derive(Debug, Clone)]
+enum Step {
+    Write(Vec<u8>),
+    Scroll(isize),
+    Resize(usize, usize),
 }

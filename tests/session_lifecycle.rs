@@ -399,6 +399,124 @@ impl Endpoint for PanicEndpoint {
     }
 }
 
+/// Scrollback and the viewport offset are session state: rows that
+/// scrolled off the top, and how far back the host-side viewport is
+/// scrolled, ride the snapshot container through restore (handoff),
+/// resurrect (crash recovery), and live migration — and the viewport
+/// stays anchored on the same content as the session keeps scrolling
+/// afterwards.
+#[test]
+fn scrollback_and_viewport_survive_snapshot_and_migration() {
+    let seed = 1717u64;
+    let mut hub = ShardedHub::with_shards(2, SimPoller::new);
+    let (mut c, mut s) = endpoints(0);
+    let sid = hub.add_session(world(0, seed));
+    let sids = [sid];
+    let mut now = 0u64;
+
+    // Hammer ENTER until the prompt walks off the bottom of the 24-row
+    // screen: every evicted row must land in scrollback.
+    for _ in 0..32 {
+        now += STEP_MS;
+        {
+            let mut recs = [(c, s)];
+            pump_step(now, &sids, &mut recs, |l| {
+                hub.pump(l);
+            });
+            [(c, s)] = recs;
+        }
+        c.inner.keystroke(now, b"\r");
+    }
+    now += SETTLE_MS;
+    {
+        let mut recs = [(c, s)];
+        pump_step(now, &sids, &mut recs, |l| {
+            hub.pump(l);
+        });
+        [(c, s)] = recs;
+    }
+    assert!(
+        s.inner.frame().scrollback_len() >= 3,
+        "32 prompts on a 24-row screen must scroll"
+    );
+
+    // Scroll the host viewport three lines into history and remember
+    // exactly what it shows.
+    s.inner.scroll_view(3);
+    assert_eq!(s.inner.frame().display_offset(), 3);
+    let depth = s.inner.frame().scrollback_len();
+    let anchored: Vec<mosh::terminal::Row> = (0..3)
+        .map(|i| s.inner.frame().view_row(i).clone())
+        .collect();
+
+    // Snapshot → restore (clean handoff) and → resurrect (crash
+    // recovery): both must bring back the scrollback rows and the
+    // viewport offset byte-identically.
+    let framed = snapshot::snapshot_server(&s.inner);
+    for restored in [
+        snapshot::restore_server(&framed, Box::new(LineShell::new())).expect("restores"),
+        snapshot::resurrect_server(&framed, Box::new(LineShell::new())).expect("resurrects"),
+    ] {
+        assert_eq!(restored.frame().scrollback_len(), depth);
+        assert_eq!(restored.frame().display_offset(), 3);
+        for (i, row) in anchored.iter().enumerate() {
+            assert_eq!(restored.frame().view_row(i), row, "view row {i} diverged");
+        }
+        assert_eq!(restored.frame(), s.inner.frame());
+    }
+
+    // Swap in the restored server (handoff style), migrate the session
+    // to the other shard, and keep typing: the session must keep
+    // converging, new evictions must keep feeding scrollback, and the
+    // scrolled-back viewport must stay anchored on the same rows.
+    let restored = snapshot::restore_server(&framed, Box::new(LineShell::new())).expect("restores");
+    let old = std::mem::replace(&mut s, Recorder::new(restored));
+    s.log = old.log;
+    let to = (hub.location(sid).0 + 1) % 2;
+    assert!(hub.migrate_session(sid, to));
+    for _ in 0..6 {
+        now += STEP_MS;
+        {
+            let mut recs = [(c, s)];
+            pump_step(now, &sids, &mut recs, |l| {
+                hub.pump(l);
+            });
+            [(c, s)] = recs;
+        }
+        c.inner.keystroke(now, b"\r");
+    }
+    now += SETTLE_MS;
+    {
+        let mut recs = [(c, s)];
+        pump_step(now, &sids, &mut recs, |l| {
+            hub.pump(l);
+        });
+        [(c, s)] = recs;
+    }
+
+    assert_eq!(
+        c.inner.server_frame().row_text(23),
+        "$",
+        "session converges"
+    );
+    assert!(
+        s.inner.frame().scrollback_len() > depth,
+        "post-restore scrolls keep feeding scrollback"
+    );
+    assert_eq!(
+        s.inner.frame().display_offset(),
+        3 + (s.inner.frame().scrollback_len() - depth),
+        "viewport anchors across new evictions"
+    );
+    for (i, row) in anchored.iter().enumerate() {
+        assert_eq!(
+            s.inner.frame().view_row(i),
+            row,
+            "anchored view row {i} drifted after migration"
+        );
+    }
+}
+
 /// Mid-replay, snapshot every session into a handoff container, restart
 /// into a **fresh hub with a different shard count**, restore, and
 /// finish the replay: transcripts are byte-identical to never having
